@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation (Section 4.1.2): on-chip memory-access energy of the HMF-NoC
+ * (3x3 switches + feedback) vs. Eyeriss-v2-style HM-NoC (2x2, no
+ * feedback) on GEMM tile traffic with element reuse across waves. The
+ * paper reports ~2.5x lower energy for HMF-NoC.
+ */
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "gemm/engine.h"
+#include "noc/hmf_noc.h"
+
+using namespace flexnerfer;
+
+namespace {
+
+/** Replays a weight-reuse traffic trace through one NoC flavour. */
+double
+ReplayEnergyPj(bool feedback, int waves, int elements)
+{
+    HmfNoc noc({64, feedback, 0.18, 0.12, 8.0});
+    for (int wave = 0; wave < waves; ++wave) {
+        for (int e = 0; e < elements; ++e) {
+            // The same operand set is redistributed each wave to shifting
+            // destination groups (dense mapping of successive k slices that
+            // share matrix-1 elements across output tiles).
+            noc.Deliver(e, {(e * 4 + wave) % 64, (e * 4 + wave + 1) % 64,
+                            (e * 4 + wave + 2) % 64});
+        }
+    }
+    return noc.EnergyPj();
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("== Ablation: HMF-NoC vs HM-NoC on-chip access energy ==\n");
+    Table t({"Waves", "HM-NoC [nJ]", "HMF-NoC [nJ]", "HMF saving (x)"});
+    for (int waves : {16, 64, 256, 1024}) {
+        const double hm = ReplayEnergyPj(false, waves, 16);
+        const double hmf = ReplayEnergyPj(true, waves, 16);
+        t.AddRow({std::to_string(waves), FormatDouble(hm * 1e-3, 2),
+                  FormatDouble(hmf * 1e-3, 2), FormatDouble(hm / hmf, 2)});
+    }
+    std::printf("%s\n", t.ToString().c_str());
+
+    // End-to-end effect inside the engine: tree NoC vs Benes-style hops.
+    GemmEngineConfig tree;
+    tree.compute_output = false;
+    GemmEngineConfig benes = tree;
+    benes.noc_style = NocStyle::kBenes;
+    const GemmShape shape{4096, 512, 512, 0.5, 0.5, 0.0};
+    const double tree_noc =
+        GemmEngine(tree).RunFromShape(shape).energy.noc;
+    const double benes_noc =
+        GemmEngine(benes).RunFromShape(shape).energy.noc;
+    std::printf("Engine-level NoC energy on a sparse GEMM: tree %.2f uJ vs "
+                "Benes-style %.2f uJ (%.1fx)\n",
+                tree_noc * 1e-6, benes_noc * 1e-6, benes_noc / tree_noc);
+    std::printf("Paper reference: HMF-NoC ~2.5x lower on-chip memory "
+                "access energy than HM-NoC.\n");
+    return 0;
+}

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Fig. 1: rendering latency of the seven NeRF models on the RTX 2080 Ti
+ * against the VR (16.8 ms) and game (8.3 ms) frame-time thresholds.
+ */
+#include <cstdio>
+
+#include "accel/gpu_model.h"
+#include "common/table.h"
+#include "sim/metrics.h"
+
+using namespace flexnerfer;
+
+int
+main()
+{
+    std::printf("== Fig. 1: NeRF rendering latency on RTX 2080 Ti ==\n");
+    const GpuModel gpu;
+    Table t({"Model", "Latency [ms]", "vs VR 16.8ms", "vs Game 8.3ms"});
+    for (const std::string& name : AllModelNames()) {
+        const FrameCost cost = gpu.RunWorkload(BuildWorkload(name));
+        t.AddRow({name, FormatDouble(cost.latency_ms, 1),
+                  FormatDouble(cost.latency_ms / 16.8, 1) + "x over",
+                  FormatDouble(cost.latency_ms / 8.3, 1) + "x over"});
+    }
+    std::printf("%s\n", t.ToString().c_str());
+    std::printf("Every model misses both real-time thresholds, motivating "
+                "a dedicated accelerator.\n");
+    return 0;
+}

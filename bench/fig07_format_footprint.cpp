@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 7: memory footprint of COO / CSC-CSR / Bitmap normalized to dense
+ * ("None") across sparsity ratios for 16-bit (64x64), 8-bit (128x128),
+ * and 4-bit (256x256) tiles.
+ */
+#include <cmath>
+#include <cstdio>
+
+#include "common/table.h"
+#include "sparse/footprint.h"
+#include "sparse/format_selector.h"
+
+using namespace flexnerfer;
+
+int
+main()
+{
+    const double sparsities[] = {1,  5,  10, 15, 20, 25, 30, 35,  40,  45,
+                                 50, 55, 60, 65, 70, 75, 80, 85,  90,  95,
+                                 99, 99.9};
+    for (Precision p : {Precision::kInt16, Precision::kInt8,
+                        Precision::kInt4}) {
+        const int dim = TileDim(p);
+        std::printf("== Fig. 7 (%s, tile %dx%d): footprint over None ==\n",
+                    ToString(p).c_str(), dim, dim);
+        Table t({"Sparsity [%]", "None", "COO", "CSC/CSR", "Bitmap",
+                 "Best"});
+        for (double s : sparsities) {
+            const auto total = static_cast<std::int64_t>(dim) * dim;
+            const auto nnz = static_cast<std::int64_t>(
+                std::llround(total * (1.0 - s / 100.0)));
+            const double none = static_cast<double>(
+                DenseFootprintBits(dim, dim, p));
+            const double coo =
+                static_cast<double>(CooFootprintBits(dim, dim, nnz, p));
+            const double csr =
+                static_cast<double>(CsrFootprintBits(dim, dim, nnz, p));
+            const double bitmap = static_cast<double>(
+                BitmapFootprintBits(dim, dim, nnz, p));
+            const SparsityFormat best =
+                SelectOptimalFormat(dim, dim, nnz, p);
+            t.AddRow({FormatDouble(s, 1), "1.00",
+                      FormatDouble(coo / none, 2),
+                      FormatDouble(csr / none, 2),
+                      FormatDouble(bitmap / none, 2), ToString(best)});
+        }
+        std::printf("%s\n", t.ToString().c_str());
+    }
+    std::printf("Lower precision shifts every format's break-even point "
+                "toward higher sparsity (metadata is relatively more "
+                "expensive).\n");
+    return 0;
+}

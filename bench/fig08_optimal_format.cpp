@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 8: the footprint-optimal sparsity format per (precision, sparsity
+ * ratio), plus the onset sparsity at which each format first wins.
+ */
+#include <cstdio>
+
+#include "common/table.h"
+#include "sparse/format_selector.h"
+
+using namespace flexnerfer;
+
+int
+main()
+{
+    std::printf("== Fig. 8: optimal format map ==\n");
+    Table t({"Sparsity [%]", "INT16 (64x64)", "INT8 (128x128)",
+             "INT4 (256x256)"});
+    for (double s :
+         {1.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0, 50.0, 60.0, 70.0,
+          80.0, 85.0, 90.0, 95.0, 99.0, 99.9}) {
+        t.AddRow(
+            {FormatDouble(s, 1),
+             ToString(SelectOptimalFormatForRatio(s / 100.0,
+                                                  Precision::kInt16)),
+             ToString(SelectOptimalFormatForRatio(s / 100.0,
+                                                  Precision::kInt8)),
+             ToString(SelectOptimalFormatForRatio(s / 100.0,
+                                                  Precision::kInt4))});
+    }
+    std::printf("%s\n", t.ToString().c_str());
+
+    std::printf("Format onset sparsity (first sparsity where the format is "
+                "optimal):\n");
+    Table onset({"Format", "INT16 [%]", "INT8 [%]", "INT4 [%]"});
+    for (SparsityFormat f :
+         {SparsityFormat::kBitmap, SparsityFormat::kCsr,
+          SparsityFormat::kCoo}) {
+        auto cell = [&](Precision p) {
+            const double v = FormatOnsetSparsityPercent(f, p);
+            return v < 0 ? std::string("never") : FormatDouble(v, 1);
+        };
+        onset.AddRow({ToString(f), cell(Precision::kInt16),
+                      cell(Precision::kInt8), cell(Precision::kInt4)});
+    }
+    std::printf("%s", onset.ToString().c_str());
+    return 0;
+}

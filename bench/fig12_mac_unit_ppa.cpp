@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fig. 12(c): area and power of the bit-scalable MAC unit with the
+ * shared-shifter reduction tree vs. the unoptimized unit, plus the
+ * array-level shifter savings (Section 4.2).
+ */
+#include <cstdio>
+
+#include "common/table.h"
+#include "mac/bit_scalable_mac.h"
+#include "mac/mac_array.h"
+
+using namespace flexnerfer;
+
+int
+main()
+{
+    std::printf("== Fig. 12(c): MAC unit PPA, optimized vs unoptimized ==\n");
+    Table t({"Variant", "Shifters/unit", "Area [um2]", "Power [mW]"});
+    t.AddRow({"Unoptimized", "24",
+              FormatDouble(BitScalableMacUnit::AreaUm2(false), 2),
+              FormatDouble(BitScalableMacUnit::PowerMw(false), 2)});
+    t.AddRow({"FlexNeRFer (shared shifters)", "16",
+              FormatDouble(BitScalableMacUnit::AreaUm2(true), 2),
+              FormatDouble(BitScalableMacUnit::PowerMw(true), 2)});
+    std::printf("%s\n", t.ToString().c_str());
+
+    const double area_saving =
+        1.0 - BitScalableMacUnit::AreaUm2(true) /
+                  BitScalableMacUnit::AreaUm2(false);
+    const double power_saving =
+        1.0 - BitScalableMacUnit::PowerMw(true) /
+                  BitScalableMacUnit::PowerMw(false);
+    std::printf("Savings: area -%.1f%% (paper: -28.3%%), power -%.1f%% "
+                "(paper: -45.6%%)\n\n",
+                100.0 * area_saving, 100.0 * power_saving);
+
+    const MacArray unopt({16, 0.8, false});
+    const MacArray opt({16, 0.8, true});
+    std::printf("16x16 array shifters: %lld -> %lld (-33.3%%)\n",
+                static_cast<long long>(unopt.TotalShifters()),
+                static_cast<long long>(opt.TotalShifters()));
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fig. 13(a): sparsity ratios of input matrices at different stages of an
+ * Instant-NGP-style rendering pipeline, for a simple scene (Mic) and a
+ * structured scene (Lego). Stages: quantized hash-encoding features
+ * ("Input"), ray-marching density samples, and post-ReLU MLP activations.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "nerf/field_fit.h"
+#include "nerf/mlp.h"
+#include "nerf/ray.h"
+#include "nerf/scene.h"
+#include "sparse/sr_calculator.h"
+
+using namespace flexnerfer;
+
+namespace {
+
+/** Measures stage sparsities of the pipeline on one scene. */
+struct StageSparsity {
+    double input_features = 0.0;
+    double ray_marching = 0.0;
+    double relu1 = 0.0;
+};
+
+StageSparsity
+Measure(const ProceduralScene& scene, std::uint64_t seed)
+{
+    Rng rng(seed);
+    GridField::Config config;
+    config.grid = {6, 12, 4, 4, 1.6, -1.5, 1.5, 1e-2};
+    GridField field(config, rng);
+    field.Fit(scene, 4000, 8, 0.08, rng);
+
+    Mlp mlp({24, {64}, 4, 0.05, 0.4, 2.5}, rng);
+
+    Camera cam({32, 32, 50.0, {0.0, 0.2, 3.0}, {0.0, 0.0, 0.0},
+                {0.0, 1.0, 0.0}});
+    std::vector<double> features;
+    std::vector<double> sigmas;
+    std::vector<double> relu;
+    for (int y = 0; y < cam.height(); y += 2) {
+        for (int x = 0; x < cam.width(); x += 2) {
+            const Ray ray = cam.GenerateRay(x, y);
+            for (double t : StratifiedSamples(1.5, 4.8, 24, nullptr)) {
+                const Vec3 pos = ray.At(t);
+                const auto f = field.grid().Query(pos);
+                features.insert(features.end(), f.begin(), f.end());
+                double sigma;
+                Vec3 rgb;
+                field.Query(pos, ray.direction, &sigma, &rgb);
+                sigmas.push_back(sigma);
+                const auto h = mlp.Forward(f);
+                // Hidden-layer output through a ReLU re-run: reuse the MLP
+                // forward of the features (first hidden layer activations
+                // are post-ReLU by construction of Forward's hidden path).
+                relu.push_back(std::max(0.0, h[0]));
+                relu.push_back(std::max(0.0, h[1]));
+            }
+        }
+    }
+
+    // Quantize each stream to INT8 and count exact zeros per Eq. 4.
+    auto quantized_sparsity = [](const std::vector<double>& values) {
+        const double scale = ComputeScale(values, Precision::kInt8);
+        std::int64_t zeros = 0;
+        for (double v : values) {
+            if (QuantizeValue(v, scale, Precision::kInt8) == 0) ++zeros;
+        }
+        return 100.0 * static_cast<double>(zeros) /
+               static_cast<double>(values.size());
+    };
+
+    StageSparsity out;
+    out.input_features = quantized_sparsity(features);
+    out.ray_marching = quantized_sparsity(sigmas);
+    out.relu1 = quantized_sparsity(relu);
+    return out;
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("== Fig. 13(a): stage sparsity of Instant-NGP-style "
+                "rendering ==\n");
+    const StageSparsity lego = Measure(ProceduralScene::Lego(), 11);
+    const StageSparsity mic = Measure(ProceduralScene::Mic(), 12);
+
+    Table t({"Stage", "Lego [%]", "Mic [%]"});
+    t.AddRow({"Input (hash features, INT8)",
+              FormatDouble(lego.input_features, 1),
+              FormatDouble(mic.input_features, 1)});
+    t.AddRow({"Ray-marching output (density)",
+              FormatDouble(lego.ray_marching, 1),
+              FormatDouble(mic.ray_marching, 1)});
+    t.AddRow({"ReLU 1 output", FormatDouble(lego.relu1, 1),
+              FormatDouble(mic.relu1, 1)});
+    std::printf("%s\n", t.ToString().c_str());
+    std::printf("Sparsity varies widely across stages (paper: 48.6-88.0%%) "
+                "=> the format must be chosen online, per tile.\n");
+    return 0;
+}

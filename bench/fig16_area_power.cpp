@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fig. 16: area and power of FlexNeRFer vs. GPUs and NeuRex against the
+ * on-device integration constraints (< 100 mm^2, < 10 W).
+ */
+#include <cstdio>
+
+#include "accel/ppa.h"
+#include "common/table.h"
+
+using namespace flexnerfer;
+
+int
+main()
+{
+    std::printf("== Fig. 16: area/power vs on-device constraints ==\n");
+    Table t({"Device", "Area [mm2]", "Power [W]", "Area OK?", "Power OK?"});
+    auto row = [&](const AcceleratorSpec& spec) {
+        t.AddRow({spec.name, FormatDouble(spec.area_mm2, 1),
+                  FormatDouble(spec.power_w, 1),
+                  spec.area_mm2 < kAreaConstraintMm2 ? "yes" : "NO",
+                  spec.power_w < kPowerConstraintW ? "yes" : "NO"});
+    };
+    row(Rtx2080TiSpec());
+    row(XavierNxSpec());
+    row(NeuRexSpec());
+    row(FlexNeRFerSpec());
+    std::printf("%s\n", t.ToString().c_str());
+
+    std::printf("FlexNeRFer power by precision mode: INT16 %.1f W, "
+                "INT8 %.1f W, INT4 %.1f W — all under the 10 W budget.\n",
+                FlexNeRFerPowerW(Precision::kInt16),
+                FlexNeRFerPowerW(Precision::kInt8),
+                FlexNeRFerPowerW(Precision::kInt4));
+    return 0;
+}

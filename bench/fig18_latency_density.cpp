@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fig. 18: normalized latency breakdown and compute density (performance
+ * per unit area) of FlexNeRFer at each precision vs. NeuRex, on the
+ * Instant-NGP rendering workload.
+ */
+#include <cstdio>
+
+#include "accel/flexnerfer.h"
+#include "accel/neurex.h"
+#include "accel/ppa.h"
+#include "common/table.h"
+#include "sim/metrics.h"
+
+using namespace flexnerfer;
+
+int
+main()
+{
+    std::printf("== Fig. 18: latency breakdown & compute density vs "
+                "NeuRex ==\n");
+    const NerfWorkload workload = BuildWorkload("Instant-NGP");
+
+    const NeuRexModel neurex;
+    const FrameCost base = neurex.RunWorkload(workload);
+
+    Table t({"Device", "Norm. latency", "GEMM [%]", "Encoding [%]",
+             "Codec [%]", "Other+DRAM [%]", "Compute density (norm.)"});
+    const double base_density =
+        1.0 / (base.latency_ms * NeuRexSpec().area_mm2);
+    auto add = [&](const std::string& name, const FrameCost& c,
+                   double area) {
+        const double density = 1.0 / (c.latency_ms * area) / base_density;
+        t.AddRow({name, FormatDouble(c.latency_ms / base.latency_ms, 2),
+                  FormatDouble(100.0 * c.gemm_ms / c.latency_ms, 1),
+                  FormatDouble(100.0 * c.encoding_ms / c.latency_ms, 1),
+                  FormatDouble(100.0 * c.codec_ms / c.latency_ms, 1),
+                  FormatDouble(100.0 * (c.other_ms + c.dram_ms) /
+                                   c.latency_ms, 1),
+                  FormatDouble(density, 2)});
+    };
+    add("NeuRex", base, NeuRexSpec().area_mm2);
+    for (Precision p : {Precision::kInt16, Precision::kInt8,
+                        Precision::kInt4}) {
+        FlexNeRFerModel::Config config;
+        config.precision = p;
+        add("FlexNeRFer (" + ToString(p) + ")",
+            FlexNeRFerModel(config).RunWorkload(workload),
+            FlexNeRFerSpec().area_mm2);
+    }
+    std::printf("%s\n", t.ToString().c_str());
+    std::printf("Paper reference: normalized latency 1.00 / 0.35 / 0.16 / "
+                "0.09; compute density 1.00 / 1.87 / 4.13 / 7.46.\n");
+    return 0;
+}

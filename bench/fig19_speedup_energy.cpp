@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 19: speedup and energy-efficiency gain over the RTX 2080 Ti as
+ * structured pruning is applied, for NeuRex (flat — no sparsity or
+ * precision flexibility) and FlexNeRFer at INT16/INT8/INT4. Geometric
+ * mean over the seven NeRF workloads.
+ */
+#include <cstdio>
+
+#include "accel/flexnerfer.h"
+#include "accel/gpu_model.h"
+#include "accel/neurex.h"
+#include "common/table.h"
+#include "sim/metrics.h"
+
+using namespace flexnerfer;
+
+int
+main()
+{
+    std::printf("== Fig. 19: speedup & energy gain over RTX 2080 Ti vs "
+                "structured pruning ==\n");
+    const GpuModel gpu;
+    const NeuRexModel neurex;
+    const double prunes[] = {0.0, 0.3, 0.5, 0.7, 0.9};
+
+    Table t({"Config", "Prune [%]", "Speedup (x)", "Energy gain (x)"});
+    for (double prune : prunes) {
+        WorkloadParams params;
+        params.weight_prune_ratio = prune;
+        // The GPU baseline executes the unpruned geometry (dense kernels).
+        const auto gpu_costs = RunAllModels(gpu, WorkloadParams{});
+        const auto neurex_costs = RunAllModels(neurex, params);
+        t.AddRow({"NeuRex (INT16)", FormatDouble(prune * 100, 0),
+                  FormatDouble(GeoMeanSpeedup(gpu_costs, neurex_costs), 1),
+                  FormatDouble(GeoMeanEnergyGain(gpu_costs, neurex_costs),
+                               1)});
+    }
+    for (Precision p : {Precision::kInt16, Precision::kInt8,
+                        Precision::kInt4}) {
+        for (double prune : prunes) {
+            WorkloadParams params;
+            params.weight_prune_ratio = prune;
+            FlexNeRFerModel::Config config;
+            config.precision = p;
+            const auto gpu_costs = RunAllModels(gpu, WorkloadParams{});
+            const auto flex_costs =
+                RunAllModels(FlexNeRFerModel(config), params);
+            t.AddRow({"FlexNeRFer (" + ToString(p) + ")",
+                      FormatDouble(prune * 100, 0),
+                      FormatDouble(GeoMeanSpeedup(gpu_costs, flex_costs),
+                                   1),
+                      FormatDouble(GeoMeanEnergyGain(gpu_costs, flex_costs),
+                                   1)});
+        }
+    }
+    std::printf("%s\n", t.ToString().c_str());
+    std::printf("Paper reference: NeuRex constant 2.8x / 12x; FlexNeRFer "
+                "8.2-65.9x (INT16), 18.2-138.3x (INT8), 32.9-243.3x (INT4) "
+                "speedup; 24-194x / 47-355x / 77-570x energy gain.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig. 20(a): PSNR vs. energy-efficiency gain at each precision mode, on
+ * a hash-grid field fitted to the Lego scene. Naive INT8/INT4 lose
+ * quality; keeping a small outlier population at INT16 recovers it while
+ * preserving the low-precision efficiency gains.
+ */
+#include <cstdio>
+
+#include "accel/flexnerfer.h"
+#include "accel/gpu_model.h"
+#include "common/table.h"
+#include "nerf/field_fit.h"
+#include "nerf/renderer.h"
+#include "sim/metrics.h"
+
+using namespace flexnerfer;
+
+int
+main()
+{
+    std::printf("== Fig. 20(a): PSNR vs energy efficiency across precision "
+                "modes ==\n");
+    Rng rng(2026);
+    GridField::Config config;
+    config.grid = {7, 13, 4, 4, 1.6, -1.5, 1.5, 1e-2};
+    GridField field(config, rng);
+    const auto fit = field.Fit(ProceduralScene::Lego(), 8000, 10, 0.08,
+                               rng);
+    std::printf("Grid fit: RMSE %.3f -> %.3f over %d points\n",
+                fit.initial_rmse, fit.final_rmse, fit.points);
+
+    Renderer renderer({32, 1.5, 4.8, 1.0, {1.0, 1.0, 1.0}});
+    Camera cam({48, 48, 50.0, {0.0, 0.3, 3.0}, {0.0, 0.0, 0.0},
+                {0.0, 1.0, 0.0}});
+    const Image fp32 = renderer.Render(field, cam);
+
+    const GpuModel gpu;
+    const auto gpu_costs = RunAllModels(gpu);
+
+    Table t({"Mode", "PSNR vs FP32 [dB]", "Outliers [%]",
+             "Energy gain over GPU (x)"});
+    auto run = [&](const std::string& name, Precision p,
+                   const OutlierPolicy& policy) {
+        GridField quantized = field;
+        const double outliers = quantized.QuantizeTables(p, policy);
+        const Image img = renderer.Render(quantized, cam);
+
+        FlexNeRFerModel::Config fc;
+        fc.precision = p;
+        const double gain =
+            GeoMeanEnergyGain(gpu_costs,
+                              RunAllModels(FlexNeRFerModel(fc)));
+        const double psnr = Psnr(fp32, img);
+        t.AddRow({name,
+                  std::isinf(psnr) ? "inf" : FormatDouble(psnr, 1),
+                  FormatDouble(100.0 * outliers, 2),
+                  FormatDouble(gain, 1)});
+    };
+    run("INT16", Precision::kInt16, {});
+    run("INT8", Precision::kInt8, {});
+    run("INT8 + outliers@INT16", Precision::kInt8, {true, 0.01});
+    run("INT4", Precision::kInt4, {});
+    run("INT4 + outliers@INT16", Precision::kInt4, {true, 0.02});
+    std::printf("%s\n", t.ToString().c_str());
+    std::printf("Paper shape: INT16 ~ FP32 (<0.3 dB drop); naive INT8/INT4 "
+                "lose >3 dB; outlier-aware INT8 ~ FP32, INT4 within "
+                "1.4 dB.\n");
+    return 0;
+}

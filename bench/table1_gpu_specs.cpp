@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Table 1: design specifications of modern GPU devices used in on-device
+ * rendering, alongside the accelerator specs for context.
+ */
+#include <cstdio>
+
+#include "accel/ppa.h"
+#include "common/table.h"
+
+using namespace flexnerfer;
+
+int
+main()
+{
+    std::printf("== Table 1: GPU design specifications ==\n");
+    Table t({"Device", "Process [nm]", "Area [mm2]", "Freq [GHz]",
+             "Typical Power [W]", "DRAM", "BW [GB/s]"});
+    t.AddRow({"RTX 2080 Ti", "12", "754", "1.4", "250", "GDDR6", "616"});
+    t.AddRow({"RTX 4090", "5", "609", "2.3-2.6", "350", "GDDR6", "1150"});
+    t.AddRow({"Jetson Nano", "20", "118", "0.9", "10", "LPDDR4", "25.6"});
+    t.AddRow({"Xavier NX", "12", "350", "1.1", "20", "LPDDR4", "59.7"});
+    std::printf("%s\n", t.ToString().c_str());
+
+    std::printf("On-device constraints: area < %.0f mm2, power < %.0f W\n",
+                kAreaConstraintMm2, kPowerConstraintW);
+    std::printf("FlexNeRFer: %.1f mm2, %.1f W (meets both)\n",
+                FlexNeRFerSpec().area_mm2, FlexNeRFerSpec().power_w);
+    return 0;
+}

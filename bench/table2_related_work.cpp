@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Table 2: capability comparison with prior flexible-NoC accelerators —
+ * dataflow flexibility, multi-sparsity-format support, bit-level
+ * flexibility.
+ */
+#include <cstdio>
+
+#include "common/table.h"
+
+using namespace flexnerfer;
+
+int
+main()
+{
+    std::printf("== Table 2: flexible-NoC related work comparison ==\n");
+    Table t({"Design", "Dataflow Flexibility", "Multi-Sparsity Format",
+             "Bit-level Flexibility"});
+    t.AddRow({"Microswitch", "yes (U,M,B)", "no (N/A)", "no (-)"});
+    t.AddRow({"Eyeriss v2", "yes (U,M,B)", "no (N/A)", "no (8)"});
+    t.AddRow({"SIGMA", "yes (U,M,B)", "no (Bitmap only)", "no (16)"});
+    t.AddRow({"Flexagon", "yes (IP,OP,RP)", "no (CSC/CSR only)", "no (-)"});
+    t.AddRow({"Trapezoid", "yes (IP,RP)", "no (CSC/CSR only)", "no (32)"});
+    t.AddRow({"FEATHER", "yes (U,M,B)", "no (N/A)", "no (8)"});
+    t.AddRow({"FlexNeRFer (ours)", "yes (U,M,B)",
+              "yes (CSC/CSR, COO, Bitmap)", "yes (4, 8, 16)"});
+    std::printf("%s", t.ToString().c_str());
+    std::printf("\nU/M/B = unicast/multicast/broadcast; IP/OP/RP = "
+                "inner/outer/row-wise product.\n");
+    return 0;
+}

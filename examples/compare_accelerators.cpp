@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Compares per-frame latency and energy of the RTX 2080 Ti model, NeuRex,
+ * and FlexNeRFer (all precision modes) on a chosen NeRF workload.
+ *
+ * Usage: compare_accelerators [model-name]   (default: Instant-NGP)
+ */
+#include <cstdio>
+#include <string>
+
+#include "accel/flexnerfer.h"
+#include "accel/gpu_model.h"
+#include "accel/neurex.h"
+#include "common/table.h"
+#include "sim/metrics.h"
+
+using namespace flexnerfer;
+
+int
+main(int argc, char** argv)
+{
+    const std::string model = argc > 1 ? argv[1] : "Instant-NGP";
+    const NerfWorkload workload = BuildWorkload(model);
+    std::printf("Workload: %s — %.2e samples/frame, %.2e GEMM MACs, "
+                "%.2e encoding values\n\n",
+                model.c_str(), workload.samples_per_frame,
+                workload.TotalGemmMacs(),
+                workload.TotalEncodingValues());
+
+    Table t({"Device", "Latency [ms]", "Energy [mJ]", "GEMM [ms]",
+             "Encoding [ms]", "Speedup vs GPU", "Energy gain"});
+    const GpuModel gpu;
+    const FrameCost g = gpu.RunWorkload(workload);
+    auto add = [&](const std::string& name, const FrameCost& c) {
+        t.AddRow({name, FormatDouble(c.latency_ms, 2),
+                  FormatDouble(c.energy_mj, 1), FormatDouble(c.gemm_ms, 2),
+                  FormatDouble(c.encoding_ms, 2),
+                  FormatDouble(g.latency_ms / c.latency_ms, 1) + "x",
+                  FormatDouble(g.energy_mj / c.energy_mj, 1) + "x"});
+    };
+    add("RTX 2080 Ti", g);
+    add("NeuRex", NeuRexModel().RunWorkload(workload));
+    for (Precision p : {Precision::kInt16, Precision::kInt8,
+                        Precision::kInt4}) {
+        FlexNeRFerModel::Config config;
+        config.precision = p;
+        add("FlexNeRFer " + ToString(p),
+            FlexNeRFerModel(config).RunWorkload(workload));
+    }
+    std::printf("%s", t.ToString().c_str());
+    return 0;
+}

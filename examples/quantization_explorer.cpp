@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Quantization explorer: fits a multiresolution hash-grid field to a
+ * procedural scene, renders it at FP32 and at INT16/INT8/INT4 (with and
+ * without outlier-aware splitting), and reports PSNR — the Fig. 20(a)
+ * experiment in an interactive form.
+ *
+ * Usage: quantization_explorer [mic|lego|palace]
+ */
+#include <cstdio>
+#include <string>
+
+#include "nerf/field_fit.h"
+#include "nerf/renderer.h"
+
+using namespace flexnerfer;
+
+int
+main(int argc, char** argv)
+{
+    const std::string scene_name = argc > 1 ? argv[1] : "mic";
+    const ProceduralScene scene = ProceduralScene::ByName(scene_name);
+
+    Rng rng(99);
+    GridField::Config config;
+    config.grid = {7, 13, 4, 4, 1.6, -1.5, 1.5, 1e-2};
+    GridField field(config, rng);
+    std::printf("Fitting hash grid (%d levels, 2^%d entries, %zu params) "
+                "to '%s'...\n",
+                config.grid.levels, config.grid.log2_table,
+                field.grid().parameters().size(), scene_name.c_str());
+    const auto fit = field.Fit(scene, 6000, 10, 0.08, rng);
+    std::printf("Fit RMSE: %.3f -> %.3f\n\n", fit.initial_rmse,
+                fit.final_rmse);
+
+    Renderer renderer({40, 1.4, 5.0, 1.0, {1.0, 1.0, 1.0}});
+    Camera camera({48, 48, 50.0, {0.6, 0.6, 2.9}, {0.0, 0.0, 0.0},
+                   {0.0, 1.0, 0.0}});
+    const Image scene_image = renderer.Render(scene, camera);
+    const Image fp32 = renderer.Render(field, camera);
+    std::printf("Fitted field vs analytic scene: %.1f dB\n",
+                Psnr(scene_image, fp32));
+
+    auto evaluate = [&](const char* label, Precision p,
+                        const OutlierPolicy& policy) {
+        GridField q = field;
+        const double outliers = q.QuantizeTables(p, policy);
+        const Image img = renderer.Render(q, camera);
+        std::printf("%-24s PSNR vs FP32: %6.1f dB (outliers %.2f%%)\n",
+                    label, Psnr(fp32, img), outliers * 100.0);
+    };
+    evaluate("INT16", Precision::kInt16, {});
+    evaluate("INT8", Precision::kInt8, {});
+    evaluate("INT8 + outliers", Precision::kInt8, {true, 0.01});
+    evaluate("INT4", Precision::kInt4, {});
+    evaluate("INT4 + outliers", Precision::kInt4, {true, 0.02});
+
+    std::printf("\nOutlier-aware splitting keeps the quantization grid "
+                "tight for the bulk of the parameters while a sparse INT16 "
+                "side-channel carries the tails — the sparse GEMM path the "
+                "accelerator handles natively.\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Renders one of the procedural evaluation scenes (mic / lego / palace)
+ * through the full NeRF pipeline — ray generation, stratified sampling,
+ * field queries, volume rendering — and writes a PPM image.
+ *
+ * Usage: render_scene [mic|lego|palace] [output.ppm]
+ */
+#include <cstdio>
+#include <string>
+
+#include "nerf/renderer.h"
+#include "nerf/scene.h"
+
+using namespace flexnerfer;
+
+int
+main(int argc, char** argv)
+{
+    const std::string scene_name = argc > 1 ? argv[1] : "lego";
+    const std::string output =
+        argc > 2 ? argv[2] : (scene_name + ".ppm");
+
+    const ProceduralScene scene = ProceduralScene::ByName(scene_name);
+    std::printf("Rendering '%s' (%zu primitives, occupancy %.1f%%)\n",
+                scene.name().c_str(), scene.NumPrimitives(),
+                scene.Occupancy() * 100.0);
+
+    Renderer renderer({64, 1.4, 5.0, 1.0, {1.0, 1.0, 1.0}});
+    Camera camera({128, 128, 50.0, {1.6, 1.2, 2.6}, {0.0, 0.0, 0.0},
+                   {0.0, 1.0, 0.0}});
+    RenderStats stats;
+    const Image image = renderer.Render(scene, camera, &stats);
+    image.WritePpm(output);
+
+    std::printf("Wrote %s (%dx%d)\n", output.c_str(), image.width(),
+                image.height());
+    std::printf("Rays: %lld, samples: %lld, active samples/ray: %.1f\n",
+                static_cast<long long>(stats.rays),
+                static_cast<long long>(stats.samples),
+                stats.mean_active_per_ray);
+    std::printf("Scene complexity drives the accelerator's effective "
+                "sample count (Fig. 20(b)).\n");
+    return 0;
+}

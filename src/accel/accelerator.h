@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Common interface of frame-level accelerator models: given a NeRF
+ * workload descriptor, estimate per-frame latency and energy with a
+ * stage-level breakdown (the quantities behind Figs. 1, 3, 18, 19, 20).
+ */
+#ifndef FLEXNERFER_ACCEL_ACCELERATOR_H_
+#define FLEXNERFER_ACCEL_ACCELERATOR_H_
+
+#include <string>
+
+#include "models/workload.h"
+
+namespace flexnerfer {
+
+/** Per-frame cost with a stage breakdown. */
+struct FrameCost {
+    double latency_ms = 0.0;
+    double energy_mj = 0.0;
+
+    double gemm_ms = 0.0;      //!< GEMM/GEMV compute (incl. fetch overlap)
+    double encoding_ms = 0.0;  //!< positional + hash encoding
+    double other_ms = 0.0;     //!< sampling, compositing, misc
+    double codec_ms = 0.0;     //!< format conversion (FlexNeRFer only)
+    double dram_ms = 0.0;      //!< exposed DRAM stall time
+
+    double gemm_utilization = 0.0;  //!< MAC utilization over GEMM ops
+
+    FrameCost&
+    operator+=(const FrameCost& o)
+    {
+        latency_ms += o.latency_ms;
+        energy_mj += o.energy_mj;
+        gemm_ms += o.gemm_ms;
+        encoding_ms += o.encoding_ms;
+        other_ms += o.other_ms;
+        codec_ms += o.codec_ms;
+        dram_ms += o.dram_ms;
+        return *this;
+    }
+};
+
+/** A device that can execute a NeRF frame. */
+class Accelerator
+{
+  public:
+    virtual ~Accelerator() = default;
+
+    /** Estimates the cost of rendering one frame of @p workload. */
+    virtual FrameCost RunWorkload(const NerfWorkload& workload) const = 0;
+
+    virtual std::string name() const = 0;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_ACCEL_ACCELERATOR_H_

@@ -1,0 +1,73 @@
+#include "accel/arrays.h"
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+
+GemmEngineConfig
+MakeArrayEngineConfig(ArrayKind kind, Precision precision)
+{
+    const ArraySpec& spec = GetArraySpec(kind);
+    GemmEngineConfig config;
+    config.array_dim = spec.dim;
+    config.clock_ghz = spec.clock_ghz;
+    config.compute_output = false;
+    config.precision =
+        spec.bit_flexible ? precision : Precision::kInt16;
+    config.support_sparsity = spec.sparsity_support;
+    config.stream_a_from_dram = false;
+    config.write_c_to_dram = false;
+
+    switch (kind) {
+      case ArrayKind::kSigma:
+        // Benes + forwarding adder network; bitmap-compressed operands.
+        config.noc_style = NocStyle::kBenes;
+        config.use_flex_codec = true;
+        break;
+      case ArrayKind::kBitFusion:
+        // Plain systolic links, dense uncompressed operands.
+        config.noc_style = NocStyle::kHmTree;
+        config.use_flex_codec = false;
+        break;
+      case ArrayKind::kBitScalableSigma:
+        config.noc_style = NocStyle::kBenes;
+        config.use_flex_codec = true;
+        // The Benes fabric is provisioned for the INT8 operand rate; INT4
+        // waves are delivered at half bandwidth (Table 3 footprint).
+        if (precision == Precision::kInt4) {
+            config.fetch_bytes_per_cycle = 512.0;
+            config.codec_bytes_per_cycle = 512.0;
+        }
+        break;
+      case ArrayKind::kFlexNeRFer:
+        config.noc_style = NocStyle::kHmfTree;
+        config.use_flex_codec = true;
+        break;
+    }
+    return config;
+}
+
+EffectiveEfficiency
+MeasureEffectiveEfficiency(ArrayKind kind, Precision precision,
+                           const GemmShape& reference)
+{
+    const ArraySpec& spec = GetArraySpec(kind);
+    EffectiveEfficiency out;
+    const Precision run_precision =
+        spec.bit_flexible ? precision : Precision::kInt16;
+    out.power_w = spec.PowerW(run_precision);
+
+    const GemmEngine engine(MakeArrayEngineConfig(kind, precision));
+    const GemmResult r = engine.RunFromShape(reference);
+    FLEX_CHECK(r.latency_ms > 0.0);
+
+    // Effective throughput counts only the useful (non-zero) operations.
+    out.effective_tops =
+        2.0 * r.useful_macs / (r.latency_ms * 1e-3) * 1e-12;
+    out.utilization = r.utilization;
+    out.tops_per_w =
+        out.power_w > 0.0 ? out.effective_tops / out.power_w : 0.0;
+    return out;
+}
+
+}  // namespace flexnerfer

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * GEMM-array baseline construction (Table 3): maps each ArrayKind to a
+ * GemmEngine configuration and measures effective efficiency on a
+ * reference sparse irregular workload.
+ */
+#ifndef FLEXNERFER_ACCEL_ARRAYS_H_
+#define FLEXNERFER_ACCEL_ARRAYS_H_
+
+#include "accel/ppa.h"
+#include "gemm/engine.h"
+
+namespace flexnerfer {
+
+/** Engine configuration matching an array's architectural capabilities. */
+GemmEngineConfig MakeArrayEngineConfig(ArrayKind kind, Precision precision);
+
+/** Effective-efficiency measurement of one array at one precision. */
+struct EffectiveEfficiency {
+    double effective_tops = 0.0;  //!< useful ops over measured latency
+    double power_w = 0.0;
+    double tops_per_w = 0.0;
+    double utilization = 0.0;
+};
+
+/**
+ * Runs the reference workload (a sparse irregular GEMM representative of
+ * NeRF MLP inference) through the array's engine model and reports
+ * effective TOPS/W. Arrays without sparsity support burn cycles and energy
+ * on zero products; arrays without bit-flexibility run everything at
+ * INT16.
+ */
+EffectiveEfficiency MeasureEffectiveEfficiency(
+    ArrayKind kind, Precision precision,
+    const GemmShape& reference = {4096, 512, 512, 0.5, 0.3, 0.0});
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_ACCEL_ARRAYS_H_

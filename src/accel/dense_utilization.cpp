@@ -1,0 +1,94 @@
+#include "accel/dense_utilization.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+namespace {
+
+constexpr int kToyArray = 16;       //!< 4x4 MAC array of the figure
+constexpr int kNvdlaAtomicC = 8;    //!< channel-dot width per atomic unit
+constexpr int kNvdlaGroups = 2;     //!< output groups (16 MACs total)
+
+}  // namespace
+
+const std::vector<MappingScenario>&
+Fig4Scenarios()
+{
+    static const std::vector<MappingScenario> scenarios = {
+        // Early CNN layer: RGB input (3 channels), plenty of spatial work.
+        {"early CNN layer", 64, 3, 16, 1.0},
+        // Late CNN layer: deep channels, few spatial positions.
+        {"late CNN layer", 2, 256, 256, 1.0},
+        // Irregular dense GEMM: the figure's 4x5 * 5x4-class shape.
+        {"irregular dense GEMM", 4, 5, 4, 1.0},
+        // Irregular sparse GEMM: the Fig. 5 matrices (~31% sparsity).
+        {"irregular sparse GEMM", 4, 5, 4, 0.6875},
+    };
+    return scenarios;
+}
+
+double
+NvdlaUtilization(const MappingScenario& scenario)
+{
+    // Deep channel dimensions or large spatial extents mark convolution
+    // work, which NVDLA's atomic units are built for; small irregular
+    // shapes fall through to the degenerate GEMM path.
+    const bool is_conv = scenario.k >= kNvdlaAtomicC || scenario.m >= 16;
+    if (is_conv) {
+        // Convolution path: each atomic unit consumes min(k, 8) channels;
+        // idle channel lanes waste the rest of the 8-wide dot unit.
+        const double channel_fill =
+            std::min<double>(scenario.k, kNvdlaAtomicC) / kNvdlaAtomicC;
+        const double group_fill =
+            std::min<double>(scenario.n, kNvdlaGroups) / kNvdlaGroups;
+        return channel_fill * group_fill;
+    }
+    // Irregular GEMM has no native mapping: it executes as a degenerate
+    // 1x1 convolution producing one output element per atomic pass, so a
+    // single MAC lane of the 16 does useful work per cycle.
+    return 1.0 / kToyArray;
+}
+
+double
+TpuUtilization(const MappingScenario& scenario)
+{
+    // Weight-stationary 4x4 systolic tile: the k x n weight block is
+    // pinned (padded to 4x4); activations stream through m waves.
+    const int tile = 4;
+    const double k_fill = std::min<double>(scenario.k, tile) / tile;
+    const double n_fill = std::min<double>(scenario.n, tile) / tile;
+    double util = k_fill * n_fill;
+    if (scenario.k > tile || scenario.n > tile) {
+        // Large weights fold perfectly across tiles.
+        util = 1.0;
+    }
+    // Early CNN layers underfill the contraction rows (3 of 4).
+    if (scenario.k < tile) {
+        util = static_cast<double>(scenario.k) / tile;
+    }
+    // Short batches cannot hide the pipeline fill/drain (m / (m + tile - 1)
+    // of the cycles do useful work).
+    const double pipeline =
+        static_cast<double>(scenario.m) / (scenario.m + tile - 1);
+    util *= std::min(1.0, pipeline * (tile + 1.0) / tile);
+    // A dense array cannot skip zero operands: they occupy MACs.
+    util *= scenario.density;
+    return std::min(1.0, util);
+}
+
+double
+FlexNeRFerUtilization(const MappingScenario& scenario)
+{
+    // Dense mapping packs exactly the non-zero products; only the final
+    // partially filled wave loses slots.
+    const double useful = static_cast<double>(scenario.m) * scenario.k *
+                          scenario.n * scenario.density * scenario.density;
+    const double waves = std::ceil(useful / kToyArray);
+    FLEX_CHECK(waves >= 1.0);
+    return useful / (waves * kToyArray);
+}
+
+}  // namespace flexnerfer

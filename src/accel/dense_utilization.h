@@ -1,0 +1,52 @@
+/**
+ * @file
+ * MAC-utilization models of the commercial dense accelerators in Fig. 4:
+ * an NVDLA-like fixed-geometry convolution engine and a TPU-like
+ * weight-stationary systolic array, each mapped onto the figure's four
+ * scenarios (early CNN layer, late CNN layer, irregular dense GEMM,
+ * irregular sparse GEMM).
+ */
+#ifndef FLEXNERFER_ACCEL_DENSE_UTILIZATION_H_
+#define FLEXNERFER_ACCEL_DENSE_UTILIZATION_H_
+
+#include <string>
+#include <vector>
+
+namespace flexnerfer {
+
+/** One mapping scenario of Fig. 4. */
+struct MappingScenario {
+    std::string name;
+    int m = 4;             //!< GEMM rows / spatial positions in flight
+    int k = 4;             //!< inner (channel) dimension
+    int n = 4;             //!< outputs (kernels)
+    double density = 1.0;  //!< operand non-zero fraction
+};
+
+/** The four scenarios of Fig. 4, on the figure's toy sizes. */
+const std::vector<MappingScenario>& Fig4Scenarios();
+
+/**
+ * NVDLA-like engine: groups of fixed 16-wide channel-dot atomic units.
+ * Utilization collapses when the channel depth underfills the atomic unit
+ * or when irregular GEMM geometry leaves output groups idle.
+ */
+double NvdlaUtilization(const MappingScenario& scenario);
+
+/**
+ * TPU-like weight-stationary systolic array (toy 4x4): weights of the
+ * k x n tile are pinned; zeros and padding occupy MACs, and short batches
+ * underfill the pipeline.
+ */
+double TpuUtilization(const MappingScenario& scenario);
+
+/**
+ * FlexNeRFer's dense-mapped array on the same scenario: only non-zero
+ * products are issued, so utilization stays near one (bounded only by the
+ * final partial wave).
+ */
+double FlexNeRFerUtilization(const MappingScenario& scenario);
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_ACCEL_DENSE_UTILIZATION_H_

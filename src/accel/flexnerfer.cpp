@@ -1,0 +1,104 @@
+#include "accel/flexnerfer.h"
+
+#include <algorithm>
+
+#include "common/units.h"
+
+namespace flexnerfer {
+
+std::string
+FlexNeRFerModel::name() const
+{
+    return "FlexNeRFer (" + ToString(config_.precision) + ")";
+}
+
+GemmEngineConfig
+FlexNeRFerModel::EngineConfigFor(const WorkloadOp& op) const
+{
+    (void)op;  // per-op tuning hooks (e.g., mixed precision) attach here
+    GemmEngineConfig engine;
+    engine.precision = config_.precision;
+    engine.array_dim = config_.array_dim;
+    engine.clock_ghz = config_.clock_ghz;
+    engine.support_sparsity = config_.support_sparsity;
+    engine.use_flex_codec = config_.use_flex_codec;
+    engine.compute_output = false;
+    engine.noc_style = NocStyle::kHmfTree;
+    engine.dram_bandwidth_gb_s = config_.dram_gb_s;
+    // Activations are produced on chip by the encoding unit or the
+    // previous layer; only weights stream from local DRAM.
+    engine.stream_a_from_dram = false;
+    engine.write_c_to_dram = false;
+    return engine;
+}
+
+FrameCost
+FlexNeRFerModel::RunWorkload(const NerfWorkload& workload) const
+{
+    FrameCost cost;
+    double utilization_weighted = 0.0;
+    double utilization_macs = 0.0;
+
+    for (const WorkloadOp& op : workload.ops) {
+        switch (op.kind) {
+          case OpKind::kGemm: {
+            const GemmEngine engine(EngineConfigFor(op));
+            const GemmResult r = engine.RunFromShape(op.gemm);
+            // The codec is pipelined with fetch/compute; only the cycles
+            // where it is the slowest stage are exposed as latency.
+            const double codec_exposed_cycles = std::max(
+                0.0, r.codec_cycles -
+                         std::max(r.fetch_cycles, r.compute_cycles));
+            const double codec_ms =
+                CyclesToMs(codec_exposed_cycles, config_.clock_ghz);
+            const double dram_exposed =
+                std::max(0.0, r.dram_ms - r.onchip_ms);
+            cost.gemm_ms += r.latency_ms - dram_exposed - codec_ms;
+            cost.codec_ms += codec_ms;
+            cost.dram_ms += dram_exposed;
+            cost.latency_ms += r.latency_ms;
+            cost.energy_mj += r.EnergyMj();
+            utilization_weighted += r.utilization * r.useful_macs;
+            utilization_macs += r.useful_macs;
+            break;
+          }
+          case OpKind::kPositionalEncoding: {
+            const double cycles =
+                op.encoding_values / config_.pee_values_per_cycle;
+            const double ms = CyclesToMs(cycles, config_.clock_ghz);
+            cost.encoding_ms += ms;
+            cost.latency_ms += ms;
+            cost.energy_mj += PjToMj(op.encoding_values *
+                                     config_.pee_energy_pj_per_value);
+            break;
+          }
+          case OpKind::kHashEncoding: {
+            const double cycles =
+                op.encoding_values / config_.hee_queries_per_cycle;
+            const double ms = CyclesToMs(cycles, config_.clock_ghz);
+            cost.encoding_ms += ms;
+            cost.latency_ms += ms;
+            cost.energy_mj += PjToMj(op.encoding_values *
+                                     config_.hee_energy_pj_per_query);
+            break;
+          }
+          case OpKind::kOther: {
+            const double cycles = op.other_flops / config_.vector_lanes;
+            const double ms = CyclesToMs(cycles, config_.clock_ghz);
+            cost.other_ms += ms;
+            cost.latency_ms += ms;
+            cost.energy_mj += PjToMj(op.other_flops *
+                                     config_.vector_energy_pj_per_flop);
+            break;
+          }
+        }
+    }
+    cost.gemm_utilization =
+        utilization_macs > 0.0 ? utilization_weighted / utilization_macs
+                               : 0.0;
+    // Clock tree, leakage, and idle-stage power accrue over the frame.
+    cost.energy_mj += cost.latency_ms * config_.static_power_w;
+    return cost;
+}
+
+}  // namespace flexnerfer

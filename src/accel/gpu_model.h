@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Roofline-style timing/energy model of a consumer GPU running NeRF
+ * workloads (the paper's RTX 2080 Ti baseline; Table 1 / Figs. 1, 3, 19).
+ *
+ * Per GEMM: compute time at a shape-dependent fraction of peak FP32
+ * throughput, memory time from weight/activation traffic, and per-launch
+ * kernel overhead (NeRF inference issues one kernel per layer per batch
+ * chunk). Encodings are special-function-unit plus gather bound. Energy
+ * prorates the board's dynamic power by achieved utilization — NeRF's
+ * narrow GEMV-like layers keep most SMs idle, which is why the paper's
+ * energy-efficiency gains are much smaller than raw power ratios.
+ */
+#ifndef FLEXNERFER_ACCEL_GPU_MODEL_H_
+#define FLEXNERFER_ACCEL_GPU_MODEL_H_
+
+#include "accel/accelerator.h"
+
+namespace flexnerfer {
+
+/** Consumer GPU model. */
+class GpuModel : public Accelerator
+{
+  public:
+    struct Config {
+        std::string name = "RTX 2080 Ti";
+        double fp32_tflops = 13.45;
+        double dram_gb_s = 616.0;
+        double board_power_w = 250.0;
+        double idle_power_w = 18.0;
+        double kernel_launch_us = 6.0;
+        /**
+         * Peak-fraction achieved by well-shaped (>=256-wide) GEMMs in a
+         * NeRF inference pipeline (framework overheads, elementwise ops
+         * between layers, and low occupancy keep this far below the
+         * cuBLAS large-GEMM number).
+         */
+        double gemm_efficiency = 0.12;
+        /** Trig/special-function cost per encoded value, FLOP-equivalents. */
+        double trig_flops_per_value = 40.0;
+        /** Effective bandwidth fraction for hash-table gathers. */
+        double gather_bw_fraction = 0.12;
+    };
+
+    explicit GpuModel(const Config& config) : config_(config) {}
+    GpuModel() : GpuModel(Config{}) {}
+
+    /** RTX 2080 Ti (Table 1). */
+    static GpuModel Rtx2080Ti() { return GpuModel(); }
+
+    /** Jetson Xavier NX (Table 1): 21 TOPS-class edge module. */
+    static GpuModel XavierNx();
+
+    FrameCost RunWorkload(const NerfWorkload& workload) const override;
+
+    std::string name() const override { return config_.name; }
+
+    /** Achieved fraction of peak for a GEMM of inner/outer width k, n. */
+    double GemmEfficiency(std::int64_t k, std::int64_t n) const;
+
+    const Config& config() const { return config_; }
+
+  private:
+    Config config_;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_ACCEL_GPU_MODEL_H_

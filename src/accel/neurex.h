@@ -1,0 +1,57 @@
+/**
+ * @file
+ * NeuRex-like baseline accelerator model (ISCA'23): a fast hash encoding
+ * engine paired with a dense INT16 MLP engine. No sparsity skipping, no
+ * precision flexibility, no format compression — the properties that make
+ * its latency flat under structured pruning in Fig. 19.
+ */
+#ifndef FLEXNERFER_ACCEL_NEUREX_H_
+#define FLEXNERFER_ACCEL_NEUREX_H_
+
+#include "accel/accelerator.h"
+#include "gemm/engine.h"
+
+namespace flexnerfer {
+
+/** NeuRex-like accelerator model. */
+class NeuRexModel : public Accelerator
+{
+  public:
+    struct Config {
+        /** NeuRex's dense MLP engine is smaller than FlexNeRFer's array. */
+        int array_dim = 48;
+        double clock_ghz = 0.8;
+        /** Hash engine matches FlexNeRFer's HEE (FlexNeRFer extends it). */
+        double hee_queries_per_cycle = 64.0;
+        /** No dedicated PEE: sinusoidal encodings run on a scalar path. */
+        double posenc_values_per_cycle = 8.0;
+        double vector_lanes = 64.0;
+        double dram_gb_s = 12.8;
+
+        double hee_energy_pj_per_query = 3.0;
+        double posenc_energy_pj_per_value = 6.0;
+        double vector_energy_pj_per_flop = 0.8;
+
+        /**
+         * Clock-tree + leakage + idle-stage power floor while rendering,
+         * calibrated to the published 5.1 W chip power.
+         */
+        double static_power_w = 4.0;
+    };
+
+    explicit NeuRexModel(const Config& config) : config_(config) {}
+    NeuRexModel() : NeuRexModel(Config{}) {}
+
+    FrameCost RunWorkload(const NerfWorkload& workload) const override;
+
+    std::string name() const override { return "NeuRex"; }
+
+    const Config& config() const { return config_; }
+
+  private:
+    Config config_;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_ACCEL_NEUREX_H_

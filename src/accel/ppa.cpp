@@ -1,0 +1,178 @@
+#include "accel/ppa.h"
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+namespace {
+
+const ArraySpec kSigmaSpec = {
+    "SIGMA", /*bit_flexible=*/false, /*sparsity_support=*/true, 0.8, 64,
+    20.5, 0.0, 0.0, 5.8};
+
+const ArraySpec kBitFusionSpec = {
+    "Bit Fusion", /*bit_flexible=*/true, /*sparsity_support=*/false, 0.8,
+    64, 31.9, 5.8, 5.3, 4.8};
+
+const ArraySpec kBitScalableSigmaSpec = {
+    "Bit-Scalable SIGMA", /*bit_flexible=*/true, /*sparsity_support=*/true,
+    0.8, 64, 40.8, 9.3, 8.7, 8.2};
+
+const ArraySpec kFlexNeRFerArraySpec = {
+    "FlexNeRFer MAC Array", /*bit_flexible=*/true,
+    /*sparsity_support=*/true, 0.8, 64, 28.6, 6.9, 6.4, 5.5};
+
+}  // namespace
+
+double
+ArraySpec::PowerW(Precision p) const
+{
+    switch (p) {
+      case Precision::kInt4: return power_w_int4;
+      case Precision::kInt8: return power_w_int8;
+      case Precision::kInt16: return power_w_int16;
+    }
+    return power_w_int16;
+}
+
+bool
+ArraySpec::SupportsPrecision(Precision p) const
+{
+    return bit_flexible || p == Precision::kInt16;
+}
+
+double
+ArraySpec::PeakTops(Precision p) const
+{
+    if (!SupportsPrecision(p)) return 0.0;
+    const double lanes_per_unit =
+        bit_flexible ? MultipliersPerMacUnit(p) : 1.0;
+    double tops = 2.0 * dim * dim * lanes_per_unit * clock_ghz * 1e-3;
+    // The SIGMA-style Benes fabric in bit-scalable SIGMA is provisioned for
+    // the INT8 operand rate; INT4 mode is bandwidth-limited to half its
+    // multiplier throughput (Table 3 reports 5.7 TOPS/W at 9.3 W).
+    if (name == "Bit-Scalable SIGMA" && p == Precision::kInt4) {
+        tops *= 0.5;
+    }
+    return tops;
+}
+
+double
+ArraySpec::PeakTopsPerW(Precision p) const
+{
+    const double power = PowerW(p);
+    return power > 0.0 ? PeakTops(p) / power : 0.0;
+}
+
+const ArraySpec&
+GetArraySpec(ArrayKind kind)
+{
+    switch (kind) {
+      case ArrayKind::kSigma: return kSigmaSpec;
+      case ArrayKind::kBitFusion: return kBitFusionSpec;
+      case ArrayKind::kBitScalableSigma: return kBitScalableSigmaSpec;
+      case ArrayKind::kFlexNeRFer: return kFlexNeRFerArraySpec;
+    }
+    FLEX_CHECK_MSG(false, "unknown array kind");
+    return kSigmaSpec;
+}
+
+PpaBreakdown
+ArrayBreakdown(ArrayKind kind)
+{
+    // Component shares assembled so that totals match Table 3 / Fig. 15.
+    PpaBreakdown b;
+    switch (kind) {
+      case ArrayKind::kSigma:
+        b.components.push_back({"multipliers (INT16)", 11.9, 3.2});
+        b.components.push_back({"Benes + FAN interconnect", 6.1, 1.9});
+        b.components.push_back({"accumulators/control", 2.5, 0.7});
+        break;
+      case ArrayKind::kBitFusion:
+        b.components.push_back({"bit-scalable MAC units", 25.2, 3.4});
+        b.components.push_back({"systolic links", 3.6, 0.8});
+        b.components.push_back({"accumulators/control", 3.1, 0.6});
+        break;
+      case ArrayKind::kBitScalableSigma:
+        b.components.push_back({"bit-scalable MAC units (unopt.)", 25.2,
+                                4.6});
+        b.components.push_back({"Benes + FAN interconnect", 11.0, 2.8});
+        b.components.push_back({"accumulators/control", 4.6, 0.8});
+        break;
+      case ArrayKind::kFlexNeRFer:
+        // 4096 optimized units at 4416.84 um^2 = 18.1 mm^2 (Fig. 12(c)).
+        b.components.push_back({"bit-scalable MAC units (opt.)", 18.1, 3.3});
+        b.components.push_back({"HMF-NoC + 1D mesh", 4.6, 1.1});
+        b.components.push_back({"reduction trees", 2.4, 0.5});
+        b.components.push_back({"CLB links", 1.4, 0.2});
+        b.components.push_back({"accumulators/control", 2.1, 0.4});
+        break;
+    }
+    return b;
+}
+
+const AcceleratorSpec&
+FlexNeRFerSpec()
+{
+    static const AcceleratorSpec spec = {"FlexNeRFer", 35.4, 7.3};
+    return spec;
+}
+
+const AcceleratorSpec&
+NeuRexSpec()
+{
+    static const AcceleratorSpec spec = {"NeuRex", 22.8, 5.1};
+    return spec;
+}
+
+const AcceleratorSpec&
+Rtx2080TiSpec()
+{
+    static const AcceleratorSpec spec = {"RTX 2080 Ti", 754.0, 250.0};
+    return spec;
+}
+
+const AcceleratorSpec&
+XavierNxSpec()
+{
+    static const AcceleratorSpec spec = {"Xavier NX", 350.0, 20.0};
+    return spec;
+}
+
+double
+FlexNeRFerPowerW(Precision p)
+{
+    switch (p) {
+      case Precision::kInt4: return 9.2;
+      case Precision::kInt8: return 8.4;
+      case Precision::kInt16: return 7.3;
+    }
+    return 7.3;
+}
+
+PpaBreakdown
+FlexNeRFerBreakdown()
+{
+    // Assembled bottom-up; totals equal the 35.4 mm^2 / 7.3 W (INT16) chip.
+    // The format codec is 3.2% of area and 3.4% of power (Section 6.3.1).
+    PpaBreakdown b;
+    b.components.push_back({"bit-scalable MAC array + RT", 20.5, 3.8});
+    b.components.push_back({"flexible NoC (HMF + mesh + CLB)", 4.2, 1.0});
+    b.components.push_back({"format encoder/decoder", 1.13, 0.25});
+    b.components.push_back({"encoding unit (PEE + HEE)", 3.9, 0.8});
+    b.components.push_back({"SRAM buffers (5 MB)", 4.7, 1.1});
+    b.components.push_back({"RISC-V + DMA + misc", 0.97, 0.35});
+    return b;
+}
+
+PpaBreakdown
+NeuRexBreakdown()
+{
+    PpaBreakdown b;
+    b.components.push_back({"dense INT16 MLP engine", 11.2, 2.6});
+    b.components.push_back({"hash encoding engine", 4.9, 1.1});
+    b.components.push_back({"SRAM buffers", 5.4, 1.1});
+    b.components.push_back({"controller + misc", 1.3, 0.3});
+    return b;
+}
+
+}  // namespace flexnerfer

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Area/power tables for the compute arrays and full accelerators, 28 nm.
+ *
+ * Leaf-cell numbers (MAC unit area/power, shifter counts) come from the
+ * paper's published measurements (Fig. 12(c)); array- and chip-level totals
+ * are calibrated against Table 3 and Figs. 15-17. Composite breakdowns are
+ * assembled bottom-up so that component shares remain meaningful in the
+ * breakdown figures.
+ */
+#ifndef FLEXNERFER_ACCEL_PPA_H_
+#define FLEXNERFER_ACCEL_PPA_H_
+
+#include <string>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace flexnerfer {
+
+/** Identifiers of the Table 3 compute arrays. */
+enum class ArrayKind : std::uint8_t {
+    kSigma,             //!< SIGMA: INT16, Benes + FAN, sparsity support
+    kBitFusion,         //!< Bit Fusion: bit-scalable, dense only
+    kBitScalableSigma,  //!< Bit Fusion array + SIGMA NoC
+    kFlexNeRFer,        //!< this paper's MAC array
+};
+
+/** Static capability and PPA record of a compute array (Table 3). */
+struct ArraySpec {
+    std::string name;
+    bool bit_flexible = false;
+    bool sparsity_support = false;
+    double clock_ghz = 0.8;
+    int dim = 64;  //!< MAC units (INT16 lanes) per side
+    double area_mm2 = 0.0;
+    /** Power at INT4 / INT8 / INT16 (INT16 only for SIGMA). */
+    double power_w_int4 = 0.0;
+    double power_w_int8 = 0.0;
+    double power_w_int16 = 0.0;
+
+    double PowerW(Precision p) const;
+    /** Peak TOPS at a precision (0 when the mode is unsupported). */
+    double PeakTops(Precision p) const;
+    /** Peak efficiency TOPS/W. */
+    double PeakTopsPerW(Precision p) const;
+    bool SupportsPrecision(Precision p) const;
+};
+
+/** Returns the Table 3 record for an array. */
+const ArraySpec& GetArraySpec(ArrayKind kind);
+
+/** Area breakdown of a compute array (Fig. 15(a)). */
+PpaBreakdown ArrayBreakdown(ArrayKind kind);
+
+/** Full-accelerator records (Fig. 16). */
+struct AcceleratorSpec {
+    std::string name;
+    double area_mm2 = 0.0;
+    double power_w = 0.0;  //!< typical (INT16 mode for FlexNeRFer)
+};
+
+const AcceleratorSpec& FlexNeRFerSpec();
+const AcceleratorSpec& NeuRexSpec();
+const AcceleratorSpec& Rtx2080TiSpec();
+const AcceleratorSpec& XavierNxSpec();
+
+/** FlexNeRFer power at each precision mode (7.3 / 8.4 / 9.2 W). */
+double FlexNeRFerPowerW(Precision p);
+
+/** Chip-level area/power breakdowns (Fig. 17). */
+PpaBreakdown FlexNeRFerBreakdown();
+PpaBreakdown NeuRexBreakdown();
+
+/** On-device integration constraints quoted in the paper. */
+inline constexpr double kAreaConstraintMm2 = 100.0;
+inline constexpr double kPowerConstraintW = 10.0;
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_ACCEL_PPA_H_

@@ -1,0 +1,39 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace flexnerfer {
+
+void
+Fatal(const std::string& message)
+{
+    std::fprintf(stderr, "fatal: %s\n", message.c_str());
+    std::exit(1);
+}
+
+void
+Inform(const std::string& message)
+{
+    std::fprintf(stderr, "info: %s\n", message.c_str());
+}
+
+void
+Warn(const std::string& message)
+{
+    std::fprintf(stderr, "warn: %s\n", message.c_str());
+}
+
+namespace detail {
+
+void
+CheckFail(const char* condition, const char* file, int line,
+          const std::string& message)
+{
+    std::fprintf(stderr, "check failed at %s:%d: %s%s%s\n", file, line,
+                 condition, message.empty() ? "" : " — ", message.c_str());
+    std::abort();
+}
+
+}  // namespace detail
+}  // namespace flexnerfer

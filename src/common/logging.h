@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Lightweight logging and invariant-checking utilities.
+ *
+ * Follows the gem5 fatal/panic split: FLEX_CHECK is for internal invariants
+ * (simulator bugs -> abort), flexnerfer::Fatal is for user-facing
+ * configuration errors (clean exit with message).
+ */
+#ifndef FLEXNERFER_COMMON_LOGGING_H_
+#define FLEXNERFER_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace flexnerfer {
+
+/** Terminates with an error message caused by invalid user configuration. */
+[[noreturn]] void Fatal(const std::string& message);
+
+/** Emits an informational message to stderr. */
+void Inform(const std::string& message);
+
+/** Emits a warning message to stderr. */
+void Warn(const std::string& message);
+
+namespace detail {
+
+/** Backing implementation for FLEX_CHECK; aborts the process. */
+[[noreturn]] void CheckFail(const char* condition, const char* file, int line,
+                            const std::string& message);
+
+}  // namespace detail
+}  // namespace flexnerfer
+
+/** Aborts if an internal invariant does not hold (simulator bug). */
+#define FLEX_CHECK(condition)                                                  \
+    do {                                                                       \
+        if (!(condition)) {                                                    \
+            ::flexnerfer::detail::CheckFail(#condition, __FILE__, __LINE__,    \
+                                            "");                               \
+        }                                                                      \
+    } while (false)
+
+/** FLEX_CHECK with a streamed explanatory message. */
+#define FLEX_CHECK_MSG(condition, message)                                     \
+    do {                                                                       \
+        if (!(condition)) {                                                    \
+            std::ostringstream flex_check_stream_;                             \
+            flex_check_stream_ << message;                                     \
+            ::flexnerfer::detail::CheckFail(#condition, __FILE__, __LINE__,    \
+                                            flex_check_stream_.str());         \
+        }                                                                      \
+    } while (false)
+
+#endif  // FLEXNERFER_COMMON_LOGGING_H_

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Dense row-major matrix container used as the uncompressed reference
+ * representation throughout the simulator.
+ */
+#ifndef FLEXNERFER_COMMON_MATRIX_H_
+#define FLEXNERFER_COMMON_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace flexnerfer {
+
+/**
+ * Dense row-major matrix.
+ *
+ * Element type is typically int32_t for quantized operands (holding INT4/8/16
+ * values well within range) or double for reference math.
+ */
+template <typename T>
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    Matrix(int rows, int cols, T init = T{})
+        : rows_(rows), cols_(cols),
+          data_(static_cast<std::size_t>(rows) * cols, init)
+    {
+        FLEX_CHECK(rows >= 0 && cols >= 0);
+    }
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    std::size_t size() const { return data_.size(); }
+
+    T&
+    at(int r, int c)
+    {
+        FLEX_CHECK_MSG(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                       "index (" << r << "," << c << ") out of " << rows_
+                                 << "x" << cols_);
+        return data_[static_cast<std::size_t>(r) * cols_ + c];
+    }
+
+    const T&
+    at(int r, int c) const
+    {
+        FLEX_CHECK_MSG(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                       "index (" << r << "," << c << ") out of " << rows_
+                                 << "x" << cols_);
+        return data_[static_cast<std::size_t>(r) * cols_ + c];
+    }
+
+    const std::vector<T>& data() const { return data_; }
+    std::vector<T>& data() { return data_; }
+
+    /** Number of non-zero elements. */
+    std::size_t
+    Nnz() const
+    {
+        std::size_t nnz = 0;
+        for (const T& v : data_) {
+            if (v != T{}) ++nnz;
+        }
+        return nnz;
+    }
+
+    /** Fraction of elements that are non-zero, in [0, 1]. */
+    double
+    Density() const
+    {
+        if (data_.empty()) return 0.0;
+        return static_cast<double>(Nnz()) / static_cast<double>(data_.size());
+    }
+
+    /** Fraction of elements that are zero, in [0, 1]. */
+    double Sparsity() const { return data_.empty() ? 0.0 : 1.0 - Density(); }
+
+    bool
+    operator==(const Matrix& other) const
+    {
+        return rows_ == other.rows_ && cols_ == other.cols_ &&
+               data_ == other.data_;
+    }
+
+  private:
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<T> data_;
+};
+
+using MatrixI = Matrix<std::int32_t>;
+using MatrixD = Matrix<double>;
+
+/**
+ * Generates a random quantized matrix with the requested zero fraction.
+ *
+ * Non-zero values are drawn uniformly from the non-zero representable range
+ * of @p precision, so a "90% sparse INT4 weight tile" has exactly the value
+ * distribution the format encoder and MAC array will see in rendering runs.
+ */
+inline MatrixI
+MakeSparseMatrix(int rows, int cols, double sparsity, Precision precision,
+                 Rng& rng)
+{
+    FLEX_CHECK_MSG(sparsity >= 0.0 && sparsity <= 1.0,
+                   "sparsity " << sparsity << " outside [0,1]");
+    MatrixI m(rows, cols);
+    const std::int32_t lo = MinValue(precision);
+    const std::int32_t hi = MaxValue(precision);
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (rng.Bernoulli(sparsity)) continue;
+            std::int32_t v = 0;
+            while (v == 0) {
+                v = static_cast<std::int32_t>(rng.UniformInt(lo, hi));
+            }
+            m.at(r, c) = v;
+        }
+    }
+    return m;
+}
+
+/** Reference dense GEMM: C = A (m x k) * B (k x n) in int64 accumulation. */
+inline Matrix<std::int64_t>
+ReferenceGemm(const MatrixI& a, const MatrixI& b)
+{
+    FLEX_CHECK_MSG(a.cols() == b.rows(), "GEMM shape mismatch: " << a.cols()
+                                             << " vs " << b.rows());
+    Matrix<std::int64_t> c(a.rows(), b.cols());
+    for (int i = 0; i < a.rows(); ++i) {
+        for (int k = 0; k < a.cols(); ++k) {
+            const std::int64_t av = a.at(i, k);
+            if (av == 0) continue;
+            for (int j = 0; j < b.cols(); ++j) {
+                c.at(i, j) += av * static_cast<std::int64_t>(b.at(k, j));
+            }
+        }
+    }
+    return c;
+}
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_COMMON_MATRIX_H_

@@ -1,0 +1,44 @@
+#include "common/stats.h"
+
+#include <sstream>
+
+namespace flexnerfer {
+
+void
+StatSet::Add(const std::string& name, double delta)
+{
+    counters_[name] += delta;
+}
+
+double
+StatSet::Get(const std::string& name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0.0 : it->second;
+}
+
+void
+StatSet::Clear()
+{
+    counters_.clear();
+}
+
+void
+StatSet::Merge(const StatSet& other)
+{
+    for (const auto& [name, value] : other.counters_) {
+        counters_[name] += value;
+    }
+}
+
+std::string
+StatSet::ToString() const
+{
+    std::ostringstream out;
+    for (const auto& [name, value] : counters_) {
+        out << name << " = " << value << "\n";
+    }
+    return out.str();
+}
+
+}  // namespace flexnerfer

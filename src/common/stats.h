@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Named event counters used by the cycle-level models to report energy and
+ * traffic breakdowns.
+ */
+#ifndef FLEXNERFER_COMMON_STATS_H_
+#define FLEXNERFER_COMMON_STATS_H_
+
+#include <map>
+#include <string>
+
+namespace flexnerfer {
+
+/**
+ * A set of named double-valued counters.
+ *
+ * Components increment counters such as "noc.hops" or "sram.read_bytes";
+ * the experiment driver converts them to energy via per-event constants.
+ */
+class StatSet
+{
+  public:
+    /** Adds @p delta to counter @p name (creating it at zero if absent). */
+    void Add(const std::string& name, double delta);
+
+    /** Returns the counter value, or 0 if it was never touched. */
+    double Get(const std::string& name) const;
+
+    /** Resets all counters to zero. */
+    void Clear();
+
+    /** Merges another stat set into this one by summing counters. */
+    void Merge(const StatSet& other);
+
+    const std::map<std::string, double>& counters() const { return counters_; }
+
+    /** Renders "name = value" lines, sorted by name. */
+    std::string ToString() const;
+
+  private:
+    std::map<std::string, double> counters_;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_COMMON_STATS_H_

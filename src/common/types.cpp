@@ -1,0 +1,51 @@
+#include "common/types.h"
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+
+Precision
+PrecisionFromString(const std::string& name)
+{
+    if (name == "int4") return Precision::kInt4;
+    if (name == "int8") return Precision::kInt8;
+    if (name == "int16") return Precision::kInt16;
+    Fatal("unknown precision '" + name + "' (expected int4/int8/int16)");
+}
+
+std::string
+ToString(Precision p)
+{
+    switch (p) {
+      case Precision::kInt4: return "INT4";
+      case Precision::kInt8: return "INT8";
+      case Precision::kInt16: return "INT16";
+    }
+    return "?";
+}
+
+std::string
+ToString(Dataflow d)
+{
+    switch (d) {
+      case Dataflow::kUnicast: return "unicast";
+      case Dataflow::kMulticast: return "multicast";
+      case Dataflow::kBroadcast: return "broadcast";
+    }
+    return "?";
+}
+
+std::string
+ToString(SparsityFormat f)
+{
+    switch (f) {
+      case SparsityFormat::kNone: return "None";
+      case SparsityFormat::kCoo: return "COO";
+      case SparsityFormat::kCsr: return "CSR";
+      case SparsityFormat::kCsc: return "CSC";
+      case SparsityFormat::kBitmap: return "Bitmap";
+    }
+    return "?";
+}
+
+}  // namespace flexnerfer

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Core enumerations shared across the FlexNeRFer simulator: precision modes,
+ * dataflow patterns, and sparsity formats.
+ */
+#ifndef FLEXNERFER_COMMON_TYPES_H_
+#define FLEXNERFER_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace flexnerfer {
+
+/** Integer precision modes supported by the bit-scalable MAC array. */
+enum class Precision : std::uint8_t {
+    kInt4,
+    kInt8,
+    kInt16,
+};
+
+/** All precision modes, in ascending bit-width order. */
+inline constexpr Precision kAllPrecisions[] = {
+    Precision::kInt4, Precision::kInt8, Precision::kInt16};
+
+/** Returns the operand bit-width of a precision mode (4, 8, or 16). */
+constexpr int
+BitWidth(Precision p)
+{
+    switch (p) {
+      case Precision::kInt4: return 4;
+      case Precision::kInt8: return 8;
+      case Precision::kInt16: return 16;
+    }
+    return 16;
+}
+
+/**
+ * Returns the per-MAC-unit multiplier parallelism of a precision mode.
+ *
+ * A bit-scalable MAC unit holds sixteen 4b x 4b sub-multipliers: one fused
+ * 16b product, four fused 8b products, or sixteen independent 4b products.
+ */
+constexpr int
+MultipliersPerMacUnit(Precision p)
+{
+    switch (p) {
+      case Precision::kInt4: return 16;
+      case Precision::kInt8: return 4;
+      case Precision::kInt16: return 1;
+    }
+    return 1;
+}
+
+/**
+ * Returns the side-length scale of the effective multiplier grid relative to
+ * the MAC-unit grid (1x for 16-bit, 2x for 8-bit, 4x for 4-bit).
+ */
+constexpr int
+GridScale(Precision p)
+{
+    switch (p) {
+      case Precision::kInt4: return 4;
+      case Precision::kInt8: return 2;
+      case Precision::kInt16: return 1;
+    }
+    return 1;
+}
+
+/** Parses "int4" / "int8" / "int16" (case-sensitive); fatal on mismatch. */
+Precision PrecisionFromString(const std::string& name);
+
+/** Human-readable precision name ("INT4", "INT8", "INT16"). */
+std::string ToString(Precision p);
+
+/** Dataflow delivery patterns supported by the distribution network. */
+enum class Dataflow : std::uint8_t {
+    kUnicast,    //!< one source element to exactly one destination
+    kMulticast,  //!< one source element to a subset of destinations
+    kBroadcast,  //!< one source element to all destinations in a row/column
+};
+
+/** Human-readable dataflow name. */
+std::string ToString(Dataflow d);
+
+/** Sparse tensor storage formats selectable by the flexible format encoder. */
+enum class SparsityFormat : std::uint8_t {
+    kNone,    //!< dense, uncompressed
+    kCoo,     //!< coordinate list (row, col, value)
+    kCsr,     //!< compressed sparse row
+    kCsc,     //!< compressed sparse column
+    kBitmap,  //!< one presence bit per element + packed nonzero values
+};
+
+/** All selectable formats. CSR and CSC share one footprint category. */
+inline constexpr SparsityFormat kAllFormats[] = {
+    SparsityFormat::kNone, SparsityFormat::kCoo, SparsityFormat::kCsr,
+    SparsityFormat::kCsc, SparsityFormat::kBitmap};
+
+/** Human-readable format name. */
+std::string ToString(SparsityFormat f);
+
+/** Signed saturation limits for a precision mode. */
+constexpr std::int32_t
+MaxValue(Precision p)
+{
+    return (1 << (BitWidth(p) - 1)) - 1;
+}
+
+constexpr std::int32_t
+MinValue(Precision p)
+{
+    return -(1 << (BitWidth(p) - 1));
+}
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_COMMON_TYPES_H_

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Physical unit helpers and PPA (power-performance-area) aggregation types.
+ *
+ * Values are plain doubles with the unit encoded in the field name, mirroring
+ * the paper's reporting conventions: area in mm^2, power in W, energy in mJ,
+ * latency in ms, clock in GHz.
+ */
+#ifndef FLEXNERFER_COMMON_UNITS_H_
+#define FLEXNERFER_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flexnerfer {
+
+/** Converts a cycle count at a clock frequency (GHz) to milliseconds. */
+constexpr double
+CyclesToMs(double cycles, double clock_ghz)
+{
+    return cycles / (clock_ghz * 1e6);
+}
+
+/** Converts milliseconds back to cycles at a clock frequency (GHz). */
+constexpr double
+MsToCycles(double ms, double clock_ghz)
+{
+    return ms * clock_ghz * 1e6;
+}
+
+/** Converts picojoules to millijoules. */
+constexpr double
+PjToMj(double pj)
+{
+    return pj * 1e-9;
+}
+
+/** Tera-operations per second from ops-per-cycle at a clock (GHz). */
+constexpr double
+TopsFromOpsPerCycle(double ops_per_cycle, double clock_ghz)
+{
+    return ops_per_cycle * clock_ghz * 1e-3;
+}
+
+/** One named component's area/power contribution inside a breakdown. */
+struct PpaComponent {
+    std::string name;
+    double area_mm2 = 0.0;
+    double power_w = 0.0;
+};
+
+/** Area/power breakdown of an accelerator or compute array. */
+struct PpaBreakdown {
+    std::vector<PpaComponent> components;
+
+    double
+    TotalAreaMm2() const
+    {
+        double total = 0.0;
+        for (const auto& c : components) total += c.area_mm2;
+        return total;
+    }
+
+    double
+    TotalPowerW() const
+    {
+        double total = 0.0;
+        for (const auto& c : components) total += c.power_w;
+        return total;
+    }
+};
+
+/** Result of one simulated execution: latency, energy, and traffic. */
+struct RunCost {
+    double cycles = 0.0;            //!< accelerator clock cycles
+    double latency_ms = 0.0;        //!< wall-clock latency
+    double energy_mj = 0.0;         //!< total energy
+    double dram_bytes = 0.0;        //!< off-chip traffic
+    double sram_bytes = 0.0;        //!< on-chip buffer traffic
+    double mac_ops = 0.0;           //!< multiply-accumulate operations issued
+    double utilization = 0.0;       //!< average multiplier utilization [0,1]
+
+    RunCost&
+    operator+=(const RunCost& other)
+    {
+        // Utilization is combined as a MAC-op-weighted average so that a
+        // summed cost reports the utilization of the merged execution.
+        const double ops = mac_ops + other.mac_ops;
+        if (ops > 0.0) {
+            utilization = (utilization * mac_ops +
+                           other.utilization * other.mac_ops) / ops;
+        }
+        cycles += other.cycles;
+        latency_ms += other.latency_ms;
+        energy_mj += other.energy_mj;
+        dram_bytes += other.dram_bytes;
+        sram_bytes += other.sram_bytes;
+        mac_ops = ops;
+        return *this;
+    }
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_COMMON_UNITS_H_

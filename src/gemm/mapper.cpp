@@ -1,0 +1,99 @@
+#include "gemm/mapper.h"
+
+#include <set>
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+
+DenseMapper::DenseMapper(int grid_dim)
+    : grid_dim_(grid_dim)
+{
+    FLEX_CHECK_MSG(grid_dim >= 1, "grid dim must be positive");
+}
+
+std::vector<MappedWave>
+DenseMapper::MapTilePair(const MatrixI& a_tile, const MatrixI& b_tile,
+                         std::int64_t row_offset, std::int64_t k_offset,
+                         std::int64_t col_offset, std::int64_t c_cols,
+                         bool skip_zeros) const
+{
+    FLEX_CHECK_MSG(a_tile.cols() == b_tile.rows(),
+                   "tile shape mismatch: " << a_tile.cols() << " vs "
+                                           << b_tile.rows());
+    const int slots_per_wave = SlotsPerWave();
+
+    std::vector<MappedWave> waves;
+    waves.emplace_back();
+    int slot = 0;
+    std::set<std::int64_t> b_seen;  // distinct B elements in current wave
+
+    auto begin_new_wave = [&]() {
+        waves.emplace_back();
+        slot = 0;
+        b_seen.clear();
+    };
+
+    // Walk groups: one group per non-zero A[i,k], destinations are the
+    // products with every (non-zero) B[k,j].
+    for (int k = 0; k < a_tile.cols(); ++k) {
+        for (int i = 0; i < a_tile.rows(); ++i) {
+            const std::int32_t a_val = a_tile.at(i, k);
+            if (skip_zeros && a_val == 0) continue;
+
+            MulticastGroup group;
+            // Globally unique id of A element (row_offset + i, k_offset + k).
+            group.elem_id = ((row_offset + i) << 24) | (k_offset + k);
+            FLEX_CHECK_MSG(k_offset + k < (1 << 24),
+                           "K dimension too large for element ids");
+            bool group_open = false;
+
+            for (int j = 0; j < b_tile.cols(); ++j) {
+                const std::int32_t b_val = b_tile.at(k, j);
+                if (skip_zeros && b_val == 0) continue;
+
+                if (slot == slots_per_wave) {
+                    // Flush the (possibly partial) group into the full wave.
+                    if (group_open) {
+                        waves.back().groups.push_back(group);
+                        group.dests.clear();
+                        group_open = false;
+                    }
+                    begin_new_wave();
+                }
+                const int slot_row = slot / grid_dim_;
+                const int slot_col = slot % grid_dim_;
+                const std::int64_t out_index =
+                    (row_offset + i) * c_cols + (col_offset + j);
+                FLEX_CHECK_MSG(out_index <= 0x7FFFFFFF,
+                               "output matrix too large for 32-bit indices");
+                waves.back().slots.push_back(
+                    {a_val, b_val, static_cast<std::int32_t>(out_index)});
+                group.dests.emplace_back(slot_row, slot_col);
+                group_open = true;
+
+                const std::int64_t b_id =
+                    static_cast<std::int64_t>(k) * b_tile.cols() + j;
+                if (b_seen.insert(b_id).second) {
+                    ++waves.back().distinct_b;
+                }
+                ++slot;
+            }
+            if (group_open) {
+                waves.back().groups.push_back(group);
+            }
+        }
+        if (!skip_zeros) {
+            // Dense baseline: each k slice occupies exactly one wave, idle
+            // slots included, matching a classic inner-product systolic pass.
+            if (slot != 0) begin_new_wave();
+        }
+    }
+
+    if (waves.back().slots.empty()) {
+        waves.pop_back();
+    }
+    return waves;
+}
+
+}  // namespace flexnerfer

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Dense mapper: packs the non-zero products of a sparse irregular tile pair
+ * onto the effective multiplier grid with no idle slots except in the final
+ * wave (the Fig. 5 / Fig. 11 mapping of the paper).
+ *
+ * Products are grouped by matrix-1 element: element A[i,k] forms one
+ * multicast group whose destinations hold the products with every non-zero
+ * B[k,j]. Matrix-2 elements ride the unicast path. Groups are packed into
+ * "waves" of grid_dim^2 multiplier slots; one wave executes per cycle.
+ */
+#ifndef FLEXNERFER_GEMM_MAPPER_H_
+#define FLEXNERFER_GEMM_MAPPER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "mac/mac_array.h"
+#include "noc/distribution_network.h"
+
+namespace flexnerfer {
+
+/** One wave of operand pairs mapped onto the multiplier grid. */
+struct MappedWave {
+    /** Operand pairs in slot order (row-major over the grid). */
+    std::vector<MappedOperand> slots;
+    /** Matrix-1 multicast groups with grid-coordinate destinations. */
+    std::vector<MulticastGroup> groups;
+    /** Distinct matrix-2 elements delivered in this wave. */
+    int distinct_b = 0;
+};
+
+/** Builds dense-mapped waves for one tile pair. */
+class DenseMapper
+{
+  public:
+    /** @param grid_dim effective multiplier grid side (tile side) */
+    explicit DenseMapper(int grid_dim);
+
+    /**
+     * Maps C_tile += A_tile * B_tile. Output indices are globalized with
+     * @p row_offset / @p col_offset against a C matrix of @p c_cols columns.
+     *
+     * @param skip_zeros true: only non-zero products are mapped (sparsity
+     *        support); false: every product including zeros occupies a slot
+     *        (dense baseline behaviour — one wave per k slice)
+     */
+    std::vector<MappedWave>
+    MapTilePair(const MatrixI& a_tile, const MatrixI& b_tile,
+                std::int64_t row_offset, std::int64_t k_offset,
+                std::int64_t col_offset, std::int64_t c_cols,
+                bool skip_zeros = true) const;
+
+    int grid_dim() const { return grid_dim_; }
+    int SlotsPerWave() const { return grid_dim_ * grid_dim_; }
+
+  private:
+    int grid_dim_;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_GEMM_MAPPER_H_

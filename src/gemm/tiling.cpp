@@ -1,0 +1,54 @@
+#include "gemm/tiling.h"
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+
+int
+TileCount(int total, int tile)
+{
+    FLEX_CHECK(total >= 0 && tile >= 1);
+    return (total + tile - 1) / tile;
+}
+
+MatrixI
+ExtractTile(const MatrixI& m, int r0, int c0, int rows, int cols)
+{
+    MatrixI tile(rows, cols);
+    for (int r = 0; r < rows; ++r) {
+        const int src_r = r0 + r;
+        if (src_r >= m.rows()) break;
+        for (int c = 0; c < cols; ++c) {
+            const int src_c = c0 + c;
+            if (src_c >= m.cols()) break;
+            tile.at(r, c) = m.at(src_r, src_c);
+        }
+    }
+    return tile;
+}
+
+std::vector<int>
+ColumnNnz(const MatrixI& tile)
+{
+    std::vector<int> nnz(tile.cols(), 0);
+    for (int r = 0; r < tile.rows(); ++r) {
+        for (int c = 0; c < tile.cols(); ++c) {
+            if (tile.at(r, c) != 0) ++nnz[c];
+        }
+    }
+    return nnz;
+}
+
+std::vector<int>
+RowNnz(const MatrixI& tile)
+{
+    std::vector<int> nnz(tile.rows(), 0);
+    for (int r = 0; r < tile.rows(); ++r) {
+        for (int c = 0; c < tile.cols(); ++c) {
+            if (tile.at(r, c) != 0) ++nnz[r];
+        }
+    }
+    return nnz;
+}
+
+}  // namespace flexnerfer

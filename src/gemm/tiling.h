@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Tile extraction helpers for walking GEMM operands in MAC-array-native
+ * square tiles (zero-padded at the edges).
+ */
+#ifndef FLEXNERFER_GEMM_TILING_H_
+#define FLEXNERFER_GEMM_TILING_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace flexnerfer {
+
+/** Number of tiles covering @p total elements at @p tile granularity. */
+int TileCount(int total, int tile);
+
+/**
+ * Extracts the tile of size @p rows x @p cols whose top-left corner is at
+ * (@p r0, @p c0); out-of-range elements are zero (padding).
+ */
+MatrixI ExtractTile(const MatrixI& m, int r0, int c0, int rows, int cols);
+
+/** Non-zero count of each column of @p tile. */
+std::vector<int> ColumnNnz(const MatrixI& tile);
+
+/** Non-zero count of each row of @p tile. */
+std::vector<int> RowNnz(const MatrixI& tile);
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_GEMM_TILING_H_

@@ -1,0 +1,118 @@
+#include "mac/bit_scalable_mac.h"
+
+#include "common/logging.h"
+#include "mac/sub_multiplier.h"
+
+namespace flexnerfer {
+namespace {
+
+/**
+ * Fused multi-nibble multiply: both operands are decomposed into n nibbles,
+ * the n^2 sub-products are computed by (signed x unsigned)-aware
+ * sub-multipliers, then shift-added — exactly the unit's datapath.
+ */
+std::int64_t
+FusedMultiply(std::int32_t a, std::int32_t b, int n_nibbles)
+{
+    const std::vector<std::uint32_t> an = DecomposeNibbles(a, n_nibbles);
+    const std::vector<std::uint32_t> bn = DecomposeNibbles(b, n_nibbles);
+    std::int64_t product = 0;
+    for (int i = 0; i < n_nibbles; ++i) {
+        for (int j = 0; j < n_nibbles; ++j) {
+            const bool a_signed = (i == n_nibbles - 1);
+            const bool b_signed = (j == n_nibbles - 1);
+            const std::int64_t partial =
+                SubMultiply(an[i], bn[j], a_signed, b_signed);
+            product += partial << (4 * (i + j));
+        }
+    }
+    return product;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t>
+DecomposeNibbles(std::int32_t value, int n_nibbles)
+{
+    FLEX_CHECK(n_nibbles == 1 || n_nibbles == 2 || n_nibbles == 4);
+    const int bits = 4 * n_nibbles;
+    const std::int32_t lo = -(1 << (bits - 1));
+    const std::int32_t hi = (1 << (bits - 1)) - 1;
+    FLEX_CHECK_MSG(value >= lo && value <= hi,
+                   "operand " << value << " not representable in " << bits
+                              << " bits");
+    const auto pattern = static_cast<std::uint32_t>(value) &
+                         ((bits == 32) ? ~0u : ((1u << bits) - 1));
+    std::vector<std::uint32_t> nibbles(n_nibbles);
+    for (int i = 0; i < n_nibbles; ++i) {
+        nibbles[i] = (pattern >> (4 * i)) & 0xF;
+    }
+    return nibbles;
+}
+
+std::int64_t
+BitScalableMacUnit::MultiplyInt16(std::int32_t a, std::int32_t b)
+{
+    return FusedMultiply(a, b, 4);
+}
+
+std::array<std::int64_t, 4>
+BitScalableMacUnit::MultiplyInt8(const std::array<std::int32_t, 4>& a,
+                                 const std::array<std::int32_t, 4>& b)
+{
+    std::array<std::int64_t, 4> out{};
+    for (int lane = 0; lane < 4; ++lane) {
+        out[lane] = FusedMultiply(a[lane], b[lane], 2);
+    }
+    return out;
+}
+
+std::array<std::int64_t, 16>
+BitScalableMacUnit::MultiplyInt4(const std::array<std::int32_t, 16>& a,
+                                 const std::array<std::int32_t, 16>& b)
+{
+    std::array<std::int64_t, 16> out{};
+    for (int lane = 0; lane < 16; ++lane) {
+        out[lane] = FusedMultiply(a[lane], b[lane], 1);
+    }
+    return out;
+}
+
+std::vector<std::int64_t>
+BitScalableMacUnit::Multiply(Precision precision,
+                             const std::vector<std::int32_t>& a,
+                             const std::vector<std::int32_t>& b)
+{
+    const int lanes = MultipliersPerMacUnit(precision);
+    FLEX_CHECK_MSG(static_cast<int>(a.size()) == lanes &&
+                       static_cast<int>(b.size()) == lanes,
+                   "expected " << lanes << " lanes at " << ToString(precision)
+                               << ", got " << a.size() << "/" << b.size());
+    const int n_nibbles = BitWidth(precision) / 4;
+    std::vector<std::int64_t> out(lanes);
+    for (int lane = 0; lane < lanes; ++lane) {
+        out[lane] = FusedMultiply(a[lane], b[lane], n_nibbles);
+    }
+    return out;
+}
+
+int
+BitScalableMacUnit::ShiftersPerUnit(bool optimized)
+{
+    return optimized ? 16 : 24;
+}
+
+double
+BitScalableMacUnit::AreaUm2(bool optimized)
+{
+    // Fig. 12(c): post-synthesis numbers, 28 nm.
+    return optimized ? 4416.84 : 6161.9;
+}
+
+double
+BitScalableMacUnit::PowerMw(bool optimized)
+{
+    return optimized ? 1.86 : 3.42;
+}
+
+}  // namespace flexnerfer

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Flexible augmented reduction tree (ART) at the MAC-array level
+ * (Fig. 12(d) of the paper).
+ *
+ * Each tree node holds a comparator and a bypassable adder: when the two
+ * child operands carry the same output index (same destination element of
+ * the result matrix), they are added; otherwise both are forwarded upward
+ * unchanged. This lets one physical column of MAC units accumulate partial
+ * sums belonging to several different output elements in the same pass —
+ * the property that makes dense mapping of sparse operands possible.
+ */
+#ifndef FLEXNERFER_MAC_REDUCTION_TREE_H_
+#define FLEXNERFER_MAC_REDUCTION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace flexnerfer {
+
+/** One partial sum flowing through the reduction tree. */
+struct ReductionOperand {
+    std::int64_t value = 0;
+    /** Identifier of the destination output element; -1 marks an idle slot. */
+    std::int32_t index = -1;
+
+    bool operator==(const ReductionOperand&) const = default;
+};
+
+/** Statistics of one reduction pass. */
+struct ReductionStats {
+    int levels = 0;        //!< tree depth traversed
+    int additions = 0;     //!< adder activations (index matched)
+    int bypasses = 0;      //!< operand pairs forwarded un-added
+};
+
+/** Flexible augmented reduction tree over a fixed number of leaf ports. */
+class FlexibleReductionTree
+{
+  public:
+    /**
+     * Reduces a vector of leaf operands. Adjacent operands with equal
+     * indices merge at the earliest tree level where they meet; the output
+     * preserves leaf order and contains one operand per distinct contiguous
+     * index run. Idle slots (index -1) are dropped.
+     *
+     * @param leaves one operand per MAC-unit output port (row-major)
+     * @param stats optional out-param receiving adder/bypass counts
+     */
+    static std::vector<ReductionOperand>
+    Reduce(const std::vector<ReductionOperand>& leaves,
+           ReductionStats* stats = nullptr);
+
+    /** Pipeline depth (cycles) to reduce @p n_leaves operands. */
+    static int DepthForLeaves(int n_leaves);
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_MAC_REDUCTION_TREE_H_

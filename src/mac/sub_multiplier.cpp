@@ -1,0 +1,27 @@
+#include "mac/sub_multiplier.h"
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+
+std::int32_t
+NibbleAsSigned(std::uint32_t nibble)
+{
+    FLEX_CHECK(nibble <= 0xF);
+    return nibble >= 8 ? static_cast<std::int32_t>(nibble) - 16
+                       : static_cast<std::int32_t>(nibble);
+}
+
+std::int32_t
+SubMultiply(std::uint32_t a_nibble, std::uint32_t b_nibble, bool a_signed,
+            bool b_signed)
+{
+    FLEX_CHECK(a_nibble <= 0xF && b_nibble <= 0xF);
+    const std::int32_t a = a_signed ? NibbleAsSigned(a_nibble)
+                                    : static_cast<std::int32_t>(a_nibble);
+    const std::int32_t b = b_signed ? NibbleAsSigned(b_nibble)
+                                    : static_cast<std::int32_t>(b_nibble);
+    return a * b;
+}
+
+}  // namespace flexnerfer

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The 4-bit x 4-bit sub-multiplier ("BitBrick") that the bit-scalable MAC
+ * unit composes into 4/8/16-bit products. Each input nibble can be
+ * interpreted as signed or unsigned, which is how fused multi-nibble
+ * multiplication handles two's-complement operands: only the most
+ * significant nibble of an operand carries the sign.
+ */
+#ifndef FLEXNERFER_MAC_SUB_MULTIPLIER_H_
+#define FLEXNERFER_MAC_SUB_MULTIPLIER_H_
+
+#include <cstdint>
+
+namespace flexnerfer {
+
+/**
+ * Multiplies two nibbles with per-operand signedness.
+ *
+ * @param a_nibble 4-bit pattern in [0, 15]
+ * @param b_nibble 4-bit pattern in [0, 15]
+ * @param a_signed interpret @p a_nibble as two's-complement in [-8, 7]
+ * @param b_signed interpret @p b_nibble as two's-complement in [-8, 7]
+ * @return the exact product (fits in 9 bits signed)
+ */
+std::int32_t SubMultiply(std::uint32_t a_nibble, std::uint32_t b_nibble,
+                         bool a_signed, bool b_signed);
+
+/** Reinterprets a 4-bit pattern as a signed two's-complement value. */
+std::int32_t NibbleAsSigned(std::uint32_t nibble);
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_MAC_SUB_MULTIPLIER_H_

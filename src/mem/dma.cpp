@@ -1,0 +1,26 @@
+#include "mem/dma.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+
+double
+DmaEngine::TransferCycles(std::int64_t bytes) const
+{
+    FLEX_CHECK(bytes >= 0);
+    const double stream_bw =
+        std::min(config_.src_bytes_per_cycle, config_.dst_bytes_per_cycle);
+    return config_.setup_cycles + static_cast<double>(bytes) / stream_bw;
+}
+
+double
+DmaEngine::Transfer(std::int64_t bytes)
+{
+    total_bytes_ += bytes;
+    ++transfers_;
+    return TransferCycles(bytes);
+}
+
+}  // namespace flexnerfer

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * DMA engine moving data between host memory, local DRAM, and the on-chip
+ * buffers (Fig. 14). Transfers are streamed at the minimum of the source and
+ * destination bandwidths with a fixed per-descriptor setup cost.
+ */
+#ifndef FLEXNERFER_MEM_DMA_H_
+#define FLEXNERFER_MEM_DMA_H_
+
+#include <cstdint>
+
+namespace flexnerfer {
+
+/** Simple descriptor-based DMA timing model. */
+class DmaEngine
+{
+  public:
+    struct Config {
+        double setup_cycles = 32.0;        //!< descriptor decode + channel arb
+        double src_bytes_per_cycle = 16.0; //!< e.g., LPDDR3 at 800 MHz core
+        double dst_bytes_per_cycle = 128.0;
+    };
+
+    explicit DmaEngine(const Config& config) : config_(config) {}
+    DmaEngine() : DmaEngine(Config{}) {}
+
+    /** Cycles to move @p bytes with one descriptor. */
+    double TransferCycles(std::int64_t bytes) const;
+
+    /** Accounts a transfer; returns cycles. */
+    double Transfer(std::int64_t bytes);
+
+    std::int64_t total_bytes() const { return total_bytes_; }
+    std::int64_t transfers() const { return transfers_; }
+
+  private:
+    Config config_;
+    std::int64_t total_bytes_ = 0;
+    std::int64_t transfers_ = 0;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_MEM_DMA_H_

@@ -1,0 +1,46 @@
+#include "mem/dram.h"
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+
+DramModel::DramModel(const Config& config)
+    : config_(config)
+{
+    FLEX_CHECK_MSG(config.bandwidth_gb_s > 0.0, "DRAM bandwidth must be > 0");
+}
+
+DramModel
+DramModel::Lpddr3()
+{
+    return DramModel(Config{"LPDDR3-1600", 12.8, 40.0, 0.1});
+}
+
+DramModel
+DramModel::Gddr6Rtx2080Ti()
+{
+    return DramModel(Config{"GDDR6", 616.0, 25.0, 0.05});
+}
+
+double
+DramModel::TransferMs(double bytes) const
+{
+    if (bytes <= 0.0) return 0.0;
+    const double seconds = bytes / (config_.bandwidth_gb_s * 1e9);
+    return seconds * 1e3 + config_.first_access_latency_us * 1e-3;
+}
+
+double
+DramModel::TransferEnergyMj(double bytes) const
+{
+    return bytes * config_.energy_pj_per_byte * 1e-9;
+}
+
+void
+DramModel::Transfer(double bytes)
+{
+    FLEX_CHECK(bytes >= 0.0);
+    total_bytes_ += bytes;
+}
+
+}  // namespace flexnerfer

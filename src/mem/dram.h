@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Off-chip DRAM timing/energy model. FlexNeRFer's local DRAM is LPDDR3-1600
+ * (Fig. 14); the GPU baselines use GDDR6/LPDDR4 parameters (Table 1).
+ */
+#ifndef FLEXNERFER_MEM_DRAM_H_
+#define FLEXNERFER_MEM_DRAM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace flexnerfer {
+
+/** Bandwidth/energy model of one DRAM channel group. */
+class DramModel
+{
+  public:
+    struct Config {
+        std::string name = "LPDDR3-1600";
+        double bandwidth_gb_s = 12.8;    //!< x64 LPDDR3-1600 channel
+        double energy_pj_per_byte = 40.0;
+        double first_access_latency_us = 0.1;
+    };
+
+    explicit DramModel(const Config& config);
+    DramModel() : DramModel(Config{}) {}
+
+    /** LPDDR3-1600 device used as FlexNeRFer's 8 GB local DRAM. */
+    static DramModel Lpddr3();
+
+    /** GDDR6 on the RTX 2080 Ti (616 GB/s). */
+    static DramModel Gddr6Rtx2080Ti();
+
+    /** Transfer time for @p bytes in milliseconds (streaming). */
+    double TransferMs(double bytes) const;
+
+    /** Transfer energy for @p bytes in millijoules. */
+    double TransferEnergyMj(double bytes) const;
+
+    /** Accounts a transfer into the running totals. */
+    void Transfer(double bytes);
+
+    double bandwidth_gb_s() const { return config_.bandwidth_gb_s; }
+    const std::string& name() const { return config_.name; }
+    double total_bytes() const { return total_bytes_; }
+    double EnergyMj() const { return TransferEnergyMj(total_bytes_); }
+    void ResetStats() { total_bytes_ = 0.0; }
+
+  private:
+    Config config_;
+    double total_bytes_ = 0.0;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_MEM_DRAM_H_

@@ -1,0 +1,62 @@
+#include "mem/sram.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+
+SramBuffer::SramBuffer(const Config& config)
+    : config_(config)
+{
+    FLEX_CHECK_MSG(config.capacity_bytes > 0, "SRAM capacity must be > 0");
+    FLEX_CHECK_MSG(config.bytes_per_cycle > 0.0, "SRAM bandwidth must be > 0");
+}
+
+double
+SramBuffer::ReadEnergyPjPerByte() const
+{
+    const double capacity_kb =
+        static_cast<double>(config_.capacity_bytes) / 1024.0;
+    return 0.15 * std::sqrt(capacity_kb / 64.0);
+}
+
+double
+SramBuffer::WriteEnergyPjPerByte() const
+{
+    return 1.1 * ReadEnergyPjPerByte();
+}
+
+double
+SramBuffer::Read(std::int64_t bytes)
+{
+    FLEX_CHECK(bytes >= 0);
+    bytes_read_ += bytes;
+    energy_pj_ += static_cast<double>(bytes) * ReadEnergyPjPerByte();
+    return static_cast<double>(bytes) / config_.bytes_per_cycle;
+}
+
+double
+SramBuffer::Write(std::int64_t bytes)
+{
+    FLEX_CHECK(bytes >= 0);
+    bytes_written_ += bytes;
+    energy_pj_ += static_cast<double>(bytes) * WriteEnergyPjPerByte();
+    return static_cast<double>(bytes) / config_.bytes_per_cycle;
+}
+
+bool
+SramBuffer::Fits(std::int64_t bytes) const
+{
+    return bytes <= config_.capacity_bytes;
+}
+
+void
+SramBuffer::ResetStats()
+{
+    energy_pj_ = 0.0;
+    bytes_read_ = 0;
+    bytes_written_ = 0;
+}
+
+}  // namespace flexnerfer

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * On-chip SRAM buffer model with CACTI-style capacity-dependent access
+ * energy. FlexNeRFer instantiates a 2 MB input buffer, 2 MB output buffer,
+ * 512 KB weight buffer, 512 KB encoding buffer, and 16 KB program memory.
+ */
+#ifndef FLEXNERFER_MEM_SRAM_H_
+#define FLEXNERFER_MEM_SRAM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace flexnerfer {
+
+/** Single-ported SRAM buffer with bandwidth and energy accounting. */
+class SramBuffer
+{
+  public:
+    struct Config {
+        std::string name = "buffer";
+        std::int64_t capacity_bytes = 2 * 1024 * 1024;
+        double bytes_per_cycle = 128.0;  //!< port bandwidth
+    };
+
+    explicit SramBuffer(const Config& config);
+
+    /**
+     * CACTI-style per-byte read energy (pJ): grows with the square root of
+     * capacity (longer bitlines/wordlines), anchored at 0.15 pJ/B for 64 KB.
+     */
+    double ReadEnergyPjPerByte() const;
+
+    /** Write energy per byte (slightly above read). */
+    double WriteEnergyPjPerByte() const;
+
+    /** Accounts a read burst; returns the cycles it occupies the port. */
+    double Read(std::int64_t bytes);
+
+    /** Accounts a write burst; returns the cycles it occupies the port. */
+    double Write(std::int64_t bytes);
+
+    /** True if a working set of @p bytes fits in this buffer. */
+    bool Fits(std::int64_t bytes) const;
+
+    std::int64_t capacity_bytes() const { return config_.capacity_bytes; }
+    const std::string& name() const { return config_.name; }
+    double EnergyPj() const { return energy_pj_; }
+    std::int64_t bytes_read() const { return bytes_read_; }
+    std::int64_t bytes_written() const { return bytes_written_; }
+    void ResetStats();
+
+  private:
+    Config config_;
+    double energy_pj_ = 0.0;
+    std::int64_t bytes_read_ = 0;
+    std::int64_t bytes_written_ = 0;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_MEM_SRAM_H_

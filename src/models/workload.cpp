@@ -1,0 +1,210 @@
+#include "models/workload.h"
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+namespace {
+
+/** Helper appending an MLP chain: input layer, hidden layers, output head. */
+void
+AppendMlp(NerfWorkload* w, const std::string& prefix, double samples,
+          std::int64_t input_dim, const std::vector<std::int64_t>& hidden,
+          std::int64_t output_dim, const WorkloadParams& params)
+{
+    std::int64_t in = input_dim;
+    const auto samples_i = static_cast<std::int64_t>(samples);
+    for (std::size_t layer = 0; layer < hidden.size(); ++layer) {
+        WorkloadOp op;
+        op.kind = OpKind::kGemm;
+        op.name = prefix + "_fc" + std::to_string(layer);
+        // First layer reads freshly encoded activations (dense); hidden
+        // layers see post-ReLU sparsity.
+        const double density_a =
+            layer == 0 ? 1.0 : params.activation_density;
+        op.gemm = {samples_i, in, hidden[layer], density_a, 1.0,
+                   params.weight_prune_ratio};
+        op.activations_on_chip = layer != 0;
+        w->ops.push_back(op);
+        in = hidden[layer];
+    }
+    WorkloadOp head;
+    head.kind = OpKind::kGemm;
+    head.name = prefix + "_head";
+    head.gemm = {samples_i, in, output_dim, params.activation_density, 1.0,
+                 params.weight_prune_ratio};
+    head.activations_on_chip = true;
+    w->ops.push_back(head);
+}
+
+void
+AppendPosEnc(NerfWorkload* w, const std::string& name, double values)
+{
+    WorkloadOp op;
+    op.kind = OpKind::kPositionalEncoding;
+    op.name = name;
+    op.encoding_values = values;
+    w->ops.push_back(op);
+}
+
+void
+AppendHashEnc(NerfWorkload* w, const std::string& name, double queries,
+              int levels)
+{
+    WorkloadOp op;
+    op.kind = OpKind::kHashEncoding;
+    op.name = name;
+    op.encoding_values = queries * levels;
+    w->ops.push_back(op);
+}
+
+void
+AppendOther(NerfWorkload* w, const std::string& name, double flops)
+{
+    WorkloadOp op;
+    op.kind = OpKind::kOther;
+    op.name = name;
+    op.other_flops = flops;
+    w->ops.push_back(op);
+}
+
+}  // namespace
+
+double
+WorkloadOp::Macs() const
+{
+    if (kind != OpKind::kGemm) return 0.0;
+    return static_cast<double>(gemm.m) * gemm.k * gemm.n;
+}
+
+double
+NerfWorkload::TotalGemmMacs() const
+{
+    double total = 0.0;
+    for (const WorkloadOp& op : ops) total += op.Macs();
+    return total;
+}
+
+double
+NerfWorkload::TotalEncodingValues() const
+{
+    double total = 0.0;
+    for (const WorkloadOp& op : ops) total += op.encoding_values;
+    return total;
+}
+
+double
+NerfWorkload::TotalOtherFlops() const
+{
+    double total = 0.0;
+    for (const WorkloadOp& op : ops) total += op.other_flops;
+    return total;
+}
+
+const std::vector<std::string>&
+AllModelNames()
+{
+    static const std::vector<std::string> names = {
+        "NeRF",       "KiloNeRF", "NSVF",    "Mip-NeRF",
+        "Instant-NGP", "IBRNet",   "TensoRF"};
+    return names;
+}
+
+NerfWorkload
+BuildWorkload(const std::string& model_name, const WorkloadParams& params)
+{
+    NerfWorkload w;
+    w.name = model_name;
+    w.batch_size = params.batch_size;
+
+    const double pixels =
+        static_cast<double>(params.image_width) * params.image_height;
+
+    if (model_name == "NeRF") {
+        // Vanilla NeRF: 64 coarse + 128 fine samples per ray, 8 x 256 MLP
+        // on 60-d positional encodings plus a 24-d view branch.
+        const double samples = pixels * 192.0 * params.scene_complexity;
+        w.samples_per_frame = samples;
+        AppendPosEnc(&w, "posenc_xyz_dir", samples * 5.0 * 10.0);
+        AppendMlp(&w, "mlp", samples, 60,
+                  {256, 256, 256, 256, 256, 256, 256, 256}, 256, params);
+        AppendMlp(&w, "rgb_branch", samples, 256 + 24, {128}, 3, params);
+        AppendOther(&w, "volume_rendering", samples * 12.0);
+        AppendOther(&w, "ray_marching", pixels * 192.0 * 4.0);
+    } else if (model_name == "KiloNeRF") {
+        // Thousands of tiny 2 x 32 MLPs; empty-space skipping keeps ~38%
+        // of the vanilla sample count alive, so encoding is a large share.
+        const double samples = pixels * 192.0 * 0.38 *
+                               params.scene_complexity;
+        w.samples_per_frame = samples;
+        AppendPosEnc(&w, "posenc", samples * 5.0 * 10.0);
+        AppendMlp(&w, "tiny_mlp", samples, 60, {32, 32}, 4, params);
+        AppendOther(&w, "volume_rendering", samples * 12.0);
+        AppendOther(&w, "grid_routing", samples * 8.0);
+    } else if (model_name == "NSVF") {
+        // Sparse voxel embeddings (grid lookups) feeding a 3-layer MLP;
+        // voxel filtering keeps ~25% of samples.
+        const double samples = pixels * 192.0 * 0.25 *
+                               params.scene_complexity;
+        w.samples_per_frame = samples;
+        AppendHashEnc(&w, "voxel_embedding", samples, 1);
+        AppendPosEnc(&w, "posenc", samples * 5.0 * 6.0);
+        AppendMlp(&w, "mlp", samples, 32 + 24, {128, 128, 128}, 4, params);
+        AppendOther(&w, "voxel_traversal", samples * 16.0);
+    } else if (model_name == "Mip-NeRF") {
+        // Integrated positional encoding over conical frustums, single
+        // 8 x 256 multiscale MLP, 128 samples per ray.
+        const double samples = pixels * 128.0 * params.scene_complexity;
+        w.samples_per_frame = samples;
+        AppendPosEnc(&w, "integrated_posenc", samples * 5.0 * 16.0);
+        AppendMlp(&w, "mlp", samples, 96,
+                  {256, 256, 256, 256, 256, 256, 256, 256}, 256, params);
+        AppendMlp(&w, "rgb_branch", samples, 256 + 24, {128}, 3, params);
+        AppendOther(&w, "volume_rendering", samples * 12.0);
+    } else if (model_name == "Instant-NGP") {
+        // Multiresolution hash encoding (16 levels) + tiny MLPs; occupancy
+        // grids keep ~26 samples per ray alive.
+        const double samples = pixels * 26.0 * params.scene_complexity;
+        w.samples_per_frame = samples;
+        AppendHashEnc(&w, "hash_encoding", samples, 16);
+        AppendMlp(&w, "density_mlp", samples, 32, {64}, 16, params);
+        AppendMlp(&w, "color_mlp", samples, 16 + 16, {64, 64}, 3, params);
+        AppendOther(&w, "volume_rendering", samples * 12.0);
+        AppendOther(&w, "occupancy_marching", pixels * 26.0 * 6.0);
+    } else if (model_name == "IBRNet") {
+        // CNN feature extraction over 10 source views + ray transformer.
+        const double views = 10.0;
+        const double feat_pixels = pixels / 16.0;  // stride-4 feature maps
+        w.samples_per_frame = pixels * 64.0 * params.scene_complexity;
+        for (int layer = 0; layer < 4; ++layer) {
+            WorkloadOp conv;
+            conv.kind = OpKind::kGemm;
+            conv.name = "cnn_conv" + std::to_string(layer);
+            // im2col GEMM: (HW) x (9 * C_in) x C_out per view.
+            conv.gemm = {static_cast<std::int64_t>(feat_pixels * views),
+                         9 * (layer == 0 ? 3 : 32), 32, 1.0, 1.0,
+                         params.weight_prune_ratio};
+            w.ops.push_back(conv);
+        }
+        const double samples = w.samples_per_frame;
+        AppendMlp(&w, "ray_transformer_qkv", samples, 35, {64, 64}, 16,
+                  params);
+        AppendMlp(&w, "aggregation", samples, 16 * 10, {64}, 4, params);
+        AppendOther(&w, "attention_softmax", samples * views * 8.0);
+        AppendOther(&w, "volume_rendering", samples * 12.0);
+    } else if (model_name == "TensoRF") {
+        // Tensorial decomposition: plane/line feature interpolation
+        // (grid-style lookups) + small decoding MLP, ~50 samples per ray.
+        const double samples = pixels * 50.0 * params.scene_complexity;
+        w.samples_per_frame = samples;
+        AppendHashEnc(&w, "tensor_interp", samples, 3);
+        AppendPosEnc(&w, "posenc_app", samples * 3.0 * 2.0);
+        AppendMlp(&w, "decode_mlp", samples, 27 + 120, {128}, 3, params);
+        AppendOther(&w, "tensor_products", samples * 48.0);
+        AppendOther(&w, "volume_rendering", samples * 12.0);
+    } else {
+        Fatal("unknown NeRF model '" + model_name + "'");
+    }
+    return w;
+}
+
+}  // namespace flexnerfer

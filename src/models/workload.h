@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Workload descriptors for the seven NeRF models the paper evaluates:
+ * NeRF, KiloNeRF, NSVF, Mip-NeRF, Instant-NGP, IBRNet, and TensoRF.
+ *
+ * A workload is the per-frame operator list — GEMM/GEMV shapes, encoding
+ * volumes, and miscellaneous compute — derived from each model's published
+ * architecture at the paper's evaluation point (800 x 800 images, batch
+ * size 4096, Synthetic-NeRF-class scenes). The accelerator models consume
+ * these descriptors to estimate latency and energy.
+ */
+#ifndef FLEXNERFER_MODELS_WORKLOAD_H_
+#define FLEXNERFER_MODELS_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "gemm/engine.h"
+
+namespace flexnerfer {
+
+/** Categories of per-frame work. */
+enum class OpKind : std::uint8_t {
+    kGemm,                //!< matrix/matrix-vector products (MLP, attention)
+    kPositionalEncoding,  //!< sinusoidal feature encoding (Eq. 1)
+    kHashEncoding,        //!< grid/hash feature lookup + interpolation
+    kOther,               //!< sampling, compositing, misc element-wise work
+};
+
+/** One operator instance within a frame. */
+struct WorkloadOp {
+    OpKind kind = OpKind::kGemm;
+    std::string name;
+
+    /** GEMM geometry (kGemm only); m is the total sample count. */
+    GemmShape gemm;
+    /** True for hidden layers whose activations never leave the chip. */
+    bool activations_on_chip = false;
+
+    /** Scalar values to encode (kPositionalEncoding) or grid queries
+     *  times levels (kHashEncoding). */
+    double encoding_values = 0.0;
+
+    /** Floating-point operations for kOther work. */
+    double other_flops = 0.0;
+
+    /** Total multiply-accumulates of this op (kGemm only). */
+    double Macs() const;
+};
+
+/** Per-frame workload of one NeRF model. */
+struct NerfWorkload {
+    std::string name;
+    std::vector<WorkloadOp> ops;
+    double samples_per_frame = 0.0;
+    int batch_size = 4096;
+
+    double TotalGemmMacs() const;
+    double TotalEncodingValues() const;
+    double TotalOtherFlops() const;
+};
+
+/** Global parameters of the evaluation setup. */
+struct WorkloadParams {
+    int image_width = 800;
+    int image_height = 800;
+    int batch_size = 4096;
+    /**
+     * Scene complexity factor scaling effective (post empty-space-skipping)
+     * sample counts: ~0.8 for simple scenes (Mic), 1.0 nominal (Lego),
+     * ~1.3 for complex scenes (Palace).
+     */
+    double scene_complexity = 1.0;
+    /** Post-ReLU activation density of hidden layers (Fig. 13(a)). */
+    double activation_density = 0.55;
+    /** Structured pruning ratio applied to all MLP weights (Fig. 19). */
+    double weight_prune_ratio = 0.0;
+};
+
+/** Names of the seven evaluated models, in the paper's order. */
+const std::vector<std::string>& AllModelNames();
+
+/** Builds the per-frame workload descriptor for @p model_name. */
+NerfWorkload BuildWorkload(const std::string& model_name,
+                           const WorkloadParams& params = {});
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_MODELS_WORKLOAD_H_

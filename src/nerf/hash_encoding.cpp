@@ -1,0 +1,187 @@
+#include "nerf/hash_encoding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+namespace {
+
+// Spatial hash primes from the Instant-NGP paper.
+constexpr std::uint64_t kPrime1 = 1;
+constexpr std::uint64_t kPrime2 = 2654435761ull;
+constexpr std::uint64_t kPrime3 = 805459861ull;
+
+std::uint64_t
+SpatialHash(std::int64_t ix, std::int64_t iy, std::int64_t iz)
+{
+    return (static_cast<std::uint64_t>(ix) * kPrime1) ^
+           (static_cast<std::uint64_t>(iy) * kPrime2) ^
+           (static_cast<std::uint64_t>(iz) * kPrime3);
+}
+
+}  // namespace
+
+HashGrid::HashGrid(const Config& config, Rng& rng)
+    : config_(config)
+{
+    FLEX_CHECK_MSG(config.levels >= 1, "need at least one level");
+    FLEX_CHECK_MSG(config.features >= 1, "need at least one feature");
+    FLEX_CHECK_MSG(config.bbox_max > config.bbox_min, "empty bounding box");
+
+    const std::size_t table_entries = std::size_t{1} << config.log2_table;
+    std::size_t offset = 0;
+    for (int level = 0; level < config.levels; ++level) {
+        const std::size_t corners =
+            static_cast<std::size_t>(Resolution(level) + 1) *
+            (Resolution(level) + 1) * (Resolution(level) + 1);
+        const std::size_t entries = std::min(corners, table_entries);
+        level_offsets_.push_back(offset);
+        level_entries_.push_back(entries);
+        offset += entries * config.features;
+    }
+    parameters_.resize(offset);
+    for (double& p : parameters_) {
+        p = rng.Gaussian(0.0, config.init_scale);
+    }
+}
+
+int
+HashGrid::Resolution(int level) const
+{
+    FLEX_CHECK(level >= 0 && level < config_.levels);
+    return static_cast<int>(std::floor(config_.base_resolution *
+                                       std::pow(config_.growth, level)));
+}
+
+bool
+HashGrid::IsDenseLevel(int level) const
+{
+    const std::size_t corners =
+        static_cast<std::size_t>(Resolution(level) + 1) *
+        (Resolution(level) + 1) * (Resolution(level) + 1);
+    return corners <= (std::size_t{1} << config_.log2_table);
+}
+
+std::size_t
+HashGrid::ParameterIndex(int level, std::size_t entry, int f) const
+{
+    return level_offsets_[level] + entry * config_.features + f;
+}
+
+std::size_t
+HashGrid::EntryIndex(int level, std::int64_t ix, std::int64_t iy,
+                     std::int64_t iz) const
+{
+    if (IsDenseLevel(level)) {
+        const std::int64_t n = Resolution(level) + 1;
+        return static_cast<std::size_t>((ix * n + iy) * n + iz);
+    }
+    return SpatialHash(ix, iy, iz) % level_entries_[level];
+}
+
+std::vector<double>
+HashGrid::Query(const Vec3& pos) const
+{
+    return QueryWithTaps(pos, nullptr);
+}
+
+std::vector<double>
+HashGrid::QueryWithTaps(const Vec3& pos,
+                        std::vector<std::vector<Tap>>* taps) const
+{
+    std::vector<double> out(OutputDim(), 0.0);
+    if (taps) {
+        taps->assign(OutputDim(), {});
+    }
+
+    const double extent = config_.bbox_max - config_.bbox_min;
+    const auto to_unit = [&](double v) {
+        const double u = (v - config_.bbox_min) / extent;
+        return std::clamp(u, 0.0, 1.0);
+    };
+    const double ux = to_unit(pos.x);
+    const double uy = to_unit(pos.y);
+    const double uz = to_unit(pos.z);
+
+    for (int level = 0; level < config_.levels; ++level) {
+        const int res = Resolution(level);
+        const double gx = ux * res;
+        const double gy = uy * res;
+        const double gz = uz * res;
+        const auto x0 = static_cast<std::int64_t>(std::floor(gx));
+        const auto y0 = static_cast<std::int64_t>(std::floor(gy));
+        const auto z0 = static_cast<std::int64_t>(std::floor(gz));
+        const double fx = gx - x0;
+        const double fy = gy - y0;
+        const double fz = gz - z0;
+
+        for (int corner = 0; corner < 8; ++corner) {
+            const int dx = corner & 1;
+            const int dy = (corner >> 1) & 1;
+            const int dz = (corner >> 2) & 1;
+            const double w = (dx ? fx : 1.0 - fx) * (dy ? fy : 1.0 - fy) *
+                             (dz ? fz : 1.0 - fz);
+            if (w == 0.0) continue;
+            const std::size_t entry =
+                EntryIndex(level, std::min<std::int64_t>(x0 + dx, res),
+                           std::min<std::int64_t>(y0 + dy, res),
+                           std::min<std::int64_t>(z0 + dz, res));
+            for (int f = 0; f < config_.features; ++f) {
+                const std::size_t p = ParameterIndex(level, entry, f);
+                const int out_idx = level * config_.features + f;
+                out[out_idx] += w * parameters_[p];
+                if (taps) {
+                    (*taps)[out_idx].push_back({p, w});
+                }
+            }
+        }
+    }
+    return out;
+}
+
+void
+HashGrid::CountAccesses(const Vec3& pos, HashAccessStats* stats) const
+{
+    FLEX_CHECK(stats != nullptr);
+    ++stats->queries;
+
+    const double extent = config_.bbox_max - config_.bbox_min;
+    const auto to_unit = [&](double v) {
+        return std::clamp((v - config_.bbox_min) / extent, 0.0, 1.0);
+    };
+    const double ux = to_unit(pos.x);
+    const double uy = to_unit(pos.y);
+    const double uz = to_unit(pos.z);
+
+    for (int level = 0; level < config_.levels; ++level) {
+        const int res = Resolution(level);
+        const auto x0 = static_cast<std::int64_t>(std::floor(ux * res));
+        const auto y0 = static_cast<std::int64_t>(std::floor(uy * res));
+        const auto z0 = static_cast<std::int64_t>(std::floor(uz * res));
+
+        std::set<std::size_t> distinct;
+        for (int corner = 0; corner < 8; ++corner) {
+            const std::size_t entry = EntryIndex(
+                level,
+                std::min<std::int64_t>(x0 + ((corner >> 0) & 1), res),
+                std::min<std::int64_t>(y0 + ((corner >> 1) & 1), res),
+                std::min<std::int64_t>(z0 + ((corner >> 2) & 1), res));
+            distinct.insert(entry);
+        }
+        stats->corner_lookups += 8;
+        // Corners mapping to the same table entry can be served by one
+        // coalesced access (the HEE's coalescing hash units).
+        stats->coalesced_lookups += 8 - static_cast<std::int64_t>(
+                                            distinct.size());
+        if (IsDenseLevel(level)) {
+            stats->dense_level_lookups += 8;
+        } else {
+            stats->hashed_level_lookups += 8;
+        }
+    }
+}
+
+}  // namespace flexnerfer

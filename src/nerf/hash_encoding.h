@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Multiresolution hash-grid encoding (Instant-NGP style), the workload of
+ * FlexNeRFer's hash encoding engine (Section 5.2.2).
+ *
+ * Each of L levels is a 3D grid of resolution N_l = floor(N_min * b^l).
+ * Coarse levels whose corner count fits the table are stored densely (no
+ * collisions); fine levels hash corner coordinates into a table of
+ * 2^log2_table entries with F features each. A query trilinearly
+ * interpolates the 8 surrounding corners at every level and concatenates
+ * the per-level features.
+ *
+ * The structure also gathers the statistics the HEE hardware exploits:
+ * coalescable lookups (several corners sharing a hash index at coarse
+ * levels) and subgrid locality at fine levels.
+ */
+#ifndef FLEXNERFER_NERF_HASH_ENCODING_H_
+#define FLEXNERFER_NERF_HASH_ENCODING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nerf/vec3.h"
+
+namespace flexnerfer {
+
+/** Per-query access statistics consumed by the HEE cycle model. */
+struct HashAccessStats {
+    std::int64_t queries = 0;
+    std::int64_t corner_lookups = 0;    //!< 8 per level per query
+    std::int64_t coalesced_lookups = 0; //!< duplicates within one query/level
+    std::int64_t dense_level_lookups = 0;
+    std::int64_t hashed_level_lookups = 0;
+
+    void
+    Merge(const HashAccessStats& o)
+    {
+        queries += o.queries;
+        corner_lookups += o.corner_lookups;
+        coalesced_lookups += o.coalesced_lookups;
+        dense_level_lookups += o.dense_level_lookups;
+        hashed_level_lookups += o.hashed_level_lookups;
+    }
+};
+
+/** One multiresolution hash grid with learnable features. */
+class HashGrid
+{
+  public:
+    struct Config {
+        int levels = 8;
+        int log2_table = 14;     //!< 2^14 entries per hashed level
+        int features = 4;        //!< features per entry
+        int base_resolution = 4;
+        double growth = 1.6;     //!< per-level geometric resolution growth
+        double bbox_min = -1.5;  //!< scene bounding cube
+        double bbox_max = 1.5;
+        double init_scale = 1e-2;
+    };
+
+    HashGrid(const Config& config, Rng& rng);
+
+    /**
+     * Interpolated feature vector at @p pos: levels * features values,
+     * level-major. Positions outside the bounding box are clamped.
+     */
+    std::vector<double> Query(const Vec3& pos) const;
+
+    /**
+     * Like Query, but also reports, per output feature, the flat parameter
+     * indices and trilinear weights that produced it — the hooks the SGD
+     * fitter needs (a hash-grid query is linear in the table entries).
+     */
+    struct Tap {
+        std::size_t parameter;  //!< flat index into parameters()
+        double weight;          //!< trilinear interpolation weight
+    };
+    std::vector<double> QueryWithTaps(
+        const Vec3& pos, std::vector<std::vector<Tap>>* taps) const;
+
+    /** Accounts one query's hardware-visible accesses into @p stats. */
+    void CountAccesses(const Vec3& pos, HashAccessStats* stats) const;
+
+    /** Grid resolution of a level. */
+    int Resolution(int level) const;
+
+    /** True if the level is stored densely (corner count fits the table). */
+    bool IsDenseLevel(int level) const;
+
+    int levels() const { return config_.levels; }
+    int features() const { return config_.features; }
+    int OutputDim() const { return config_.levels * config_.features; }
+
+    /** All learnable parameters, flat (level tables concatenated). */
+    const std::vector<double>& parameters() const { return parameters_; }
+    std::vector<double>& parameters() { return parameters_; }
+
+    const Config& config() const { return config_; }
+
+  private:
+    /** Flat parameter index of (level, entry, feature). */
+    std::size_t ParameterIndex(int level, std::size_t entry, int f) const;
+
+    /** Table entry index of a corner at a level (dense or hashed). */
+    std::size_t EntryIndex(int level, std::int64_t ix, std::int64_t iy,
+                           std::int64_t iz) const;
+
+    Config config_;
+    std::vector<double> parameters_;
+    std::vector<std::size_t> level_offsets_;  //!< into parameters_
+    std::vector<std::size_t> level_entries_;  //!< entries per level
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_NERF_HASH_ENCODING_H_

@@ -1,0 +1,74 @@
+#include "nerf/image.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+
+Image::Image(int width, int height)
+    : width_(width), height_(height),
+      pixels_(static_cast<std::size_t>(width) * height)
+{
+    FLEX_CHECK_MSG(width > 0 && height > 0, "image must be non-empty");
+}
+
+Vec3&
+Image::at(int x, int y)
+{
+    FLEX_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+const Vec3&
+Image::at(int x, int y) const
+{
+    FLEX_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+}
+
+void
+Image::WritePpm(const std::string& path) const
+{
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f) {
+        Fatal("cannot open '" + path + "' for writing");
+    }
+    std::fprintf(f, "P6\n%d %d\n255\n", width_, height_);
+    for (const Vec3& p : pixels_) {
+        const auto to_byte = [](double v) {
+            return static_cast<unsigned char>(
+                std::clamp(v, 0.0, 1.0) * 255.0 + 0.5);
+        };
+        const unsigned char rgb[3] = {to_byte(p.x), to_byte(p.y),
+                                      to_byte(p.z)};
+        std::fwrite(rgb, 1, 3, f);
+    }
+    std::fclose(f);
+}
+
+double
+Mse(const Image& a, const Image& b)
+{
+    FLEX_CHECK_MSG(a.width() == b.width() && a.height() == b.height(),
+                   "image size mismatch");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.pixels().size(); ++i) {
+        const Vec3 d = a.pixels()[i] - b.pixels()[i];
+        sum += d.Dot(d);
+    }
+    return sum / (3.0 * static_cast<double>(a.pixels().size()));
+}
+
+double
+Psnr(const Image& a, const Image& b)
+{
+    const double mse = Mse(a, b);
+    if (mse <= 0.0) return std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(1.0 / mse);
+}
+
+}  // namespace flexnerfer

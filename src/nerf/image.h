@@ -1,0 +1,50 @@
+/**
+ * @file
+ * RGB image container with PSNR computation and PPM export.
+ */
+#ifndef FLEXNERFER_NERF_IMAGE_H_
+#define FLEXNERFER_NERF_IMAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "nerf/vec3.h"
+
+namespace flexnerfer {
+
+/** Row-major RGB image with components in [0, 1]. */
+class Image
+{
+  public:
+    Image() = default;
+    Image(int width, int height);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    Vec3& at(int x, int y);
+    const Vec3& at(int x, int y) const;
+
+    /** Writes a binary PPM (P6) file; fatal on I/O failure. */
+    void WritePpm(const std::string& path) const;
+
+    const std::vector<Vec3>& pixels() const { return pixels_; }
+
+  private:
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<Vec3> pixels_;
+};
+
+/**
+ * Peak signal-to-noise ratio between two images of identical size, in dB
+ * (peak = 1.0). Identical images return +infinity.
+ */
+double Psnr(const Image& a, const Image& b);
+
+/** Mean squared error over all RGB components. */
+double Mse(const Image& a, const Image& b);
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_NERF_IMAGE_H_

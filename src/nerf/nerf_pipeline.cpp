@@ -1,0 +1,63 @@
+#include "nerf/nerf_pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "nerf/positional_encoding.h"
+
+namespace flexnerfer {
+namespace {
+
+Mlp::Config
+WithInputDim(Mlp::Config config, int input_dim)
+{
+    config.input_dim = input_dim;
+    return config;
+}
+
+double
+Sigmoid(double x)
+{
+    return 1.0 / (1.0 + std::exp(-x));
+}
+
+}  // namespace
+
+VanillaNerfField::VanillaNerfField(const Config& config, Rng& rng)
+    : config_(config),
+      mlp_(WithInputDim(config.mlp, 6 * config.n_frequencies), rng)
+{
+    FLEX_CHECK_MSG(config.n_frequencies >= 1, "need encoding frequencies");
+    FLEX_CHECK_MSG(config.mlp.output_dim == 4,
+                   "field MLP must output sigma + RGB");
+}
+
+void
+VanillaNerfField::Query(const Vec3& pos, const Vec3& dir, double* sigma,
+                        Vec3* rgb) const
+{
+    (void)dir;
+    FLEX_CHECK(sigma != nullptr && rgb != nullptr);
+
+    std::vector<double> features;
+    features.reserve(EncodedDim());
+    for (double v : {pos.x, pos.y, pos.z}) {
+        const std::vector<double> enc =
+            config_.approximate_encoding
+                ? PositionalEncodeApprox(v, config_.n_frequencies)
+                : PositionalEncode(v, config_.n_frequencies);
+        features.insert(features.end(), enc.begin(), enc.end());
+    }
+
+    const std::vector<double> out =
+        config_.quantized
+            ? mlp_.ForwardQuantized(features, config_.precision,
+                                    config_.outlier_policy)
+            : mlp_.Forward(features);
+    FLEX_CHECK(out.size() == 4);
+    *sigma = config_.sigma_scale * std::max(0.0, out[0]);
+    *rgb = Vec3{Sigmoid(out[1]), Sigmoid(out[2]), Sigmoid(out[3])};
+}
+
+}  // namespace flexnerfer

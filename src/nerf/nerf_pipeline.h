@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Vanilla-NeRF field: positional encoding (Step B) feeding an MLP
+ * (Step C), usable directly by the volume renderer (Fig. 2). Supports the
+ * exact sinusoidal encoding or the PEE's Eq. 5/6 approximation, and the
+ * quantized MLP path — so one field exercises the whole Step B/C datapath
+ * the accelerator implements.
+ */
+#ifndef FLEXNERFER_NERF_NERF_PIPELINE_H_
+#define FLEXNERFER_NERF_NERF_PIPELINE_H_
+
+#include "nerf/mlp.h"
+#include "nerf/scene.h"
+
+namespace flexnerfer {
+
+/** MLP-backed radiance field over positional encodings. */
+class VanillaNerfField : public RadianceField
+{
+  public:
+    struct Config {
+        int n_frequencies = 6;       //!< per coordinate (output 6 * nf dims)
+        bool approximate_encoding = false;  //!< use the PEE's Eq. 5/6 path
+        Mlp::Config mlp;             //!< input_dim is derived, ignore it
+        double sigma_scale = 25.0;
+        /** Quantized inference settings; FP64 when precision unset. */
+        bool quantized = false;
+        Precision precision = Precision::kInt16;
+        OutlierPolicy outlier_policy;
+    };
+
+    VanillaNerfField(const Config& config, Rng& rng);
+
+    void Query(const Vec3& pos, const Vec3& dir, double* sigma,
+               Vec3* rgb) const override;
+
+    /** Encoded feature dimensionality (3 coords x 2 x n_frequencies). */
+    int EncodedDim() const { return 6 * config_.n_frequencies; }
+
+    const Mlp& mlp() const { return mlp_; }
+
+    /** Switches between exact and approximate encodings in place. */
+    void set_approximate_encoding(bool approximate)
+    {
+        config_.approximate_encoding = approximate;
+    }
+
+    /** Switches quantized inference in place. */
+    void
+    set_quantization(bool quantized, Precision precision,
+                     const OutlierPolicy& policy = {})
+    {
+        config_.quantized = quantized;
+        config_.precision = precision;
+        config_.outlier_policy = policy;
+    }
+
+  private:
+    Config config_;
+    Mlp mlp_;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_NERF_NERF_PIPELINE_H_

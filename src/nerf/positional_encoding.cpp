@@ -1,0 +1,80 @@
+#include "nerf/positional_encoding.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/** Floored modulo: result in [0, m). */
+double
+FlooredMod(double x, double m)
+{
+    return x - m * std::floor(x / m);
+}
+
+}  // namespace
+
+std::vector<double>
+PositionalEncode(double v, int n_frequencies)
+{
+    FLEX_CHECK(n_frequencies >= 1);
+    std::vector<double> out;
+    out.reserve(2 * n_frequencies);
+    for (int k = 0; k < n_frequencies; ++k) {
+        const double arg = std::ldexp(1.0, k) * kPi * v;
+        out.push_back(std::sin(arg));
+        out.push_back(std::cos(arg));
+    }
+    return out;
+}
+
+double
+ApproxSinHalfPi(double v)
+{
+    // Eq. 5. The mod terms form a parabola on each period; the sign term
+    // alternates per half period. Periodic with period 4 in v.
+    const double phase = FlooredMod(v, 4.0);
+    const double sign = phase < 2.0 ? 1.0 : -1.0;
+    const double m1 = FlooredMod(v, 2.0);
+    const double m2 = FlooredMod(2.0 - v, 2.0);
+    return sign * m1 * m2;
+}
+
+double
+ApproxCosHalfPi(double v)
+{
+    // Eq. 6: the same parabola shifted by one unit.
+    const double phase = FlooredMod(v + 1.0, 4.0);
+    const double sign = phase < 2.0 ? 1.0 : -1.0;
+    const double m1 = FlooredMod(v + 1.0, 2.0);
+    const double m2 = FlooredMod(1.0 - v, 2.0);
+    return sign * m1 * m2;
+}
+
+std::vector<double>
+PositionalEncodeApprox(double v, int n_frequencies)
+{
+    FLEX_CHECK(n_frequencies >= 1);
+    std::vector<double> out;
+    out.reserve(2 * n_frequencies);
+    for (int k = 0; k < n_frequencies; ++k) {
+        // sin(2^k pi v) = sin(pi/2 * (2^{k+1} v)).
+        const double scaled = std::ldexp(v, k + 1);
+        out.push_back(ApproxSinHalfPi(scaled));
+        out.push_back(ApproxCosHalfPi(scaled));
+    }
+    return out;
+}
+
+double
+PositionalEncodingEngine::EncodeCycles(double n_values) const
+{
+    FLEX_CHECK(n_values >= 0.0);
+    return std::ceil(n_values / kLanes);
+}
+
+}  // namespace flexnerfer

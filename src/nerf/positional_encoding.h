@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Sinusoidal positional encoding (Eq. 1) and the MetaVRain-style
+ * piecewise-quadratic approximation used by FlexNeRFer's positional
+ * encoding engine (Eqs. 5 and 6 of the paper): sin/cos are replaced by
+ * sign-alternating products of floored-mod terms, implementable with
+ * arithmetic bit-shifters instead of CORDIC/LUT trigonometry.
+ */
+#ifndef FLEXNERFER_NERF_POSITIONAL_ENCODING_H_
+#define FLEXNERFER_NERF_POSITIONAL_ENCODING_H_
+
+#include <vector>
+
+namespace flexnerfer {
+
+/** Exact encoding: [sin(2^0 pi v), cos(2^0 pi v), ..., cos(2^{N-1} pi v)]. */
+std::vector<double> PositionalEncode(double v, int n_frequencies);
+
+/**
+ * Approximation of sin(pi * v / 2) per Eq. 5:
+ * (-1)^floor(v/2) * mod(v, 2) * mod(2 - v, 2).
+ */
+double ApproxSinHalfPi(double v);
+
+/** Approximation of cos(pi * v / 2) per Eq. 6. */
+double ApproxCosHalfPi(double v);
+
+/** Encoding computed with the Eq. 5/6 approximations (the PEE datapath). */
+std::vector<double> PositionalEncodeApprox(double v, int n_frequencies);
+
+/** Hardware model of the positional encoding engine (Section 5.2.1). */
+struct PositionalEncodingEngine {
+    /** Parallel encoding lanes. */
+    static constexpr int kLanes = 64;
+
+    /** Area/power advantage over the DesignWare IP baseline (paper). */
+    static constexpr double kAreaReductionVsDesignWare = 8.2;
+    static constexpr double kPowerReductionVsDesignWare = 12.8;
+
+    int n_frequencies = 10;
+
+    /**
+     * Cycles to encode @p n_values scalar features: kLanes values per cycle,
+     * each producing 2 * n_frequencies outputs in a fully pipelined pass.
+     */
+    double EncodeCycles(double n_values) const;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_NERF_POSITIONAL_ENCODING_H_

@@ -1,0 +1,65 @@
+#include "nerf/ray.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/** Cross product (local helper; Vec3 keeps only the common operations). */
+Vec3
+Cross(const Vec3& a, const Vec3& b)
+{
+    return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+            a.x * b.y - a.y * b.x};
+}
+
+}  // namespace
+
+Camera::Camera(const Config& config)
+    : config_(config)
+{
+    FLEX_CHECK_MSG(config.width > 0 && config.height > 0,
+                   "image dimensions must be positive");
+    forward_ = (config.look_at - config.position).Normalized();
+    right_ = Cross(forward_, config.up).Normalized();
+    up_ = Cross(right_, forward_);
+    tan_half_fov_ = std::tan(config.fov_degrees * kPi / 360.0);
+}
+
+Ray
+Camera::GenerateRay(int px, int py) const
+{
+    FLEX_CHECK(px >= 0 && px < config_.width && py >= 0 &&
+               py < config_.height);
+    const double aspect =
+        static_cast<double>(config_.width) / config_.height;
+    // Pixel centre in normalized device coordinates [-1, 1].
+    const double u =
+        (2.0 * (px + 0.5) / config_.width - 1.0) * tan_half_fov_ * aspect;
+    const double v = (1.0 - 2.0 * (py + 0.5) / config_.height) *
+                     tan_half_fov_;
+    Ray ray;
+    ray.origin = config_.position;
+    ray.direction = (forward_ + right_ * u + up_ * v).Normalized();
+    return ray;
+}
+
+std::vector<double>
+StratifiedSamples(double t_near, double t_far, int n_samples, Rng* rng)
+{
+    FLEX_CHECK_MSG(t_far > t_near, "sampling interval must be non-empty");
+    FLEX_CHECK_MSG(n_samples >= 1, "need at least one sample");
+    std::vector<double> ts(n_samples);
+    const double bin = (t_far - t_near) / n_samples;
+    for (int i = 0; i < n_samples; ++i) {
+        const double jitter = rng ? rng->Uniform() : 0.5;
+        ts[i] = t_near + (i + jitter) * bin;
+    }
+    return ts;
+}
+
+}  // namespace flexnerfer

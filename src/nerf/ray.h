@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ray generation and stratified point sampling (Step A of the NeRF
+ * pipeline, Fig. 2 of the paper): a pinhole camera emits one ray per pixel,
+ * and points are sampled along each ray for field queries.
+ */
+#ifndef FLEXNERFER_NERF_RAY_H_
+#define FLEXNERFER_NERF_RAY_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nerf/vec3.h"
+
+namespace flexnerfer {
+
+/** A ray with unit direction. */
+struct Ray {
+    Vec3 origin;
+    Vec3 direction;
+
+    Vec3 At(double t) const { return origin + direction * t; }
+};
+
+/** Pinhole camera looking at the origin. */
+class Camera
+{
+  public:
+    struct Config {
+        int width = 64;
+        int height = 64;
+        double fov_degrees = 50.0;
+        Vec3 position{0.0, 0.0, 3.0};
+        Vec3 look_at{0.0, 0.0, 0.0};
+        Vec3 up{0.0, 1.0, 0.0};
+    };
+
+    explicit Camera(const Config& config);
+    Camera() : Camera(Config{}) {}
+
+    /** Ray through the centre of pixel (px, py). */
+    Ray GenerateRay(int px, int py) const;
+
+    int width() const { return config_.width; }
+    int height() const { return config_.height; }
+
+  private:
+    Config config_;
+    Vec3 forward_;
+    Vec3 right_;
+    Vec3 up_;
+    double tan_half_fov_;
+};
+
+/**
+ * Stratified sample positions along [t_near, t_far]: one uniform sample per
+ * bin, the quadrature points of Eq. 3. Pass a null RNG for bin midpoints
+ * (deterministic rendering).
+ */
+std::vector<double> StratifiedSamples(double t_near, double t_far,
+                                      int n_samples, Rng* rng);
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_NERF_RAY_H_

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Volume renderer: drives the full NeRF pipeline (rays -> samples -> field
+ * queries -> compositing) over any RadianceField.
+ */
+#ifndef FLEXNERFER_NERF_RENDERER_H_
+#define FLEXNERFER_NERF_RENDERER_H_
+
+#include "nerf/image.h"
+#include "nerf/ray.h"
+#include "nerf/scene.h"
+
+namespace flexnerfer {
+
+/** Per-render workload statistics consumed by the accelerator models. */
+struct RenderStats {
+    std::int64_t rays = 0;
+    std::int64_t samples = 0;         //!< field queries issued
+    std::int64_t active_samples = 0;  //!< queries with sigma > threshold
+    double mean_active_per_ray = 0.0;
+};
+
+/** Deterministic volume renderer. */
+class Renderer
+{
+  public:
+    struct Config {
+        int samples_per_ray = 48;
+        double t_near = 1.2;
+        double t_far = 5.2;
+        double active_sigma_threshold = 1.0;
+        Vec3 background{1.0, 1.0, 1.0};
+    };
+
+    explicit Renderer(const Config& config) : config_(config) {}
+    Renderer() : Renderer(Config{}) {}
+
+    /** Renders the field through the camera; fills @p stats if non-null. */
+    Image Render(const RadianceField& field, const Camera& camera,
+                 RenderStats* stats = nullptr) const;
+
+    const Config& config() const { return config_; }
+
+  private:
+    Config config_;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_NERF_RENDERER_H_

@@ -1,0 +1,214 @@
+#include "nerf/scene.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+namespace {
+
+/** Signed distance to a sphere (radius = half_extent.x). */
+double
+SphereSdf(const Vec3& p, const Vec3& center, double radius)
+{
+    return (p - center).Length() - radius;
+}
+
+/** Signed distance to an axis-aligned box. */
+double
+BoxSdf(const Vec3& p, const Vec3& center, const Vec3& half)
+{
+    const Vec3 q = Abs(p - center) - half;
+    const Vec3 outside = Max(q, Vec3{0.0, 0.0, 0.0});
+    const double inside =
+        std::fmin(std::fmax(q.x, std::fmax(q.y, q.z)), 0.0);
+    return outside.Length() + inside;
+}
+
+/** Smooth occupancy from a signed distance: 1 inside, 0 outside. */
+double
+SoftOccupancy(double sdf, double softness)
+{
+    return 1.0 / (1.0 + std::exp(sdf / softness));
+}
+
+}  // namespace
+
+ProceduralScene::ProceduralScene(std::vector<Primitive> primitives,
+                                 std::string name)
+    : primitives_(std::move(primitives)), name_(std::move(name))
+{
+    FLEX_CHECK_MSG(!primitives_.empty(), "scene needs primitives");
+}
+
+void
+ProceduralScene::Query(const Vec3& pos, const Vec3& dir, double* sigma,
+                       Vec3* rgb) const
+{
+    FLEX_CHECK(sigma != nullptr && rgb != nullptr);
+    double total_sigma = 0.0;
+    Vec3 weighted_color;
+    for (const Primitive& prim : primitives_) {
+        const double sdf =
+            prim.kind == Primitive::Kind::kSphere
+                ? SphereSdf(pos, prim.center, prim.half_extent.x)
+                : BoxSdf(pos, prim.center, prim.half_extent);
+        const double occupancy = SoftOccupancy(sdf, prim.softness);
+        const double s = prim.density * occupancy;
+        total_sigma += s;
+        weighted_color += prim.color * s;
+    }
+    *sigma = total_sigma;
+    if (total_sigma > 1e-12) {
+        *rgb = weighted_color / total_sigma;
+        // Cheap view-dependent shading: darken faces pointing away from a
+        // fixed key light, modulated by the view direction.
+        const Vec3 light = Vec3{0.5, 0.8, 0.3}.Normalized();
+        const double shade =
+            0.85 + 0.15 * std::fabs(dir.Normalized().Dot(light));
+        *rgb = *rgb * shade;
+        rgb->x = std::clamp(rgb->x, 0.0, 1.0);
+        rgb->y = std::clamp(rgb->y, 0.0, 1.0);
+        rgb->z = std::clamp(rgb->z, 0.0, 1.0);
+    } else {
+        *rgb = Vec3{0.0, 0.0, 0.0};
+    }
+}
+
+double
+ProceduralScene::Occupancy(int lattice) const
+{
+    FLEX_CHECK(lattice >= 2);
+    std::int64_t occupied = 0;
+    std::int64_t total = 0;
+    for (int ix = 0; ix < lattice; ++ix) {
+        for (int iy = 0; iy < lattice; ++iy) {
+            for (int iz = 0; iz < lattice; ++iz) {
+                const Vec3 p{-1.5 + 3.0 * (ix + 0.5) / lattice,
+                             -1.5 + 3.0 * (iy + 0.5) / lattice,
+                             -1.5 + 3.0 * (iz + 0.5) / lattice};
+                double sigma;
+                Vec3 rgb;
+                Query(p, Vec3{0.0, 0.0, 1.0}, &sigma, &rgb);
+                if (sigma > 1.0) ++occupied;
+                ++total;
+            }
+        }
+    }
+    return static_cast<double>(occupied) / static_cast<double>(total);
+}
+
+ProceduralScene
+ProceduralScene::Mic()
+{
+    using K = Primitive::Kind;
+    std::vector<Primitive> prims;
+    // Microphone head.
+    prims.push_back({K::kSphere, {0.0, 0.55, 0.0}, {0.28, 0.28, 0.28},
+                     {0.75, 0.75, 0.78}, 50.0, 0.02});
+    // Thin stand.
+    prims.push_back({K::kBox, {0.0, -0.1, 0.0}, {0.04, 0.45, 0.04},
+                     {0.35, 0.35, 0.38}, 60.0, 0.015});
+    // Base plate.
+    prims.push_back({K::kBox, {0.0, -0.62, 0.0}, {0.3, 0.05, 0.3},
+                     {0.25, 0.25, 0.28}, 60.0, 0.02});
+    return ProceduralScene(std::move(prims), "mic");
+}
+
+ProceduralScene
+ProceduralScene::Lego()
+{
+    using K = Primitive::Kind;
+    std::vector<Primitive> prims;
+    // Body of a blocky bulldozer.
+    prims.push_back({K::kBox, {0.0, 0.0, 0.0}, {0.55, 0.22, 0.3},
+                     {0.9, 0.75, 0.1}, 55.0, 0.02});
+    // Cab.
+    prims.push_back({K::kBox, {-0.15, 0.36, 0.0}, {0.22, 0.16, 0.24},
+                     {0.85, 0.7, 0.1}, 55.0, 0.02});
+    // Blade.
+    prims.push_back({K::kBox, {0.72, -0.1, 0.0}, {0.08, 0.22, 0.38},
+                     {0.6, 0.6, 0.62}, 60.0, 0.015});
+    // Tracks.
+    prims.push_back({K::kBox, {0.0, -0.28, 0.34}, {0.5, 0.12, 0.08},
+                     {0.2, 0.2, 0.22}, 60.0, 0.02});
+    prims.push_back({K::kBox, {0.0, -0.28, -0.34}, {0.5, 0.12, 0.08},
+                     {0.2, 0.2, 0.22}, 60.0, 0.02});
+    // Exhaust stack and studs for fine structure.
+    prims.push_back({K::kBox, {0.25, 0.32, 0.12}, {0.04, 0.14, 0.04},
+                     {0.3, 0.3, 0.3}, 60.0, 0.01});
+    for (int i = 0; i < 4; ++i) {
+        prims.push_back({K::kSphere,
+                         {-0.45 + 0.3 * i, 0.26, 0.0},
+                         {0.05, 0.05, 0.05},
+                         {0.95, 0.8, 0.15},
+                         50.0,
+                         0.01});
+    }
+    return ProceduralScene(std::move(prims), "lego");
+}
+
+ProceduralScene
+ProceduralScene::Palace()
+{
+    using K = Primitive::Kind;
+    std::vector<Primitive> prims;
+    // Central keep.
+    prims.push_back({K::kBox, {0.0, 0.1, 0.0}, {0.35, 0.5, 0.35},
+                     {0.85, 0.8, 0.7}, 55.0, 0.02});
+    prims.push_back({K::kSphere, {0.0, 0.72, 0.0}, {0.3, 0.3, 0.3},
+                     {0.9, 0.75, 0.4}, 50.0, 0.02});
+    // Perimeter walls.
+    prims.push_back({K::kBox, {0.0, -0.45, 0.85}, {0.95, 0.18, 0.08},
+                     {0.75, 0.72, 0.65}, 55.0, 0.02});
+    prims.push_back({K::kBox, {0.0, -0.45, -0.85}, {0.95, 0.18, 0.08},
+                     {0.75, 0.72, 0.65}, 55.0, 0.02});
+    prims.push_back({K::kBox, {0.85, -0.45, 0.0}, {0.08, 0.18, 0.95},
+                     {0.75, 0.72, 0.65}, 55.0, 0.02});
+    prims.push_back({K::kBox, {-0.85, -0.45, 0.0}, {0.08, 0.18, 0.95},
+                     {0.75, 0.72, 0.65}, 55.0, 0.02});
+    // Corner towers with domes.
+    for (int sx = -1; sx <= 1; sx += 2) {
+        for (int sz = -1; sz <= 1; sz += 2) {
+            prims.push_back({K::kBox,
+                             {0.85 * sx, -0.1, 0.85 * sz},
+                             {0.14, 0.55, 0.14},
+                             {0.8, 0.76, 0.68},
+                             55.0,
+                             0.02});
+            prims.push_back({K::kSphere,
+                             {0.85 * sx, 0.5, 0.85 * sz},
+                             {0.16, 0.16, 0.16},
+                             {0.55, 0.65, 0.85},
+                             50.0,
+                             0.02});
+        }
+    }
+    // Courtyard colonnade.
+    for (int i = 0; i < 6; ++i) {
+        const double angle = i * 3.14159265358979 / 3.0;
+        prims.push_back({K::kBox,
+                         {0.55 * std::cos(angle), -0.3,
+                          0.55 * std::sin(angle)},
+                         {0.05, 0.32, 0.05},
+                         {0.9, 0.88, 0.82},
+                         55.0,
+                         0.015});
+    }
+    // Ground slab.
+    prims.push_back({K::kBox, {0.0, -0.72, 0.0}, {1.1, 0.06, 1.1},
+                     {0.5, 0.55, 0.45}, 55.0, 0.02});
+    return ProceduralScene(std::move(prims), "palace");
+}
+
+ProceduralScene
+ProceduralScene::ByName(const std::string& name)
+{
+    if (name == "mic") return Mic();
+    if (name == "lego") return Lego();
+    if (name == "palace") return Palace();
+    Fatal("unknown scene '" + name + "' (expected mic/lego/palace)");
+}
+
+}  // namespace flexnerfer

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Radiance fields and procedural test scenes.
+ *
+ * The paper evaluates on trained checkpoints of Synthetic-NeRF ("Lego",
+ * "Mic") and NSVF ("Palace") scenes, which are not available offline. We
+ * substitute analytic radiance fields with matching complexity profiles:
+ * "mic"-like (simple, mostly empty space), "lego"-like (medium, structured
+ * occupancy), and "palace"-like (complex, high occupancy). They exercise the
+ * same code paths: field queries, occupancy-dependent sampling, rendering.
+ */
+#ifndef FLEXNERFER_NERF_SCENE_H_
+#define FLEXNERFER_NERF_SCENE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nerf/vec3.h"
+
+namespace flexnerfer {
+
+/** Anything that maps (position, view direction) to (density, color). */
+class RadianceField
+{
+  public:
+    virtual ~RadianceField() = default;
+
+    /** Queries density (>= 0) and RGB color (in [0, 1]) at @p pos. */
+    virtual void Query(const Vec3& pos, const Vec3& dir, double* sigma,
+                       Vec3* rgb) const = 0;
+};
+
+/** Analytic procedural scene built from soft solid primitives. */
+class ProceduralScene : public RadianceField
+{
+  public:
+    /** One soft primitive: box or sphere with color and density. */
+    struct Primitive {
+        enum class Kind { kSphere, kBox } kind = Kind::kSphere;
+        Vec3 center;
+        Vec3 half_extent{0.2, 0.2, 0.2};  //!< radius in .x for spheres
+        Vec3 color{0.8, 0.8, 0.8};
+        double density = 40.0;
+        double softness = 0.03;  //!< SDF falloff width
+    };
+
+    explicit ProceduralScene(std::vector<Primitive> primitives,
+                             std::string name);
+
+    void Query(const Vec3& pos, const Vec3& dir, double* sigma,
+               Vec3* rgb) const override;
+
+    /** Fraction of the bounding cube [-1.5, 1.5]^3 with sigma > 1 (sampled
+     *  on a fixed lattice): the scene-complexity measure for Fig. 20(b). */
+    double Occupancy(int lattice = 24) const;
+
+    const std::string& name() const { return name_; }
+    std::size_t NumPrimitives() const { return primitives_.size(); }
+
+    /** Simple scene: a microphone-like sphere on a thin stand. */
+    static ProceduralScene Mic();
+
+    /** Medium scene: a brick-built bulldozer-like blocky structure. */
+    static ProceduralScene Lego();
+
+    /** Complex scene: a palace-like arrangement of many towers and walls. */
+    static ProceduralScene Palace();
+
+    /** Factory by name ("mic", "lego", "palace"); fatal on unknown names. */
+    static ProceduralScene ByName(const std::string& name);
+
+  private:
+    std::vector<Primitive> primitives_;
+    std::string name_;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_NERF_SCENE_H_

@@ -1,0 +1,64 @@
+#include "nerf/volume_rendering.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+namespace {
+
+/** Distance to the next sample (delta_i of Eq. 3). */
+double
+Delta(const std::vector<RaySample>& samples, std::size_t i)
+{
+    if (i + 1 < samples.size()) {
+        return samples[i + 1].t - samples[i].t;
+    }
+    // Final bin: reuse the previous spacing (common practice).
+    if (samples.size() >= 2) {
+        return samples[i].t - samples[i - 1].t;
+    }
+    return 1.0;
+}
+
+}  // namespace
+
+CompositeResult
+CompositeRay(const std::vector<RaySample>& samples, const Vec3& background)
+{
+    CompositeResult result;
+    double transmittance = 1.0;
+    double depth_weight = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        FLEX_CHECK_MSG(samples[i].sigma >= 0.0, "density must be >= 0");
+        if (i > 0) {
+            FLEX_CHECK_MSG(samples[i].t >= samples[i - 1].t,
+                           "samples must be ordered along the ray");
+        }
+        const double alpha =
+            1.0 - std::exp(-samples[i].sigma * Delta(samples, i));
+        const double weight = transmittance * alpha;
+        result.color += samples[i].color * weight;
+        depth_weight += weight * samples[i].t;
+        transmittance *= 1.0 - alpha;
+        if (transmittance < 1e-6) break;  // early ray termination
+    }
+    result.opacity = 1.0 - transmittance;
+    result.expected_depth =
+        result.opacity > 0.0 ? depth_weight / result.opacity : 0.0;
+    result.color += background * transmittance;
+    return result;
+}
+
+double
+TransmittanceBefore(const std::vector<RaySample>& samples, std::size_t i)
+{
+    FLEX_CHECK(i <= samples.size());
+    double log_t = 0.0;
+    for (std::size_t j = 0; j < i; ++j) {
+        log_t -= samples[j].sigma * Delta(samples, j);
+    }
+    return std::exp(log_t);
+}
+
+}  // namespace flexnerfer

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Volume rendering (Step D of the NeRF pipeline): numerical quadrature of
+ * the rendering integral, Eq. 3 of the paper:
+ *   C(r) = sum_i T_i * (1 - exp(-sigma_i * delta_i)) * c_i,
+ *   T_i  = exp(-sum_{j<i} sigma_j * delta_j).
+ */
+#ifndef FLEXNERFER_NERF_VOLUME_RENDERING_H_
+#define FLEXNERFER_NERF_VOLUME_RENDERING_H_
+
+#include <vector>
+
+#include "nerf/vec3.h"
+
+namespace flexnerfer {
+
+/** One field sample along a ray. */
+struct RaySample {
+    double t = 0.0;      //!< distance along the ray
+    double sigma = 0.0;  //!< density
+    Vec3 color;          //!< RGB in [0, 1]
+};
+
+/** Result of compositing one ray. */
+struct CompositeResult {
+    Vec3 color;
+    double opacity = 0.0;         //!< 1 - final transmittance
+    double expected_depth = 0.0;  //!< alpha-weighted mean sample depth
+};
+
+/**
+ * Composites ordered samples per Eq. 3. @p background is blended with the
+ * residual transmittance (Synthetic-NeRF uses a white background).
+ */
+CompositeResult CompositeRay(const std::vector<RaySample>& samples,
+                             const Vec3& background = {1.0, 1.0, 1.0});
+
+/** Accumulated transmittance just before sample @p i (T_i in Eq. 3). */
+double TransmittanceBefore(const std::vector<RaySample>& samples,
+                           std::size_t i);
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_NERF_VOLUME_RENDERING_H_

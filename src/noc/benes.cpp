@@ -1,0 +1,136 @@
+#include "noc/benes.h"
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+namespace {
+
+/**
+ * Recursive looping-algorithm router. Returns the achieved output port per
+ * input (always equal to @p perm for a valid permutation) and accumulates
+ * switch traversals. The internal FLEX_CHECKs verify that the looping
+ * 2-colouring yields valid half-network permutations — the property that
+ * makes the Benes network rearrangeably non-blocking.
+ */
+std::vector<int>
+RouteRec(const std::vector<int>& perm, std::int64_t* switch_visits)
+{
+    const int n = static_cast<int>(perm.size());
+    if (n == 1) {
+        return {0};
+    }
+    if (n == 2) {
+        // A single 2x2 switch realizes either permutation of two ports.
+        *switch_visits += 2;
+        FLEX_CHECK((perm[0] == 0 && perm[1] == 1) ||
+                   (perm[0] == 1 && perm[1] == 0));
+        return perm;
+    }
+
+    const int half = n / 2;
+    std::vector<int> inverse(n, -1);
+    for (int i = 0; i < n; ++i) {
+        FLEX_CHECK_MSG(perm[i] >= 0 && perm[i] < n && inverse[perm[i]] == -1,
+                       "input is not a permutation");
+        inverse[perm[i]] = i;
+    }
+
+    // Looping algorithm: 2-colour inputs/outputs into upper (0) / lower (1)
+    // subnetworks such that the two ports of every outer switch use
+    // different subnetworks.
+    std::vector<int> in_sub(n, -1);
+    std::vector<int> out_sub(n, -1);
+    for (int start = 0; start < n; ++start) {
+        if (in_sub[start] != -1) continue;
+        int i = start;
+        in_sub[i] = 0;
+        while (true) {
+            const int o = perm[i];
+            out_sub[o] = in_sub[i];
+            const int o_partner = o ^ 1;
+            if (out_sub[o_partner] != -1) break;
+            out_sub[o_partner] = 1 - out_sub[o];
+            const int i2 = inverse[o_partner];
+            in_sub[i2] = out_sub[o_partner];
+            const int i_partner = i2 ^ 1;
+            if (in_sub[i_partner] != -1) break;
+            in_sub[i_partner] = 1 - in_sub[i2];
+            i = i_partner;
+        }
+    }
+
+    // Build the two half-network permutations. A token entering outer input
+    // switch k reaches port k of its subnetwork and must leave the
+    // subnetwork at port perm[i]/2 to reach its outer output switch.
+    std::vector<int> sub_perm[2] = {std::vector<int>(half, -1),
+                                    std::vector<int>(half, -1)};
+    for (int i = 0; i < n; ++i) {
+        const int s = in_sub[i];
+        FLEX_CHECK(s == 0 || s == 1);
+        FLEX_CHECK_MSG(sub_perm[s][i / 2] == -1,
+                       "looping produced a port collision");
+        sub_perm[s][i / 2] = perm[i] / 2;
+    }
+    for (int s = 0; s < 2; ++s) {
+        std::vector<bool> seen(half, false);
+        for (int v : sub_perm[s]) {
+            FLEX_CHECK_MSG(v >= 0 && v < half && !seen[v],
+                           "half-network mapping is not a permutation");
+            seen[v] = true;
+        }
+    }
+
+    const std::vector<int> routed0 = RouteRec(sub_perm[0], switch_visits);
+    const std::vector<int> routed1 = RouteRec(sub_perm[1], switch_visits);
+
+    // Propagate tokens through the outer stages: input switch, subnetwork,
+    // output switch.
+    std::vector<int> arrived(n, -1);
+    for (int i = 0; i < n; ++i) {
+        const int s = in_sub[i];
+        const int sub_in = i / 2;
+        const int sub_out =
+            (s == 0) ? routed0[sub_in] : routed1[sub_in];
+        // Output switch sub_out receives one token from each subnetwork and
+        // forwards this one to port 2*sub_out + out_sub-derived leg.
+        const int out_port = 2 * sub_out + (out_sub[2 * sub_out] == s ? 0 : 1);
+        arrived[i] = out_port;
+        *switch_visits += 2;  // outer input + outer output switch
+    }
+    return arrived;
+}
+
+}  // namespace
+
+BenesNetwork::BenesNetwork(int n)
+    : n_(n)
+{
+    FLEX_CHECK_MSG(n >= 2 && (n & (n - 1)) == 0,
+                   "Benes port count must be a power of two >= 2");
+}
+
+BenesRouting
+BenesNetwork::Route(const std::vector<int>& perm) const
+{
+    FLEX_CHECK_MSG(static_cast<int>(perm.size()) == n_,
+                   "permutation size " << perm.size() << " != ports " << n_);
+    BenesRouting routing;
+    routing.arrived_at = RouteRec(perm, &routing.switch_visits);
+    return routing;
+}
+
+int
+BenesNetwork::Stages() const
+{
+    int log = 0;
+    while ((1 << log) < n_) ++log;
+    return 2 * log - 1;
+}
+
+int
+BenesNetwork::SwitchCount() const
+{
+    return (n_ / 2) * Stages();
+}
+
+}  // namespace flexnerfer

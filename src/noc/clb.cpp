@@ -1,0 +1,47 @@
+#include "noc/clb.h"
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+
+int
+ColumnBypassLink::UniqueBitsPerCycle(Precision precision)
+{
+    // One operand word per sub-multiplier column: 4 columns x bit-width/4
+    // unique subwords. 16-bit: 16 unique bits; 8-bit: 32; 4-bit: 64.
+    switch (precision) {
+      case Precision::kInt16: return 16;
+      case Precision::kInt8: return 32;
+      case Precision::kInt4: return 64;
+    }
+    return 64;
+}
+
+double
+ColumnBypassLink::BwUtilization(Precision precision, bool with_clb)
+{
+    if (with_clb) return 1.0;
+    return static_cast<double>(UniqueBitsPerCycle(precision)) / kBusBits;
+}
+
+int
+ColumnBypassLink::LoadCycles(Precision precision, bool with_clb)
+{
+    if (with_clb) return 1;
+    // Without bypass links, each row group needs its own fetch of the same
+    // subword: 4 groups at 16-bit, 2 at 8-bit, 1 at 4-bit.
+    return ForwardFanout(precision);
+}
+
+int
+ColumnBypassLink::ForwardFanout(Precision precision)
+{
+    switch (precision) {
+      case Precision::kInt16: return 4;
+      case Precision::kInt8: return 2;
+      case Precision::kInt4: return 1;
+    }
+    return 1;
+}
+
+}  // namespace flexnerfer

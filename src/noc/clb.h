@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Column-level bypass link (CLB) inside each bit-scalable MAC unit
+ * (Fig. 10(b) of the paper).
+ *
+ * The unit's input bandwidth is provisioned for 4-bit mode (64 bits per
+ * operand per cycle). In 16-/8-bit modes only 16/32 of those bits carry
+ * unique data, so the naive datapath runs at 25%/50% bandwidth utilization.
+ * The CLB's 16 bypassable wired links forward fetched subwords to all
+ * sub-multiplier rows that need them (column-wise broadcast in 16-bit mode,
+ * pairwise multicast in 8-bit mode) so one fetch serves the whole unit —
+ * 100% bandwidth utilization in every mode.
+ */
+#ifndef FLEXNERFER_NOC_CLB_H_
+#define FLEXNERFER_NOC_CLB_H_
+
+#include "common/types.h"
+
+namespace flexnerfer {
+
+/** Static model of the column-level bypass link. */
+class ColumnBypassLink
+{
+  public:
+    /** Wired 16-bit links per MAC unit. */
+    static constexpr int kLinks = 16;
+
+    /** Bus width provisioned for 4-bit mode, bits per operand per cycle. */
+    static constexpr int kBusBits = 64;
+
+    /** Unique operand bits consumed per cycle at @p precision. */
+    static int UniqueBitsPerCycle(Precision precision);
+
+    /** Bandwidth utilization in [0, 1] with or without the CLB. */
+    static double BwUtilization(Precision precision, bool with_clb);
+
+    /**
+     * Cycles to load one operand wave into the unit's sub-multipliers.
+     * Without the CLB the same subword must be re-fetched for each
+     * sub-multiplier row group; with it, forwarding completes in one cycle.
+     */
+    static int LoadCycles(Precision precision, bool with_clb);
+
+    /**
+     * Number of sub-multiplier rows each fetched subword is forwarded to
+     * (4 in 16-bit mode, 2 in 8-bit mode, 1 in 4-bit mode).
+     */
+    static int ForwardFanout(Precision precision);
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_NOC_CLB_H_

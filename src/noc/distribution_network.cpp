@@ -1,0 +1,116 @@
+#include "noc/distribution_network.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+namespace {
+
+HmfNoc::Config
+WithLeaves(HmfNoc::Config config, int leaves)
+{
+    config.leaves = leaves;
+    return config;
+}
+
+Mesh1d::Config
+WithNodes(Mesh1d::Config config, int nodes)
+{
+    config.nodes = nodes;
+    return config;
+}
+
+}  // namespace
+
+DistributionNetwork::DistributionNetwork(const Config& config)
+    : config_(config),
+      lv3_(WithLeaves(config.noc, config.dim)),
+      mesh_(WithNodes(config.mesh, config.dim))
+{
+    FLEX_CHECK(config.dim >= 1);
+    lv2_.reserve(config.dim);
+    for (int r = 0; r < config.dim; ++r) {
+        lv2_.emplace_back(WithLeaves(config.noc, config.dim));
+    }
+}
+
+WaveStats
+DistributionNetwork::DistributeWave(
+    const std::vector<MulticastGroup>& groups, int n_unicast)
+{
+    WaveStats wave;
+    for (const MulticastGroup& group : groups) {
+        FLEX_CHECK_MSG(!group.dests.empty(), "group without destinations");
+
+        // Split the destination set by row: Lv3 reaches the rows, each
+        // row's Lv2 fans out across its columns.
+        std::map<int, std::vector<int>> cols_by_row;
+        for (const auto& [row, col] : group.dests) {
+            FLEX_CHECK(row >= 0 && row < config_.dim && col >= 0 &&
+                       col < config_.dim);
+            cols_by_row[row].push_back(col);
+        }
+
+        std::vector<int> rows;
+        rows.reserve(cols_by_row.size());
+        for (const auto& [row, cols] : cols_by_row) rows.push_back(row);
+
+        const DeliveryStats lv3 = lv3_.Deliver(group.elem_id, rows);
+        wave.switch_hops += lv3.switch_hops;
+        wave.buffer_reads += lv3.buffer_reads;
+        wave.feedback_uses += lv3.used_feedback ? 1 : 0;
+
+        std::size_t total_dests = 0;
+        for (auto& [row, cols] : cols_by_row) {
+            std::sort(cols.begin(), cols.end());
+            const DeliveryStats lv2 = lv2_[row].Deliver(group.elem_id, cols);
+            wave.switch_hops += lv2.switch_hops;
+            wave.feedback_uses += lv2.used_feedback ? 1 : 0;
+            // The Lv2 source read is satisfied by the Lv3 delivery, not the
+            // global buffer, so it is not counted again.
+            total_dests += cols.size();
+        }
+
+        switch (lv3_.ClassifyDataflow(total_dests)) {
+          case Dataflow::kUnicast: ++wave.unicast_groups; break;
+          case Dataflow::kMulticast: ++wave.multicast_groups; break;
+          case Dataflow::kBroadcast: ++wave.broadcast_groups; break;
+        }
+    }
+
+    wave.mesh_hops += mesh_.DeliverWave(std::min(n_unicast, config_.dim));
+    // Larger unicast waves wrap around the mesh in additional passes.
+    int remaining = n_unicast - config_.dim;
+    while (remaining > 0) {
+        wave.mesh_hops += mesh_.DeliverWave(std::min(remaining, config_.dim));
+        remaining -= config_.dim;
+    }
+
+    totals_.switch_hops += wave.switch_hops;
+    totals_.mesh_hops += wave.mesh_hops;
+    totals_.buffer_reads += wave.buffer_reads;
+    totals_.feedback_uses += wave.feedback_uses;
+    totals_.unicast_groups += wave.unicast_groups;
+    totals_.multicast_groups += wave.multicast_groups;
+    totals_.broadcast_groups += wave.broadcast_groups;
+    return wave;
+}
+
+void
+DistributionNetwork::StartTile()
+{
+    lv3_.ClearResidency();
+    for (HmfNoc& noc : lv2_) noc.ClearResidency();
+}
+
+double
+DistributionNetwork::EnergyPj() const
+{
+    double energy = lv3_.EnergyPj() + mesh_.EnergyPj();
+    for (const HmfNoc& noc : lv2_) energy += noc.EnergyPj();
+    return energy;
+}
+
+}  // namespace flexnerfer

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * FlexNeRFer's composed array-level distribution network (Fig. 9(a)):
+ * one level-3 HMF-NoC spanning the rows, one level-2 HMF-NoC per row
+ * spanning its columns, and a 1D mesh for the unicast operand.
+ */
+#ifndef FLEXNERFER_NOC_DISTRIBUTION_NETWORK_H_
+#define FLEXNERFER_NOC_DISTRIBUTION_NETWORK_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "noc/hmf_noc.h"
+#include "noc/mesh_1d.h"
+
+namespace flexnerfer {
+
+/** One matrix-1 element and the set of MAC units it must reach. */
+struct MulticastGroup {
+    std::int64_t elem_id = 0;
+    /** Destinations as (row, col) MAC-unit coordinates. */
+    std::vector<std::pair<int, int>> dests;
+};
+
+/** Aggregate cost of distributing one mapped wave. */
+struct WaveStats {
+    std::int64_t switch_hops = 0;
+    std::int64_t mesh_hops = 0;
+    std::int64_t buffer_reads = 0;
+    std::int64_t feedback_uses = 0;
+    std::int64_t unicast_groups = 0;
+    std::int64_t multicast_groups = 0;
+    std::int64_t broadcast_groups = 0;
+};
+
+/** Hierarchical distribution network over a dim x dim MAC-unit grid. */
+class DistributionNetwork
+{
+  public:
+    struct Config {
+        int dim = 64;
+        HmfNoc::Config noc;    //!< shared by Lv3 and all Lv2 instances
+        Mesh1d::Config mesh;
+    };
+
+    explicit DistributionNetwork(const Config& config);
+    DistributionNetwork() : DistributionNetwork(Config{}) {}
+
+    /**
+     * Distributes one wave: each multicast group's element travels the Lv3
+     * tree to its destination rows, then each row's Lv2 tree to the columns;
+     * @p n_unicast matrix-2 elements ride the 1D mesh (one per destination).
+     */
+    WaveStats DistributeWave(const std::vector<MulticastGroup>& groups,
+                             int n_unicast);
+
+    /** Clears element residency at the start of a new tile. */
+    void StartTile();
+
+    /** Total distribution energy accumulated so far, in pJ. */
+    double EnergyPj() const;
+
+    int dim() const { return config_.dim; }
+
+    const WaveStats& totals() const { return totals_; }
+
+  private:
+    Config config_;
+    HmfNoc lv3_;
+    std::vector<HmfNoc> lv2_;  //!< one per row
+    Mesh1d mesh_;
+    WaveStats totals_;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_NOC_DISTRIBUTION_NETWORK_H_

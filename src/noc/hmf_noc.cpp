@@ -1,0 +1,155 @@
+#include "noc/hmf_noc.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+namespace {
+
+/** Rounds up to the next power of two (minimum 1). */
+int
+NextPow2(int n)
+{
+    int p = 1;
+    while (p < n) p *= 2;
+    return p;
+}
+
+/** Heap depth of node id (root = 1 at depth 0). */
+int
+NodeDepth(int node)
+{
+    int depth = 0;
+    while (node > 1) {
+        node /= 2;
+        ++depth;
+    }
+    return depth;
+}
+
+}  // namespace
+
+HmfNoc::HmfNoc(const Config& config)
+    : config_(config), leaves_(NextPow2(config.leaves))
+{
+    FLEX_CHECK_MSG(config.leaves >= 1, "NoC needs at least one leaf");
+    depth_ = 0;
+    while ((1 << depth_) < leaves_) ++depth_;
+}
+
+int
+HmfNoc::SwitchCount() const
+{
+    return leaves_ - 1;
+}
+
+Dataflow
+HmfNoc::ClassifyDataflow(std::size_t n_dests) const
+{
+    if (n_dests <= 1) return Dataflow::kUnicast;
+    if (static_cast<int>(n_dests) >= leaves_) return Dataflow::kBroadcast;
+    return Dataflow::kMulticast;
+}
+
+DeliveryStats
+HmfNoc::Deliver(std::int64_t elem_id, const std::vector<int>& dests)
+{
+    FLEX_CHECK_MSG(!dests.empty(), "delivery needs at least one destination");
+    for (int d : dests) {
+        FLEX_CHECK_MSG(d >= 0 && d < leaves_,
+                       "destination " << d << " outside " << leaves_
+                                      << " leaves");
+    }
+
+    DeliveryStats stats;
+    stats.dataflow = ClassifyDataflow(dests.size());
+
+    // Heap node ids: root = 1, leaf i = leaves_ + i.
+    auto leaf_node = [this](int leaf) { return leaves_ + leaf; };
+
+    // Look for a resident copy to feed back from.
+    int source_leaf = -1;
+    if (config_.feedback) {
+        for (const auto& [leaf, elem] : residency_) {
+            if (elem == elem_id) {
+                source_leaf = leaf;
+                break;
+            }
+        }
+        // Prefer a destination that already holds the element: zero-cost.
+        for (int d : dests) {
+            auto it = residency_.find(d);
+            if (it != residency_.end() && it->second == elem_id) {
+                source_leaf = d;
+                break;
+            }
+        }
+    }
+
+    // Union of root->node paths for the vertex set of interest.
+    std::unordered_set<int> nodes;
+    auto add_path = [&](int node) {
+        while (node >= 1) {
+            nodes.insert(node);
+            node /= 2;
+        }
+    };
+    for (int d : dests) add_path(leaf_node(d));
+
+    if (source_leaf >= 0) {
+        // Steiner subtree spanning {source} U dests: total union edges minus
+        // the chain from the root down to the set's common ancestor.
+        add_path(leaf_node(source_leaf));
+        int lca = leaf_node(source_leaf);
+        for (int d : dests) {
+            int a = lca, b = leaf_node(d);
+            while (a != b) {
+                if (NodeDepth(a) >= NodeDepth(b)) {
+                    a /= 2;
+                } else {
+                    b /= 2;
+                }
+            }
+            lca = a;
+        }
+        const int union_edges = static_cast<int>(nodes.size()) - 1;
+        stats.switch_hops = union_edges - NodeDepth(lca);
+        stats.used_feedback = true;
+        ++total_feedback_uses_;
+    } else {
+        // Fresh injection at the root: one buffer read plus the full
+        // union-of-paths edge count.
+        stats.switch_hops = static_cast<int>(nodes.size()) - 1;
+        stats.buffer_reads = 1;
+    }
+
+    for (int d : dests) residency_[d] = elem_id;
+    if (source_leaf >= 0) residency_[source_leaf] = elem_id;
+
+    const double hop_energy =
+        config_.feedback ? config_.hop_energy_pj : config_.hop_energy_2x2_pj;
+    energy_pj_ += stats.switch_hops * hop_energy +
+                  stats.buffer_reads * config_.buffer_read_energy_pj;
+    total_hops_ += stats.switch_hops;
+    total_buffer_reads_ += stats.buffer_reads;
+    return stats;
+}
+
+void
+HmfNoc::ClearResidency()
+{
+    residency_.clear();
+}
+
+void
+HmfNoc::ResetStats()
+{
+    energy_pj_ = 0.0;
+    total_hops_ = 0;
+    total_buffer_reads_ = 0;
+    total_feedback_uses_ = 0;
+}
+
+}  // namespace flexnerfer

@@ -1,0 +1,44 @@
+#include "noc/mesh_1d.h"
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+
+Mesh1d::Mesh1d(const Config& config)
+    : config_(config)
+{
+    FLEX_CHECK(config.nodes >= 1);
+}
+
+int
+Mesh1d::Deliver(int dest)
+{
+    FLEX_CHECK_MSG(dest >= 0 && dest < config_.nodes,
+                   "mesh destination " << dest << " outside " << config_.nodes
+                                       << " nodes");
+    const int hops = dest + 1;
+    total_hops_ += hops;
+    energy_pj_ += hops * config_.hop_energy_pj +
+                  config_.buffer_read_energy_pj;
+    return hops;
+}
+
+std::int64_t
+Mesh1d::DeliverWave(int count)
+{
+    FLEX_CHECK(count >= 0 && count <= config_.nodes);
+    std::int64_t hops = 0;
+    for (int i = 0; i < count; ++i) {
+        hops += Deliver(i);
+    }
+    return hops;
+}
+
+void
+Mesh1d::ResetStats()
+{
+    energy_pj_ = 0.0;
+    total_hops_ = 0;
+}
+
+}  // namespace flexnerfer

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * 1D mesh NoC used by FlexNeRFer to deliver the unicast operand (matrix 2
+ * elements) across the MAC array rows (Fig. 9(a)).
+ */
+#ifndef FLEXNERFER_NOC_MESH_1D_H_
+#define FLEXNERFER_NOC_MESH_1D_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace flexnerfer {
+
+/** Linear chain of nodes; elements injected at node 0 hop rightward. */
+class Mesh1d
+{
+  public:
+    struct Config {
+        int nodes = 64;
+        double hop_energy_pj = 0.08;  //!< simple latch-to-latch link
+        double buffer_read_energy_pj = 8.0;
+    };
+
+    explicit Mesh1d(const Config& config);
+    Mesh1d() : Mesh1d(Config{}) {}
+
+    /**
+     * Delivers one element to @p dest (hops = dest + 1 from the injector).
+     * Returns the hop count.
+     */
+    int Deliver(int dest);
+
+    /**
+     * Delivers a full wave: one element to every node in [0, count).
+     * In steady state the mesh pipelines one element per node per cycle.
+     * Returns total hops.
+     */
+    std::int64_t DeliverWave(int count);
+
+    int nodes() const { return config_.nodes; }
+    double EnergyPj() const { return energy_pj_; }
+    std::int64_t total_hops() const { return total_hops_; }
+    void ResetStats();
+
+  private:
+    Config config_;
+    double energy_pj_ = 0.0;
+    std::int64_t total_hops_ = 0;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_NOC_MESH_1D_H_

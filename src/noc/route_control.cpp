@@ -1,0 +1,110 @@
+#include "noc/route_control.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+namespace {
+
+bool
+IsPow2(int n)
+{
+    return n >= 1 && (n & (n - 1)) == 0;
+}
+
+}  // namespace
+
+RouteControls
+GenerateRouteControls(int leaves, const std::vector<int>& dests)
+{
+    FLEX_CHECK_MSG(IsPow2(leaves), "leaf count must be a power of two");
+    FLEX_CHECK_MSG(!dests.empty(), "delivery needs destinations");
+
+    std::set<int> dest_set;
+    for (int d : dests) {
+        FLEX_CHECK_MSG(d >= 0 && d < leaves,
+                       "destination " << d << " outside " << leaves);
+        dest_set.insert(d);
+    }
+
+    RouteControls controls;
+    controls.is_broadcast = static_cast<int>(dest_set.size()) == leaves;
+    controls.path_left_enabled = *dest_set.begin() < leaves / 2;
+    controls.path_right_enabled = *dest_set.rbegin() >= leaves / 2;
+
+    // Walk the covered subtree in pre-order. A node covering leaf range
+    // [lo, hi) routes both if destinations exist in both halves.
+    struct Frame {
+        int node;
+        int lo;
+        int hi;
+    };
+    std::vector<Frame> stack = {{1, 0, leaves}};
+    while (!stack.empty()) {
+        const Frame f = stack.back();
+        stack.pop_back();
+        if (f.hi - f.lo <= 1) continue;  // a leaf, no switch
+        const int mid = (f.lo + f.hi) / 2;
+        const bool left =
+            dest_set.lower_bound(f.lo) != dest_set.lower_bound(mid);
+        const bool right =
+            dest_set.lower_bound(mid) != dest_set.lower_bound(f.hi);
+        if (!left && !right) continue;  // node not on any path
+        SwitchSetting setting;
+        setting.node = f.node;
+        setting.route = left && right ? SwitchSetting::Route::kBoth
+                        : left        ? SwitchSetting::Route::kLeft
+                                      : SwitchSetting::Route::kRight;
+        controls.switches.push_back(setting);
+        // Pre-order: push right first so left is processed first.
+        if (right) stack.push_back({2 * f.node + 1, mid, f.hi});
+        if (left) stack.push_back({2 * f.node, f.lo, mid});
+    }
+    return controls;
+}
+
+std::vector<int>
+SimulateRouteControls(int leaves, const RouteControls& controls)
+{
+    FLEX_CHECK(IsPow2(leaves));
+    // Index the settings by node for O(1) lookup while walking.
+    std::vector<int> route_of(2 * leaves, -1);
+    for (const SwitchSetting& s : controls.switches) {
+        FLEX_CHECK(s.node >= 1 && s.node < 2 * leaves);
+        route_of[s.node] = static_cast<int>(s.route);
+    }
+
+    std::vector<int> reached;
+    struct Frame {
+        int node;
+        int lo;
+        int hi;
+    };
+    std::vector<Frame> stack = {{1, 0, leaves}};
+    while (!stack.empty()) {
+        const Frame f = stack.back();
+        stack.pop_back();
+        if (f.hi - f.lo <= 1) {
+            reached.push_back(f.lo);
+            continue;
+        }
+        const int route = route_of[f.node];
+        if (route < 0) continue;  // element never reaches this subtree
+        const int mid = (f.lo + f.hi) / 2;
+        const auto r = static_cast<SwitchSetting::Route>(route);
+        if (r == SwitchSetting::Route::kLeft ||
+            r == SwitchSetting::Route::kBoth) {
+            stack.push_back({2 * f.node, f.lo, mid});
+        }
+        if (r == SwitchSetting::Route::kRight ||
+            r == SwitchSetting::Route::kBoth) {
+            stack.push_back({2 * f.node + 1, mid, f.hi});
+        }
+    }
+    std::sort(reached.begin(), reached.end());
+    return reached;
+}
+
+}  // namespace flexnerfer

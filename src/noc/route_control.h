@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Routing control-signal generator (the "routing control signal generator"
+ * block of Fig. 14, operating as in the Fig. 11 walkthrough).
+ *
+ * For each HMF-NoC delivery, the control unit derives per-switch settings
+ * from the destination set: every 3x3 switch on the covered subtree routes
+ * its incoming element left, right, or both. The generator also emits the
+ * OR/AND-reduced path-enable signals of the Fig. 11 pseudo-code
+ * (path 1 / 2 / 3 of the level-3 NoC).
+ */
+#ifndef FLEXNERFER_NOC_ROUTE_CONTROL_H_
+#define FLEXNERFER_NOC_ROUTE_CONTROL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace flexnerfer {
+
+/** Per-switch routing decision. */
+struct SwitchSetting {
+    /** Heap index of the switch node (root = 1). */
+    int node = 1;
+    enum class Route : std::uint8_t { kLeft, kRight, kBoth } route =
+        Route::kLeft;
+
+    bool operator==(const SwitchSetting&) const = default;
+};
+
+/** Control words for one delivery. */
+struct RouteControls {
+    std::vector<SwitchSetting> switches;  //!< pre-order over covered nodes
+    bool path_left_enabled = false;       //!< any destination in left half
+    bool path_right_enabled = false;      //!< any destination in right half
+    bool is_broadcast = false;            //!< all leaves covered
+};
+
+/**
+ * Generates switch settings that deliver one element injected at the root
+ * of a complete binary tree over @p leaves (power of two) to exactly the
+ * leaves in @p dests.
+ */
+RouteControls GenerateRouteControls(int leaves,
+                                    const std::vector<int>& dests);
+
+/**
+ * Simulates the generated settings: starting from the root, follows every
+ * enabled switch leg and returns the sorted set of leaves reached. Used by
+ * tests (and assertions) to prove controls deliver exactly the requested
+ * destination set.
+ */
+std::vector<int> SimulateRouteControls(int leaves,
+                                       const RouteControls& controls);
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_NOC_ROUTE_CONTROL_H_

@@ -1,0 +1,98 @@
+#include "riscv/controller.h"
+
+#include "common/logging.h"
+#include "riscv/encoder.h"
+
+namespace flexnerfer {
+
+AcceleratorController::AcceleratorController()
+{
+    cpu_.SetMmioHandler([this](std::uint32_t offset, std::uint32_t value,
+                               bool is_write, std::uint32_t* read_value) {
+        if (is_write) {
+            switch (offset) {
+              case kRegOpcode:
+                staged_opcode_ = value;
+                break;
+              case kRegOperand:
+                staged_operand_ = value;
+                break;
+              case kRegIssue:
+                commands_.push_back(
+                    {static_cast<ControlOp>(staged_opcode_),
+                     staged_operand_});
+                break;
+              default:
+                FLEX_CHECK_MSG(false, "bad MMIO write offset " << offset);
+            }
+        } else {
+            switch (offset) {
+              case kRegQueueDepth:
+                *read_value =
+                    static_cast<std::uint32_t>(commands_.size());
+                break;
+              default:
+                *read_value = 0;
+            }
+        }
+    });
+}
+
+std::int64_t
+AcceleratorController::RunProgram(const std::vector<std::uint32_t>& program,
+                                  std::int64_t max_steps)
+{
+    commands_.clear();
+    cpu_.LoadProgram(program);
+    return cpu_.Run(max_steps);
+}
+
+std::vector<std::uint32_t>
+BuildGemmControlProgram(std::uint32_t precision, std::uint32_t tiles,
+                        std::uint32_t waves)
+{
+    FLEX_CHECK(precision == 4 || precision == 8 || precision == 16);
+    FLEX_CHECK(tiles < 2048 && waves < 2048);
+    using namespace rv;  // NOLINT: instruction mnemonics
+
+    // Register use: x5 = MMIO base, x6 = loop counter, x7 = scratch.
+    std::vector<std::uint32_t> p;
+    p.push_back(Lui(5, 0x40000));  // x5 = MMIO base
+
+    auto issue = [&p](std::uint32_t op, std::uint32_t operand) {
+        p.push_back(Addi(7, 0, static_cast<std::int32_t>(op)));
+        p.push_back(Sw(7, 5, AcceleratorController::kRegOpcode));
+        p.push_back(Addi(7, 0, static_cast<std::int32_t>(operand)));
+        p.push_back(Sw(7, 5, AcceleratorController::kRegOperand));
+        p.push_back(Sw(0, 5, AcceleratorController::kRegIssue));
+    };
+
+    issue(static_cast<std::uint32_t>(ControlOp::kSetPrecision), precision);
+
+    // x6 = tiles; loop body issues kLoadTile(x6) and kRunGemm(waves).
+    p.push_back(Addi(6, 0, static_cast<std::int32_t>(tiles)));
+    const std::size_t loop_start = p.size();
+    // if (x6 == 0) goto done  — offset patched after the body is known.
+    const std::size_t branch_slot = p.size();
+    p.push_back(0);  // placeholder for BEQ
+    // kLoadTile(current counter value)
+    p.push_back(Addi(7, 0,
+                     static_cast<std::int32_t>(ControlOp::kLoadTile)));
+    p.push_back(Sw(7, 5, AcceleratorController::kRegOpcode));
+    p.push_back(Sw(6, 5, AcceleratorController::kRegOperand));
+    p.push_back(Sw(0, 5, AcceleratorController::kRegIssue));
+    issue(static_cast<std::uint32_t>(ControlOp::kRunGemm), waves);
+    p.push_back(Addi(6, 6, -1));
+    const std::int32_t back_offset =
+        -static_cast<std::int32_t>((p.size() - loop_start) * 4);
+    p.push_back(Jal(0, back_offset));
+    const std::int32_t skip_offset =
+        static_cast<std::int32_t>((p.size() - branch_slot) * 4);
+    p[branch_slot] = Beq(6, 0, skip_offset);
+
+    issue(static_cast<std::uint32_t>(ControlOp::kBarrier), 0);
+    p.push_back(Ebreak());
+    return p;
+}
+
+}  // namespace flexnerfer

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Accelerator controller: an RV32IM hart issuing accelerator commands
+ * through a memory-mapped command queue — the control path of Fig. 14.
+ * Control programs configure precision, tile loops, and kick GEMM /
+ * encoding jobs; the queue contents drive the simulator's engines.
+ */
+#ifndef FLEXNERFER_RISCV_CONTROLLER_H_
+#define FLEXNERFER_RISCV_CONTROLLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "riscv/cpu.h"
+
+namespace flexnerfer {
+
+/** Commands the controller can issue to the datapath. */
+enum class ControlOp : std::uint32_t {
+    kSetPrecision = 1,  //!< operand = 4 / 8 / 16
+    kLoadTile = 2,      //!< operand = tile id
+    kRunGemm = 3,       //!< operand = wave count
+    kRunEncoding = 4,   //!< operand = value count
+    kBarrier = 5,       //!< operand unused
+};
+
+/** One decoded command. */
+struct ControlCommand {
+    ControlOp op;
+    std::uint32_t operand;
+
+    bool operator==(const ControlCommand&) const = default;
+};
+
+/** RISC-V controller with an attached command queue. */
+class AcceleratorController
+{
+  public:
+    /** MMIO register offsets within the controller's window. */
+    static constexpr std::uint32_t kRegOpcode = 0x0;
+    static constexpr std::uint32_t kRegOperand = 0x4;
+    static constexpr std::uint32_t kRegIssue = 0x8;
+    static constexpr std::uint32_t kRegQueueDepth = 0xC;
+
+    AcceleratorController();
+
+    /** Loads a control program and runs it to completion. */
+    std::int64_t RunProgram(const std::vector<std::uint32_t>& program,
+                            std::int64_t max_steps = 1'000'000);
+
+    const std::vector<ControlCommand>& commands() const { return commands_; }
+
+    Rv32Cpu& cpu() { return cpu_; }
+
+  private:
+    Rv32Cpu cpu_;
+    std::uint32_t staged_opcode_ = 0;
+    std::uint32_t staged_operand_ = 0;
+    std::vector<ControlCommand> commands_;
+};
+
+/**
+ * Builds a canonical control program: set precision, then loop `tiles`
+ * times (load tile, run GEMM with `waves` waves), then barrier. Written
+ * with the rv:: encoders; exercising loads, stores, loops, and MMIO.
+ */
+std::vector<std::uint32_t> BuildGemmControlProgram(std::uint32_t precision,
+                                                   std::uint32_t tiles,
+                                                   std::uint32_t waves);
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_RISCV_CONTROLLER_H_

@@ -1,0 +1,308 @@
+#include "riscv/cpu.h"
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+namespace {
+
+std::int32_t
+SignExtend(std::uint32_t value, int bits)
+{
+    const std::uint32_t mask = 1u << (bits - 1);
+    return static_cast<std::int32_t>((value ^ mask) - mask);
+}
+
+}  // namespace
+
+Rv32Cpu::Rv32Cpu(const Config& config)
+    : config_(config), memory_(config.memory_bytes, 0)
+{
+    FLEX_CHECK_MSG(config.memory_bytes % 4 == 0,
+                   "memory size must be word aligned");
+}
+
+void
+Rv32Cpu::LoadProgram(const std::vector<std::uint32_t>& words,
+                     std::uint32_t address)
+{
+    FLEX_CHECK_MSG(address + words.size() * 4 <= memory_.size(),
+                   "program does not fit in memory");
+    for (std::size_t i = 0; i < words.size(); ++i) {
+        StoreWord(address + static_cast<std::uint32_t>(i * 4), words[i]);
+    }
+    pc_ = address;
+    halted_ = false;
+}
+
+std::uint32_t
+Rv32Cpu::reg(int index) const
+{
+    FLEX_CHECK(index >= 0 && index < 32);
+    return index == 0 ? 0 : regs_[index];
+}
+
+void
+Rv32Cpu::set_reg(int index, std::uint32_t value)
+{
+    FLEX_CHECK(index >= 0 && index < 32);
+    if (index != 0) regs_[index] = value;
+}
+
+std::uint32_t
+Rv32Cpu::LoadWord(std::uint32_t address) const
+{
+    FLEX_CHECK_MSG(address + 4 <= memory_.size() && address % 4 == 0,
+                   "bad word load at " << address);
+    return static_cast<std::uint32_t>(memory_[address]) |
+           (static_cast<std::uint32_t>(memory_[address + 1]) << 8) |
+           (static_cast<std::uint32_t>(memory_[address + 2]) << 16) |
+           (static_cast<std::uint32_t>(memory_[address + 3]) << 24);
+}
+
+void
+Rv32Cpu::StoreWord(std::uint32_t address, std::uint32_t value)
+{
+    FLEX_CHECK_MSG(address + 4 <= memory_.size() && address % 4 == 0,
+                   "bad word store at " << address);
+    memory_[address] = value & 0xFF;
+    memory_[address + 1] = (value >> 8) & 0xFF;
+    memory_[address + 2] = (value >> 16) & 0xFF;
+    memory_[address + 3] = (value >> 24) & 0xFF;
+}
+
+std::uint32_t
+Rv32Cpu::Fetch() const
+{
+    return LoadWord(pc_);
+}
+
+std::uint32_t
+Rv32Cpu::MemLoad(std::uint32_t address, int bytes, bool sign_extend)
+{
+    if (address >= config_.mmio_base &&
+        address < config_.mmio_base + config_.mmio_size) {
+        std::uint32_t value = 0;
+        if (mmio_) mmio_(address - config_.mmio_base, 0, false, &value);
+        return value;
+    }
+    FLEX_CHECK_MSG(address + bytes <= memory_.size(),
+                   "load outside memory at " << address);
+    std::uint32_t raw = 0;
+    for (int i = 0; i < bytes; ++i) {
+        raw |= static_cast<std::uint32_t>(memory_[address + i]) << (8 * i);
+    }
+    if (sign_extend && bytes < 4) {
+        return static_cast<std::uint32_t>(SignExtend(raw, 8 * bytes));
+    }
+    return raw;
+}
+
+void
+Rv32Cpu::MemStore(std::uint32_t address, std::uint32_t value, int bytes)
+{
+    if (address >= config_.mmio_base &&
+        address < config_.mmio_base + config_.mmio_size) {
+        if (mmio_) mmio_(address - config_.mmio_base, value, true, nullptr);
+        return;
+    }
+    FLEX_CHECK_MSG(address + bytes <= memory_.size(),
+                   "store outside memory at " << address);
+    for (int i = 0; i < bytes; ++i) {
+        memory_[address + i] = (value >> (8 * i)) & 0xFF;
+    }
+}
+
+std::int64_t
+Rv32Cpu::Run(std::int64_t max_steps)
+{
+    std::int64_t retired = 0;
+    while (!halted_ && retired < max_steps) {
+        if (!Step()) break;
+        ++retired;
+    }
+    return retired;
+}
+
+bool
+Rv32Cpu::Step()
+{
+    if (halted_) return false;
+    const std::uint32_t inst = Fetch();
+    const std::uint32_t opcode = inst & 0x7F;
+    const int rd = (inst >> 7) & 0x1F;
+    const int rs1 = (inst >> 15) & 0x1F;
+    const int rs2 = (inst >> 20) & 0x1F;
+    const std::uint32_t funct3 = (inst >> 12) & 0x7;
+    const std::uint32_t funct7 = (inst >> 25) & 0x7F;
+    std::uint32_t next_pc = pc_ + 4;
+
+    const auto imm_i = static_cast<std::int32_t>(inst) >> 20;
+    const std::int32_t imm_s =
+        ((static_cast<std::int32_t>(inst) >> 25) << 5) | rd;
+    const std::int32_t imm_b = SignExtend(
+        (((inst >> 31) & 1) << 12) | (((inst >> 7) & 1) << 11) |
+            (((inst >> 25) & 0x3F) << 5) | (((inst >> 8) & 0xF) << 1),
+        13);
+    const std::int32_t imm_j = SignExtend(
+        (((inst >> 31) & 1) << 20) | (((inst >> 12) & 0xFF) << 12) |
+            (((inst >> 20) & 1) << 11) | (((inst >> 21) & 0x3FF) << 1),
+        21);
+
+    const std::uint32_t a = reg(rs1);
+    const std::uint32_t b = reg(rs2);
+    const auto sa = static_cast<std::int32_t>(a);
+    const auto sb = static_cast<std::int32_t>(b);
+
+    switch (opcode) {
+      case 0x37:  // LUI
+        set_reg(rd, inst & 0xFFFFF000u);
+        break;
+      case 0x17:  // AUIPC
+        set_reg(rd, pc_ + (inst & 0xFFFFF000u));
+        break;
+      case 0x6F:  // JAL
+        set_reg(rd, pc_ + 4);
+        next_pc = pc_ + imm_j;
+        break;
+      case 0x67:  // JALR
+        set_reg(rd, pc_ + 4);
+        next_pc = (a + imm_i) & ~1u;
+        break;
+      case 0x63: {  // branches
+        bool taken = false;
+        switch (funct3) {
+          case 0: taken = a == b; break;           // BEQ
+          case 1: taken = a != b; break;           // BNE
+          case 4: taken = sa < sb; break;          // BLT
+          case 5: taken = sa >= sb; break;         // BGE
+          case 6: taken = a < b; break;            // BLTU
+          case 7: taken = a >= b; break;           // BGEU
+          default:
+            FLEX_CHECK_MSG(false, "bad branch funct3 " << funct3);
+        }
+        if (taken) next_pc = pc_ + imm_b;
+        break;
+      }
+      case 0x03: {  // loads
+        const std::uint32_t addr = a + imm_i;
+        switch (funct3) {
+          case 0: set_reg(rd, MemLoad(addr, 1, true)); break;   // LB
+          case 1: set_reg(rd, MemLoad(addr, 2, true)); break;   // LH
+          case 2: set_reg(rd, MemLoad(addr, 4, false)); break;  // LW
+          case 4: set_reg(rd, MemLoad(addr, 1, false)); break;  // LBU
+          case 5: set_reg(rd, MemLoad(addr, 2, false)); break;  // LHU
+          default:
+            FLEX_CHECK_MSG(false, "bad load funct3 " << funct3);
+        }
+        break;
+      }
+      case 0x23: {  // stores
+        const std::uint32_t addr = a + imm_s;
+        switch (funct3) {
+          case 0: MemStore(addr, b, 1); break;  // SB
+          case 1: MemStore(addr, b, 2); break;  // SH
+          case 2: MemStore(addr, b, 4); break;  // SW
+          default:
+            FLEX_CHECK_MSG(false, "bad store funct3 " << funct3);
+        }
+        break;
+      }
+      case 0x13: {  // OP-IMM
+        const std::uint32_t shamt = imm_i & 0x1F;
+        switch (funct3) {
+          case 0: set_reg(rd, a + imm_i); break;                   // ADDI
+          case 2: set_reg(rd, sa < imm_i ? 1 : 0); break;          // SLTI
+          case 3:
+            set_reg(rd,
+                    a < static_cast<std::uint32_t>(imm_i) ? 1 : 0);
+            break;                                                 // SLTIU
+          case 4: set_reg(rd, a ^ imm_i); break;                   // XORI
+          case 6: set_reg(rd, a | imm_i); break;                   // ORI
+          case 7: set_reg(rd, a & imm_i); break;                   // ANDI
+          case 1: set_reg(rd, a << shamt); break;                  // SLLI
+          case 5:
+            if (funct7 & 0x20) {
+                set_reg(rd, static_cast<std::uint32_t>(sa >> shamt));
+            } else {
+                set_reg(rd, a >> shamt);
+            }
+            break;                                                 // SR*I
+          default:
+            FLEX_CHECK_MSG(false, "bad op-imm funct3 " << funct3);
+        }
+        break;
+      }
+      case 0x33: {  // OP
+        if (funct7 == 0x01) {  // M extension
+            const auto sa64 = static_cast<std::int64_t>(sa);
+            const auto sb64 = static_cast<std::int64_t>(sb);
+            const auto ua64 = static_cast<std::uint64_t>(a);
+            const auto ub64 = static_cast<std::uint64_t>(b);
+            switch (funct3) {
+              case 0:  // MUL
+                set_reg(rd, static_cast<std::uint32_t>(sa64 * sb64));
+                break;
+              case 1:  // MULH
+                set_reg(rd,
+                        static_cast<std::uint32_t>((sa64 * sb64) >> 32));
+                break;
+              case 2:  // MULHSU
+                set_reg(rd, static_cast<std::uint32_t>(
+                                (sa64 * static_cast<std::int64_t>(ub64)) >>
+                                32));
+                break;
+              case 3:  // MULHU
+                set_reg(rd,
+                        static_cast<std::uint32_t>((ua64 * ub64) >> 32));
+                break;
+              case 4:  // DIV
+                set_reg(rd, sb == 0 ? 0xFFFFFFFFu
+                                    : static_cast<std::uint32_t>(sa / sb));
+                break;
+              case 5:  // DIVU
+                set_reg(rd, b == 0 ? 0xFFFFFFFFu : a / b);
+                break;
+              case 6:  // REM
+                set_reg(rd, sb == 0 ? a
+                                    : static_cast<std::uint32_t>(sa % sb));
+                break;
+              case 7:  // REMU
+                set_reg(rd, b == 0 ? a : a % b);
+                break;
+            }
+            break;
+        }
+        switch (funct3) {
+          case 0:
+            set_reg(rd, (funct7 & 0x20) ? a - b : a + b);  // ADD/SUB
+            break;
+          case 1: set_reg(rd, a << (b & 0x1F)); break;     // SLL
+          case 2: set_reg(rd, sa < sb ? 1 : 0); break;     // SLT
+          case 3: set_reg(rd, a < b ? 1 : 0); break;       // SLTU
+          case 4: set_reg(rd, a ^ b); break;               // XOR
+          case 5:
+            if (funct7 & 0x20) {
+                set_reg(rd,
+                        static_cast<std::uint32_t>(sa >> (b & 0x1F)));
+            } else {
+                set_reg(rd, a >> (b & 0x1F));
+            }
+            break;                                         // SRL/SRA
+          case 6: set_reg(rd, a | b); break;               // OR
+          case 7: set_reg(rd, a & b); break;               // AND
+        }
+        break;
+      }
+      case 0x73:  // ECALL / EBREAK halt the controller program
+        halted_ = true;
+        return false;
+      default:
+        FLEX_CHECK_MSG(false, "unimplemented opcode 0x" << std::hex
+                                                        << opcode);
+    }
+
+    pc_ = next_pc;
+    return true;
+}
+
+}  // namespace flexnerfer

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * RV32IM interpreter modelling FlexNeRFer's RISC-V controller (Fig. 14):
+ * it decodes programs copied from the host into the 16 KB program memory
+ * and generates global control commands through memory-mapped I/O.
+ */
+#ifndef FLEXNERFER_RISCV_CPU_H_
+#define FLEXNERFER_RISCV_CPU_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace flexnerfer {
+
+/** Minimal RV32IM hart with byte-addressable memory and one MMIO window. */
+class Rv32Cpu
+{
+  public:
+    struct Config {
+        std::size_t memory_bytes = 64 * 1024;
+        std::uint32_t mmio_base = 0x40000000u;
+        std::uint32_t mmio_size = 0x1000u;
+    };
+
+    /**
+     * MMIO callback: invoked for loads/stores inside the MMIO window.
+     * For writes, @p value holds the stored word; for reads, the handler
+     * fills @p read_value.
+     */
+    using MmioHandler = std::function<void(
+        std::uint32_t offset, std::uint32_t value, bool is_write,
+        std::uint32_t* read_value)>;
+
+    explicit Rv32Cpu(const Config& config);
+    Rv32Cpu() : Rv32Cpu(Config{}) {}
+
+    /** Copies encoded instructions into memory at @p address. */
+    void LoadProgram(const std::vector<std::uint32_t>& words,
+                     std::uint32_t address = 0);
+
+    void SetMmioHandler(MmioHandler handler) { mmio_ = std::move(handler); }
+
+    /**
+     * Executes until EBREAK/ECALL or @p max_steps instructions.
+     * @return instructions retired
+     */
+    std::int64_t Run(std::int64_t max_steps = 1'000'000);
+
+    /** Executes a single instruction; returns false once halted. */
+    bool Step();
+
+    std::uint32_t reg(int index) const;
+    void set_reg(int index, std::uint32_t value);
+    std::uint32_t pc() const { return pc_; }
+    void set_pc(std::uint32_t pc) { pc_ = pc; }
+    bool halted() const { return halted_; }
+
+    /** Data-memory accessors for tests and program setup. */
+    std::uint32_t LoadWord(std::uint32_t address) const;
+    void StoreWord(std::uint32_t address, std::uint32_t value);
+
+  private:
+    std::uint32_t Fetch() const;
+    std::uint32_t MemLoad(std::uint32_t address, int bytes,
+                          bool sign_extend);
+    void MemStore(std::uint32_t address, std::uint32_t value, int bytes);
+
+    Config config_;
+    std::vector<std::uint8_t> memory_;
+    std::uint32_t regs_[32] = {};
+    std::uint32_t pc_ = 0;
+    bool halted_ = false;
+    MmioHandler mmio_;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_RISCV_CPU_H_

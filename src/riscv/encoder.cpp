@@ -1,0 +1,180 @@
+#include "riscv/encoder.h"
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+namespace rv {
+namespace {
+
+std::uint32_t
+RType(std::uint32_t funct7, int rs2, int rs1, std::uint32_t funct3, int rd,
+      std::uint32_t opcode)
+{
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+           (rd << 7) | opcode;
+}
+
+std::uint32_t
+IType(std::int32_t imm, int rs1, std::uint32_t funct3, int rd,
+      std::uint32_t opcode)
+{
+    FLEX_CHECK_MSG(imm >= -2048 && imm <= 2047, "I-imm out of range");
+    return (static_cast<std::uint32_t>(imm & 0xFFF) << 20) | (rs1 << 15) |
+           (funct3 << 12) | (rd << 7) | opcode;
+}
+
+std::uint32_t
+SType(std::int32_t imm, int rs2, int rs1, std::uint32_t funct3,
+      std::uint32_t opcode)
+{
+    FLEX_CHECK_MSG(imm >= -2048 && imm <= 2047, "S-imm out of range");
+    const std::uint32_t u = static_cast<std::uint32_t>(imm & 0xFFF);
+    return ((u >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+           ((u & 0x1F) << 7) | opcode;
+}
+
+std::uint32_t
+BType(std::int32_t offset, int rs2, int rs1, std::uint32_t funct3)
+{
+    FLEX_CHECK_MSG(offset >= -4096 && offset <= 4095 && offset % 2 == 0,
+                   "B-offset out of range");
+    const std::uint32_t u = static_cast<std::uint32_t>(offset);
+    return (((u >> 12) & 1) << 31) | (((u >> 5) & 0x3F) << 25) |
+           (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+           (((u >> 1) & 0xF) << 8) | (((u >> 11) & 1) << 7) | 0x63;
+}
+
+}  // namespace
+
+std::uint32_t
+Lui(int rd, std::int32_t imm20)
+{
+    return (static_cast<std::uint32_t>(imm20) << 12) | (rd << 7) | 0x37;
+}
+
+std::uint32_t
+Auipc(int rd, std::int32_t imm20)
+{
+    return (static_cast<std::uint32_t>(imm20) << 12) | (rd << 7) | 0x17;
+}
+
+std::uint32_t
+Jal(int rd, std::int32_t offset)
+{
+    FLEX_CHECK_MSG(offset % 2 == 0, "JAL offset must be even");
+    const std::uint32_t u = static_cast<std::uint32_t>(offset);
+    return (((u >> 20) & 1) << 31) | (((u >> 1) & 0x3FF) << 21) |
+           (((u >> 11) & 1) << 20) | (((u >> 12) & 0xFF) << 12) |
+           (rd << 7) | 0x6F;
+}
+
+std::uint32_t
+Jalr(int rd, int rs1, std::int32_t imm)
+{
+    return IType(imm, rs1, 0, rd, 0x67);
+}
+
+std::uint32_t
+Beq(int rs1, int rs2, std::int32_t offset)
+{
+    return BType(offset, rs2, rs1, 0);
+}
+
+std::uint32_t
+Bne(int rs1, int rs2, std::int32_t offset)
+{
+    return BType(offset, rs2, rs1, 1);
+}
+
+std::uint32_t
+Blt(int rs1, int rs2, std::int32_t offset)
+{
+    return BType(offset, rs2, rs1, 4);
+}
+
+std::uint32_t
+Bge(int rs1, int rs2, std::int32_t offset)
+{
+    return BType(offset, rs2, rs1, 5);
+}
+
+std::uint32_t
+Lw(int rd, int rs1, std::int32_t imm)
+{
+    return IType(imm, rs1, 2, rd, 0x03);
+}
+
+std::uint32_t
+Sw(int rs2, int rs1, std::int32_t imm)
+{
+    return SType(imm, rs2, rs1, 2, 0x23);
+}
+
+std::uint32_t
+Addi(int rd, int rs1, std::int32_t imm)
+{
+    return IType(imm, rs1, 0, rd, 0x13);
+}
+
+std::uint32_t
+Andi(int rd, int rs1, std::int32_t imm)
+{
+    return IType(imm, rs1, 7, rd, 0x13);
+}
+
+std::uint32_t
+Ori(int rd, int rs1, std::int32_t imm)
+{
+    return IType(imm, rs1, 6, rd, 0x13);
+}
+
+std::uint32_t
+Slli(int rd, int rs1, int shamt)
+{
+    return IType(shamt, rs1, 1, rd, 0x13);
+}
+
+std::uint32_t
+Srli(int rd, int rs1, int shamt)
+{
+    return IType(shamt, rs1, 5, rd, 0x13);
+}
+
+std::uint32_t
+Add(int rd, int rs1, int rs2)
+{
+    return RType(0x00, rs2, rs1, 0, rd, 0x33);
+}
+
+std::uint32_t
+Sub(int rd, int rs1, int rs2)
+{
+    return RType(0x20, rs2, rs1, 0, rd, 0x33);
+}
+
+std::uint32_t
+Mul(int rd, int rs1, int rs2)
+{
+    return RType(0x01, rs2, rs1, 0, rd, 0x33);
+}
+
+std::uint32_t
+Divu(int rd, int rs1, int rs2)
+{
+    return RType(0x01, rs2, rs1, 5, rd, 0x33);
+}
+
+std::uint32_t
+Remu(int rd, int rs1, int rs2)
+{
+    return RType(0x01, rs2, rs1, 7, rd, 0x33);
+}
+
+std::uint32_t
+Ebreak()
+{
+    return 0x00100073u;
+}
+
+}  // namespace rv
+}  // namespace flexnerfer

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Instruction encoders for RV32IM — a tiny assembler used to author
+ * controller programs and CPU tests without external toolchains.
+ */
+#ifndef FLEXNERFER_RISCV_ENCODER_H_
+#define FLEXNERFER_RISCV_ENCODER_H_
+
+#include <cstdint>
+
+namespace flexnerfer {
+namespace rv {
+
+std::uint32_t Lui(int rd, std::int32_t imm20);
+std::uint32_t Auipc(int rd, std::int32_t imm20);
+std::uint32_t Jal(int rd, std::int32_t offset);
+std::uint32_t Jalr(int rd, int rs1, std::int32_t imm);
+
+std::uint32_t Beq(int rs1, int rs2, std::int32_t offset);
+std::uint32_t Bne(int rs1, int rs2, std::int32_t offset);
+std::uint32_t Blt(int rs1, int rs2, std::int32_t offset);
+std::uint32_t Bge(int rs1, int rs2, std::int32_t offset);
+
+std::uint32_t Lw(int rd, int rs1, std::int32_t imm);
+std::uint32_t Sw(int rs2, int rs1, std::int32_t imm);
+
+std::uint32_t Addi(int rd, int rs1, std::int32_t imm);
+std::uint32_t Andi(int rd, int rs1, std::int32_t imm);
+std::uint32_t Ori(int rd, int rs1, std::int32_t imm);
+std::uint32_t Slli(int rd, int rs1, int shamt);
+std::uint32_t Srli(int rd, int rs1, int shamt);
+
+std::uint32_t Add(int rd, int rs1, int rs2);
+std::uint32_t Sub(int rd, int rs1, int rs2);
+std::uint32_t Mul(int rd, int rs1, int rs2);
+std::uint32_t Divu(int rd, int rs1, int rs2);
+std::uint32_t Remu(int rd, int rs1, int rs2);
+
+std::uint32_t Ebreak();
+
+}  // namespace rv
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_RISCV_ENCODER_H_

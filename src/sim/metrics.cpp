@@ -1,0 +1,73 @@
+#include "sim/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/table.h"
+
+namespace flexnerfer {
+
+double
+GeometricMean(const std::vector<double>& values)
+{
+    FLEX_CHECK_MSG(!values.empty(), "geometric mean of nothing");
+    double log_sum = 0.0;
+    for (double v : values) {
+        FLEX_CHECK_MSG(v > 0.0, "geometric mean needs positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::string
+DescribeFrameCost(const FrameCost& cost)
+{
+    std::ostringstream out;
+    out << FormatDouble(cost.latency_ms, 2) << " ms (gemm "
+        << FormatDouble(cost.gemm_ms, 2) << ", enc "
+        << FormatDouble(cost.encoding_ms, 2) << ", other "
+        << FormatDouble(cost.other_ms, 2) << ", codec "
+        << FormatDouble(cost.codec_ms, 2) << ", dram "
+        << FormatDouble(cost.dram_ms, 2) << ")";
+    return out.str();
+}
+
+std::vector<FrameCost>
+RunAllModels(const Accelerator& accel, const WorkloadParams& params)
+{
+    std::vector<FrameCost> costs;
+    costs.reserve(AllModelNames().size());
+    for (const std::string& model : AllModelNames()) {
+        costs.push_back(accel.RunWorkload(BuildWorkload(model, params)));
+    }
+    return costs;
+}
+
+double
+GeoMeanSpeedup(const std::vector<FrameCost>& slow,
+               const std::vector<FrameCost>& fast)
+{
+    FLEX_CHECK(slow.size() == fast.size() && !slow.empty());
+    std::vector<double> ratios;
+    ratios.reserve(slow.size());
+    for (std::size_t i = 0; i < slow.size(); ++i) {
+        ratios.push_back(slow[i].latency_ms / fast[i].latency_ms);
+    }
+    return GeometricMean(ratios);
+}
+
+double
+GeoMeanEnergyGain(const std::vector<FrameCost>& baseline,
+                  const std::vector<FrameCost>& efficient)
+{
+    FLEX_CHECK(baseline.size() == efficient.size() && !baseline.empty());
+    std::vector<double> ratios;
+    ratios.reserve(baseline.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        ratios.push_back(baseline[i].energy_mj / efficient[i].energy_mj);
+    }
+    return GeometricMean(ratios);
+}
+
+}  // namespace flexnerfer

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Experiment-level metric helpers shared by the benchmark binaries.
+ */
+#ifndef FLEXNERFER_SIM_METRICS_H_
+#define FLEXNERFER_SIM_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.h"
+
+namespace flexnerfer {
+
+/** Geometric mean of positive values. */
+double GeometricMean(const std::vector<double>& values);
+
+/** Formats a FrameCost as "latency (gemm / enc / other / codec / dram)". */
+std::string DescribeFrameCost(const FrameCost& cost);
+
+/**
+ * Runs @p accel over all seven NeRF workloads and returns per-model frame
+ * costs in AllModelNames() order.
+ */
+std::vector<FrameCost> RunAllModels(const Accelerator& accel,
+                                    const WorkloadParams& params = {});
+
+/** Geometric-mean speedup of @p fast over @p slow across model latencies. */
+double GeoMeanSpeedup(const std::vector<FrameCost>& slow,
+                      const std::vector<FrameCost>& fast);
+
+/** Geometric-mean energy-efficiency gain of @p efficient over @p baseline. */
+double GeoMeanEnergyGain(const std::vector<FrameCost>& baseline,
+                         const std::vector<FrameCost>& efficient);
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_SIM_METRICS_H_

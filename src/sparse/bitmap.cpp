@@ -1,0 +1,71 @@
+#include "sparse/bitmap.h"
+
+#include <bit>
+
+#include "sparse/footprint.h"
+
+namespace flexnerfer {
+
+BitmapMatrix
+BitmapMatrix::FromDense(const MatrixI& dense)
+{
+    BitmapMatrix out;
+    out.rows_ = dense.rows();
+    out.cols_ = dense.cols();
+    const std::size_t n_bits =
+        static_cast<std::size_t>(dense.rows()) * dense.cols();
+    out.words_.assign((n_bits + 63) / 64, 0);
+    for (int r = 0; r < dense.rows(); ++r) {
+        for (int c = 0; c < dense.cols(); ++c) {
+            const std::int32_t v = dense.at(r, c);
+            if (v == 0) continue;
+            const std::size_t bit =
+                static_cast<std::size_t>(r) * dense.cols() + c;
+            out.words_[bit / 64] |= std::uint64_t{1} << (bit % 64);
+            out.values_.push_back(v);
+        }
+    }
+    return out;
+}
+
+MatrixI
+BitmapMatrix::ToDense() const
+{
+    MatrixI dense(rows_, cols_);
+    std::size_t next_value = 0;
+    for (int r = 0; r < rows_; ++r) {
+        for (int c = 0; c < cols_; ++c) {
+            if (Test(r, c)) {
+                dense.at(r, c) = values_[next_value++];
+            }
+        }
+    }
+    FLEX_CHECK(next_value == values_.size());
+    return dense;
+}
+
+bool
+BitmapMatrix::Test(int r, int c) const
+{
+    FLEX_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    const std::size_t bit = static_cast<std::size_t>(r) * cols_ + c;
+    return (words_[bit / 64] >> (bit % 64)) & 1;
+}
+
+std::int64_t
+BitmapMatrix::Popcount() const
+{
+    std::int64_t total = 0;
+    for (std::uint64_t w : words_) total += std::popcount(w);
+    return total;
+}
+
+std::int64_t
+BitmapMatrix::EncodedBits(Precision precision) const
+{
+    return BitmapFootprintBits(rows_, cols_,
+                               static_cast<std::int64_t>(values_.size()),
+                               precision);
+}
+
+}  // namespace flexnerfer

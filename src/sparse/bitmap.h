@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Bitmap sparse format: one presence bit per element plus packed non-zero
+ * values, the footprint-optimal choice over a wide mid-sparsity band.
+ */
+#ifndef FLEXNERFER_SPARSE_BITMAP_H_
+#define FLEXNERFER_SPARSE_BITMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/types.h"
+
+namespace flexnerfer {
+
+/** Bitmap-encoded sparse matrix (presence bits in row-major order). */
+class BitmapMatrix
+{
+  public:
+    BitmapMatrix() = default;
+
+    /** Encodes a dense matrix. */
+    static BitmapMatrix FromDense(const MatrixI& dense);
+
+    /** Decodes back to a dense matrix. */
+    MatrixI ToDense() const;
+
+    /** Storage footprint in bits at @p precision. */
+    std::int64_t EncodedBits(Precision precision) const;
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    std::size_t Nnz() const { return values_.size(); }
+
+    /** Presence bit for element (r, c). */
+    bool Test(int r, int c) const;
+
+    /** Packed 64-bit words of the presence mask, row-major bit order. */
+    const std::vector<std::uint64_t>& words() const { return words_; }
+
+    const std::vector<std::int32_t>& values() const { return values_; }
+
+    /**
+     * Population count of the presence mask — the quantity the hardware
+     * sparsity-ratio calculator computes per fetched tile (Eq. 4).
+     */
+    std::int64_t Popcount() const;
+
+  private:
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<std::uint64_t> words_;
+    std::vector<std::int32_t> values_;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_SPARSE_BITMAP_H_

@@ -1,0 +1,64 @@
+#include "sparse/compressed.h"
+
+#include "sparse/footprint.h"
+
+namespace flexnerfer {
+
+CompressedMatrix
+CompressedMatrix::FromDense(const MatrixI& dense,
+                            CompressedOrientation orientation)
+{
+    CompressedMatrix out;
+    out.rows_ = dense.rows();
+    out.cols_ = dense.cols();
+    out.orientation_ = orientation;
+
+    const bool row_wise = orientation == CompressedOrientation::kRowWise;
+    const int major = row_wise ? dense.rows() : dense.cols();
+    const int minor = row_wise ? dense.cols() : dense.rows();
+
+    out.pointers_.reserve(major + 1);
+    out.pointers_.push_back(0);
+    for (int i = 0; i < major; ++i) {
+        for (int j = 0; j < minor; ++j) {
+            const std::int32_t v =
+                row_wise ? dense.at(i, j) : dense.at(j, i);
+            if (v != 0) {
+                out.indices_.push_back(j);
+                out.values_.push_back(v);
+            }
+        }
+        out.pointers_.push_back(static_cast<std::int32_t>(
+            out.values_.size()));
+    }
+    return out;
+}
+
+MatrixI
+CompressedMatrix::ToDense() const
+{
+    MatrixI dense(rows_, cols_);
+    const bool row_wise = orientation_ == CompressedOrientation::kRowWise;
+    const int major = row_wise ? rows_ : cols_;
+    for (int i = 0; i < major; ++i) {
+        for (std::int32_t k = pointers_[i]; k < pointers_[i + 1]; ++k) {
+            const std::int32_t j = indices_[k];
+            if (row_wise) {
+                dense.at(i, j) = values_[k];
+            } else {
+                dense.at(j, i) = values_[k];
+            }
+        }
+    }
+    return dense;
+}
+
+std::int64_t
+CompressedMatrix::EncodedBits(Precision precision) const
+{
+    return CsrFootprintBits(rows_, cols_,
+                            static_cast<std::int64_t>(values_.size()),
+                            precision);
+}
+
+}  // namespace flexnerfer

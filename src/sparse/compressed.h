@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Compressed sparse row/column (CSR/CSC) format.
+ *
+ * CSR and CSC share one compression mechanism and differ only in whether
+ * elements are grouped along rows or columns (the paper treats them as one
+ * footprint category); this class parameterizes the orientation.
+ */
+#ifndef FLEXNERFER_SPARSE_COMPRESSED_H_
+#define FLEXNERFER_SPARSE_COMPRESSED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/types.h"
+
+namespace flexnerfer {
+
+/** Grouping orientation of a compressed matrix. */
+enum class CompressedOrientation : std::uint8_t {
+    kRowWise,  //!< CSR: pointer per row, column indices stored
+    kColWise,  //!< CSC: pointer per column, row indices stored
+};
+
+/** CSR/CSC encoded sparse matrix. */
+class CompressedMatrix
+{
+  public:
+    CompressedMatrix() = default;
+
+    /** Encodes a dense matrix in the requested orientation. */
+    static CompressedMatrix FromDense(const MatrixI& dense,
+                                      CompressedOrientation orientation);
+
+    /** Decodes back to a dense matrix. */
+    MatrixI ToDense() const;
+
+    /** Storage footprint in bits at @p precision with minimal index widths. */
+    std::int64_t EncodedBits(Precision precision) const;
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    CompressedOrientation orientation() const { return orientation_; }
+    std::size_t Nnz() const { return values_.size(); }
+
+    /** Pointer array: length = major-dimension + 1, monotone, ends at nnz. */
+    const std::vector<std::int32_t>& pointers() const { return pointers_; }
+
+    /** Minor-dimension index of each stored non-zero. */
+    const std::vector<std::int32_t>& indices() const { return indices_; }
+
+    const std::vector<std::int32_t>& values() const { return values_; }
+
+  private:
+    int rows_ = 0;
+    int cols_ = 0;
+    CompressedOrientation orientation_ = CompressedOrientation::kRowWise;
+    std::vector<std::int32_t> pointers_;
+    std::vector<std::int32_t> indices_;
+    std::vector<std::int32_t> values_;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_SPARSE_COMPRESSED_H_

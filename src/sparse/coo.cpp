@@ -1,0 +1,40 @@
+#include "sparse/coo.h"
+
+#include "sparse/footprint.h"
+
+namespace flexnerfer {
+
+CooMatrix
+CooMatrix::FromDense(const MatrixI& dense)
+{
+    CooMatrix coo;
+    coo.rows_ = dense.rows();
+    coo.cols_ = dense.cols();
+    coo.entries_.reserve(dense.Nnz());
+    for (int r = 0; r < dense.rows(); ++r) {
+        for (int c = 0; c < dense.cols(); ++c) {
+            const std::int32_t v = dense.at(r, c);
+            if (v != 0) coo.entries_.push_back({r, c, v});
+        }
+    }
+    return coo;
+}
+
+MatrixI
+CooMatrix::ToDense() const
+{
+    MatrixI dense(rows_, cols_);
+    for (const CooEntry& e : entries_) {
+        dense.at(e.row, e.col) = e.value;
+    }
+    return dense;
+}
+
+std::int64_t
+CooMatrix::EncodedBits(Precision precision) const
+{
+    return CooFootprintBits(rows_, cols_, static_cast<std::int64_t>(Nnz()),
+                            precision);
+}
+
+}  // namespace flexnerfer

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Coordinate-list (COO) sparse matrix format.
+ *
+ * Each non-zero is stored as an explicit (row, col, value) triple. COO is the
+ * footprint-optimal choice only at extreme sparsity, where per-element index
+ * cost is cheaper than CSR/CSC's fixed row/column-pointer array.
+ */
+#ifndef FLEXNERFER_SPARSE_COO_H_
+#define FLEXNERFER_SPARSE_COO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/types.h"
+
+namespace flexnerfer {
+
+/** One COO triple. */
+struct CooEntry {
+    std::int32_t row = 0;
+    std::int32_t col = 0;
+    std::int32_t value = 0;
+
+    bool operator==(const CooEntry&) const = default;
+};
+
+/** COO-encoded sparse matrix (entries sorted row-major). */
+class CooMatrix
+{
+  public:
+    CooMatrix() = default;
+
+    /** Encodes a dense matrix; zero elements are dropped. */
+    static CooMatrix FromDense(const MatrixI& dense);
+
+    /** Decodes back to a dense matrix. */
+    MatrixI ToDense() const;
+
+    /**
+     * Storage footprint in bits when values are stored at @p precision and
+     * indices at the minimal width for the matrix dimensions.
+     */
+    std::int64_t EncodedBits(Precision precision) const;
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    std::size_t Nnz() const { return entries_.size(); }
+    const std::vector<CooEntry>& entries() const { return entries_; }
+
+  private:
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<CooEntry> entries_;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_SPARSE_COO_H_

@@ -1,0 +1,91 @@
+#include "sparse/flex_codec.h"
+
+#include "sparse/footprint.h"
+#include "sparse/format_selector.h"
+
+namespace flexnerfer {
+
+EncodedTile
+FlexFormatCodec::Encode(const MatrixI& tile, Precision precision) const
+{
+    const auto nnz = static_cast<std::int64_t>(tile.Nnz());
+    const SparsityFormat format =
+        SelectOptimalFormat(tile.rows(), tile.cols(), nnz, precision);
+    return EncodeAs(tile, precision, format);
+}
+
+EncodedTile
+FlexFormatCodec::EncodeAs(const MatrixI& tile, Precision precision,
+                          SparsityFormat format) const
+{
+    EncodedTile out;
+    out.format = format;
+    out.precision = precision;
+    out.rows = tile.rows();
+    out.cols = tile.cols();
+    const auto nnz = static_cast<std::int64_t>(tile.Nnz());
+    out.encoded_bits =
+        FootprintBits(format, tile.rows(), tile.cols(), nnz, precision);
+
+    switch (format) {
+      case SparsityFormat::kNone:
+        out.payload = tile;
+        break;
+      case SparsityFormat::kCoo:
+        out.payload = CooMatrix::FromDense(tile);
+        break;
+      case SparsityFormat::kCsr:
+        out.payload = CompressedMatrix::FromDense(
+            tile, CompressedOrientation::kRowWise);
+        break;
+      case SparsityFormat::kCsc:
+        out.payload = CompressedMatrix::FromDense(
+            tile, CompressedOrientation::kColWise);
+        break;
+      case SparsityFormat::kBitmap:
+        out.payload = BitmapMatrix::FromDense(tile);
+        break;
+    }
+    return out;
+}
+
+MatrixI
+FlexFormatCodec::Decode(const EncodedTile& tile) const
+{
+    return std::visit(
+        [](const auto& payload) -> MatrixI {
+            using T = std::decay_t<decltype(payload)>;
+            if constexpr (std::is_same_v<T, MatrixI>) {
+                return payload;
+            } else {
+                return payload.ToDense();
+            }
+        },
+        tile.payload);
+}
+
+CodecCost
+FlexFormatCodec::EncodeCost(const EncodedTile& encoded) const
+{
+    CodecCost cost;
+    cost.bytes_in = DenseFootprintBits(encoded.rows, encoded.cols,
+                                       encoded.precision) / 8;
+    cost.bytes_out = encoded.EncodedBytes();
+    // The encoder streams the raw tile once; output is produced in lockstep.
+    cost.cycles = static_cast<double>(cost.bytes_in) / config_.bytes_per_cycle;
+    return cost;
+}
+
+CodecCost
+FlexFormatCodec::DecodeCost(const EncodedTile& encoded) const
+{
+    CodecCost cost;
+    cost.bytes_in = encoded.EncodedBytes();
+    cost.bytes_out = DenseFootprintBits(encoded.rows, encoded.cols,
+                                        encoded.precision) / 8;
+    // The decoder streams the compressed tile once.
+    cost.cycles = static_cast<double>(cost.bytes_in) / config_.bytes_per_cycle;
+    return cost;
+}
+
+}  // namespace flexnerfer

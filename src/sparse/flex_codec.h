@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Flexible format encoder/decoder: compresses an operand tile into the
+ * footprint-optimal sparsity format for its measured sparsity ratio and the
+ * active precision mode (Section 4.3 of the paper).
+ *
+ * Input tensors are measured online per tile; weight tensors are pre-analyzed
+ * offline and stored in local DRAM already in their optimal format.
+ */
+#ifndef FLEXNERFER_SPARSE_FLEX_CODEC_H_
+#define FLEXNERFER_SPARSE_FLEX_CODEC_H_
+
+#include <cstdint>
+#include <variant>
+
+#include "common/matrix.h"
+#include "common/types.h"
+#include "sparse/bitmap.h"
+#include "sparse/compressed.h"
+#include "sparse/coo.h"
+
+namespace flexnerfer {
+
+/** A tile compressed into one of the selectable formats. */
+struct EncodedTile {
+    SparsityFormat format = SparsityFormat::kNone;
+    Precision precision = Precision::kInt16;
+    int rows = 0;
+    int cols = 0;
+    std::int64_t encoded_bits = 0;
+
+    /** Dense payload for kNone; otherwise the matching sparse structure. */
+    std::variant<MatrixI, CooMatrix, CompressedMatrix, BitmapMatrix> payload;
+
+    /** Encoded size rounded up to whole bytes. */
+    std::int64_t EncodedBytes() const { return (encoded_bits + 7) / 8; }
+};
+
+/** Cycle cost of one encode or decode pass over a tile. */
+struct CodecCost {
+    double cycles = 0.0;
+    std::int64_t bytes_in = 0;
+    std::int64_t bytes_out = 0;
+};
+
+/** Flexible format encoder/decoder with a throughput-based cycle model. */
+class FlexFormatCodec
+{
+  public:
+    struct Config {
+        int array_dim = 64;              //!< MAC-unit grid side
+        double bytes_per_cycle = 128.0;  //!< codec streaming throughput
+    };
+
+    FlexFormatCodec() = default;
+    explicit FlexFormatCodec(const Config& config) : config_(config) {}
+
+    /**
+     * Measures the tile's sparsity and encodes it in the optimal format for
+     * (@p precision, measured ratio). This is the online input-tensor path.
+     */
+    EncodedTile Encode(const MatrixI& tile, Precision precision) const;
+
+    /** Encodes in an explicitly chosen format (offline weight path). */
+    EncodedTile EncodeAs(const MatrixI& tile, Precision precision,
+                         SparsityFormat format) const;
+
+    /** Decompresses back to a dense tile. */
+    MatrixI Decode(const EncodedTile& tile) const;
+
+    /** Cycle cost of encoding a raw tile into @p encoded. */
+    CodecCost EncodeCost(const EncodedTile& encoded) const;
+
+    /** Cycle cost of decoding @p encoded back to dense. */
+    CodecCost DecodeCost(const EncodedTile& encoded) const;
+
+    const Config& config() const { return config_; }
+
+  private:
+    Config config_;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_SPARSE_FLEX_CODEC_H_

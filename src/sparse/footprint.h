@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Analytic storage-footprint model for the sparsity formats (Fig. 7 of the
+ * paper). The concrete encoders' EncodedBits() methods delegate here so the
+ * analytic sweep and the actual encodings can never diverge.
+ *
+ * Index widths are the minimal widths for the tile dimensions; CSR/CSC
+ * pointer entries are wide enough to address one full tile of non-zeros.
+ */
+#ifndef FLEXNERFER_SPARSE_FOOTPRINT_H_
+#define FLEXNERFER_SPARSE_FOOTPRINT_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace flexnerfer {
+
+/** Bits needed to represent values in [0, n-1] (at least 1). */
+int IndexBits(std::int64_t n);
+
+/** Dense (uncompressed) footprint in bits. */
+std::int64_t DenseFootprintBits(int rows, int cols, Precision precision);
+
+/** COO footprint: nnz * (row index + col index + value) bits. */
+std::int64_t CooFootprintBits(int rows, int cols, std::int64_t nnz,
+                              Precision precision);
+
+/**
+ * CSR/CSC footprint: nnz * (minor index + value) + (major + 1) pointer
+ * entries sized to address a full tile of non-zeros.
+ */
+std::int64_t CsrFootprintBits(int rows, int cols, std::int64_t nnz,
+                              Precision precision);
+
+/** Bitmap footprint: rows * cols presence bits + nnz values. */
+std::int64_t BitmapFootprintBits(int rows, int cols, std::int64_t nnz,
+                                 Precision precision);
+
+/** Footprint of @p format for a tile with @p nnz non-zeros. */
+std::int64_t FootprintBits(SparsityFormat format, int rows, int cols,
+                           std::int64_t nnz, Precision precision);
+
+/**
+ * Side length of the MAC-array-native square tile at @p precision, for an
+ * array of @p array_dim x @p array_dim MAC units (64 -> 64/128/256).
+ */
+int TileDim(Precision precision, int array_dim = 64);
+
+/**
+ * Bytes of one full operand-tile fetch at @p precision (Fig. 6(b)): the
+ * fetch size doubles each time precision halves because the effective
+ * multiplier grid quadruples while elements shrink 2x.
+ */
+std::int64_t TileFetchBytes(Precision precision, int array_dim = 64);
+
+/** Elements delivered per tile fetch (quadruples when precision halves). */
+std::int64_t ElementsPerFetch(Precision precision, int array_dim = 64);
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_SPARSE_FOOTPRINT_H_

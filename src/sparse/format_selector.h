@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Optimal sparsity-format selection as a function of precision mode and
+ * sparsity ratio (Fig. 8 of the paper), driven by the footprint model.
+ */
+#ifndef FLEXNERFER_SPARSE_FORMAT_SELECTOR_H_
+#define FLEXNERFER_SPARSE_FORMAT_SELECTOR_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace flexnerfer {
+
+/**
+ * Returns the format with the smallest footprint for a rows x cols tile
+ * containing exactly @p nnz non-zeros at @p precision. Ties break toward the
+ * simpler decode (None > Bitmap > CSR > COO).
+ */
+SparsityFormat SelectOptimalFormat(int rows, int cols, std::int64_t nnz,
+                                   Precision precision);
+
+/**
+ * Convenience overload on a sparsity ratio in [0, 1] with the MAC-array
+ * native tile shape for @p precision (64/128/256 square).
+ */
+SparsityFormat SelectOptimalFormatForRatio(double sparsity,
+                                           Precision precision,
+                                           int array_dim = 64);
+
+/**
+ * Lowest sparsity ratio (percent) at which @p format first becomes the
+ * optimal choice at @p precision, or a negative value if it never is.
+ * Scans a fine sweep over nnz counts of the native tile.
+ */
+double FormatOnsetSparsityPercent(SparsityFormat format, Precision precision,
+                                  int array_dim = 64);
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_SPARSE_FORMAT_SELECTOR_H_

@@ -1,0 +1,61 @@
+#include "sparse/intersection.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+
+std::vector<std::pair<int, int>>
+IntersectColumnRow(const BitmapMatrix& a, const BitmapMatrix& b, int k)
+{
+    FLEX_CHECK_MSG(a.cols() == b.rows(), "tile shape mismatch");
+    FLEX_CHECK(k >= 0 && k < a.cols());
+    std::vector<int> rows;
+    for (int i = 0; i < a.rows(); ++i) {
+        if (a.Test(i, k)) rows.push_back(i);
+    }
+    std::vector<int> cols;
+    for (int j = 0; j < b.cols(); ++j) {
+        if (b.Test(k, j)) cols.push_back(j);
+    }
+    std::vector<std::pair<int, int>> pairs;
+    pairs.reserve(rows.size() * cols.size());
+    for (int i : rows) {
+        for (int j : cols) {
+            pairs.emplace_back(i, j);
+        }
+    }
+    return pairs;
+}
+
+std::int64_t
+CountIntersectionWork(const BitmapMatrix& a, const BitmapMatrix& b)
+{
+    FLEX_CHECK_MSG(a.cols() == b.rows(), "tile shape mismatch");
+    std::int64_t work = 0;
+    for (int k = 0; k < a.cols(); ++k) {
+        std::int64_t a_col = 0;
+        for (int i = 0; i < a.rows(); ++i) {
+            a_col += a.Test(i, k) ? 1 : 0;
+        }
+        std::int64_t b_row = 0;
+        for (int j = 0; j < b.cols(); ++j) {
+            b_row += b.Test(k, j) ? 1 : 0;
+        }
+        work += a_col * b_row;
+    }
+    return work;
+}
+
+double
+IntersectionCycles(const BitmapMatrix& a, const BitmapMatrix& b, int lanes)
+{
+    FLEX_CHECK(lanes >= 1);
+    // One 64-bit AND+popcount word pair per lane per cycle over both masks.
+    const double words =
+        static_cast<double>(a.words().size() + b.words().size());
+    return std::ceil(words / lanes);
+}
+
+}  // namespace flexnerfer

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Bitmap intersection unit (Fig. 11, steps 1-3): before mapping a sparse
+ * irregular GEMM tile pair, the control unit bitwise-ANDs matrix 1's
+ * column-presence masks with matrix 2's row-presence masks to enumerate
+ * exactly the non-zero products — the source/destination pairs handed to
+ * the routing control generator.
+ */
+#ifndef FLEXNERFER_SPARSE_INTERSECTION_H_
+#define FLEXNERFER_SPARSE_INTERSECTION_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sparse/bitmap.h"
+
+namespace flexnerfer {
+
+/**
+ * Non-zero products contributed by inner index @p k: the (i, j) pairs with
+ * A[i, k] != 0 and B[k, j] != 0, in row-major order. @p a is the M x K
+ * operand, @p b the K x N operand.
+ */
+std::vector<std::pair<int, int>>
+IntersectColumnRow(const BitmapMatrix& a, const BitmapMatrix& b, int k);
+
+/**
+ * Total non-zero product count of the tile pair:
+ * sum_k nnz(A[:, k]) * nnz(B[k, :]) — the exact work the dense mapper will
+ * pack into waves. Computed with word-level popcounts, as the hardware's
+ * AND/popcount units would.
+ */
+std::int64_t CountIntersectionWork(const BitmapMatrix& a,
+                                   const BitmapMatrix& b);
+
+/**
+ * Cycle model: the intersection unit ANDs one 64-bit mask word pair per
+ * lane per cycle across @p lanes parallel units.
+ */
+double IntersectionCycles(const BitmapMatrix& a, const BitmapMatrix& b,
+                          int lanes = 64);
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_SPARSE_INTERSECTION_H_

@@ -1,0 +1,54 @@
+#include "sparse/sr_calculator.h"
+
+#include <cmath>
+
+#include "sparse/footprint.h"
+
+namespace flexnerfer {
+
+SrCalculator::SrCalculator(Precision precision, int array_dim)
+    : precision_(precision),
+      elements_per_fetch_(ElementsPerFetch(precision, array_dim))
+{}
+
+void
+SrCalculator::Observe(const MatrixI& tile)
+{
+    FLEX_CHECK_MSG(static_cast<std::int64_t>(tile.size()) <=
+                       elements_per_fetch_,
+                   "tile of " << tile.size() << " elements exceeds one fetch ("
+                              << elements_per_fetch_ << " elements at "
+                              << ToString(precision_) << ")");
+    ++fetches_;
+    popcount_total_ += static_cast<std::int64_t>(tile.Nnz());
+}
+
+double
+SrCalculator::SparsityRatioPercent() const
+{
+    if (fetches_ == 0) return 0.0;
+    const double denom =
+        static_cast<double>(fetches_) *
+        static_cast<double>(elements_per_fetch_);
+    return (1.0 - static_cast<double>(popcount_total_) / denom) * 100.0;
+}
+
+double
+SrCalculator::CyclesUsed() const
+{
+    if (fetches_ == 0) return 0.0;
+    // One pipelined popcount per fetch plus the final Brent-Kung adder
+    // reduction over the per-fetch partial counts (log2 depth).
+    const double reduction_depth =
+        std::ceil(std::log2(static_cast<double>(fetches_) + 1.0));
+    return static_cast<double>(fetches_) + reduction_depth;
+}
+
+void
+SrCalculator::Reset()
+{
+    fetches_ = 0;
+    popcount_total_ = 0;
+}
+
+}  // namespace flexnerfer

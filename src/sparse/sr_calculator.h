@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Online sparsity-ratio calculator (Eq. 4 of the paper).
+ *
+ * The hardware observes each operand tile as it is fetched from memory,
+ * popcounts
+ * the presence mask of each fetch with a bank of popcount units, and
+ * accumulates the counts through a Brent-Kung adder. The resulting sparsity
+ * ratio — together with the precision mode — drives the flexible format
+ * encoder's choice of storage format.
+ */
+#ifndef FLEXNERFER_SPARSE_SR_CALCULATOR_H_
+#define FLEXNERFER_SPARSE_SR_CALCULATOR_H_
+
+#include <cstdint>
+
+#include "common/matrix.h"
+#include "common/types.h"
+
+namespace flexnerfer {
+
+/** Streaming sparsity-ratio measurement over fetched tiles. */
+class SrCalculator
+{
+  public:
+    /**
+     * @param precision operating precision mode (sets N_data/fetch)
+     * @param array_dim MAC-unit grid side length (64 in the paper)
+     */
+    explicit SrCalculator(Precision precision, int array_dim = 64);
+
+    /**
+     * Accounts one fetched tile. Tiles smaller than the native tile are
+     * implicitly zero-padded, exactly as the MAC array would see them.
+     */
+    void Observe(const MatrixI& tile);
+
+    /** Sparsity ratio in percent per Eq. 4; 0 if nothing was observed. */
+    double SparsityRatioPercent() const;
+
+    /** Number of tile fetches observed (N_fetch). */
+    std::int64_t fetches() const { return fetches_; }
+
+    /** Total non-zero count accumulated across fetches. */
+    std::int64_t popcount_total() const { return popcount_total_; }
+
+    /** Elements per fetch at the configured precision (N_data/fetch). */
+    std::int64_t elements_per_fetch() const { return elements_per_fetch_; }
+
+    /**
+     * Cycles spent measuring: popcounting overlaps the fetch pipeline
+     * (one cycle per fetch) plus the Brent-Kung reduction depth at the end.
+     */
+    double CyclesUsed() const;
+
+    /** Clears all accumulated state for a new tensor. */
+    void Reset();
+
+  private:
+    Precision precision_;
+    std::int64_t elements_per_fetch_;
+    std::int64_t fetches_ = 0;
+    std::int64_t popcount_total_ = 0;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_SPARSE_SR_CALCULATOR_H_

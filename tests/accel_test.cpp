@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests for the accelerator zoo: PPA tables against the paper's published
+ * numbers, GPU model behaviour, dense-array utilization (Fig. 4), the
+ * Table 3 effective-efficiency ordering, and the end-to-end FlexNeRFer /
+ * NeuRex frame models.
+ */
+#include <gtest/gtest.h>
+
+#include "accel/arrays.h"
+#include "accel/dense_utilization.h"
+#include "accel/flexnerfer.h"
+#include "accel/gpu_model.h"
+#include "accel/neurex.h"
+#include "accel/ppa.h"
+#include "sim/metrics.h"
+
+namespace flexnerfer {
+namespace {
+
+TEST(Ppa, Table3PeakEfficiencies)
+{
+    // Table 3 peak TOPS/W: SIGMA 1.1; Bit Fusion 18.1/4.9/1.4;
+    // bit-scalable SIGMA 5.7/3.0/0.8; FlexNeRFer 15.2/4.1/1.2.
+    const ArraySpec& sigma = GetArraySpec(ArrayKind::kSigma);
+    EXPECT_NEAR(sigma.PeakTopsPerW(Precision::kInt16), 1.1, 0.1);
+    EXPECT_FALSE(sigma.SupportsPrecision(Precision::kInt4));
+
+    const ArraySpec& bf = GetArraySpec(ArrayKind::kBitFusion);
+    EXPECT_NEAR(bf.PeakTopsPerW(Precision::kInt4), 18.1, 0.3);
+    EXPECT_NEAR(bf.PeakTopsPerW(Precision::kInt8), 4.9, 0.2);
+    EXPECT_NEAR(bf.PeakTopsPerW(Precision::kInt16), 1.4, 0.1);
+
+    const ArraySpec& bss = GetArraySpec(ArrayKind::kBitScalableSigma);
+    EXPECT_NEAR(bss.PeakTopsPerW(Precision::kInt4), 5.7, 0.2);
+    EXPECT_NEAR(bss.PeakTopsPerW(Precision::kInt8), 3.0, 0.1);
+    EXPECT_NEAR(bss.PeakTopsPerW(Precision::kInt16), 0.8, 0.05);
+
+    const ArraySpec& flex = GetArraySpec(ArrayKind::kFlexNeRFer);
+    EXPECT_NEAR(flex.PeakTopsPerW(Precision::kInt4), 15.2, 0.3);
+    EXPECT_NEAR(flex.PeakTopsPerW(Precision::kInt8), 4.1, 0.1);
+    EXPECT_NEAR(flex.PeakTopsPerW(Precision::kInt16), 1.2, 0.05);
+}
+
+TEST(Ppa, Table3AreaOrdering)
+{
+    // FlexNeRFer: 1.4x larger than SIGMA, 10.3% smaller than Bit Fusion,
+    // 1.4x smaller than bit-scalable SIGMA.
+    const double flex = GetArraySpec(ArrayKind::kFlexNeRFer).area_mm2;
+    EXPECT_NEAR(flex / GetArraySpec(ArrayKind::kSigma).area_mm2, 1.4, 0.05);
+    EXPECT_NEAR(1.0 - flex / GetArraySpec(ArrayKind::kBitFusion).area_mm2,
+                0.103, 0.01);
+    EXPECT_NEAR(GetArraySpec(ArrayKind::kBitScalableSigma).area_mm2 / flex,
+                1.4, 0.05);
+}
+
+TEST(Ppa, BreakdownsSumToTotals)
+{
+    for (ArrayKind kind : {ArrayKind::kSigma, ArrayKind::kBitFusion,
+                           ArrayKind::kBitScalableSigma,
+                           ArrayKind::kFlexNeRFer}) {
+        const PpaBreakdown b = ArrayBreakdown(kind);
+        EXPECT_NEAR(b.TotalAreaMm2(), GetArraySpec(kind).area_mm2, 0.1);
+    }
+    EXPECT_NEAR(FlexNeRFerBreakdown().TotalAreaMm2(),
+                FlexNeRFerSpec().area_mm2, 0.1);
+    EXPECT_NEAR(FlexNeRFerBreakdown().TotalPowerW(),
+                FlexNeRFerSpec().power_w, 0.1);
+    EXPECT_NEAR(NeuRexBreakdown().TotalAreaMm2(), NeuRexSpec().area_mm2,
+                0.1);
+}
+
+TEST(Ppa, AcceleratorsMeetOnDeviceConstraints)
+{
+    // Fig. 16: both accelerators fit under 100 mm^2 / 10 W; the GPUs do not.
+    EXPECT_LT(FlexNeRFerSpec().area_mm2, kAreaConstraintMm2);
+    EXPECT_LT(FlexNeRFerPowerW(Precision::kInt4), kPowerConstraintW);
+    EXPECT_LT(NeuRexSpec().area_mm2, kAreaConstraintMm2);
+    EXPECT_GT(Rtx2080TiSpec().area_mm2, kAreaConstraintMm2);
+    EXPECT_GT(Rtx2080TiSpec().power_w, kPowerConstraintW);
+    EXPECT_GT(XavierNxSpec().power_w, kPowerConstraintW);
+}
+
+TEST(Ppa, FormatCodecOverheadIsSmall)
+{
+    // Section 6.3.1: 3.2% area, 3.4% power for the format codec.
+    const PpaBreakdown b = FlexNeRFerBreakdown();
+    double codec_area = 0.0, codec_power = 0.0;
+    for (const auto& c : b.components) {
+        if (c.name.find("format") != std::string::npos) {
+            codec_area = c.area_mm2;
+            codec_power = c.power_w;
+        }
+    }
+    EXPECT_NEAR(codec_area / b.TotalAreaMm2(), 0.032, 0.004);
+    EXPECT_NEAR(codec_power / b.TotalPowerW(), 0.034, 0.004);
+}
+
+TEST(GpuModel, Fig1LatenciesExceedFrameThresholds)
+{
+    // Fig. 1: all seven models miss the 16.8 ms VR threshold on the GPU.
+    const GpuModel gpu;
+    for (const std::string& name : AllModelNames()) {
+        const FrameCost c = gpu.RunWorkload(BuildWorkload(name));
+        EXPECT_GT(c.latency_ms, 16.8) << name;
+    }
+}
+
+TEST(GpuModel, NerfOrdersOfMagnitudeSlowerThanNgp)
+{
+    const GpuModel gpu;
+    const double nerf =
+        gpu.RunWorkload(BuildWorkload("NeRF")).latency_ms;
+    const double ngp =
+        gpu.RunWorkload(BuildWorkload("Instant-NGP")).latency_ms;
+    EXPECT_GT(nerf / ngp, 30.0);
+}
+
+TEST(GpuModel, GemmDominatesRuntime)
+{
+    // Fig. 3: GEMM/GEMV is the top contributor for every model.
+    const GpuModel gpu;
+    for (const std::string& name : AllModelNames()) {
+        const FrameCost c = gpu.RunWorkload(BuildWorkload(name));
+        EXPECT_GT(c.gemm_ms, c.encoding_ms) << name;
+        EXPECT_GT(c.gemm_ms, c.other_ms) << name;
+    }
+}
+
+TEST(GpuModel, ThinLayersRunLessEfficiently)
+{
+    const GpuModel gpu;
+    EXPECT_GT(gpu.GemmEfficiency(256, 256), gpu.GemmEfficiency(32, 32));
+    EXPECT_GT(gpu.GemmEfficiency(8, 8), 0.0);
+    EXPECT_LT(gpu.GemmEfficiency(8, 8), 0.1 * gpu.GemmEfficiency(256, 256));
+}
+
+TEST(GpuModel, XavierIsSlowerThanDesktop)
+{
+    const FrameCost desktop =
+        GpuModel::Rtx2080Ti().RunWorkload(BuildWorkload("Instant-NGP"));
+    const FrameCost edge =
+        GpuModel::XavierNx().RunWorkload(BuildWorkload("Instant-NGP"));
+    EXPECT_GT(edge.latency_ms, 2.0 * desktop.latency_ms);
+}
+
+TEST(DenseUtilization, Fig4Shapes)
+{
+    const auto& scenarios = Fig4Scenarios();
+    ASSERT_EQ(scenarios.size(), 4u);
+
+    // (a) early CNN: both commercial engines underfill.
+    EXPECT_NEAR(NvdlaUtilization(scenarios[0]), 0.375, 0.01);
+    EXPECT_LT(TpuUtilization(scenarios[0]), 0.8);
+    // (b) late CNN: NVDLA reaches 100%, the TPU stays lower.
+    EXPECT_NEAR(NvdlaUtilization(scenarios[1]), 1.0, 1e-9);
+    EXPECT_LT(TpuUtilization(scenarios[1]), NvdlaUtilization(scenarios[1]));
+    // (c) irregular dense GEMM: TPU high, NVDLA collapses.
+    EXPECT_GT(TpuUtilization(scenarios[2]), 0.6);
+    EXPECT_NEAR(NvdlaUtilization(scenarios[2]), 1.0 / 16.0, 1e-9);
+    // (d) sparsity drags the TPU down further; NVDLA stays collapsed.
+    EXPECT_LT(TpuUtilization(scenarios[3]), TpuUtilization(scenarios[2]));
+    EXPECT_NEAR(NvdlaUtilization(scenarios[3]), 1.0 / 16.0, 1e-9);
+
+    // FlexNeRFer's dense mapping stays high everywhere.
+    for (const MappingScenario& s : scenarios) {
+        EXPECT_GT(FlexNeRFerUtilization(s), 0.6) << s.name;
+        EXPECT_GE(FlexNeRFerUtilization(s), TpuUtilization(s)) << s.name;
+    }
+}
+
+TEST(Arrays, EffectiveEfficiencyOrderingMatchesTable3)
+{
+    // Effective TOPS/W at INT16: FlexNeRFer > SIGMA > bit-scalable SIGMA
+    // > Bit Fusion (1.2 / 1.0 / 0.7 / 0.2 in the paper).
+    const double flex =
+        MeasureEffectiveEfficiency(ArrayKind::kFlexNeRFer,
+                                   Precision::kInt16).tops_per_w;
+    const double sigma =
+        MeasureEffectiveEfficiency(ArrayKind::kSigma,
+                                   Precision::kInt16).tops_per_w;
+    const double bss =
+        MeasureEffectiveEfficiency(ArrayKind::kBitScalableSigma,
+                                   Precision::kInt16).tops_per_w;
+    const double bf =
+        MeasureEffectiveEfficiency(ArrayKind::kBitFusion,
+                                   Precision::kInt16).tops_per_w;
+    EXPECT_GT(flex, sigma);
+    EXPECT_GT(sigma, bss);
+    EXPECT_GT(bss, bf);
+    EXPECT_NEAR(flex, 1.2, 0.25);
+    EXPECT_NEAR(bf, 0.2, 0.08);
+}
+
+TEST(Arrays, SparsityArraysIgnoreZerosBitFusionDoesNot)
+{
+    const auto flex = MeasureEffectiveEfficiency(ArrayKind::kFlexNeRFer,
+                                                 Precision::kInt16);
+    const auto bf = MeasureEffectiveEfficiency(ArrayKind::kBitFusion,
+                                               Precision::kInt16);
+    EXPECT_GT(flex.utilization, 0.9);
+    EXPECT_LT(bf.utilization, 0.25);
+}
+
+TEST(FrameModels, FlexNeRFerBeatsNeuRexBeatsGpu)
+{
+    const GpuModel gpu;
+    const NeuRexModel neurex;
+    const FlexNeRFerModel flex;
+    const auto g = RunAllModels(gpu);
+    const auto n = RunAllModels(neurex);
+    const auto f = RunAllModels(flex);
+
+    const double neurex_speedup = GeoMeanSpeedup(g, n);
+    const double flex_speedup = GeoMeanSpeedup(g, f);
+    EXPECT_GT(neurex_speedup, 1.5);
+    EXPECT_GT(flex_speedup, 2.0 * neurex_speedup);
+    EXPECT_GT(GeoMeanEnergyGain(g, f), GeoMeanEnergyGain(g, n));
+}
+
+TEST(FrameModels, LowerPrecisionRaisesSpeedup)
+{
+    const GpuModel gpu;
+    const auto g = RunAllModels(gpu);
+    double previous = 0.0;
+    for (Precision p :
+         {Precision::kInt16, Precision::kInt8, Precision::kInt4}) {
+        FlexNeRFerModel::Config config;
+        config.precision = p;
+        const double speedup =
+            GeoMeanSpeedup(g, RunAllModels(FlexNeRFerModel(config)));
+        EXPECT_GT(speedup, previous) << ToString(p);
+        previous = speedup;
+    }
+}
+
+TEST(FrameModels, NeuRexIsFlatUnderPruningFlexNeRFerIsNot)
+{
+    // The Fig. 19 signature: structured pruning helps only the
+    // sparsity-aware accelerator.
+    const NeuRexModel neurex;
+    const FlexNeRFerModel flex;
+    WorkloadParams dense;
+    WorkloadParams pruned;
+    pruned.weight_prune_ratio = 0.9;
+
+    const NerfWorkload wd = BuildWorkload("NeRF", dense);
+    const NerfWorkload wp = BuildWorkload("NeRF", pruned);
+    const double n_ratio = neurex.RunWorkload(wd).latency_ms /
+                           neurex.RunWorkload(wp).latency_ms;
+    const double f_ratio = flex.RunWorkload(wd).latency_ms /
+                           flex.RunWorkload(wp).latency_ms;
+    EXPECT_NEAR(n_ratio, 1.0, 0.05);
+    EXPECT_GT(f_ratio, 3.0);
+}
+
+TEST(FrameModels, CodecTimeShareIsModest)
+{
+    // Section 6.3.1: format conversion is a small fraction of total time.
+    const FlexNeRFerModel flex;
+    const FrameCost c = flex.RunWorkload(BuildWorkload("Instant-NGP"));
+    EXPECT_GE(c.codec_ms, 0.0);
+    EXPECT_LT(c.codec_ms / c.latency_ms, 0.25);
+}
+
+}  // namespace
+}  // namespace flexnerfer

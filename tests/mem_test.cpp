@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the memory-system substrates: SRAM buffers, DRAM models, and
+ * the DMA engine.
+ */
+#include <gtest/gtest.h>
+
+#include "mem/dma.h"
+#include "mem/dram.h"
+#include "mem/sram.h"
+
+namespace flexnerfer {
+namespace {
+
+TEST(Sram, EnergyGrowsWithCapacity)
+{
+    const SramBuffer small({"w", 64 * 1024, 128.0});
+    const SramBuffer big({"i", 2 * 1024 * 1024, 128.0});
+    EXPECT_LT(small.ReadEnergyPjPerByte(), big.ReadEnergyPjPerByte());
+    EXPECT_NEAR(small.ReadEnergyPjPerByte(), 0.15, 1e-9);
+}
+
+TEST(Sram, AccountsTrafficAndCycles)
+{
+    SramBuffer buf({"i", 1024, 128.0});
+    EXPECT_DOUBLE_EQ(buf.Read(256), 2.0);
+    EXPECT_DOUBLE_EQ(buf.Write(128), 1.0);
+    EXPECT_EQ(buf.bytes_read(), 256);
+    EXPECT_EQ(buf.bytes_written(), 128);
+    EXPECT_GT(buf.EnergyPj(), 0.0);
+    buf.ResetStats();
+    EXPECT_EQ(buf.bytes_read(), 0);
+    EXPECT_DOUBLE_EQ(buf.EnergyPj(), 0.0);
+}
+
+TEST(Sram, WriteCostsMoreThanRead)
+{
+    const SramBuffer buf({"o", 512 * 1024, 128.0});
+    EXPECT_GT(buf.WriteEnergyPjPerByte(), buf.ReadEnergyPjPerByte());
+}
+
+TEST(Sram, CapacityCheck)
+{
+    const SramBuffer buf({"w", 512 * 1024, 128.0});
+    EXPECT_TRUE(buf.Fits(512 * 1024));
+    EXPECT_FALSE(buf.Fits(512 * 1024 + 1));
+}
+
+TEST(Dram, TransferTimeMatchesBandwidth)
+{
+    const DramModel lpddr3 = DramModel::Lpddr3();
+    // 12.8 GB/s: 128 MB takes 10 ms of streaming.
+    EXPECT_NEAR(lpddr3.TransferMs(128.0 * 1024 * 1024), 10.49, 0.2);
+}
+
+TEST(Dram, Gddr6IsMuchFaster)
+{
+    const DramModel gddr6 = DramModel::Gddr6Rtx2080Ti();
+    const DramModel lpddr3 = DramModel::Lpddr3();
+    const double bytes = 1e9;
+    EXPECT_GT(lpddr3.TransferMs(bytes) / gddr6.TransferMs(bytes), 40.0);
+}
+
+TEST(Dram, EnergyScalesLinearly)
+{
+    const DramModel d = DramModel::Lpddr3();
+    EXPECT_NEAR(d.TransferEnergyMj(1e6), 1e6 * 40.0 * 1e-9, 1e-9);
+    EXPECT_DOUBLE_EQ(d.TransferEnergyMj(0.0), 0.0);
+}
+
+TEST(Dram, AccumulatesTraffic)
+{
+    DramModel d = DramModel::Lpddr3();
+    d.Transfer(1000.0);
+    d.Transfer(500.0);
+    EXPECT_DOUBLE_EQ(d.total_bytes(), 1500.0);
+    d.ResetStats();
+    EXPECT_DOUBLE_EQ(d.total_bytes(), 0.0);
+}
+
+TEST(Dma, SetupPlusStreaming)
+{
+    DmaEngine dma({32.0, 16.0, 128.0});
+    // Bottlenecked by the 16 B/cycle source.
+    EXPECT_DOUBLE_EQ(dma.TransferCycles(1600), 32.0 + 100.0);
+    dma.Transfer(1600);
+    EXPECT_EQ(dma.total_bytes(), 1600);
+    EXPECT_EQ(dma.transfers(), 1);
+}
+
+TEST(Dma, ZeroByteTransferCostsOnlySetup)
+{
+    DmaEngine dma({32.0, 16.0, 128.0});
+    EXPECT_DOUBLE_EQ(dma.TransferCycles(0), 32.0);
+}
+
+}  // namespace
+}  // namespace flexnerfer

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the NeRF workload descriptors: structural invariants and the
+ * architectural properties the paper's profiling section relies on.
+ */
+#include <gtest/gtest.h>
+
+#include "models/workload.h"
+
+namespace flexnerfer {
+namespace {
+
+TEST(Workloads, AllSevenModelsBuild)
+{
+    ASSERT_EQ(AllModelNames().size(), 7u);
+    for (const std::string& name : AllModelNames()) {
+        const NerfWorkload w = BuildWorkload(name);
+        EXPECT_EQ(w.name, name);
+        EXPECT_FALSE(w.ops.empty()) << name;
+        EXPECT_GT(w.samples_per_frame, 0.0) << name;
+        EXPECT_GT(w.TotalGemmMacs(), 0.0) << name;
+    }
+}
+
+TEST(Workloads, GemmShapesAreValid)
+{
+    for (const std::string& name : AllModelNames()) {
+        for (const WorkloadOp& op : BuildWorkload(name).ops) {
+            if (op.kind != OpKind::kGemm) continue;
+            EXPECT_GE(op.gemm.m, 1) << name << "/" << op.name;
+            EXPECT_GE(op.gemm.k, 1) << name << "/" << op.name;
+            EXPECT_GE(op.gemm.n, 1) << name << "/" << op.name;
+            EXPECT_GT(op.gemm.density_a, 0.0);
+            EXPECT_LE(op.gemm.density_a, 1.0);
+        }
+    }
+}
+
+TEST(Workloads, VanillaNerfIsTheHeaviest)
+{
+    // Section 3: the original NeRF needs vastly more operations than the
+    // accelerated variants.
+    const double nerf = BuildWorkload("NeRF").TotalGemmMacs();
+    for (const std::string& name : AllModelNames()) {
+        if (name == "NeRF" || name == "Mip-NeRF") continue;
+        EXPECT_GT(nerf, 5.0 * BuildWorkload(name).TotalGemmMacs()) << name;
+    }
+}
+
+TEST(Workloads, EncodingHeavyModelsHaveEncodingWork)
+{
+    // Fig. 3: KiloNeRF / NSVF / Mip-NeRF / Instant-NGP spend considerable
+    // time encoding.
+    for (const std::string name :
+         {"KiloNeRF", "NSVF", "Mip-NeRF", "Instant-NGP"}) {
+        EXPECT_GT(BuildWorkload(name).TotalEncodingValues(), 1e7) << name;
+    }
+}
+
+TEST(Workloads, InstantNgpUsesHashEncoding)
+{
+    const NerfWorkload w = BuildWorkload("Instant-NGP");
+    bool has_hash = false;
+    for (const WorkloadOp& op : w.ops) {
+        if (op.kind == OpKind::kHashEncoding) has_hash = true;
+    }
+    EXPECT_TRUE(has_hash);
+}
+
+TEST(Workloads, PruningPropagatesToGemmShapes)
+{
+    WorkloadParams params;
+    params.weight_prune_ratio = 0.7;
+    for (const WorkloadOp& op : BuildWorkload("NeRF", params).ops) {
+        if (op.kind == OpKind::kGemm) {
+            EXPECT_DOUBLE_EQ(op.gemm.structured_prune_b, 0.7);
+        }
+    }
+}
+
+TEST(Workloads, SceneComplexityScalesSamples)
+{
+    WorkloadParams simple;
+    simple.scene_complexity = 0.8;
+    WorkloadParams complex_scene;
+    complex_scene.scene_complexity = 1.3;
+    const double s = BuildWorkload("Instant-NGP", simple).samples_per_frame;
+    const double c =
+        BuildWorkload("Instant-NGP", complex_scene).samples_per_frame;
+    EXPECT_NEAR(c / s, 1.3 / 0.8, 1e-9);
+}
+
+TEST(Workloads, HiddenLayersMarkedOnChip)
+{
+    const NerfWorkload w = BuildWorkload("NeRF");
+    int on_chip = 0;
+    for (const WorkloadOp& op : w.ops) {
+        if (op.kind == OpKind::kGemm && op.activations_on_chip) ++on_chip;
+    }
+    EXPECT_GT(on_chip, 4);  // the deep MLP's hidden layers
+}
+
+TEST(Workloads, UnknownModelIsFatal)
+{
+    EXPECT_DEATH(BuildWorkload("GaussianSplatting"), "unknown NeRF model");
+}
+
+}  // namespace
+}  // namespace flexnerfer

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for the NoC substrates: HMF-NoC tree (hops, feedback, dataflow
+ * classification), 1D mesh, column-level bypass links, Benes routing, and
+ * the composed distribution network.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "noc/benes.h"
+#include "noc/clb.h"
+#include "noc/distribution_network.h"
+#include "noc/hmf_noc.h"
+#include "noc/mesh_1d.h"
+
+namespace flexnerfer {
+namespace {
+
+TEST(HmfNoc, UnicastTraversesDepthEdges)
+{
+    HmfNoc noc({16, true, 0.18, 0.12, 8.0});
+    const DeliveryStats s = noc.Deliver(1, {5});
+    EXPECT_EQ(s.switch_hops, 4);  // depth of a 16-leaf tree
+    EXPECT_EQ(s.buffer_reads, 1);
+    EXPECT_EQ(s.dataflow, Dataflow::kUnicast);
+}
+
+TEST(HmfNoc, BroadcastSharesPrefixEdges)
+{
+    HmfNoc noc({8, true, 0.18, 0.12, 8.0});
+    std::vector<int> all(8);
+    std::iota(all.begin(), all.end(), 0);
+    const DeliveryStats s = noc.Deliver(1, all);
+    // Complete tree over 8 leaves: 2*8 - 2 = 14 edges, one buffer read.
+    EXPECT_EQ(s.switch_hops, 14);
+    EXPECT_EQ(s.buffer_reads, 1);
+    EXPECT_EQ(s.dataflow, Dataflow::kBroadcast);
+}
+
+TEST(HmfNoc, MulticastCheaperThanRepeatedUnicast)
+{
+    HmfNoc multicast({64, true, 0.18, 0.12, 8.0});
+    const DeliveryStats m = multicast.Deliver(1, {0, 1, 2, 3});
+    EXPECT_EQ(m.dataflow, Dataflow::kMulticast);
+
+    HmfNoc unicast({64, true, 0.18, 0.12, 8.0});
+    int unicast_hops = 0;
+    for (int d : {0, 1, 2, 3}) {
+        unicast.ClearResidency();  // force fresh injections
+        unicast_hops += unicast.Deliver(100 + d, {d}).switch_hops;
+    }
+    EXPECT_LT(m.switch_hops, unicast_hops);
+}
+
+TEST(HmfNoc, FeedbackAvoidsBufferRead)
+{
+    HmfNoc noc({16, true, 0.18, 0.12, 8.0});
+    const DeliveryStats first = noc.Deliver(42, {3});
+    EXPECT_EQ(first.buffer_reads, 1);
+    EXPECT_FALSE(first.used_feedback);
+
+    // The element is now latched at leaf 3; moving it to leaf 2 uses the
+    // feedback path through their common ancestor instead of the buffer.
+    const DeliveryStats second = noc.Deliver(42, {2});
+    EXPECT_EQ(second.buffer_reads, 0);
+    EXPECT_TRUE(second.used_feedback);
+    EXPECT_GT(second.switch_hops, 0);
+}
+
+TEST(HmfNoc, FeedbackToNeighborIsCheaperThanReinjection)
+{
+    HmfNoc noc({64, true, 0.18, 0.12, 8.0});
+    noc.Deliver(7, {10});
+    const DeliveryStats fb = noc.Deliver(7, {11});  // sibling leaf
+    EXPECT_TRUE(fb.used_feedback);
+    // Sibling-to-sibling: up one level, down one level.
+    EXPECT_LE(fb.switch_hops, 2);
+}
+
+TEST(HmfNoc, HmVariantNeverFeedsBack)
+{
+    HmfNoc noc({16, false, 0.18, 0.12, 8.0});
+    noc.Deliver(42, {3});
+    const DeliveryStats second = noc.Deliver(42, {2});
+    EXPECT_FALSE(second.used_feedback);
+    EXPECT_EQ(second.buffer_reads, 1);
+}
+
+TEST(HmfNoc, HmfSavesEnergyOnReusedTraffic)
+{
+    // Section 4.1.2: HMF-NoC spends ~2.5x less energy on on-chip memory
+    // access for traffic with element reuse across waves.
+    HmfNoc hmf({64, true, 0.18, 0.12, 8.0});
+    HmfNoc hm({64, false, 0.18, 0.12, 8.0});
+    Rng rng(9);
+    for (int wave = 0; wave < 100; ++wave) {
+        // Same 16 elements redistributed to shifting destinations.
+        for (int e = 0; e < 16; ++e) {
+            std::vector<int> dests = {(e * 4 + wave) % 64,
+                                      (e * 4 + wave + 1) % 64};
+            hmf.Deliver(e, dests);
+            hm.Deliver(e, dests);
+        }
+    }
+    EXPECT_GT(hm.EnergyPj() / hmf.EnergyPj(), 2.0);
+}
+
+TEST(HmfNoc, SwitchCount)
+{
+    EXPECT_EQ(HmfNoc({64, true, 0.18, 0.12, 8.0}).SwitchCount(), 63);
+    EXPECT_EQ(HmfNoc({16, true, 0.18, 0.12, 8.0}).SwitchCount(), 15);
+}
+
+TEST(Mesh1d, HopsGrowWithDistance)
+{
+    Mesh1d mesh({8, 0.08, 8.0});
+    EXPECT_EQ(mesh.Deliver(0), 1);
+    EXPECT_EQ(mesh.Deliver(7), 8);
+}
+
+TEST(Mesh1d, WaveHopsAreTriangular)
+{
+    Mesh1d mesh({8, 0.08, 8.0});
+    EXPECT_EQ(mesh.DeliverWave(8), 8 * 9 / 2);
+}
+
+TEST(Clb, BandwidthUtilizationMatchesSection413)
+{
+    // Paper: 25% at 16-bit, 50% at 8-bit without the CLB; 100% with it.
+    EXPECT_DOUBLE_EQ(
+        ColumnBypassLink::BwUtilization(Precision::kInt16, false), 0.25);
+    EXPECT_DOUBLE_EQ(
+        ColumnBypassLink::BwUtilization(Precision::kInt8, false), 0.5);
+    EXPECT_DOUBLE_EQ(
+        ColumnBypassLink::BwUtilization(Precision::kInt4, false), 1.0);
+    for (Precision p : kAllPrecisions) {
+        EXPECT_DOUBLE_EQ(ColumnBypassLink::BwUtilization(p, true), 1.0);
+    }
+}
+
+TEST(Clb, SingleCycleForwarding)
+{
+    for (Precision p : kAllPrecisions) {
+        EXPECT_EQ(ColumnBypassLink::LoadCycles(p, true), 1);
+    }
+    EXPECT_EQ(ColumnBypassLink::LoadCycles(Precision::kInt16, false), 4);
+    EXPECT_EQ(ColumnBypassLink::LoadCycles(Precision::kInt8, false), 2);
+    EXPECT_EQ(ColumnBypassLink::LoadCycles(Precision::kInt4, false), 1);
+}
+
+/** Benes routing over a range of port counts. */
+class BenesPorts : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(BenesPorts, RoutesIdentity)
+{
+    const int n = GetParam();
+    BenesNetwork net(n);
+    std::vector<int> identity(n);
+    std::iota(identity.begin(), identity.end(), 0);
+    const BenesRouting r = net.Route(identity);
+    EXPECT_EQ(r.arrived_at, identity);
+}
+
+TEST_P(BenesPorts, RoutesReversal)
+{
+    const int n = GetParam();
+    BenesNetwork net(n);
+    std::vector<int> reversal(n);
+    for (int i = 0; i < n; ++i) reversal[i] = n - 1 - i;
+    EXPECT_EQ(net.Route(reversal).arrived_at, reversal);
+}
+
+TEST_P(BenesPorts, RoutesRandomPermutations)
+{
+    const int n = GetParam();
+    BenesNetwork net(n);
+    Rng rng(31 + n);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<int> perm(n);
+        std::iota(perm.begin(), perm.end(), 0);
+        std::shuffle(perm.begin(), perm.end(), rng.engine());
+        EXPECT_EQ(net.Route(perm).arrived_at, perm);
+    }
+}
+
+TEST_P(BenesPorts, StageAndSwitchCounts)
+{
+    const int n = GetParam();
+    BenesNetwork net(n);
+    int log = 0;
+    while ((1 << log) < n) ++log;
+    EXPECT_EQ(net.Stages(), 2 * log - 1);
+    EXPECT_EQ(net.SwitchCount(), n / 2 * (2 * log - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, BenesPorts,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128));
+
+TEST(Benes, EveryTokenCrossesAllStages)
+{
+    BenesNetwork net(16);
+    std::vector<int> perm(16);
+    std::iota(perm.begin(), perm.end(), 0);
+    const BenesRouting r = net.Route(perm);
+    // 16 tokens x 7 stages = 112 switch visits.
+    EXPECT_EQ(r.switch_visits, 16 * net.Stages());
+}
+
+TEST(DistributionNetwork, ClassifiesDataflows)
+{
+    DistributionNetwork dn(
+        {8, {8, true, 0.18, 0.12, 8.0}, {8, 0.08, 8.0}});
+    std::vector<MulticastGroup> groups;
+    groups.push_back({1, {{0, 0}}});                           // unicast
+    groups.push_back({2, {{1, 0}, {1, 1}, {2, 3}}});           // multicast
+    MulticastGroup bcast{3, {}};
+    for (int r = 0; r < 8; ++r) {
+        for (int c = 0; c < 8; ++c) bcast.dests.emplace_back(r, c);
+    }
+    groups.push_back(bcast);                                   // broadcast
+
+    const WaveStats ws = dn.DistributeWave(groups, 8);
+    EXPECT_EQ(ws.unicast_groups, 1);
+    EXPECT_EQ(ws.multicast_groups, 1);
+    EXPECT_EQ(ws.broadcast_groups, 1);
+    EXPECT_GT(ws.switch_hops, 0);
+    EXPECT_GT(ws.mesh_hops, 0);
+    EXPECT_GT(dn.EnergyPj(), 0.0);
+}
+
+TEST(DistributionNetwork, ResidencyClearedPerTile)
+{
+    DistributionNetwork dn(
+        {4, {4, true, 0.18, 0.12, 8.0}, {4, 0.08, 8.0}});
+    std::vector<MulticastGroup> groups = {{5, {{0, 0}, {0, 1}}}};
+    const WaveStats first = dn.DistributeWave(groups, 0);
+    EXPECT_GT(first.buffer_reads, 0);
+    const WaveStats reuse = dn.DistributeWave(groups, 0);
+    EXPECT_GT(reuse.feedback_uses, 0);
+
+    dn.StartTile();
+    const WaveStats fresh = dn.DistributeWave(groups, 0);
+    EXPECT_GT(fresh.buffer_reads, 0);
+    EXPECT_EQ(fresh.feedback_uses, 0);
+}
+
+TEST(DistributionNetwork, UnicastWaveWrapsAroundMesh)
+{
+    DistributionNetwork dn(
+        {4, {4, true, 0.18, 0.12, 8.0}, {4, 0.08, 8.0}});
+    const WaveStats ws = dn.DistributeWave({}, 10);  // 4 + 4 + 2
+    EXPECT_EQ(ws.mesh_hops, (4 * 5 / 2) + (4 * 5 / 2) + (1 + 2));
+}
+
+}  // namespace
+}  // namespace flexnerfer

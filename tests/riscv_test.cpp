@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Tests for the RV32IM controller core: instruction semantics, memory and
+ * MMIO behaviour, and the accelerator command-queue programs.
+ */
+#include <gtest/gtest.h>
+
+#include "riscv/controller.h"
+#include "riscv/cpu.h"
+#include "riscv/encoder.h"
+
+namespace flexnerfer {
+namespace {
+
+using namespace rv;  // NOLINT: instruction mnemonics in tests
+
+TEST(Rv32Cpu, AddiAndAdd)
+{
+    Rv32Cpu cpu;
+    cpu.LoadProgram({Addi(1, 0, 5), Addi(2, 0, 7), Add(3, 1, 2), Ebreak()});
+    cpu.Run();
+    EXPECT_EQ(cpu.reg(3), 12u);
+    EXPECT_TRUE(cpu.halted());
+}
+
+TEST(Rv32Cpu, X0IsHardwiredZero)
+{
+    Rv32Cpu cpu;
+    cpu.LoadProgram({Addi(0, 0, 42), Add(1, 0, 0), Ebreak()});
+    cpu.Run();
+    EXPECT_EQ(cpu.reg(0), 0u);
+    EXPECT_EQ(cpu.reg(1), 0u);
+}
+
+TEST(Rv32Cpu, NegativeImmediatesSignExtend)
+{
+    Rv32Cpu cpu;
+    cpu.LoadProgram({Addi(1, 0, -1), Addi(2, 1, -5), Ebreak()});
+    cpu.Run();
+    EXPECT_EQ(cpu.reg(1), 0xFFFFFFFFu);
+    EXPECT_EQ(static_cast<std::int32_t>(cpu.reg(2)), -6);
+}
+
+TEST(Rv32Cpu, SubAndLogicOps)
+{
+    Rv32Cpu cpu;
+    cpu.LoadProgram({Addi(1, 0, 12), Addi(2, 0, 10), Sub(3, 1, 2),
+                     Andi(4, 1, 0xC), Ori(5, 2, 0x1), Ebreak()});
+    cpu.Run();
+    EXPECT_EQ(cpu.reg(3), 2u);
+    EXPECT_EQ(cpu.reg(4), 12u);
+    EXPECT_EQ(cpu.reg(5), 11u);
+}
+
+TEST(Rv32Cpu, Shifts)
+{
+    Rv32Cpu cpu;
+    cpu.LoadProgram({Addi(1, 0, 1), Slli(2, 1, 10), Srli(3, 2, 3),
+                     Ebreak()});
+    cpu.Run();
+    EXPECT_EQ(cpu.reg(2), 1024u);
+    EXPECT_EQ(cpu.reg(3), 128u);
+}
+
+TEST(Rv32Cpu, LoadStoreRoundTrip)
+{
+    Rv32Cpu cpu;
+    cpu.LoadProgram({Addi(1, 0, 0x123), Addi(2, 0, 256), Sw(1, 2, 0),
+                     Lw(3, 2, 0), Ebreak()});
+    cpu.Run();
+    EXPECT_EQ(cpu.reg(3), 0x123u);
+    EXPECT_EQ(cpu.LoadWord(256), 0x123u);
+}
+
+TEST(Rv32Cpu, BranchLoopSumsOneToTen)
+{
+    // x1 = counter (10..1), x2 = accumulator.
+    Rv32Cpu cpu;
+    cpu.LoadProgram({
+        Addi(1, 0, 10),
+        Addi(2, 0, 0),
+        // loop:
+        Add(2, 2, 1),       // acc += counter
+        Addi(1, 1, -1),     // counter--
+        Bne(1, 0, -8),      // while (counter != 0)
+        Ebreak(),
+    });
+    cpu.Run();
+    EXPECT_EQ(cpu.reg(2), 55u);
+}
+
+TEST(Rv32Cpu, JalLinksAndJumps)
+{
+    Rv32Cpu cpu;
+    cpu.LoadProgram({
+        Jal(1, 12),         // jump over the next two instructions
+        Addi(2, 0, 99),     // skipped
+        Addi(2, 0, 98),     // skipped
+        Addi(3, 0, 7),
+        Ebreak(),
+    });
+    cpu.Run();
+    EXPECT_EQ(cpu.reg(1), 4u);  // return address
+    EXPECT_EQ(cpu.reg(2), 0u);
+    EXPECT_EQ(cpu.reg(3), 7u);
+}
+
+TEST(Rv32Cpu, MExtension)
+{
+    Rv32Cpu cpu;
+    cpu.LoadProgram({Addi(1, 0, 1000), Addi(2, 0, 729), Mul(3, 1, 2),
+                     Divu(4, 3, 2), Remu(5, 1, 2), Ebreak()});
+    cpu.Run();
+    EXPECT_EQ(cpu.reg(3), 729000u);
+    EXPECT_EQ(cpu.reg(4), 1000u);
+    EXPECT_EQ(cpu.reg(5), 271u);
+}
+
+TEST(Rv32Cpu, DivisionByZeroFollowsSpec)
+{
+    Rv32Cpu cpu;
+    cpu.LoadProgram({Addi(1, 0, 5), Divu(2, 1, 0), Remu(3, 1, 0),
+                     Ebreak()});
+    cpu.Run();
+    EXPECT_EQ(cpu.reg(2), 0xFFFFFFFFu);
+    EXPECT_EQ(cpu.reg(3), 5u);
+}
+
+TEST(Rv32Cpu, MmioReadWrite)
+{
+    Rv32Cpu cpu;
+    std::uint32_t last_write = 0;
+    cpu.SetMmioHandler([&](std::uint32_t offset, std::uint32_t value,
+                           bool is_write, std::uint32_t* read_value) {
+        if (is_write) {
+            last_write = value + offset;
+        } else {
+            *read_value = 0xABCD;
+        }
+    });
+    cpu.LoadProgram({
+        Lui(5, 0x40000),    // MMIO base
+        Addi(1, 0, 77),
+        Sw(1, 5, 8),
+        Lw(2, 5, 0),
+        Ebreak(),
+    });
+    cpu.Run();
+    EXPECT_EQ(last_write, 85u);
+    EXPECT_EQ(cpu.reg(2), 0xABCDu);
+}
+
+TEST(Controller, ProgramIssuesCommandQueue)
+{
+    AcceleratorController controller;
+    const auto program = BuildGemmControlProgram(/*precision=*/8,
+                                                 /*tiles=*/3, /*waves=*/16);
+    const std::int64_t retired = controller.RunProgram(program);
+    EXPECT_GT(retired, 10);
+
+    const auto& cmds = controller.commands();
+    ASSERT_GE(cmds.size(), 8u);
+    EXPECT_EQ(cmds.front().op, ControlOp::kSetPrecision);
+    EXPECT_EQ(cmds.front().operand, 8u);
+    EXPECT_EQ(cmds.back().op, ControlOp::kBarrier);
+
+    int load_tiles = 0, run_gemms = 0;
+    for (const ControlCommand& c : cmds) {
+        if (c.op == ControlOp::kLoadTile) ++load_tiles;
+        if (c.op == ControlOp::kRunGemm) {
+            ++run_gemms;
+            EXPECT_EQ(c.operand, 16u);
+        }
+    }
+    EXPECT_EQ(load_tiles, 3);
+    EXPECT_EQ(run_gemms, 3);
+}
+
+TEST(Controller, ZeroTilesSkipsLoop)
+{
+    AcceleratorController controller;
+    controller.RunProgram(BuildGemmControlProgram(16, 0, 4));
+    const auto& cmds = controller.commands();
+    ASSERT_EQ(cmds.size(), 2u);  // set precision + barrier only
+    EXPECT_EQ(cmds[0].op, ControlOp::kSetPrecision);
+    EXPECT_EQ(cmds[1].op, ControlOp::kBarrier);
+}
+
+}  // namespace
+}  // namespace flexnerfer

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Tests for the experiment-metric helpers.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/metrics.h"
+
+namespace flexnerfer {
+namespace {
+
+TEST(Metrics, GeometricMean)
+{
+    EXPECT_DOUBLE_EQ(GeometricMean({4.0}), 4.0);
+    EXPECT_NEAR(GeometricMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(GeometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Metrics, SpeedupAndEnergyGain)
+{
+    std::vector<FrameCost> slow(2), fast(2);
+    slow[0].latency_ms = 100.0;
+    slow[1].latency_ms = 400.0;
+    fast[0].latency_ms = 10.0;
+    fast[1].latency_ms = 10.0;
+    EXPECT_NEAR(GeoMeanSpeedup(slow, fast), 20.0, 1e-9);
+
+    slow[0].energy_mj = 90.0;
+    slow[1].energy_mj = 40.0;
+    fast[0].energy_mj = 10.0;
+    fast[1].energy_mj = 10.0;
+    EXPECT_NEAR(GeoMeanEnergyGain(slow, fast), 6.0, 1e-9);
+}
+
+TEST(Metrics, DescribeFrameCostMentionsStages)
+{
+    FrameCost c;
+    c.latency_ms = 12.5;
+    c.gemm_ms = 10.0;
+    const std::string s = DescribeFrameCost(c);
+    EXPECT_NE(s.find("12.50 ms"), std::string::npos);
+    EXPECT_NE(s.find("gemm 10.00"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace flexnerfer
