@@ -4,6 +4,10 @@
  * Instant-NGP-style rendering pipeline, for a simple scene (Mic) and a
  * structured scene (Lego). Stages: quantized hash-encoding features
  * ("Input"), ray-marching density samples, and post-ReLU MLP activations.
+ *
+ * The per-scene measurements are independent, so they fan out across a
+ * SweepRunner. Metric output (stdout) is byte-identical for any thread
+ * count; wall-clock timing goes to stderr. Usage: [--threads N].
  */
 #include <cstdio>
 #include <vector>
@@ -13,6 +17,7 @@
 #include "nerf/mlp.h"
 #include "nerf/ray.h"
 #include "nerf/scene.h"
+#include "runtime/sweep_runner.h"
 #include "sparse/sr_calculator.h"
 
 using namespace flexnerfer;
@@ -84,12 +89,34 @@ Measure(const ProceduralScene& scene, std::uint64_t seed)
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     std::printf("== Fig. 13(a): stage sparsity of Instant-NGP-style "
                 "rendering ==\n");
-    const StageSparsity lego = Measure(ProceduralScene::Lego(), 11);
-    const StageSparsity mic = Measure(ProceduralScene::Mic(), 12);
+    ThreadPool pool(ThreadsFromArgs(argc, argv));
+    const SweepRunner runner(pool);
+
+    // (scene, seed) measurement grid, fanned across the pool. Every task
+    // builds its own field/MLP/RNG, so results are thread-count invariant.
+    struct ScenePoint {
+        ProceduralScene scene;
+        std::uint64_t seed;
+    };
+    const std::vector<ScenePoint> grid = {
+        {ProceduralScene::Lego(), 11},
+        {ProceduralScene::Mic(), 12},
+    };
+    std::vector<StageSparsity> measured;
+    {
+        const SweepTimer timer(grid.size(), "scenes", pool.n_threads());
+        measured = runner.Map<StageSparsity>(
+            static_cast<std::int64_t>(grid.size()), [&grid](std::int64_t i) {
+                const ScenePoint& p = grid[static_cast<std::size_t>(i)];
+                return Measure(p.scene, p.seed);
+            });
+    }
+    const StageSparsity& lego = measured[0];
+    const StageSparsity& mic = measured[1];
 
     Table t({"Stage", "Lego [%]", "Mic [%]"});
     t.AddRow({"Input (hash features, INT8)",

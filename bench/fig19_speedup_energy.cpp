@@ -4,55 +4,72 @@
  * structured pruning is applied, for NeuRex (flat — no sparsity or
  * precision flexibility) and FlexNeRFer at INT16/INT8/INT4. Geometric
  * mean over the seven NeRF workloads.
+ *
+ * The (config x prune) grid runs as one SweepRunner sweep. Metric output
+ * (stdout) is byte-identical for any thread count; wall-clock timing goes
+ * to stderr. Usage: [--threads N].
  */
 #include <cstdio>
+#include <vector>
 
-#include "accel/flexnerfer.h"
-#include "accel/gpu_model.h"
-#include "accel/neurex.h"
 #include "common/table.h"
+#include "runtime/sweep_runner.h"
 #include "sim/metrics.h"
 
 using namespace flexnerfer;
 
 int
-main()
+main(int argc, char** argv)
 {
     std::printf("== Fig. 19: speedup & energy gain over RTX 2080 Ti vs "
                 "structured pruning ==\n");
-    const GpuModel gpu;
-    const NeuRexModel neurex;
+    ThreadPool pool(ThreadsFromArgs(argc, argv));
+    const SweepRunner runner(pool);
     const double prunes[] = {0.0, 0.3, 0.5, 0.7, 0.9};
 
-    Table t({"Config", "Prune [%]", "Speedup (x)", "Energy gain (x)"});
-    for (double prune : prunes) {
-        WorkloadParams params;
-        params.weight_prune_ratio = prune;
-        // The GPU baseline executes the unpruned geometry (dense kernels).
-        const auto gpu_costs = RunAllModels(gpu, WorkloadParams{});
-        const auto neurex_costs = RunAllModels(neurex, params);
-        t.AddRow({"NeuRex (INT16)", FormatDouble(prune * 100, 0),
-                  FormatDouble(GeoMeanSpeedup(gpu_costs, neurex_costs), 1),
-                  FormatDouble(GeoMeanEnergyGain(gpu_costs, neurex_costs),
-                               1)});
+    // The GPU baseline executes the unpruned geometry (dense kernels);
+    // it is one sweep point, reused against every accelerator config.
+    std::vector<SweepPoint> points;
+    {
+        SweepPoint gpu;
+        gpu.backend = Backend::kGpu;
+        gpu.label = "RTX 2080 Ti";
+        points.push_back(gpu);
     }
-    for (Precision p : {Precision::kInt16, Precision::kInt8,
-                        Precision::kInt4}) {
+    for (double prune : prunes) {
+        SweepPoint p;
+        p.backend = Backend::kNeuRex;
+        p.params.weight_prune_ratio = prune;
+        p.label = "NeuRex (INT16)";
+        points.push_back(p);
+    }
+    for (Precision precision : {Precision::kInt16, Precision::kInt8,
+                                Precision::kInt4}) {
         for (double prune : prunes) {
-            WorkloadParams params;
-            params.weight_prune_ratio = prune;
-            FlexNeRFerModel::Config config;
-            config.precision = p;
-            const auto gpu_costs = RunAllModels(gpu, WorkloadParams{});
-            const auto flex_costs =
-                RunAllModels(FlexNeRFerModel(config), params);
-            t.AddRow({"FlexNeRFer (" + ToString(p) + ")",
-                      FormatDouble(prune * 100, 0),
-                      FormatDouble(GeoMeanSpeedup(gpu_costs, flex_costs),
-                                   1),
-                      FormatDouble(GeoMeanEnergyGain(gpu_costs, flex_costs),
-                                   1)});
+            SweepPoint p;
+            p.backend = Backend::kFlexNeRFer;
+            p.precision = precision;
+            p.params.weight_prune_ratio = prune;
+            p.label = "FlexNeRFer (" + ToString(precision) + ")";
+            points.push_back(p);
         }
+    }
+
+    std::vector<SweepOutcome> outcomes;
+    {
+        const SweepTimer timer(points.size(), "points", pool.n_threads());
+        outcomes = runner.Run(points);
+    }
+
+    const std::vector<FrameCost>& gpu_costs = outcomes[0].per_model;
+    Table t({"Config", "Prune [%]", "Speedup (x)", "Energy gain (x)"});
+    for (std::size_t i = 1; i < outcomes.size(); ++i) {
+        const SweepOutcome& o = outcomes[i];
+        t.AddRow({o.point.label,
+                  FormatDouble(o.point.params.weight_prune_ratio * 100, 0),
+                  FormatDouble(GeoMeanSpeedup(gpu_costs, o.per_model), 1),
+                  FormatDouble(GeoMeanEnergyGain(gpu_costs, o.per_model),
+                               1)});
     }
     std::printf("%s\n", t.ToString().c_str());
     std::printf("Paper reference: NeuRex constant 2.8x / 12x; FlexNeRFer "

@@ -4,15 +4,21 @@
  * scene (Palace) across batch sizes. Small batches pay per-chunk pipeline
  * and kernel-launch overheads; beyond ~8192 the accelerator's off-chip
  * bandwidth and compute resources saturate and gains plateau.
+ *
+ * The (batch x scene x device) grid runs as one SweepRunner sweep. Metric
+ * output (stdout) is byte-identical for any thread count; wall-clock
+ * timing goes to stderr. Usage: [--threads N].
  */
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "accel/flexnerfer.h"
 #include "accel/gpu_model.h"
 #include "common/table.h"
 #include "common/units.h"
+#include "runtime/sweep_runner.h"
 #include "sim/metrics.h"
 
 using namespace flexnerfer;
@@ -22,6 +28,12 @@ namespace {
 /** Per-batch-chunk scheduling overhead of the accelerator (pipeline fill,
  *  controller command issue, encoding-unit handoff). */
 constexpr double kChunkOverheadCycles = 4096.0;
+
+/** One cell: GPU and accelerator latency for a (scene, batch) pair. */
+struct CellLatency {
+    double gpu_ms = 0.0;
+    double accel_ms = 0.0;
+};
 
 double
 AcceleratorLatencyMs(const NerfWorkload& w, double batch)
@@ -41,31 +53,51 @@ AcceleratorLatencyMs(const NerfWorkload& w, double batch)
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     std::printf("== Fig. 20(b): speedup over GPU vs batch size ==\n");
-    const GpuModel gpu;
+    ThreadPool pool(ThreadsFromArgs(argc, argv));
+    const SweepRunner runner(pool);
+
+    const std::vector<double> batches = {2048.0, 4096.0, 8192.0, 16384.0};
+    struct Cell {
+        double batch;
+        double complexity;
+    };
+    std::vector<Cell> grid;
+    for (double batch : batches) {
+        grid.push_back({batch, 0.9});   // Mic
+        grid.push_back({batch, 1.08});  // Palace
+    }
+
+    const GpuModel gpu;  // deeply const: shared across all cells
+    std::vector<CellLatency> cells;
+    {
+        const SweepTimer timer(grid.size(), "cells", pool.n_threads());
+        cells = runner.Map<CellLatency>(
+            static_cast<std::int64_t>(grid.size()),
+            [&grid, &gpu](std::int64_t i) {
+                const Cell& cell = grid[static_cast<std::size_t>(i)];
+                WorkloadParams params;
+                params.scene_complexity = cell.complexity;
+                params.batch_size = static_cast<int>(cell.batch);
+                const NerfWorkload w = BuildWorkload("Instant-NGP", params);
+                CellLatency out;
+                out.gpu_ms = gpu.RunWorkload(w).latency_ms;
+                out.accel_ms = AcceleratorLatencyMs(w, cell.batch);
+                return out;
+            });
+    }
+
     Table t({"Batch", "Mic speedup (x)", "Palace speedup (x)",
              "Mic/Palace latency ratio"});
-    for (double batch : {2048.0, 4096.0, 8192.0, 16384.0}) {
-        WorkloadParams mic;
-        mic.scene_complexity = 0.9;
-        mic.batch_size = static_cast<int>(batch);
-        WorkloadParams palace;
-        palace.scene_complexity = 1.08;
-        palace.batch_size = static_cast<int>(batch);
-
-        const NerfWorkload wm = BuildWorkload("Instant-NGP", mic);
-        const NerfWorkload wp = BuildWorkload("Instant-NGP", palace);
-        const double gpu_mic = gpu.RunWorkload(wm).latency_ms;
-        const double gpu_palace = gpu.RunWorkload(wp).latency_ms;
-        const double accel_mic = AcceleratorLatencyMs(wm, batch);
-        const double accel_palace = AcceleratorLatencyMs(wp, batch);
-
-        t.AddRow({FormatDouble(batch, 0),
-                  FormatDouble(gpu_mic / accel_mic, 1),
-                  FormatDouble(gpu_palace / accel_palace, 1),
-                  FormatDouble(accel_palace / accel_mic, 2)});
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+        const CellLatency& mic = cells[2 * b];
+        const CellLatency& palace = cells[2 * b + 1];
+        t.AddRow({FormatDouble(batches[b], 0),
+                  FormatDouble(mic.gpu_ms / mic.accel_ms, 1),
+                  FormatDouble(palace.gpu_ms / palace.accel_ms, 1),
+                  FormatDouble(palace.accel_ms / mic.accel_ms, 2)});
     }
     std::printf("%s\n", t.ToString().c_str());
     std::printf("Paper shape: the simple scene renders ~1.2x faster than "

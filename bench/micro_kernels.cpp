@@ -7,6 +7,7 @@
  */
 #include <benchmark/benchmark.h>
 
+#include "accel/flexnerfer.h"
 #include "common/matrix.h"
 #include "common/rng.h"
 #include "gemm/engine.h"
@@ -15,6 +16,9 @@
 #include "noc/benes.h"
 #include "noc/hmf_noc.h"
 #include "riscv/controller.h"
+#include "runtime/batch_session.h"
+#include "runtime/sweep_runner.h"
+#include "runtime/thread_pool.h"
 #include "sparse/flex_codec.h"
 
 namespace flexnerfer {
@@ -146,6 +150,63 @@ BM_ControllerProgram(benchmark::State& state)
     }
 }
 BENCHMARK(BM_ControllerProgram);
+
+void
+BM_ThreadPoolParallelFor(benchmark::State& state)
+{
+    ThreadPool pool(static_cast<int>(state.range(0)));
+    std::atomic<std::int64_t> sink{0};
+    for (auto _ : state) {
+        pool.ParallelFor(1024, [&sink](std::int64_t i) {
+            sink.fetch_add(i, std::memory_order_relaxed);
+        });
+    }
+    benchmark::DoNotOptimize(sink.load());
+}
+BENCHMARK(BM_ThreadPoolParallelFor)->Arg(1)->Arg(4)->Arg(8);
+
+void
+BM_SweepRunnerStatisticalGrid(benchmark::State& state)
+{
+    // The fig-19-style hot loop: a (precision x prune) grid of
+    // expectation-based engine runs fanned across the pool.
+    ThreadPool pool(static_cast<int>(state.range(0)));
+    const SweepRunner runner(pool);
+    std::vector<GemmShape> shapes;
+    for (double prune : {0.0, 0.3, 0.5, 0.7, 0.9}) {
+        for (double density : {0.3, 0.55, 0.8}) {
+            shapes.push_back({4096, 256, 256, density, 1.0, prune});
+        }
+    }
+    GemmEngineConfig config;
+    config.compute_output = false;
+    const GemmEngine engine(config);
+    for (auto _ : state) {
+        const auto latencies = runner.Map<double>(
+            static_cast<std::int64_t>(shapes.size()),
+            [&engine, &shapes](std::int64_t i) {
+                return engine
+                    .RunFromShape(shapes[static_cast<std::size_t>(i)])
+                    .latency_ms;
+            });
+        benchmark::DoNotOptimize(latencies.data());
+    }
+}
+BENCHMARK(BM_SweepRunnerStatisticalGrid)->Arg(1)->Arg(4)->Arg(8);
+
+void
+BM_BatchSessionFrames(benchmark::State& state)
+{
+    ThreadPool pool(static_cast<int>(state.range(0)));
+    const FlexNeRFerModel accel;
+    const NerfWorkload workload = BuildWorkload("Instant-NGP");
+    for (auto _ : state) {
+        BatchSession session(accel, pool);
+        for (int i = 0; i < 64; ++i) session.EnqueueFrame(workload);
+        benchmark::DoNotOptimize(session.WaitAll().size());
+    }
+}
+BENCHMARK(BM_BatchSessionFrames)->Arg(1)->Arg(4)->Arg(8);
 
 }  // namespace
 }  // namespace flexnerfer

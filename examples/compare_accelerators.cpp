@@ -1,17 +1,21 @@
 /**
  * @file
  * Compares per-frame latency and energy of the RTX 2080 Ti model, NeuRex,
- * and FlexNeRFer (all precision modes) on a chosen NeRF workload.
+ * and FlexNeRFer (all precision modes) on a chosen NeRF workload. The five
+ * device evaluations fan out across a SweepRunner; the table is identical
+ * for any thread count.
  *
- * Usage: compare_accelerators [model-name]   (default: Instant-NGP)
+ * Usage: compare_accelerators [model-name] [--threads N]
+ *        (default model: Instant-NGP)
  */
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
-#include "accel/flexnerfer.h"
-#include "accel/gpu_model.h"
-#include "accel/neurex.h"
+#include "common/logging.h"
 #include "common/table.h"
+#include "runtime/sweep_runner.h"
 #include "sim/metrics.h"
 
 using namespace flexnerfer;
@@ -19,7 +23,24 @@ using namespace flexnerfer;
 int
 main(int argc, char** argv)
 {
-    const std::string model = argc > 1 ? argv[1] : "Instant-NGP";
+    // The model is the only positional argument and may appear before or
+    // after --threads; a second positional is a usage error.
+    std::string model = "Instant-NGP";
+    bool model_seen = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--threads=", 10) == 0) continue;
+        if (std::strcmp(argv[i], "--threads") == 0) {
+            ++i;  // skip the value
+            continue;
+        }
+        if (std::strncmp(argv[i], "--", 2) == 0 || model_seen) {
+            Fatal(std::string("unexpected argument '") + argv[i] +
+                  "' (usage: compare_accelerators [model-name] "
+                  "[--threads N])");
+        }
+        model = argv[i];
+        model_seen = true;
+    }
     const NerfWorkload workload = BuildWorkload(model);
     std::printf("Workload: %s — %.2e samples/frame, %.2e GEMM MACs, "
                 "%.2e encoding values\n\n",
@@ -27,25 +48,45 @@ main(int argc, char** argv)
                 workload.TotalGemmMacs(),
                 workload.TotalEncodingValues());
 
+    ThreadPool pool(ThreadsFromArgs(argc, argv));
+    const SweepRunner runner(pool);
+
+    std::vector<SweepPoint> points;
+    {
+        SweepPoint gpu;
+        gpu.backend = Backend::kGpu;
+        gpu.model = model;
+        gpu.label = "RTX 2080 Ti";
+        points.push_back(gpu);
+    }
+    {
+        SweepPoint neurex;
+        neurex.backend = Backend::kNeuRex;
+        neurex.model = model;
+        neurex.label = "NeuRex";
+        points.push_back(neurex);
+    }
+    for (Precision p : {Precision::kInt16, Precision::kInt8,
+                        Precision::kInt4}) {
+        SweepPoint flex;
+        flex.backend = Backend::kFlexNeRFer;
+        flex.precision = p;
+        flex.model = model;
+        flex.label = "FlexNeRFer " + ToString(p);
+        points.push_back(flex);
+    }
+    const std::vector<SweepOutcome> outcomes = runner.Run(points);
+
     Table t({"Device", "Latency [ms]", "Energy [mJ]", "GEMM [ms]",
              "Encoding [ms]", "Speedup vs GPU", "Energy gain"});
-    const GpuModel gpu;
-    const FrameCost g = gpu.RunWorkload(workload);
-    auto add = [&](const std::string& name, const FrameCost& c) {
-        t.AddRow({name, FormatDouble(c.latency_ms, 2),
+    const FrameCost& g = outcomes[0].per_model[0];
+    for (const SweepOutcome& o : outcomes) {
+        const FrameCost& c = o.per_model[0];
+        t.AddRow({o.point.label, FormatDouble(c.latency_ms, 2),
                   FormatDouble(c.energy_mj, 1), FormatDouble(c.gemm_ms, 2),
                   FormatDouble(c.encoding_ms, 2),
                   FormatDouble(g.latency_ms / c.latency_ms, 1) + "x",
                   FormatDouble(g.energy_mj / c.energy_mj, 1) + "x"});
-    };
-    add("RTX 2080 Ti", g);
-    add("NeuRex", NeuRexModel().RunWorkload(workload));
-    for (Precision p : {Precision::kInt16, Precision::kInt8,
-                        Precision::kInt4}) {
-        FlexNeRFerModel::Config config;
-        config.precision = p;
-        add("FlexNeRFer " + ToString(p),
-            FlexNeRFerModel(config).RunWorkload(workload));
     }
     std::printf("%s", t.ToString().c_str());
     return 0;

@@ -40,13 +40,20 @@ struct FrameCost {
     }
 };
 
-/** A device that can execute a NeRF frame. */
+/**
+ * A device that can execute a NeRF frame.
+ *
+ * Thread-safety contract: implementations must keep RunWorkload const in
+ * the deep sense — no mutable members, no global state — so one instance
+ * can serve concurrent invocations from SweepRunner/BatchSession workers.
+ */
 class Accelerator
 {
   public:
     virtual ~Accelerator() = default;
 
-    /** Estimates the cost of rendering one frame of @p workload. */
+    /** Estimates the cost of rendering one frame of @p workload.
+     *  Safe to call concurrently on one instance. */
     virtual FrameCost RunWorkload(const NerfWorkload& workload) const = 0;
 
     virtual std::string name() const = 0;

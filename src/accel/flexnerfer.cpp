@@ -23,7 +23,7 @@ FlexNeRFerModel::EngineConfigFor(const WorkloadOp& op) const
     engine.support_sparsity = config_.support_sparsity;
     engine.use_flex_codec = config_.use_flex_codec;
     engine.compute_output = false;
-    engine.noc_style = NocStyle::kHmfTree;
+    engine.noc_style = config_.noc_style;
     engine.dram_bandwidth_gb_s = config_.dram_gb_s;
     // Activations are produced on chip by the encoding unit or the
     // previous layer; only weights stream from local DRAM.

@@ -13,7 +13,13 @@
 
 namespace flexnerfer {
 
-/** FlexNeRFer accelerator model. */
+/**
+ * FlexNeRFer accelerator model.
+ *
+ * Thread-safety: immutable after construction (config only); RunWorkload
+ * builds all transient engine state locally, so one instance serves
+ * concurrent SweepRunner/BatchSession invocations.
+ */
 class FlexNeRFerModel : public Accelerator
 {
   public:
@@ -23,6 +29,9 @@ class FlexNeRFerModel : public Accelerator
         double clock_ghz = 0.8;
         bool support_sparsity = true;
         bool use_flex_codec = true;
+        /** Distribution-network dataflow of the GEMM unit (Section 4.2);
+         *  non-default styles model the ablation baselines. */
+        NocStyle noc_style = NocStyle::kHmfTree;
         /** PEE: 64 parallel trigonometric encoders (Section 5.2.1). */
         double pee_values_per_cycle = 64.0;
         /** HEE: 64 coalescing/subgrid hash units + interpolators. */

@@ -18,7 +18,12 @@
 
 namespace flexnerfer {
 
-/** Consumer GPU model. */
+/**
+ * Consumer GPU model.
+ *
+ * Thread-safety: immutable after construction; RunWorkload is deeply const
+ * and safe to call concurrently on one instance.
+ */
 class GpuModel : public Accelerator
 {
   public:

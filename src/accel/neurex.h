@@ -13,7 +13,12 @@
 
 namespace flexnerfer {
 
-/** NeuRex-like accelerator model. */
+/**
+ * NeuRex-like accelerator model.
+ *
+ * Thread-safety: immutable after construction; RunWorkload is deeply const
+ * and safe to call concurrently on one instance.
+ */
 class NeuRexModel : public Accelerator
 {
   public:

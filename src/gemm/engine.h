@@ -132,7 +132,17 @@ struct GemmResult {
     double EnergyMj() const { return energy.TotalMj(); }
 };
 
-/** The engine. Stateless between runs; safe to reuse. */
+/**
+ * The engine. Stateless between runs; safe to reuse.
+ *
+ * Thread-safety: Run/RunFromShape are deeply const — the engine holds only
+ * its immutable config, and every stateful collaborator (DistributionNetwork,
+ * MacArray, FlexFormatCodec) is constructed locally per invocation. One
+ * GemmEngine instance may therefore serve concurrent calls from SweepRunner
+ * or BatchSession workers without synchronization. Results are a pure
+ * function of (config, operands): no RNG, clocks, or global counters are
+ * consulted, which is what makes parallel sweeps bit-reproducible.
+ */
 class GemmEngine
 {
   public:

@@ -24,7 +24,11 @@ struct ReductionOperand {
     /** Identifier of the destination output element; -1 marks an idle slot. */
     std::int32_t index = -1;
 
-    bool operator==(const ReductionOperand&) const = default;
+    bool
+    operator==(const ReductionOperand& o) const
+    {
+        return value == o.value && index == o.index;
+    }
 };
 
 /** Statistics of one reduction pass. */

@@ -36,7 +36,14 @@ struct WaveStats {
     std::int64_t broadcast_groups = 0;
 };
 
-/** Hierarchical distribution network over a dim x dim MAC-unit grid. */
+/**
+ * Hierarchical distribution network over a dim x dim MAC-unit grid.
+ *
+ * Thread-safety: instances accumulate per-run counters (totals_, element
+ * residency) and must NOT be shared across threads. GemmEngine constructs
+ * one local instance per Run invocation, which keeps concurrent engine
+ * calls safe; follow that pattern in new callers.
+ */
 class DistributionNetwork
 {
   public:

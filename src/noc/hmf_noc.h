@@ -29,7 +29,13 @@ struct DeliveryStats {
     Dataflow dataflow = Dataflow::kUnicast;
 };
 
-/** Binary-tree distribution NoC, with or without the feedback extension. */
+/**
+ * Binary-tree distribution NoC, with or without the feedback extension.
+ *
+ * Thread-safety: Deliver mutates per-instance residency and hop counters,
+ * so an instance must stay confined to one thread (or one engine run);
+ * create one HmfNoc per concurrent simulation, never a shared singleton.
+ */
 class HmfNoc
 {
   public:

@@ -11,7 +11,12 @@
 
 namespace flexnerfer {
 
-/** Linear chain of nodes; elements injected at node 0 hop rightward. */
+/**
+ * Linear chain of nodes; elements injected at node 0 hop rightward.
+ *
+ * Thread-safety: Deliver/DeliverWave accumulate per-instance totals; use
+ * one instance per thread or engine run (see gemm/engine.h).
+ */
 class Mesh1d
 {
   public:

@@ -24,7 +24,11 @@ struct SwitchSetting {
     enum class Route : std::uint8_t { kLeft, kRight, kBoth } route =
         Route::kLeft;
 
-    bool operator==(const SwitchSetting&) const = default;
+    bool
+    operator==(const SwitchSetting& o) const
+    {
+        return node == o.node && route == o.route;
+    }
 };
 
 /** Control words for one delivery. */

@@ -29,7 +29,11 @@ struct ControlCommand {
     ControlOp op;
     std::uint32_t operand;
 
-    bool operator==(const ControlCommand&) const = default;
+    bool
+    operator==(const ControlCommand& o) const
+    {
+        return op == o.op && operand == o.operand;
+    }
 };
 
 /** RISC-V controller with an attached command queue. */

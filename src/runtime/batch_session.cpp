@@ -1,0 +1,112 @@
+#include "runtime/batch_session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+namespace {
+
+/**
+ * Blocks on @p future while helping drain @p pool, so waiting from inside
+ * a pool task cannot deadlock (the enqueued job may sit on the waiting
+ * worker's own deque).
+ */
+FrameCost
+HelpfulGet(ThreadPool& pool, std::future<FrameCost>& future)
+{
+    for (;;) {
+        if (future.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+            return future.get();
+        }
+        if (!pool.Help()) {
+            // Nothing runnable anywhere: the job is in flight on another
+            // thread. Park on the future briefly, then re-check for new
+            // helpable work.
+            future.wait_for(std::chrono::milliseconds(1));
+        }
+    }
+}
+
+}  // namespace
+
+BatchTicket
+BatchSession::Issue(std::future<FrameCost> future)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const BatchTicket ticket = next_ticket_++;
+    inflight_.emplace(ticket, std::move(future));
+    return ticket;
+}
+
+BatchTicket
+BatchSession::EnqueueFrame(const NerfWorkload& workload)
+{
+    const Accelerator& accel = accel_;
+    return Issue(pool_.Submit(
+        [&accel, workload] { return accel.RunWorkload(workload); }));
+}
+
+BatchTicket
+BatchSession::EnqueueGemm(const GemmEngine& engine, const GemmShape& shape)
+{
+    return Issue(pool_.Submit([engine, shape] {
+        const GemmResult r = engine.RunFromShape(shape);
+        FrameCost cost;
+        cost.latency_ms = r.latency_ms;
+        cost.energy_mj = r.EnergyMj();
+        cost.gemm_ms = r.onchip_ms;
+        cost.dram_ms = r.dram_ms;
+        cost.gemm_utilization = r.utilization;
+        return cost;
+    }));
+}
+
+FrameCost
+BatchSession::Wait(BatchTicket ticket)
+{
+    std::future<FrameCost> future;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = inflight_.find(ticket);
+        FLEX_CHECK_MSG(it != inflight_.end(),
+                       "unknown or already-consumed batch ticket");
+        future = std::move(it->second);
+        inflight_.erase(it);
+    }
+    return HelpfulGet(pool_, future);
+}
+
+std::vector<FrameCost>
+BatchSession::WaitAll()
+{
+    std::vector<std::pair<BatchTicket, std::future<FrameCost>>> drained;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        drained.reserve(inflight_.size());
+        for (auto& entry : inflight_) {
+            drained.emplace_back(entry.first, std::move(entry.second));
+        }
+        inflight_.clear();
+    }
+    std::sort(drained.begin(), drained.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<FrameCost> costs;
+    costs.reserve(drained.size());
+    for (auto& entry : drained) {
+        costs.push_back(HelpfulGet(pool_, entry.second));
+    }
+    return costs;
+}
+
+std::uint64_t
+BatchSession::enqueued() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return next_ticket_;
+}
+
+}  // namespace flexnerfer

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Asynchronous batch execution against one accelerator instance.
+ *
+ * A BatchSession is the serving-side counterpart of SweepRunner: callers
+ * enqueue many render (frame) and GEMM jobs against a single Accelerator /
+ * GemmEngine and collect results asynchronously, the way a request queue
+ * would feed a deployed device. Jobs run on the shared ThreadPool; the
+ * accelerator models are stateless-const (see accel/accelerator.h), so one
+ * instance safely serves all workers concurrently.
+ *
+ * Thread-safety: Enqueue* and Wait* may be called from any thread. Each
+ * ticket is owned by its caller; Wait consumes the ticket's result.
+ */
+#ifndef FLEXNERFER_RUNTIME_BATCH_SESSION_H_
+#define FLEXNERFER_RUNTIME_BATCH_SESSION_H_
+
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "gemm/engine.h"
+#include "runtime/thread_pool.h"
+
+namespace flexnerfer {
+
+/** Handle to one enqueued job. */
+using BatchTicket = std::uint64_t;
+
+/** Queue of asynchronous jobs against one accelerator. */
+class BatchSession
+{
+  public:
+    /** Serves @p accel using @p pool; both must outlive the session. */
+    BatchSession(const Accelerator& accel, ThreadPool& pool)
+        : accel_(accel), pool_(pool)
+    {}
+
+    BatchSession(const BatchSession&) = delete;
+    BatchSession& operator=(const BatchSession&) = delete;
+
+    /** Enqueues one frame render; returns a ticket for its FrameCost. */
+    BatchTicket EnqueueFrame(const NerfWorkload& workload);
+
+    /**
+     * Enqueues one expectation-based GEMM with @p engine (captured by
+     * value — the engine is a small config-only object) and folds its
+     * result into a FrameCost (latency/energy/gemm fields).
+     */
+    BatchTicket EnqueueGemm(const GemmEngine& engine, const GemmShape& shape);
+
+    /** Blocks until the ticket's job finishes; consumes the ticket. */
+    FrameCost Wait(BatchTicket ticket);
+
+    /**
+     * Drains every outstanding job, returning costs in enqueue order.
+     * Tickets issued before the call are consumed.
+     */
+    std::vector<FrameCost> WaitAll();
+
+    /** Jobs enqueued over the session's lifetime. */
+    std::uint64_t enqueued() const;
+
+  private:
+    BatchTicket Issue(std::future<FrameCost> future);
+
+    const Accelerator& accel_;
+    ThreadPool& pool_;
+
+    mutable std::mutex mutex_;
+    BatchTicket next_ticket_ = 0;
+    /** Outstanding futures; erased when consumed by Wait/WaitAll. */
+    std::unordered_map<BatchTicket, std::future<FrameCost>> inflight_;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_RUNTIME_BATCH_SESSION_H_

@@ -1,0 +1,114 @@
+#include "runtime/sweep_runner.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "accel/flexnerfer.h"
+#include "accel/gpu_model.h"
+#include "accel/neurex.h"
+#include "common/logging.h"
+#include "sim/metrics.h"
+
+namespace flexnerfer {
+
+std::string
+ToString(Backend backend)
+{
+    switch (backend) {
+      case Backend::kFlexNeRFer: return "FlexNeRFer";
+      case Backend::kNeuRex: return "NeuRex";
+      case Backend::kGpu: return "RTX 2080 Ti";
+      case Backend::kXavierNx: return "Xavier NX";
+    }
+    return "unknown";
+}
+
+FrameCost
+SweepOutcome::Total() const
+{
+    FrameCost total;
+    for (const FrameCost& cost : per_model) total += cost;
+    return total;
+}
+
+std::unique_ptr<Accelerator>
+MakeAccelerator(const SweepPoint& point)
+{
+    switch (point.backend) {
+      case Backend::kFlexNeRFer: {
+        FlexNeRFerModel::Config config;
+        config.precision = point.precision;
+        config.noc_style = point.noc_style;
+        return std::make_unique<FlexNeRFerModel>(config);
+      }
+      case Backend::kNeuRex:
+        return std::make_unique<NeuRexModel>();
+      case Backend::kGpu:
+        return std::make_unique<GpuModel>();
+      case Backend::kXavierNx:
+        return std::make_unique<GpuModel>(GpuModel::XavierNx().config());
+    }
+    Fatal("unknown sweep backend");
+}
+
+std::vector<SweepOutcome>
+SweepRunner::Run(const std::vector<SweepPoint>& points) const
+{
+    const auto n = static_cast<std::int64_t>(points.size());
+    return Map<SweepOutcome>(n, [&points](std::int64_t i) {
+        const SweepPoint& point = points[static_cast<std::size_t>(i)];
+        const std::unique_ptr<Accelerator> accel = MakeAccelerator(point);
+        SweepOutcome outcome;
+        outcome.point = point;
+        if (point.model.empty()) {
+            outcome.per_model = RunAllModels(*accel, point.params);
+        } else {
+            outcome.per_model = {accel->RunWorkload(
+                BuildWorkload(point.model, point.params))};
+        }
+        return outcome;
+    });
+}
+
+int
+ThreadsFromArgs(int argc, char** argv, int default_threads)
+{
+    const auto parse = [](const char* value) -> int {
+        char* end = nullptr;
+        const long n = std::strtol(value, &end, 10);
+        if (end == value || *end != '\0' || n < 0 || n > 4096) {
+            Fatal(std::string("invalid --threads value '") + value +
+                  "' (expected an integer in [0, 4096]; 0 = hardware "
+                  "concurrency)");
+        }
+        return static_cast<int>(n);
+    };
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+            return parse(argv[i] + 10);
+        }
+        if (std::strcmp(argv[i], "--threads") == 0) {
+            if (i + 1 >= argc) Fatal("--threads requires a value");
+            return parse(argv[i + 1]);
+        }
+    }
+    return default_threads;
+}
+
+SweepTimer::SweepTimer(std::size_t count, const char* noun, int threads)
+    : count_(count), noun_(noun), threads_(threads),
+      start_(std::chrono::steady_clock::now())
+{}
+
+SweepTimer::~SweepTimer()
+{
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    std::fprintf(stderr, "[sweep] %zu %s on %d threads: %.1f ms\n", count_,
+                 noun_, threads_, wall_ms);
+}
+
+}  // namespace flexnerfer

@@ -1,6 +1,7 @@
 #include "sparse/bitmap.h"
 
-#include <bit>
+#include <bitset>
+
 
 #include "sparse/footprint.h"
 
@@ -56,7 +57,9 @@ std::int64_t
 BitmapMatrix::Popcount() const
 {
     std::int64_t total = 0;
-    for (std::uint64_t w : words_) total += std::popcount(w);
+    for (std::uint64_t w : words_) {
+        total += static_cast<std::int64_t>(std::bitset<64>(w).count());
+    }
     return total;
 }
 

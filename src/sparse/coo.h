@@ -23,7 +23,11 @@ struct CooEntry {
     std::int32_t col = 0;
     std::int32_t value = 0;
 
-    bool operator==(const CooEntry&) const = default;
+    bool
+    operator==(const CooEntry& o) const
+    {
+        return row == o.row && col == o.col && value == o.value;
+    }
 };
 
 /** COO-encoded sparse matrix (entries sorted row-major). */
