@@ -1,0 +1,21 @@
+#include "accel/accelerator.h"
+
+#include "plan/frame_plan.h"
+
+namespace flexnerfer {
+
+std::string
+Accelerator::ConfigFingerprint() const
+{
+    std::string out;
+    AppendConfigFingerprint(&out);
+    return out;
+}
+
+FrameCost
+Accelerator::RunWorkload(const NerfWorkload& workload, ThreadPool* pool) const
+{
+    return Plan(workload).Execute(pool);
+}
+
+}  // namespace flexnerfer

@@ -3,6 +3,12 @@
  * Common interface of frame-level accelerator models: given a NeRF
  * workload descriptor, estimate per-frame latency and energy with a
  * stage-level breakdown (the quantities behind Figs. 1, 3, 18, 19, 20).
+ *
+ * Execution is split into compile and execute: an Accelerator lowers a
+ * workload into a FramePlan of fully resolved per-op decisions (Plan),
+ * and the plan is executed — serially or across a ThreadPool — by the
+ * plan layer (see plan/frame_plan.h). RunWorkload is the one-shot
+ * convenience that compiles and executes in place.
  */
 #ifndef FLEXNERFER_ACCEL_ACCELERATOR_H_
 #define FLEXNERFER_ACCEL_ACCELERATOR_H_
@@ -12,6 +18,9 @@
 #include "models/workload.h"
 
 namespace flexnerfer {
+
+class FramePlan;
+class ThreadPool;
 
 /** Per-frame cost with a stage breakdown. */
 struct FrameCost {
@@ -25,10 +34,23 @@ struct FrameCost {
     double dram_ms = 0.0;      //!< exposed DRAM stall time
 
     double gemm_utilization = 0.0;  //!< MAC utilization over GEMM ops
+    /** Useful GEMM MACs behind gemm_utilization — the weight that lets
+     *  summed costs combine utilization as a meaningful average. */
+    double gemm_macs = 0.0;
 
     FrameCost&
     operator+=(const FrameCost& o)
     {
+        // Utilization is combined as a MAC-weighted average so that a
+        // summed cost reports the utilization of the merged execution
+        // instead of silently dropping the field.
+        const double macs = gemm_macs + o.gemm_macs;
+        if (macs > 0.0) {
+            gemm_utilization = (gemm_utilization * gemm_macs +
+                                o.gemm_utilization * o.gemm_macs) /
+                               macs;
+        }
+        gemm_macs = macs;
         latency_ms += o.latency_ms;
         energy_mj += o.energy_mj;
         gemm_ms += o.gemm_ms;
@@ -43,18 +65,44 @@ struct FrameCost {
 /**
  * A device that can execute a NeRF frame.
  *
- * Thread-safety contract: implementations must keep RunWorkload const in
- * the deep sense — no mutable members, no global state — so one instance
- * can serve concurrent invocations from SweepRunner/BatchSession workers.
+ * Thread-safety contract: implementations must keep Plan const in the
+ * deep sense — no mutable members, no global state — so one instance can
+ * serve concurrent invocations from SweepRunner/BatchSession workers.
+ * Plans are pure functions of (model config, workload): two calls with
+ * equal inputs produce plans that execute bit-identically, which is what
+ * makes plan caching and parallel sweeps reproducible.
  */
 class Accelerator
 {
   public:
     virtual ~Accelerator() = default;
 
-    /** Estimates the cost of rendering one frame of @p workload.
-     *  Safe to call concurrently on one instance. */
-    virtual FrameCost RunWorkload(const NerfWorkload& workload) const = 0;
+    /**
+     * Lowers @p workload into an executable FramePlan: every per-op
+     * decision (precision, sparsity handling, dataflow, DRAM residency)
+     * is resolved here, once, so repeated frames replay the plan without
+     * re-deriving anything. Safe to call concurrently on one instance.
+     */
+    virtual FramePlan Plan(const NerfWorkload& workload) const = 0;
+
+    /**
+     * Appends an injective fingerprint of the model configuration —
+     * every field that can change Plan's output — to @p out. PlanCache
+     * keys plans by (config fingerprint, workload fingerprint).
+     */
+    virtual void AppendConfigFingerprint(std::string* out) const = 0;
+
+    /** The config fingerprint as a standalone key component. */
+    std::string ConfigFingerprint() const;
+
+    /**
+     * Estimates the cost of rendering one frame of @p workload by
+     * compiling and executing a plan in place. With a pool, independent
+     * ops run in parallel; the result is bit-identical for any thread
+     * count (including none). Safe to call concurrently on one instance.
+     */
+    FrameCost RunWorkload(const NerfWorkload& workload,
+                          ThreadPool* pool = nullptr) const;
 
     virtual std::string name() const = 0;
 };

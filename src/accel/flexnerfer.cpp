@@ -1,8 +1,8 @@
 #include "accel/flexnerfer.h"
 
-#include <algorithm>
-
+#include "common/fingerprint.h"
 #include "common/units.h"
+#include "plan/frame_plan.h"
 
 namespace flexnerfer {
 
@@ -32,73 +32,77 @@ FlexNeRFerModel::EngineConfigFor(const WorkloadOp& op) const
     return engine;
 }
 
-FrameCost
-FlexNeRFerModel::RunWorkload(const NerfWorkload& workload) const
+FramePlan
+FlexNeRFerModel::Plan(const NerfWorkload& workload) const
 {
-    FrameCost cost;
-    double utilization_weighted = 0.0;
-    double utilization_macs = 0.0;
+    FramePlanBuilder builder(workload.name);
+    builder.SetEpilogue(config_.static_power_w);
 
     for (const WorkloadOp& op : workload.ops) {
         switch (op.kind) {
           case OpKind::kGemm: {
-            const GemmEngine engine(EngineConfigFor(op));
-            const GemmResult r = engine.RunFromShape(op.gemm);
-            // The codec is pipelined with fetch/compute; only the cycles
-            // where it is the slowest stage are exposed as latency.
-            const double codec_exposed_cycles = std::max(
-                0.0, r.codec_cycles -
-                         std::max(r.fetch_cycles, r.compute_cycles));
-            const double codec_ms =
-                CyclesToMs(codec_exposed_cycles, config_.clock_ghz);
-            const double dram_exposed =
-                std::max(0.0, r.dram_ms - r.onchip_ms);
-            cost.gemm_ms += r.latency_ms - dram_exposed - codec_ms;
-            cost.codec_ms += codec_ms;
-            cost.dram_ms += dram_exposed;
-            cost.latency_ms += r.latency_ms;
-            cost.energy_mj += r.EnergyMj();
-            utilization_weighted += r.utilization * r.useful_macs;
-            utilization_macs += r.useful_macs;
+            builder.AddEngineOp(op, EngineConfigFor(op), op.gemm,
+                                GemmLowering::kCodecAware);
             break;
           }
           case OpKind::kPositionalEncoding: {
             const double cycles =
                 op.encoding_values / config_.pee_values_per_cycle;
             const double ms = CyclesToMs(cycles, config_.clock_ghz);
-            cost.encoding_ms += ms;
-            cost.latency_ms += ms;
-            cost.energy_mj += PjToMj(op.encoding_values *
-                                     config_.pee_energy_pj_per_value);
+            OpCost fragment;
+            fragment.cost.encoding_ms = ms;
+            fragment.cost.latency_ms = ms;
+            fragment.cost.energy_mj = PjToMj(
+                op.encoding_values * config_.pee_energy_pj_per_value);
+            builder.AddFixedOp(op, fragment);
             break;
           }
           case OpKind::kHashEncoding: {
             const double cycles =
                 op.encoding_values / config_.hee_queries_per_cycle;
             const double ms = CyclesToMs(cycles, config_.clock_ghz);
-            cost.encoding_ms += ms;
-            cost.latency_ms += ms;
-            cost.energy_mj += PjToMj(op.encoding_values *
-                                     config_.hee_energy_pj_per_query);
+            OpCost fragment;
+            fragment.cost.encoding_ms = ms;
+            fragment.cost.latency_ms = ms;
+            fragment.cost.energy_mj = PjToMj(
+                op.encoding_values * config_.hee_energy_pj_per_query);
+            builder.AddFixedOp(op, fragment);
             break;
           }
           case OpKind::kOther: {
             const double cycles = op.other_flops / config_.vector_lanes;
             const double ms = CyclesToMs(cycles, config_.clock_ghz);
-            cost.other_ms += ms;
-            cost.latency_ms += ms;
-            cost.energy_mj += PjToMj(op.other_flops *
-                                     config_.vector_energy_pj_per_flop);
+            OpCost fragment;
+            fragment.cost.other_ms = ms;
+            fragment.cost.latency_ms = ms;
+            fragment.cost.energy_mj = PjToMj(
+                op.other_flops * config_.vector_energy_pj_per_flop);
+            builder.AddFixedOp(op, fragment);
             break;
           }
         }
     }
-    cost.gemm_utilization =
-        utilization_macs > 0.0 ? utilization_weighted / utilization_macs
-                               : 0.0;
-    // Clock tree, leakage, and idle-stage power accrue over the frame.
-    cost.energy_mj += cost.latency_ms * config_.static_power_w;
-    return cost;
+    return builder.Build();
+}
+
+void
+FlexNeRFerModel::AppendConfigFingerprint(std::string* out) const
+{
+    FingerprintAppend(out, std::string("FlexNeRFer"));
+    FingerprintAppend(out, static_cast<std::uint8_t>(config_.precision));
+    FingerprintAppend(out, config_.array_dim);
+    FingerprintAppend(out, config_.clock_ghz);
+    FingerprintAppend(out, config_.support_sparsity);
+    FingerprintAppend(out, config_.use_flex_codec);
+    FingerprintAppend(out, static_cast<std::uint8_t>(config_.noc_style));
+    FingerprintAppend(out, config_.pee_values_per_cycle);
+    FingerprintAppend(out, config_.hee_queries_per_cycle);
+    FingerprintAppend(out, config_.vector_lanes);
+    FingerprintAppend(out, config_.dram_gb_s);
+    FingerprintAppend(out, config_.pee_energy_pj_per_value);
+    FingerprintAppend(out, config_.hee_energy_pj_per_query);
+    FingerprintAppend(out, config_.vector_energy_pj_per_flop);
+    FingerprintAppend(out, config_.static_power_w);
 }
 
 }  // namespace flexnerfer

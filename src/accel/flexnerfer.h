@@ -16,9 +16,9 @@ namespace flexnerfer {
 /**
  * FlexNeRFer accelerator model.
  *
- * Thread-safety: immutable after construction (config only); RunWorkload
- * builds all transient engine state locally, so one instance serves
- * concurrent SweepRunner/BatchSession invocations.
+ * Thread-safety: immutable after construction (config only); Plan builds
+ * all transient state locally, so one instance serves concurrent
+ * SweepRunner/BatchSession invocations.
  */
 class FlexNeRFerModel : public Accelerator
 {
@@ -56,11 +56,16 @@ class FlexNeRFerModel : public Accelerator
     explicit FlexNeRFerModel(const Config& config) : config_(config) {}
     FlexNeRFerModel() : FlexNeRFerModel(Config{}) {}
 
-    FrameCost RunWorkload(const NerfWorkload& workload) const override;
+    /** Lowers every op with the codec-aware pipeline policy; GEMMs run
+     *  on the sparsity-capable engine configured by EngineConfigFor. */
+    FramePlan Plan(const NerfWorkload& workload) const override;
+
+    void AppendConfigFingerprint(std::string* out) const override;
 
     std::string name() const override;
 
-    /** The GEMM engine configuration used for one workload op. */
+    /** Lowering hook: the GEMM engine configuration for one workload op
+     *  (per-op tuning such as mixed precision attaches here). */
     GemmEngineConfig EngineConfigFor(const WorkloadOp& op) const;
 
     const Config& config() const { return config_; }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fingerprint.h"
 #include "common/logging.h"
+#include "plan/frame_plan.h"
 
 namespace flexnerfer {
 
@@ -34,17 +36,21 @@ GpuModel::GemmEfficiency(std::int64_t k, std::int64_t n) const
            std::max(0.02, std::sqrt(k_factor * n_factor));
 }
 
-FrameCost
-GpuModel::RunWorkload(const NerfWorkload& workload) const
+FramePlan
+GpuModel::Plan(const NerfWorkload& workload) const
 {
-    FrameCost cost;
+    FramePlanBuilder builder(workload.name);
+    // Fragments carry energy in joules; the reduction scales the sum to
+    // mJ once, preserving the legacy sum-then-scale rounding exactly.
+    builder.SetEpilogue(/*static_power_w=*/0.0, /*energy_scale=*/1e3);
+
     const double peak_flops = config_.fp32_tflops * 1e12;
     const double bw = config_.dram_gb_s * 1e9;
-    double busy_joules = 0.0;
 
     for (const WorkloadOp& op : workload.ops) {
         double op_ms = 0.0;
         double utilization = 0.0;
+        OpCost fragment;
         switch (op.kind) {
           case OpKind::kGemm: {
             const double macs = op.Macs();
@@ -63,7 +69,7 @@ GpuModel::RunWorkload(const NerfWorkload& workload) const
             const double launch_s =
                 launches * config_.kernel_launch_us * 1e-6;
             op_ms = (std::max(compute_s, memory_s) + launch_s) * 1e3;
-            cost.gemm_ms += op_ms;
+            fragment.cost.gemm_ms = op_ms;
             utilization =
                 2.0 * macs / (op_ms * 1e-3 * peak_flops + 1e-30);
             break;
@@ -76,7 +82,7 @@ GpuModel::RunWorkload(const NerfWorkload& workload) const
             // consuming layer's read).
             const double bytes = op.encoding_values * 16.0;
             op_ms = std::max(sfu_s, bytes / bw) * 1e3;
-            cost.encoding_ms += op_ms;
+            fragment.cost.encoding_ms = op_ms;
             utilization = 0.10;
             break;
           }
@@ -85,26 +91,41 @@ GpuModel::RunWorkload(const NerfWorkload& workload) const
             // bandwidth collapses to a small fraction of peak.
             const double bytes = op.encoding_values * 32.0;
             op_ms = bytes / (bw * config_.gather_bw_fraction) * 1e3;
-            cost.encoding_ms += op_ms;
+            fragment.cost.encoding_ms = op_ms;
             utilization = 0.06;
             break;
           }
           case OpKind::kOther: {
             op_ms = op.other_flops / (peak_flops * 0.30) * 1e3;
-            cost.other_ms += op_ms;
+            fragment.cost.other_ms = op_ms;
             utilization = 0.30;
             break;
           }
         }
-        cost.latency_ms += op_ms;
+        fragment.cost.latency_ms = op_ms;
         const double power =
             config_.idle_power_w +
             (config_.board_power_w - config_.idle_power_w) *
                 std::min(1.0, utilization);
-        busy_joules += power * op_ms * 1e-3;
+        fragment.cost.energy_mj = power * op_ms * 1e-3;  // joules
+        builder.AddFixedOp(op, fragment);
     }
-    cost.energy_mj = busy_joules * 1e3;
-    return cost;
+    return builder.Build();
+}
+
+void
+GpuModel::AppendConfigFingerprint(std::string* out) const
+{
+    FingerprintAppend(out, std::string("GPU"));
+    FingerprintAppend(out, config_.name);
+    FingerprintAppend(out, config_.fp32_tflops);
+    FingerprintAppend(out, config_.dram_gb_s);
+    FingerprintAppend(out, config_.board_power_w);
+    FingerprintAppend(out, config_.idle_power_w);
+    FingerprintAppend(out, config_.kernel_launch_us);
+    FingerprintAppend(out, config_.gemm_efficiency);
+    FingerprintAppend(out, config_.trig_flops_per_value);
+    FingerprintAppend(out, config_.gather_bw_fraction);
 }
 
 }  // namespace flexnerfer

@@ -21,8 +21,8 @@ namespace flexnerfer {
 /**
  * Consumer GPU model.
  *
- * Thread-safety: immutable after construction; RunWorkload is deeply const
- * and safe to call concurrently on one instance.
+ * Thread-safety: immutable after construction; Plan is deeply const and
+ * safe to call concurrently on one instance.
  */
 class GpuModel : public Accelerator
 {
@@ -56,7 +56,11 @@ class GpuModel : public Accelerator
     /** Jetson Xavier NX (Table 1): 21 TOPS-class edge module. */
     static GpuModel XavierNx();
 
-    FrameCost RunWorkload(const NerfWorkload& workload) const override;
+    /** Lowers every op to a closed-form roofline fragment: the whole
+     *  frame is resolved at compile time (no engine runs at execute). */
+    FramePlan Plan(const NerfWorkload& workload) const override;
+
+    void AppendConfigFingerprint(std::string* out) const override;
 
     std::string name() const override { return config_.name; }
 

@@ -16,8 +16,8 @@ namespace flexnerfer {
 /**
  * NeuRex-like accelerator model.
  *
- * Thread-safety: immutable after construction; RunWorkload is deeply const
- * and safe to call concurrently on one instance.
+ * Thread-safety: immutable after construction; Plan is deeply const and
+ * safe to call concurrently on one instance.
  */
 class NeuRexModel : public Accelerator
 {
@@ -47,7 +47,14 @@ class NeuRexModel : public Accelerator
     explicit NeuRexModel(const Config& config) : config_(config) {}
     NeuRexModel() : NeuRexModel(Config{}) {}
 
-    FrameCost RunWorkload(const NerfWorkload& workload) const override;
+    /** Lowers GEMMs onto the dense INT16 engine (sparsity densified —
+     *  the array cannot skip it) and encodings onto the fixed units. */
+    FramePlan Plan(const NerfWorkload& workload) const override;
+
+    void AppendConfigFingerprint(std::string* out) const override;
+
+    /** Lowering hook: the dense engine configuration for one op. */
+    GemmEngineConfig EngineConfigFor(const WorkloadOp& op) const;
 
     std::string name() const override { return "NeuRex"; }
 

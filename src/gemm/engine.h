@@ -133,6 +133,17 @@ struct GemmResult {
 };
 
 /**
+ * Appends an injective fingerprint of every cost-relevant field of
+ * @p config (including the nested NoC/mesh configs) to @p out. Two
+ * configs share a fingerprint iff every field is bit-identical, which is
+ * what lets GemmMemo/PlanCache treat key equality as config equality.
+ */
+void AppendFingerprint(const GemmEngineConfig& config, std::string* out);
+
+/** Appends an injective fingerprint of @p shape to @p out. */
+void AppendFingerprint(const GemmShape& shape, std::string* out);
+
+/**
  * The engine. Stateless between runs; safe to reuse.
  *
  * Thread-safety: Run/RunFromShape are deeply const — the engine holds only

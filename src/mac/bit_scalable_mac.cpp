@@ -23,7 +23,9 @@ FusedMultiply(std::int32_t a, std::int32_t b, int n_nibbles)
             const bool b_signed = (j == n_nibbles - 1);
             const std::int64_t partial =
                 SubMultiply(an[i], bn[j], a_signed, b_signed);
-            product += partial << (4 * (i + j));
+            // Multiply instead of shifting: left-shifting a negative
+            // partial is undefined in C++17.
+            product += partial * (std::int64_t{1} << (4 * (i + j)));
         }
     }
     return product;

@@ -1,5 +1,6 @@
 #include "models/workload.h"
 
+#include "common/fingerprint.h"
 #include "common/logging.h"
 
 namespace flexnerfer {
@@ -98,6 +99,34 @@ NerfWorkload::TotalOtherFlops() const
     double total = 0.0;
     for (const WorkloadOp& op : ops) total += op.other_flops;
     return total;
+}
+
+void
+AppendFingerprint(const NerfWorkload& workload, std::string* out)
+{
+    FingerprintAppend(out, workload.name);
+    FingerprintAppend(out, workload.samples_per_frame);
+    FingerprintAppend(out, workload.batch_size);
+    FingerprintAppend(out,
+                      static_cast<std::uint64_t>(workload.ops.size()));
+    for (const WorkloadOp& op : workload.ops) {
+        FingerprintAppend(out, static_cast<std::uint8_t>(op.kind));
+        FingerprintAppend(out, op.name);
+        AppendFingerprint(op.gemm, out);
+        FingerprintAppend(out, op.activations_on_chip);
+        FingerprintAppend(out, op.encoding_values);
+        FingerprintAppend(out, op.other_flops);
+    }
+}
+
+std::string
+WorkloadFingerprint(const NerfWorkload& workload)
+{
+    std::string out;
+    // Ops dominate the encoding at ~100 bytes each.
+    out.reserve(64 + workload.ops.size() * 112);
+    AppendFingerprint(workload, &out);
+    return out;
 }
 
 const std::vector<std::string>&

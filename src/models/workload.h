@@ -77,6 +77,18 @@ struct WorkloadParams {
     double weight_prune_ratio = 0.0;
 };
 
+/**
+ * Appends an injective fingerprint of @p workload — every op with its
+ * full geometry, densities, encoding volumes, and residency flags — to
+ * @p out. Workloads differing in any per-op parameter (e.g. one op's
+ * density) never share a fingerprint, so plan-cache keys built from it
+ * cannot collide.
+ */
+void AppendFingerprint(const NerfWorkload& workload, std::string* out);
+
+/** The workload fingerprint as a standalone key component. */
+std::string WorkloadFingerprint(const NerfWorkload& workload);
+
 /** Names of the seven evaluated models, in the paper's order. */
 const std::vector<std::string>& AllModelNames();
 

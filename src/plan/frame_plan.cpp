@@ -1,0 +1,177 @@
+#include "plan/frame_plan.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/units.h"
+#include "plan/gemm_memo.h"
+#include "runtime/thread_pool.h"
+
+namespace flexnerfer {
+namespace {
+
+/**
+ * FlexNeRFer cost assembly: the codec is pipelined with fetch/compute
+ * and DRAM is double-buffered against on-chip work; only the cycles
+ * where each is the slowest stage are exposed as latency.
+ */
+OpCost
+AssembleCodecAware(const GemmResult& r, double clock_ghz)
+{
+    OpCost fragment;
+    const double codec_exposed_cycles = std::max(
+        0.0, r.codec_cycles - std::max(r.fetch_cycles, r.compute_cycles));
+    const double codec_ms = CyclesToMs(codec_exposed_cycles, clock_ghz);
+    const double dram_exposed = std::max(0.0, r.dram_ms - r.onchip_ms);
+    fragment.cost.gemm_ms = r.latency_ms - dram_exposed - codec_ms;
+    fragment.cost.codec_ms = codec_ms;
+    fragment.cost.dram_ms = dram_exposed;
+    fragment.cost.latency_ms = r.latency_ms;
+    fragment.cost.energy_mj = r.EnergyMj();
+    fragment.utilization_weighted = r.utilization * r.useful_macs;
+    fragment.utilization_macs = r.useful_macs;
+    return fragment;
+}
+
+/**
+ * Dense-engine cost assembly: no codec stage; utilization is measured
+ * against the truly useful (sparse) work the dense array cannot skip.
+ */
+OpCost
+AssembleDenseEngine(const GemmResult& r, double useful_macs)
+{
+    OpCost fragment;
+    const double dram_exposed = std::max(0.0, r.dram_ms - r.onchip_ms);
+    fragment.cost.gemm_ms = r.latency_ms - dram_exposed;
+    fragment.cost.dram_ms = dram_exposed;
+    fragment.cost.latency_ms = r.latency_ms;
+    fragment.cost.energy_mj = r.EnergyMj();
+    fragment.utilization_weighted =
+        (r.issued_macs > 0.0 ? useful_macs / r.issued_macs : 0.0) *
+        useful_macs;
+    fragment.utilization_macs = useful_macs;
+    return fragment;
+}
+
+}  // namespace
+
+OpCost
+PlannedOp::Evaluate(GemmMemo* memo) const
+{
+    if (!uses_engine) return fixed;
+    const GemmEngine engine(engine_config);
+    const GemmResult r = memo != nullptr
+        ? memo->RunFromShape(engine, shape, memo_key)
+        : engine.RunFromShape(shape);
+    switch (lowering) {
+      case GemmLowering::kCodecAware:
+        return AssembleCodecAware(r, engine_config.clock_ghz);
+      case GemmLowering::kDenseEngine:
+        return AssembleDenseEngine(r, useful_macs);
+    }
+    return fixed;
+}
+
+FrameCost
+FramePlan::Execute(ThreadPool* pool, GemmMemo* memo) const
+{
+    const auto n = static_cast<std::int64_t>(ops_.size());
+    std::vector<OpCost> fragments(ops_.size());
+    const auto evaluate = [this, &fragments, memo](std::int64_t i) {
+        fragments[static_cast<std::size_t>(i)] =
+            ops_[static_cast<std::size_t>(i)].Evaluate(memo);
+    };
+    if (pool != nullptr && n > 1) {
+        pool->ParallelFor(n, evaluate);
+    } else {
+        for (std::int64_t i = 0; i < n; ++i) evaluate(i);
+    }
+
+    // Enqueue-order reduction: one addition per op per field, in op
+    // order, exactly the sequence the legacy serial loops performed —
+    // this is what keeps the result bit-identical for any thread count.
+    FrameCost total;
+    double energy = 0.0;
+    double utilization_weighted = 0.0;
+    double utilization_macs = 0.0;
+    for (const OpCost& fragment : fragments) {
+        total.latency_ms += fragment.cost.latency_ms;
+        total.gemm_ms += fragment.cost.gemm_ms;
+        total.encoding_ms += fragment.cost.encoding_ms;
+        total.other_ms += fragment.cost.other_ms;
+        total.codec_ms += fragment.cost.codec_ms;
+        total.dram_ms += fragment.cost.dram_ms;
+        energy += fragment.cost.energy_mj;
+        utilization_weighted += fragment.utilization_weighted;
+        utilization_macs += fragment.utilization_macs;
+    }
+    total.gemm_utilization = utilization_macs > 0.0
+        ? utilization_weighted / utilization_macs
+        : 0.0;
+    total.gemm_macs = utilization_macs;
+    total.energy_mj = energy * energy_scale_;
+    if (static_power_w_ != 0.0) {
+        // Clock tree, leakage, and idle-stage power accrue over the frame.
+        total.energy_mj += total.latency_ms * static_power_w_;
+    }
+    return total;
+}
+
+std::size_t
+FramePlan::engine_op_count() const
+{
+    std::size_t count = 0;
+    for (const PlannedOp& op : ops_) {
+        if (op.uses_engine) ++count;
+    }
+    return count;
+}
+
+FramePlanBuilder::FramePlanBuilder(std::string workload_name)
+{
+    plan_.workload_name_ = std::move(workload_name);
+}
+
+void
+FramePlanBuilder::SetEpilogue(double static_power_w, double energy_scale)
+{
+    plan_.static_power_w_ = static_power_w;
+    plan_.energy_scale_ = energy_scale;
+}
+
+void
+FramePlanBuilder::AddEngineOp(const WorkloadOp& op,
+                              const GemmEngineConfig& config,
+                              const GemmShape& shape, GemmLowering lowering,
+                              double useful_macs)
+{
+    PlannedOp planned;
+    planned.kind = op.kind;
+    planned.name = op.name;
+    planned.uses_engine = true;
+    planned.engine_config = config;
+    planned.shape = shape;
+    planned.lowering = lowering;
+    planned.useful_macs = useful_macs;
+    AppendFingerprint(config, &planned.memo_key);
+    AppendFingerprint(shape, &planned.memo_key);
+    plan_.ops_.push_back(std::move(planned));
+}
+
+void
+FramePlanBuilder::AddFixedOp(const WorkloadOp& op, const OpCost& fragment)
+{
+    PlannedOp planned;
+    planned.kind = op.kind;
+    planned.name = op.name;
+    planned.fixed = fragment;
+    plan_.ops_.push_back(std::move(planned));
+}
+
+FramePlan
+FramePlanBuilder::Build()
+{
+    return std::move(plan_);
+}
+
+}  // namespace flexnerfer

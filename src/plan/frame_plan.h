@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Compiled execution plan of one NeRF frame.
+ *
+ * A FramePlan is the compile-half of the frame loop split: every per-op
+ * decision an accelerator model makes — precision, sparsity format,
+ * dataflow, DRAM residency, engine geometry — is resolved once, at
+ * compile time, into a list of PlannedOps. Executing the plan then only
+ * runs the cycle-level GEMM engine for engine-backed ops (everything
+ * else was folded into fixed cost fragments during lowering) and reduces
+ * the per-op fragments in enqueue order.
+ *
+ * Determinism contract (matching SweepRunner): Execute is a pure
+ * function of the plan — fragments are computed into pre-assigned slots
+ * and reduced in op order, so the returned FrameCost is bit-identical
+ * whether it runs serially, on one pool thread, or on many.
+ *
+ * Thread-safety: a FramePlan is immutable after Build; Execute is deeply
+ * const and may be called concurrently on one instance (each call owns
+ * its fragment buffer). The optional GemmMemo is internally synchronized.
+ */
+#ifndef FLEXNERFER_PLAN_FRAME_PLAN_H_
+#define FLEXNERFER_PLAN_FRAME_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "gemm/engine.h"
+#include "models/workload.h"
+
+namespace flexnerfer {
+
+class GemmMemo;
+class ThreadPool;
+
+/** Cost fragment of one planned op plus its utilization sample. */
+struct OpCost {
+    /** Stage/latency fragment. energy_mj is in plan energy units: mJ for
+     *  the ASIC models, joules for the GPU roofline (see energy_scale). */
+    FrameCost cost;
+    double utilization_weighted = 0.0;  //!< utilization x weight
+    double utilization_macs = 0.0;      //!< weight (useful MACs)
+};
+
+/**
+ * How an engine-backed op's GemmResult folds into its cost fragment —
+ * the per-model cost-assembly policies that used to live in three
+ * near-duplicate RunWorkload switch-loops.
+ */
+enum class GemmLowering : std::uint8_t {
+    /** FlexNeRFer: the inline codec and DRAM are pipelined with compute;
+     *  only the cycles where they are the slowest stage are exposed. */
+    kCodecAware,
+    /** NeuRex-style dense engine: DRAM stalls are exposed; utilization
+     *  is measured against the truly useful (sparse) work. */
+    kDenseEngine,
+};
+
+/** One operator of a compiled frame, with all decisions resolved. */
+struct PlannedOp {
+    OpKind kind = OpKind::kGemm;
+    std::string name;
+
+    /** True when Execute must run the GEMM engine for this op; false
+     *  when the fragment was fully resolved at compile time. */
+    bool uses_engine = false;
+    GemmEngineConfig engine_config;  //!< fully resolved at compile time
+    GemmShape shape;                 //!< possibly rewritten by lowering
+    GemmLowering lowering = GemmLowering::kCodecAware;
+    /** Useful (sparse) MACs weighting kDenseEngine utilization. */
+    double useful_macs = 0.0;
+    /** Precomputed (engine config, shape) fingerprint: the GemmMemo key,
+     *  built once at compile time so replay lookups are cheap. */
+    std::string memo_key;
+
+    /** The fragment of non-engine ops, resolved at compile time. */
+    OpCost fixed;
+
+    /** Computes this op's cost fragment (pure; memo optional). */
+    OpCost Evaluate(GemmMemo* memo) const;
+};
+
+/** Executable plan for one frame of one accelerator configuration. */
+class FramePlan
+{
+  public:
+    /**
+     * Executes every op and reduces the fragments in enqueue order.
+     * With @p pool, independent ops run across the work-stealing pool;
+     * with null, execution is serial. @p memo, when given, memoizes
+     * engine runs across repeated executions (and across plans sharing
+     * engine-config/shape pairs). Bit-identical for any combination.
+     */
+    FrameCost Execute(ThreadPool* pool = nullptr,
+                      GemmMemo* memo = nullptr) const;
+
+    const std::string& workload_name() const { return workload_name_; }
+    const std::vector<PlannedOp>& ops() const { return ops_; }
+
+    /** Ops Execute evaluates through the GEMM engine. */
+    std::size_t engine_op_count() const;
+
+    /** Post-reduction static power term (mJ += latency_ms x W). */
+    double static_power_w() const { return static_power_w_; }
+
+  private:
+    friend class FramePlanBuilder;
+
+    std::string workload_name_;
+    std::vector<PlannedOp> ops_;
+    /** Applied to the summed per-op energies before the static-power
+     *  term: 1.0 for mJ fragments, 1e3 for the GPU's joule fragments
+     *  (preserving the legacy sum-then-scale rounding exactly). */
+    double energy_scale_ = 1.0;
+    double static_power_w_ = 0.0;
+};
+
+/** Assembles a FramePlan during lowering (used by Accelerator::Plan). */
+class FramePlanBuilder
+{
+  public:
+    explicit FramePlanBuilder(std::string workload_name);
+
+    /** Sets the post-reduction epilogue terms (see FramePlan). */
+    void SetEpilogue(double static_power_w, double energy_scale = 1.0);
+
+    /**
+     * Adds an engine-backed GEMM op. The memo key is derived here from
+     * the resolved config and shape; @p useful_macs only matters for
+     * kDenseEngine utilization weighting.
+     */
+    void AddEngineOp(const WorkloadOp& op, const GemmEngineConfig& config,
+                     const GemmShape& shape, GemmLowering lowering,
+                     double useful_macs = 0.0);
+
+    /** Adds an op whose fragment is fully resolved at compile time. */
+    void AddFixedOp(const WorkloadOp& op, const OpCost& fragment);
+
+    /** Finalizes the plan; the builder must not be reused afterwards. */
+    FramePlan Build();
+
+  private:
+    FramePlan plan_;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_PLAN_FRAME_PLAN_H_

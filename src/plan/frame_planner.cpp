@@ -1,0 +1,30 @@
+#include "plan/frame_planner.h"
+
+namespace flexnerfer {
+
+FramePlan
+FramePlanner::Compile(const Accelerator& accel, const NerfWorkload& workload)
+{
+    return accel.Plan(workload);
+}
+
+std::string
+FramePlanner::CacheKey(const Accelerator& accel, const NerfWorkload& workload)
+{
+    std::string key;
+    // One allocation: this runs per served frame, and on a cache hit the
+    // key build is most of the replay cost.
+    key.reserve(256 + workload.ops.size() * 128);
+    AppendCacheKey(accel, workload, &key);
+    return key;
+}
+
+void
+FramePlanner::AppendCacheKey(const Accelerator& accel,
+                             const NerfWorkload& workload, std::string* out)
+{
+    accel.AppendConfigFingerprint(out);
+    AppendFingerprint(workload, out);
+}
+
+}  // namespace flexnerfer

@@ -1,0 +1,57 @@
+#include "plan/gemm_memo.h"
+
+#include <utility>
+
+namespace flexnerfer {
+
+GemmResult
+GemmMemo::RunFromShape(const GemmEngine& engine, const GemmShape& shape,
+                       const std::string& key)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = results_.find(key);
+        if (it != results_.end()) {
+            ++hits_;
+            return it->second;
+        }
+    }
+    // Compute outside the lock: engine runs dominate, and purity makes a
+    // racing duplicate harmless (identical values; first insert wins).
+    // Only the successful insert counts as a miss — the insert loser
+    // counts a hit — so misses always equal the entry count.
+    GemmResult result = engine.RunFromShape(shape);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto inserted = results_.emplace(key, std::move(result));
+        if (inserted.second) {
+            ++misses_;
+        } else {
+            ++hits_;
+        }
+        return inserted.first->second;
+    }
+}
+
+std::uint64_t
+GemmMemo::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+GemmMemo::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+std::size_t
+GemmMemo::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return results_.size();
+}
+
+}  // namespace flexnerfer

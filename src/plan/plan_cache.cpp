@@ -1,0 +1,117 @@
+#include "plan/plan_cache.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "plan/frame_planner.h"
+
+namespace flexnerfer {
+namespace {
+
+/**
+ * Reusable per-thread key buffer: key construction dominates a keyed
+ * cache hit, and clearing a string keeps its capacity, so steady-state
+ * replays allocate nothing.
+ */
+std::string&
+ScratchKey(const Accelerator& accel, const NerfWorkload& workload)
+{
+    thread_local std::string key;
+    key.clear();
+    FramePlanner::AppendCacheKey(accel, workload, &key);
+    return key;
+}
+
+}  // namespace
+
+std::shared_ptr<PlanCache::Entry>
+PlanCache::GetByKey(const std::string& key, const Accelerator& accel,
+                    const NerfWorkload& workload)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++stats_.plan_hits;
+            return it->second;
+        }
+    }
+    // Compile outside the lock: lowering is the expensive half, and a
+    // racing duplicate compiles an identical plan (first insert wins).
+    auto entry = std::make_shared<Entry>();
+    entry->plan = std::make_shared<const FramePlan>(
+        FramePlanner::Compile(accel, workload));
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto inserted = entries_.emplace(key, std::move(entry));
+    if (inserted.second) {
+        ++stats_.plan_misses;
+    } else {
+        ++stats_.plan_hits;
+    }
+    return inserted.first->second;
+}
+
+std::shared_ptr<const FramePlan>
+PlanCache::Get(const Accelerator& accel, const NerfWorkload& workload)
+{
+    return GetByKey(ScratchKey(accel, workload), accel, workload)->plan;
+}
+
+FrameCost
+PlanCache::RunEntry(const std::shared_ptr<Entry>& entry, ThreadPool* pool)
+{
+    std::shared_ptr<const FramePlan> plan;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (entry->result != nullptr) {
+            ++stats_.frame_hits;
+            return *entry->result;
+        }
+        plan = entry->plan;
+    }
+    const FrameCost cost = plan->Execute(pool, &memo_);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entry->result == nullptr) {
+        entry->result = std::make_shared<const FrameCost>(cost);
+    }
+    return cost;
+}
+
+FrameCost
+PlanCache::Run(const Accelerator& accel, const NerfWorkload& workload,
+               ThreadPool* pool)
+{
+    return RunEntry(GetByKey(ScratchKey(accel, workload), accel, workload),
+                    pool);
+}
+
+PlanCache::PreparedFrame
+PlanCache::Prepare(const Accelerator& accel, const NerfWorkload& workload)
+{
+    return PreparedFrame(
+        GetByKey(ScratchKey(accel, workload), accel, workload));
+}
+
+FrameCost
+PlanCache::Run(const PreparedFrame& frame, ThreadPool* pool)
+{
+    FLEX_CHECK_MSG(frame.entry_ != nullptr,
+                   "null prepared frame handle (default-constructed?)");
+    return RunEntry(frame.entry_, pool);
+}
+
+PlanCache::Stats
+PlanCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t
+PlanCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+}  // namespace flexnerfer

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Thread-safe cache of compiled frame plans and executed frame results.
+ *
+ * The serving scenario renders the same frames over and over: one model
+ * configuration meets one workload millions of times. PlanCache keys
+ * compiled plans by the injective (model config, workload) fingerprint
+ * pair, so the compile half runs once per distinct frame; executed
+ * results are memoized too (a plan's cost is a pure function of the
+ * plan), so a repeated frame replays as one lookup. A shared GemmMemo
+ * additionally lets distinct plans reuse engine runs for common
+ * (engine config, shape) pairs.
+ *
+ * Replay is bit-identical to a cold compile+execute by construction:
+ * keys are injective, plans are immutable, and execution is pure.
+ *
+ * Thread-safety: all members may be called concurrently. Racing misses
+ * may compile the same plan twice; the first insert wins and both
+ * callers observe identical plans. Entries are never evicted — the
+ * working set is bounded by the distinct (config, workload) pairs a
+ * deployment serves.
+ */
+#ifndef FLEXNERFER_PLAN_PLAN_CACHE_H_
+#define FLEXNERFER_PLAN_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "accel/accelerator.h"
+#include "plan/frame_plan.h"
+#include "plan/gemm_memo.h"
+
+namespace flexnerfer {
+
+/** Caches compiled FramePlans and their executed frame costs. */
+class PlanCache
+{
+    struct Entry;
+
+  public:
+    /**
+     * Counter semantics: every keyed lookup (Get / keyed Run / Prepare)
+     * counts exactly one of plan_hits / plan_misses; every execution
+     * served from the result memo additionally counts one frame_hit
+     * (prepared Runs skip the keyed lookup, so they only ever move
+     * frame_hits). plan_misses equals the number of entries compiled —
+     * a racing duplicate compile counts as a hit for the insert loser.
+     */
+    struct Stats {
+        std::uint64_t plan_hits = 0;    //!< keyed lookups finding a plan
+        std::uint64_t plan_misses = 0;  //!< keyed lookups that compiled
+        std::uint64_t frame_hits = 0;   //!< replays from the result memo
+    };
+
+    PlanCache() = default;
+
+    PlanCache(const PlanCache&) = delete;
+    PlanCache& operator=(const PlanCache&) = delete;
+
+    /**
+     * Returns the cached plan for (accel config, workload), compiling
+     * through FramePlanner on a miss. The plan is shared and immutable.
+     */
+    std::shared_ptr<const FramePlan> Get(const Accelerator& accel,
+                                         const NerfWorkload& workload);
+
+    /**
+     * The serving hot path: compile (or reuse) the plan, execute it (or
+     * replay the memoized result). With @p pool, a cold execution fans
+     * its ops across the pool. Bit-identical however it is served.
+     */
+    FrameCost Run(const Accelerator& accel, const NerfWorkload& workload,
+                  ThreadPool* pool = nullptr);
+
+    /**
+     * Handle to a prepared (config, workload) pair: pins the cache
+     * entry directly, so replaying through it needs no fingerprint
+     * rebuild and no handle-table lookup. Copyable, usable from any
+     * thread; keeps its entry alive independently of the cache.
+     */
+    class PreparedFrame
+    {
+      public:
+        PreparedFrame() = default;  //!< null handle; Run rejects it
+
+      private:
+        friend class PlanCache;
+        explicit PreparedFrame(std::shared_ptr<Entry> entry)
+            : entry_(std::move(entry))
+        {}
+        std::shared_ptr<Entry> entry_;
+    };
+
+    /**
+     * Registers a frame for handle-based replay. A deployment serves a
+     * fixed repertoire of frames millions of times; preparing each once
+     * (the way a database prepares a statement) lets every later replay
+     * skip the per-request fingerprint construction — the dominant cost
+     * of a keyed cache hit. Preparing the same pair again returns a new
+     * handle to the same shared entry.
+     */
+    PreparedFrame Prepare(const Accelerator& accel,
+                          const NerfWorkload& workload);
+
+    /** Replays (or, first time, executes) a prepared frame. Bit-identical
+     *  to the keyed Run of the same pair. */
+    FrameCost Run(const PreparedFrame& frame, ThreadPool* pool = nullptr);
+
+    /** The engine-run memo shared by executions through this cache. */
+    GemmMemo& memo() { return memo_; }
+
+    Stats stats() const;
+    std::size_t size() const;
+
+  private:
+    struct Entry {
+        std::shared_ptr<const FramePlan> plan;
+        /** Executed cost; set by the first Run to finish this frame. */
+        std::shared_ptr<const FrameCost> result;
+    };
+
+    /** Looks up or compiles the entry for @p key (counts hit/miss). */
+    std::shared_ptr<Entry> GetByKey(const std::string& key,
+                                    const Accelerator& accel,
+                                    const NerfWorkload& workload);
+
+    /** Executes @p entry's plan, memoizing the frame result. */
+    FrameCost RunEntry(const std::shared_ptr<Entry>& entry,
+                       ThreadPool* pool);
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+    GemmMemo memo_;
+    Stats stats_;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_PLAN_PLAN_CACHE_H_

@@ -137,8 +137,10 @@ Rv32Cpu::Step()
     std::uint32_t next_pc = pc_ + 4;
 
     const auto imm_i = static_cast<std::int32_t>(inst) >> 20;
+    // Assemble in unsigned then sign-extend: left-shifting a negative
+    // value is undefined in C++17 (UBSan halts on it).
     const std::int32_t imm_s =
-        ((static_cast<std::int32_t>(inst) >> 25) << 5) | rd;
+        SignExtend(((inst >> 25) << 5) | static_cast<std::uint32_t>(rd), 12);
     const std::int32_t imm_b = SignExtend(
         (((inst >> 31) & 1) << 12) | (((inst >> 7) & 1) << 11) |
             (((inst >> 25) & 0x3F) << 5) | (((inst >> 8) & 0xF) << 1),

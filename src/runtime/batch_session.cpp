@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "plan/plan_cache.h"
 
 namespace flexnerfer {
 namespace {
@@ -46,8 +47,25 @@ BatchTicket
 BatchSession::EnqueueFrame(const NerfWorkload& workload)
 {
     const Accelerator& accel = accel_;
+    ThreadPool& pool = pool_;
+    PlanCache* cache = cache_;
+    return Issue(pool_.Submit([&accel, &pool, cache, workload] {
+        // Compile-or-reuse, then fan the plan's ops across the pool
+        // (ParallelFor nests safely inside this pool task).
+        return cache != nullptr ? cache->Run(accel, workload, &pool)
+                                : accel.RunWorkload(workload, &pool);
+    }));
+}
+
+BatchTicket
+BatchSession::EnqueueFrame(PlanCache::PreparedFrame frame)
+{
+    FLEX_CHECK_MSG(cache_ != nullptr,
+                   "prepared-frame enqueue requires a PlanCache");
+    PlanCache* cache = cache_;
+    ThreadPool& pool = pool_;
     return Issue(pool_.Submit(
-        [&accel, workload] { return accel.RunWorkload(workload); }));
+        [cache, &pool, frame] { return cache->Run(frame, &pool); }));
 }
 
 BatchTicket
@@ -61,6 +79,7 @@ BatchSession::EnqueueGemm(const GemmEngine& engine, const GemmShape& shape)
         cost.gemm_ms = r.onchip_ms;
         cost.dram_ms = r.dram_ms;
         cost.gemm_utilization = r.utilization;
+        cost.gemm_macs = r.useful_macs;
         return cost;
     }));
 }

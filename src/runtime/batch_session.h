@@ -9,6 +9,12 @@
  * accelerator models are stateless-const (see accel/accelerator.h), so one
  * instance safely serves all workers concurrently.
  *
+ * Frames execute through the plan layer: each job compiles (or, with a
+ * PlanCache attached, reuses) a FramePlan and fans its independent ops
+ * across the same pool, so a single in-flight frame also exploits
+ * intra-frame parallelism. With a cache, repeated frames — the serving
+ * hot path — replay memoized plans and engine runs, bit-identically.
+ *
  * Thread-safety: Enqueue* and Wait* may be called from any thread. Each
  * ticket is owned by its caller; Wait consumes the ticket's result.
  */
@@ -23,6 +29,7 @@
 
 #include "accel/accelerator.h"
 #include "gemm/engine.h"
+#include "plan/plan_cache.h"
 #include "runtime/thread_pool.h"
 
 namespace flexnerfer {
@@ -34,9 +41,15 @@ using BatchTicket = std::uint64_t;
 class BatchSession
 {
   public:
-    /** Serves @p accel using @p pool; both must outlive the session. */
-    BatchSession(const Accelerator& accel, ThreadPool& pool)
-        : accel_(accel), pool_(pool)
+    /**
+     * Serves @p accel using @p pool; both must outlive the session.
+     * With @p cache (shared, internally synchronized; may serve several
+     * sessions), repeated frames reuse compiled plans and memoized
+     * engine runs instead of recomputing them.
+     */
+    BatchSession(const Accelerator& accel, ThreadPool& pool,
+                 PlanCache* cache = nullptr)
+        : accel_(accel), pool_(pool), cache_(cache)
     {}
 
     BatchSession(const BatchSession&) = delete;
@@ -44,6 +57,13 @@ class BatchSession
 
     /** Enqueues one frame render; returns a ticket for its FrameCost. */
     BatchTicket EnqueueFrame(const NerfWorkload& workload);
+
+    /**
+     * Enqueues a frame prepared on the attached cache (see
+     * PlanCache::Prepare): the steady-state serving path, which skips
+     * per-request workload fingerprinting. Requires a cache.
+     */
+    BatchTicket EnqueueFrame(PlanCache::PreparedFrame frame);
 
     /**
      * Enqueues one expectation-based GEMM with @p engine (captured by
@@ -69,6 +89,7 @@ class BatchSession
 
     const Accelerator& accel_;
     ThreadPool& pool_;
+    PlanCache* cache_;
 
     mutable std::mutex mutex_;
     BatchTicket next_ticket_ = 0;

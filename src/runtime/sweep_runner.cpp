@@ -8,7 +8,7 @@
 #include "accel/gpu_model.h"
 #include "accel/neurex.h"
 #include "common/logging.h"
-#include "sim/metrics.h"
+#include "plan/plan_cache.h"
 
 namespace flexnerfer {
 
@@ -56,16 +56,29 @@ std::vector<SweepOutcome>
 SweepRunner::Run(const std::vector<SweepPoint>& points) const
 {
     const auto n = static_cast<std::int64_t>(points.size());
-    return Map<SweepOutcome>(n, [&points](std::int64_t i) {
+    return Map<SweepOutcome>(n, [this, &points](std::int64_t i) {
         const SweepPoint& point = points[static_cast<std::size_t>(i)];
         const std::unique_ptr<Accelerator> accel = MakeAccelerator(point);
+        // Frames compile through the plan layer and fan their ops across
+        // the pool (nested ParallelFor); with a cache, revisited
+        // (config, workload) pairs replay the compiled plan. Both paths
+        // are bit-identical to serial execution, keeping the sweep
+        // contract (results independent of thread count and cache state).
+        const auto run_frame = [this, &accel](const NerfWorkload& w) {
+            return cache_ != nullptr ? cache_->Run(*accel, w, &pool_)
+                                     : accel->RunWorkload(w, &pool_);
+        };
         SweepOutcome outcome;
         outcome.point = point;
         if (point.model.empty()) {
-            outcome.per_model = RunAllModels(*accel, point.params);
+            outcome.per_model.reserve(AllModelNames().size());
+            for (const std::string& model : AllModelNames()) {
+                outcome.per_model.push_back(
+                    run_frame(BuildWorkload(model, point.params)));
+            }
         } else {
-            outcome.per_model = {accel->RunWorkload(
-                BuildWorkload(point.model, point.params))};
+            outcome.per_model = {
+                run_frame(BuildWorkload(point.model, point.params))};
         }
         return outcome;
     });

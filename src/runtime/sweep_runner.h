@@ -32,6 +32,8 @@
 
 namespace flexnerfer {
 
+class PlanCache;
+
 /** Accelerator backends a sweep point can target. */
 enum class Backend : std::uint8_t {
     kFlexNeRFer,
@@ -75,8 +77,16 @@ std::unique_ptr<Accelerator> MakeAccelerator(const SweepPoint& point);
 class SweepRunner
 {
   public:
-    /** Uses @p pool for execution; the pool must outlive the runner. */
-    explicit SweepRunner(ThreadPool& pool) : pool_(pool) {}
+    /**
+     * Uses @p pool for execution; the pool must outlive the runner.
+     * With @p cache (shared, internally synchronized), points reuse
+     * compiled plans and memoized engine runs across the grid — grids
+     * that revisit a (config, workload) pair replay instead of
+     * recomputing, with bit-identical outcomes.
+     */
+    explicit SweepRunner(ThreadPool& pool, PlanCache* cache = nullptr)
+        : pool_(pool), cache_(cache)
+    {}
 
     SweepRunner(const SweepRunner&) = delete;
     SweepRunner& operator=(const SweepRunner&) = delete;
@@ -106,6 +116,7 @@ class SweepRunner
 
   private:
     ThreadPool& pool_;
+    PlanCache* cache_;
 };
 
 /**

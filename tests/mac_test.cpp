@@ -43,8 +43,10 @@ TEST(NibbleDecomposition, ReconstructsValue)
         for (int i = 0; i < 3; ++i) {
             rebuilt += static_cast<std::int64_t>(nibbles[i]) << (4 * i);
         }
-        rebuilt += static_cast<std::int64_t>(NibbleAsSigned(nibbles[3]))
-                   << 12;
+        // Multiply instead of shifting: left-shifting a negative value
+        // is undefined in C++17.
+        rebuilt +=
+            static_cast<std::int64_t>(NibbleAsSigned(nibbles[3])) * 4096;
         EXPECT_EQ(rebuilt, v);
     }
 }

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Unit tests for the plan layer: FramePlan structure and determinism,
+ * GemmMemo, PlanCache (including concurrent hit/miss stress and
+ * fingerprint-collision freedom), and the MAC-weighted FrameCost sum.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/flexnerfer.h"
+#include "accel/gpu_model.h"
+#include "accel/neurex.h"
+#include "models/workload.h"
+#include "plan/frame_plan.h"
+#include "plan/frame_planner.h"
+#include "plan/gemm_memo.h"
+#include "plan/plan_cache.h"
+#include "runtime/batch_session.h"
+#include "runtime/sweep_runner.h"
+#include "runtime/thread_pool.h"
+
+namespace flexnerfer {
+namespace {
+
+void
+ExpectBitIdentical(const FrameCost& a, const FrameCost& b)
+{
+    EXPECT_EQ(a.latency_ms, b.latency_ms);
+    EXPECT_EQ(a.energy_mj, b.energy_mj);
+    EXPECT_EQ(a.gemm_ms, b.gemm_ms);
+    EXPECT_EQ(a.encoding_ms, b.encoding_ms);
+    EXPECT_EQ(a.other_ms, b.other_ms);
+    EXPECT_EQ(a.codec_ms, b.codec_ms);
+    EXPECT_EQ(a.dram_ms, b.dram_ms);
+    EXPECT_EQ(a.gemm_utilization, b.gemm_utilization);
+    EXPECT_EQ(a.gemm_macs, b.gemm_macs);
+}
+
+TEST(FrameCost, SumCombinesUtilizationMacWeighted)
+{
+    FrameCost a;
+    a.gemm_utilization = 0.8;
+    a.gemm_macs = 3e9;
+    FrameCost b;
+    b.gemm_utilization = 0.2;
+    b.gemm_macs = 1e9;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.gemm_utilization, (0.8 * 3e9 + 0.2 * 1e9) / 4e9);
+    EXPECT_DOUBLE_EQ(a.gemm_macs, 4e9);
+    // Adding a cost with no GEMM work (e.g. a GPU frame) keeps the
+    // average instead of dropping or diluting it.
+    a += FrameCost{};
+    EXPECT_DOUBLE_EQ(a.gemm_utilization, 0.65);
+}
+
+TEST(FramePlan, ResolvesEveryOpAtCompileTime)
+{
+    const FlexNeRFerModel model;
+    const NerfWorkload w = BuildWorkload("Instant-NGP");
+    const FramePlan plan = FramePlanner::Compile(model, w);
+
+    ASSERT_EQ(plan.ops().size(), w.ops.size());
+    EXPECT_EQ(plan.workload_name(), "Instant-NGP");
+    EXPECT_GT(plan.engine_op_count(), 0u);
+    for (std::size_t i = 0; i < w.ops.size(); ++i) {
+        const PlannedOp& op = plan.ops()[i];
+        EXPECT_EQ(op.kind, w.ops[i].kind);
+        EXPECT_EQ(op.name, w.ops[i].name);
+        if (op.kind == OpKind::kGemm) {
+            EXPECT_TRUE(op.uses_engine);
+            // Decisions are resolved, not deferred: the engine config
+            // carries the model's precision/dataflow, and the memo key
+            // is prebuilt.
+            EXPECT_EQ(op.engine_config.precision,
+                      model.config().precision);
+            EXPECT_EQ(op.engine_config.noc_style,
+                      model.config().noc_style);
+            EXPECT_FALSE(op.memo_key.empty());
+        } else {
+            EXPECT_FALSE(op.uses_engine);
+            EXPECT_EQ(op.fixed.cost.latency_ms, op.fixed.cost.gemm_ms +
+                                                    op.fixed.cost.encoding_ms +
+                                                    op.fixed.cost.other_ms);
+        }
+    }
+}
+
+TEST(FramePlan, ExecuteDeterministicAcrossThreadCounts)
+{
+    // The SweepRunner contract extended to intra-frame parallelism:
+    // serial, 1-thread, 4-thread, and 8-thread executions of one plan
+    // are bit-identical, run after run.
+    const FlexNeRFerModel model;
+    const FramePlan plan =
+        FramePlanner::Compile(model, BuildWorkload("NeRF"));
+    const FrameCost reference = plan.Execute();
+    for (int threads : {1, 4, 8}) {
+        ThreadPool pool(threads);
+        ExpectBitIdentical(plan.Execute(&pool), reference);
+        ExpectBitIdentical(plan.Execute(&pool), reference);
+    }
+}
+
+TEST(GemmMemo, HitsReplayIdenticalResults)
+{
+    GemmMemo memo;
+    GemmEngineConfig config;
+    config.compute_output = false;
+    const GemmEngine engine(config);
+    const GemmShape shape{4096, 256, 256, 0.55, 1.0, 0.0};
+    std::string key;
+    AppendFingerprint(config, &key);
+    AppendFingerprint(shape, &key);
+
+    const GemmResult cold = memo.RunFromShape(engine, shape, key);
+    const GemmResult warm = memo.RunFromShape(engine, shape, key);
+    EXPECT_EQ(memo.misses(), 1u);
+    EXPECT_EQ(memo.hits(), 1u);
+    EXPECT_EQ(cold.latency_ms, warm.latency_ms);
+    EXPECT_EQ(cold.cycles, warm.cycles);
+    EXPECT_EQ(cold.energy.TotalPj(), warm.energy.TotalPj());
+    EXPECT_EQ(cold.useful_macs, warm.useful_macs);
+}
+
+TEST(PlanCache, WorkloadsDifferingInOneOpDensityNeverSharePlans)
+{
+    // The fingerprint is an injective encoding, so two workloads that
+    // differ only in a single op's density cannot collide into one
+    // cache entry (a hash could; a fingerprint cannot).
+    NerfWorkload a = BuildWorkload("NeRF");
+    NerfWorkload b = a;
+    for (WorkloadOp& op : b.ops) {
+        if (op.kind == OpKind::kGemm && op.gemm.density_a < 1.0) {
+            op.gemm.density_a *= 0.999;
+            break;
+        }
+    }
+    EXPECT_NE(WorkloadFingerprint(a), WorkloadFingerprint(b));
+
+    const FlexNeRFerModel model;
+    PlanCache cache;
+    const auto plan_a = cache.Get(model, a);
+    const auto plan_b = cache.Get(model, b);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_NE(plan_a.get(), plan_b.get());
+    EXPECT_EQ(cache.stats().plan_misses, 2u);
+    EXPECT_EQ(cache.stats().plan_hits, 0u);
+
+    // A coarser density change shows the field is load-bearing (the
+    // 0.999 nudge above sits below the wave-quantization granularity,
+    // which is exactly why sharing plans across it would be wrong to
+    // rely on and must come from the fingerprint, not the cost).
+    NerfWorkload c = a;
+    for (WorkloadOp& op : c.ops) {
+        if (op.kind == OpKind::kGemm && op.gemm.density_a < 1.0) {
+            op.gemm.density_a *= 0.5;
+            break;
+        }
+    }
+    const auto plan_c = cache.Get(model, c);
+    EXPECT_NE(plan_a->Execute().latency_ms, plan_c->Execute().latency_ms);
+
+    // Same workload, different model config: also distinct entries.
+    FlexNeRFerModel::Config int4;
+    int4.precision = Precision::kInt4;
+    cache.Get(FlexNeRFerModel(int4), a);
+    EXPECT_EQ(cache.size(), 4u);
+}
+
+TEST(PlanCache, RepeatedGetsHitAndShareOnePlan)
+{
+    const NeuRexModel model;
+    const NerfWorkload w = BuildWorkload("TensoRF");
+    PlanCache cache;
+    const auto first = cache.Get(model, w);
+    const auto second = cache.Get(model, w);
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(cache.stats().plan_hits, 1u);
+    EXPECT_EQ(cache.stats().plan_misses, 1u);
+
+    // A second instance with an identical config keys to the same plan:
+    // the cache is keyed by configuration, not object identity.
+    const NeuRexModel clone;
+    EXPECT_EQ(cache.Get(clone, w).get(), first.get());
+}
+
+TEST(PlanCache, RunReplaysBitIdenticalFrames)
+{
+    const FlexNeRFerModel model;
+    const NerfWorkload w = BuildWorkload("Mip-NeRF");
+    const FrameCost reference = model.RunWorkload(w);
+
+    ThreadPool pool(4);
+    PlanCache cache;
+    ExpectBitIdentical(cache.Run(model, w, &pool), reference);
+    ExpectBitIdentical(cache.Run(model, w, &pool), reference);
+    ExpectBitIdentical(cache.Run(model, w), reference);
+    EXPECT_EQ(cache.stats().plan_misses, 1u);
+    EXPECT_EQ(cache.stats().frame_hits, 2u);
+}
+
+TEST(PlanCache, PreparedFramesReplayBitIdentically)
+{
+    const FlexNeRFerModel model;
+    const NeuRexModel neurex;
+    const NerfWorkload w = BuildWorkload("KiloNeRF");
+    PlanCache cache;
+
+    const PlanCache::PreparedFrame flex_frame = cache.Prepare(model, w);
+    const PlanCache::PreparedFrame neurex_frame = cache.Prepare(neurex, w);
+    // Preparing again returns a new handle to the same shared entry.
+    const PlanCache::PreparedFrame again = cache.Prepare(model, w);
+    EXPECT_EQ(cache.size(), 2u);
+
+    ThreadPool pool(4);
+    ExpectBitIdentical(cache.Run(flex_frame, &pool), model.RunWorkload(w));
+    ExpectBitIdentical(cache.Run(flex_frame), model.RunWorkload(w));
+    ExpectBitIdentical(cache.Run(again), model.RunWorkload(w));
+    ExpectBitIdentical(cache.Run(neurex_frame), neurex.RunWorkload(w));
+    // Keyed and prepared paths share one result memo.
+    ExpectBitIdentical(cache.Run(model, w), model.RunWorkload(w));
+    EXPECT_EQ(cache.stats().frame_hits, 3u);
+
+    // Prepared frames also drive the serving front-end.
+    BatchSession session(model, pool, &cache);
+    const BatchTicket ticket = session.EnqueueFrame(flex_frame);
+    ExpectBitIdentical(session.Wait(ticket), model.RunWorkload(w));
+}
+
+TEST(PlanCache, ConcurrentHitMissStress)
+{
+    // Hammer one cache from many pool workers with a mix of workloads,
+    // models, and configs: every result must match the serial reference,
+    // and the bookkeeping must balance (one outcome counted per call).
+    ThreadPool pool(8);
+    PlanCache cache;
+
+    const FlexNeRFerModel flex16;
+    FlexNeRFerModel::Config c4;
+    c4.precision = Precision::kInt4;
+    const FlexNeRFerModel flex4(c4);
+    const NeuRexModel neurex;
+    const GpuModel gpu;
+    const std::vector<const Accelerator*> accels = {&flex16, &flex4,
+                                                    &neurex, &gpu};
+
+    std::vector<NerfWorkload> workloads;
+    for (const std::string& name : AllModelNames()) {
+        workloads.push_back(BuildWorkload(name));
+    }
+
+    std::vector<std::vector<FrameCost>> references(accels.size());
+    for (std::size_t a = 0; a < accels.size(); ++a) {
+        for (const NerfWorkload& w : workloads) {
+            references[a].push_back(accels[a]->RunWorkload(w));
+        }
+    }
+
+    constexpr int kRounds = 6;
+    const auto n = static_cast<std::int64_t>(
+        kRounds * accels.size() * workloads.size());
+    std::atomic<int> mismatches{0};
+    pool.ParallelFor(n, [&](std::int64_t i) {
+        const auto a = static_cast<std::size_t>(i) % accels.size();
+        const auto w =
+            (static_cast<std::size_t>(i) / accels.size()) % workloads.size();
+        const FrameCost got = cache.Run(*accels[a], workloads[w], &pool);
+        const FrameCost& want = references[a][w];
+        if (got.latency_ms != want.latency_ms ||
+            got.energy_mj != want.energy_mj ||
+            got.gemm_utilization != want.gemm_utilization) {
+            mismatches.fetch_add(1);
+        }
+    });
+    EXPECT_EQ(mismatches.load(), 0);
+    EXPECT_EQ(cache.size(), accels.size() * workloads.size());
+    const PlanCache::Stats stats = cache.stats();
+    // Every keyed Run does exactly one plan lookup; racing misses may
+    // compile a duplicate plan, but only successful inserts count as
+    // misses, so misses equal the entry count exactly.
+    EXPECT_EQ(stats.plan_hits + stats.plan_misses,
+              static_cast<std::uint64_t>(n));
+    EXPECT_EQ(stats.plan_misses, accels.size() * workloads.size());
+    EXPECT_GT(stats.frame_hits, 0u);
+    EXPECT_LE(stats.frame_hits, static_cast<std::uint64_t>(n));
+}
+
+TEST(PlanCache, ServesSweepRunnerAndBatchSession)
+{
+    // One shared cache behind both runtime front-ends: outcomes stay
+    // identical to the uncached paths.
+    ThreadPool pool(4);
+    PlanCache cache;
+    const FlexNeRFerModel model;
+    const NerfWorkload w = BuildWorkload("Instant-NGP");
+    const FrameCost reference = model.RunWorkload(w);
+
+    BatchSession session(model, pool, &cache);
+    for (int i = 0; i < 8; ++i) session.EnqueueFrame(w);
+    for (const FrameCost& cost : session.WaitAll()) {
+        ExpectBitIdentical(cost, reference);
+    }
+    EXPECT_GT(cache.stats().frame_hits, 0u);
+
+    // A cached sweep revisiting the same point replays identically.
+    SweepPoint p;
+    p.model = "Instant-NGP";
+    const SweepRunner cached(pool, &cache);
+    const SweepRunner uncached(pool);
+    const auto c = cached.Run({p, p});
+    const auto u = uncached.Run({p});
+    ASSERT_EQ(c.size(), 2u);
+    ExpectBitIdentical(c[0].per_model[0], u[0].per_model[0]);
+    ExpectBitIdentical(c[1].per_model[0], u[0].per_model[0]);
+    ExpectBitIdentical(c[0].per_model[0], reference);
+}
+
+}  // namespace
+}  // namespace flexnerfer

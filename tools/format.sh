@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# One-shot clang-format normalization / check for the whole tree, using
+# the pinned CI version (see CLANG_FORMAT_VERSION in ci.yml). The blocking
+# format job runs `tools/format.sh --check`; run the script with no
+# arguments to rewrite files in place.
+#
+# Usage:
+#   tools/format.sh            # normalize every tracked .cpp/.h in place
+#   tools/format.sh --check    # fail (non-zero) if anything is unformatted
+#
+# Override the binary with CLANG_FORMAT=... (defaults to clang-format-18,
+# falling back to plain clang-format if the pinned name is absent).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format-18}"
+if ! command -v "${CLANG_FORMAT}" > /dev/null 2>&1; then
+    CLANG_FORMAT=clang-format
+fi
+if ! command -v "${CLANG_FORMAT}" > /dev/null 2>&1; then
+    echo "error: no clang-format binary found (tried pinned and plain)" >&2
+    exit 2
+fi
+
+"${CLANG_FORMAT}" --version >&2
+
+mapfile -t files < <(git ls-files '*.cpp' '*.h')
+if [[ "${1:-}" == "--check" ]]; then
+    "${CLANG_FORMAT}" --dry-run --Werror "${files[@]}"
+else
+    "${CLANG_FORMAT}" -i "${files[@]}"
+    git diff --stat
+fi
