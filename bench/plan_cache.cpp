@@ -46,27 +46,18 @@ WallMs(const std::chrono::steady_clock::time_point& start)
         .count();
 }
 
-int
-RoundsFromArgs(int argc, char** argv, int default_rounds)
-{
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--rounds=", 9) == 0) {
-            return std::atoi(argv[i] + 9);
-        }
-        if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
-            return std::atoi(argv[i + 1]);
-        }
-    }
-    return default_rounds;
-}
-
 }  // namespace
 
 int
 main(int argc, char** argv)
 {
     const int threads = ThreadsFromArgs(argc, argv);
-    const int rounds = RoundsFromArgs(argc, argv, 64);
+    const std::int64_t rounds_arg = IntFromArgs(argc, argv, "--rounds", 64);
+    if (rounds_arg > 1000000) {
+        Fatal("invalid --rounds value " + std::to_string(rounds_arg) +
+              " (expected an integer in [0, 1000000])");
+    }
+    const int rounds = static_cast<int>(rounds_arg);
     ThreadPool pool(threads);
 
     std::vector<std::unique_ptr<Accelerator>> accels;

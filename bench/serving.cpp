@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Serving benchmark: an open-loop arrival process over the 7 NeRF model
+ * workloads x 3 accelerator families, pushed through the RenderService
+ * front-end (admission control, prepared-frame registry, priority
+ * dispatch, latency telemetry).
+ *
+ * The generator submits requests on a fixed-seed Poisson schedule whose
+ * offered load deliberately exceeds the modeled device's service rate
+ * (default 1.25x), so the bench exercises the full request path:
+ * steady-state prepared-frame replays, queue growth, and deadline
+ * shedding. Every completed request is verified to have taken the
+ * prepared path (its FrameCost replays the scene's pinned plan
+ * bit-identically, and PlanCache frame hits equal accepted requests).
+ *
+ * stdout (thread-count invariant): admission/latency/cache summary and
+ * the per-scene table, all in virtual (model) time. stderr: wall-clock
+ * throughput, which is the only thing --threads changes.
+ *
+ * Usage: serving [--threads N] [--requests N] [--load F]
+ *                [--cache-cap N] [--seed N]
+ */
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "runtime/sweep_runner.h"
+#include "serve/render_service.h"
+
+using namespace flexnerfer;
+
+int
+main(int argc, char** argv)
+{
+    const int threads = ThreadsFromArgs(argc, argv);
+    const std::int64_t requests_arg =
+        IntFromArgs(argc, argv, "--requests", 2000);
+    if (requests_arg > 10000000) {
+        Fatal("invalid --requests value " + std::to_string(requests_arg) +
+              " (expected an integer in [0, 10000000])");
+    }
+    const auto requests = static_cast<std::size_t>(requests_arg);
+    const double load = DoubleFromArgs(argc, argv, "--load", 1.25);
+    const auto cache_cap =
+        static_cast<std::size_t>(IntFromArgs(argc, argv, "--cache-cap", 16));
+    const auto seed = static_cast<std::uint64_t>(
+        IntFromArgs(argc, argv, "--seed", 20250730));
+
+    ServeConfig config;
+    config.threads = threads;
+    config.plan_cache_capacity = cache_cap;
+    config.admission.max_queue_depth = 128;
+    RenderService service(config);
+
+    // The scene repertoire: every paper workload on every accelerator
+    // family (FlexNeRFer INT8, NeuRex, RTX 2080 Ti roofline).
+    struct Family {
+        const char* tag;
+        Backend backend;
+        Precision precision;
+    };
+    const std::vector<Family> families = {
+        {"flexnerfer-int8", Backend::kFlexNeRFer, Precision::kInt8},
+        {"neurex", Backend::kNeuRex, Precision::kInt16},
+        {"gpu", Backend::kGpu, Precision::kInt16},
+    };
+    std::vector<std::string> scenes;
+    for (const std::string& model : AllModelNames()) {
+        for (const Family& family : families) {
+            SweepPoint spec;
+            spec.backend = family.backend;
+            spec.precision = family.precision;
+            spec.model = model;
+            const std::string name = model + "/" + family.tag;
+            service.RegisterScene(name, spec);
+            scenes.push_back(name);
+        }
+    }
+
+    // Warm every scene (compile + pin + estimate) so the arrival
+    // schedule can be derived from the latency estimates and so request
+    // one already takes the prepared path.
+    std::vector<FrameCost> warm_costs;
+    std::vector<double> est_ms;
+    warm_costs.reserve(scenes.size());
+    est_ms.reserve(scenes.size());
+    double mean_service_ms = 0.0;
+    for (const std::string& scene : scenes) {
+        warm_costs.push_back(service.WarmScene(scene));
+        est_ms.push_back(warm_costs.back().latency_ms);
+        mean_service_ms += est_ms.back();
+    }
+    mean_service_ms /= static_cast<double>(scenes.size());
+
+    // Open-loop Poisson arrivals at `load` times the service rate of
+    // the single modeled device; deadlines leave slack when the queue
+    // is short and shed when the backlog outgrows them.
+    const double mean_interarrival_ms = mean_service_ms / load;
+    Rng rng(seed);
+    const auto wall_start = std::chrono::steady_clock::now();
+    double arrival_ms = 0.0;
+    std::vector<ServeTicket> tickets;
+    tickets.reserve(requests);
+    for (std::size_t i = 0; i < requests; ++i) {
+        arrival_ms += -mean_interarrival_ms *
+                      std::log(1.0 - rng.Uniform(0.0, 1.0));
+        const auto scene_index = static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<std::int64_t>(scenes.size()) - 1));
+        SceneRequest request;
+        request.scene = scenes[scene_index];
+        request.arrival_ms = arrival_ms;
+        request.priority = static_cast<int>(rng.UniformInt(0, 2));
+        request.deadline_ms = 1.5 * est_ms[scene_index] +
+                              mean_service_ms * rng.Uniform(0.0, 6.0);
+        tickets.push_back(service.Submit(request));
+    }
+    const std::vector<RenderResult> results = service.WaitAll();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+
+    // Steady state must ride the prepared path: every completed request
+    // replays its scene's pinned plan bit-identically to the warm-up
+    // execution of that scene.
+    FLEX_CHECK(results.size() == requests);
+    std::size_t completed = 0;
+    for (const RenderResult& r : results) {
+        if (r.status != RequestStatus::kCompleted) continue;
+        ++completed;
+        std::size_t scene_index = 0;
+        while (scenes[scene_index] != r.scene) ++scene_index;
+        FLEX_CHECK_MSG(r.cost == warm_costs[scene_index],
+                       "completed request diverged from the prepared "
+                       "replay of scene "
+                           << r.scene);
+    }
+
+    const ServiceStats stats = service.Snapshot();
+    FLEX_CHECK(stats.completed == stats.accepted);
+    FLEX_CHECK_MSG(stats.cache.frame_hits == stats.accepted,
+                   "every accepted request must hit the prepared frame "
+                   "path (frame hits "
+                       << stats.cache.frame_hits << " vs accepted "
+                       << stats.accepted << ")");
+
+    std::printf("== Serving: open-loop %zu requests over %zu scenes "
+                "(offered load %.2fx) ==\n",
+                requests, scenes.size(), load);
+    Table summary({"Metric", "Value"});
+    summary.AddRow({"requests submitted", std::to_string(stats.submitted)});
+    summary.AddRow({"accepted / completed", std::to_string(stats.accepted)});
+    summary.AddRow(
+        {"shed (deadline)", std::to_string(stats.shed_deadline)});
+    summary.AddRow(
+        {"rejected (queue full)", std::to_string(stats.rejected_queue_full)});
+    summary.AddRow(
+        {"shed rate [%]", FormatDouble(100.0 * stats.ShedRate(), 2)});
+    summary.AddRow(
+        {"sustained QPS (model time)", FormatDouble(stats.sustained_qps, 2)});
+    summary.AddRow(
+        {"device utilization [%]", FormatDouble(100.0 * stats.utilization, 2)});
+    summary.AddRow({"p50 latency [ms]", FormatDouble(stats.p50_ms, 3)});
+    summary.AddRow({"p90 latency [ms]", FormatDouble(stats.p90_ms, 3)});
+    summary.AddRow({"p99 latency [ms]", FormatDouble(stats.p99_ms, 3)});
+    summary.AddRow({"mean latency [ms]", FormatDouble(stats.mean_ms, 3)});
+    summary.AddRow({"max latency [ms]", FormatDouble(stats.max_ms, 3)});
+    summary.AddRow({"plan cache entries (cap)",
+                    std::to_string(stats.cache_entries) + " (" +
+                        std::to_string(cache_cap) + ")"});
+    summary.AddRow(
+        {"plan compiles (misses)", std::to_string(stats.cache.plan_misses)});
+    summary.AddRow(
+        {"plan evictions (LRU)", std::to_string(stats.cache.evictions)});
+    summary.AddRow({"prepared frame hits",
+                    std::to_string(stats.cache.frame_hits) + " of " +
+                        std::to_string(stats.accepted) + " accepted"});
+    std::printf("%s\n", summary.ToString().c_str());
+
+    Table per_scene({"Scene", "Est [ms]", "Accepted", "Shed", "Rejected",
+                     "Prepared replays"});
+    for (const SceneStats& s : stats.scenes) {
+        per_scene.AddRow({s.name, FormatDouble(s.est_latency_ms, 3),
+                          std::to_string(s.accepted),
+                          std::to_string(s.shed),
+                          std::to_string(s.rejected),
+                          std::to_string(s.prepared_replays)});
+    }
+    std::printf("%s\n", per_scene.ToString().c_str());
+    std::printf("All %zu completed requests replayed their scene's "
+                "pinned prepared frame bit-identically.\n",
+                completed);
+
+    std::fprintf(stderr,
+                 "[serving] %zu requests on %d threads: %.1f ms wall "
+                 "(%.0f wall QPS; model-time QPS above is "
+                 "thread-invariant)\n",
+                 requests, service.pool().n_threads(), wall_ms,
+                 wall_ms > 0.0 ? 1e3 * static_cast<double>(requests) /
+                                     wall_ms
+                               : 0.0);
+    return 0;
+}

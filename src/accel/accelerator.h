@@ -60,6 +60,31 @@ struct FrameCost {
         dram_ms += o.dram_ms;
         return *this;
     }
+
+    /**
+     * Exact equality on every field — the single authoritative
+     * predicate behind the repo's bit-identical replay contracts
+     * (tests/frame_cost_matchers.h, bench/serving, bench/plan_cache).
+     * Hand-written, not defaulted: the tree builds as C++17. A field
+     * added to FrameCost must be added here (and to operator+= above).
+     */
+    friend bool
+    operator==(const FrameCost& a, const FrameCost& b)
+    {
+        return a.latency_ms == b.latency_ms &&
+               a.energy_mj == b.energy_mj && a.gemm_ms == b.gemm_ms &&
+               a.encoding_ms == b.encoding_ms &&
+               a.other_ms == b.other_ms && a.codec_ms == b.codec_ms &&
+               a.dram_ms == b.dram_ms &&
+               a.gemm_utilization == b.gemm_utilization &&
+               a.gemm_macs == b.gemm_macs;
+    }
+
+    friend bool
+    operator!=(const FrameCost& a, const FrameCost& b)
+    {
+        return !(a == b);
+    }
 };
 
 /**

@@ -1,8 +1,31 @@
 #include "common/stats.h"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 namespace flexnerfer {
+namespace {
+
+/**
+ * Bucket count covering [kMinValue, ~1e9] ms at the configured growth,
+ * plus an underflow bucket (index 0) and an overflow bucket (last).
+ * Samples beyond either end are still counted exactly — only their
+ * quantile representative saturates.
+ */
+constexpr double kMaxValue = 1e9;
+
+std::size_t
+NumBuckets()
+{
+    static const std::size_t n =
+        2 + static_cast<std::size_t>(
+                std::ceil(std::log(kMaxValue / LatencyHistogram::kMinValue) /
+                          std::log(LatencyHistogram::kGrowth)));
+    return n;
+}
+
+}  // namespace
 
 void
 StatSet::Add(const std::string& name, double delta)
@@ -39,6 +62,138 @@ StatSet::ToString() const
         out << name << " = " << value << "\n";
     }
     return out.str();
+}
+
+LatencyHistogram::LatencyHistogram() : buckets_(NumBuckets(), 0) {}
+
+std::size_t
+LatencyHistogram::BucketIndex(double value)
+{
+    if (value <= kMinValue) return 0;
+    const auto index = 1 + static_cast<std::size_t>(std::floor(
+                               std::log(value / kMinValue) /
+                               std::log(kGrowth)));
+    return std::min(index, NumBuckets() - 1);
+}
+
+void
+LatencyHistogram::Record(double value)
+{
+    // Non-finite samples would reach BucketIndex's float-to-size_t cast
+    // (UB): clamp +inf into the overflow bucket, NaN and -inf down to
+    // the underflow one, keeping count/sum/min/max finite.
+    if (!std::isfinite(value)) {
+        value = value > 0.0 ? 2.0 * kMaxValue : kMinValue;
+    }
+    value = std::max(value, kMinValue);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++buckets_[BucketIndex(value)];
+    if (count_ == 0 || value < min_) min_ = value;
+    if (count_ == 0 || value > max_) max_ = value;
+    ++count_;
+    sum_ += value;
+}
+
+double
+LatencyHistogram::Quantile(double q) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ == 0) return 0.0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(count_))));
+    std::uint64_t seen = 0;
+    std::size_t index = buckets_.size() - 1;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= rank) {
+            index = i;
+            break;
+        }
+    }
+    // Representative: the geometric midpoint of the bucket's span,
+    // clamped into the exactly-tracked [min, max] so the extremes of a
+    // report are never an artifact of bucketing.
+    const double lower =
+        index == 0 ? kMinValue
+                   : kMinValue * std::pow(kGrowth,
+                                          static_cast<double>(index - 1));
+    const double mid = lower * std::sqrt(kGrowth);
+    return std::min(std::max(mid, min_), max_);
+}
+
+std::uint64_t
+LatencyHistogram::count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
+double
+LatencyHistogram::sum() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sum_;
+}
+
+double
+LatencyHistogram::Mean() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+LatencyHistogram::Min() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return min_;
+}
+
+double
+LatencyHistogram::Max() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return max_;
+}
+
+void
+LatencyHistogram::Merge(const LatencyHistogram& other)
+{
+    // Self-merge is a no-op, not a doubling.
+    if (&other == this) return;
+    // Copy under the source lock, fold under ours: never hold both
+    // (merging in both directions from two threads must not deadlock).
+    std::vector<std::uint64_t> theirs;
+    std::uint64_t count;
+    double sum, min, max;
+    {
+        std::lock_guard<std::mutex> lock(other.mutex_);
+        theirs = other.buckets_;
+        count = other.count_;
+        sum = other.sum_;
+        min = other.min_;
+        max = other.max_;
+    }
+    if (count == 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        buckets_[i] += theirs[i];
+    }
+    if (count_ == 0 || min < min_) min_ = min;
+    if (count_ == 0 || max > max_) max_ = max;
+    count_ += count;
+    sum_ += sum;
+}
+
+void
+LatencyHistogram::Clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = min_ = max_ = 0.0;
 }
 
 }  // namespace flexnerfer

@@ -1,13 +1,17 @@
 /**
  * @file
  * Named event counters used by the cycle-level models to report energy and
- * traffic breakdowns.
+ * traffic breakdowns, plus the streaming latency-percentile estimator the
+ * serving front-end (serve/render_service.h) uses for tail telemetry.
  */
 #ifndef FLEXNERFER_COMMON_STATS_H_
 #define FLEXNERFER_COMMON_STATS_H_
 
+#include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
+#include <vector>
 
 namespace flexnerfer {
 
@@ -39,6 +43,70 @@ class StatSet
 
   private:
     std::map<std::string, double> counters_;
+};
+
+/**
+ * Thread-safe streaming percentile estimator (p50/p90/p99) over positive
+ * latency samples, in constant memory.
+ *
+ * A serving deployment records millions of request latencies; keeping
+ * them all to sort at snapshot time is not an option. LatencyHistogram
+ * buckets samples geometrically (each bucket spans a fixed ratio), so a
+ * quantile read off the bucket counts is within the bucket ratio of the
+ * exact order statistic: kGrowth = 1.02 bounds the relative error of any
+ * reported quantile by ~2%. count/sum/min/max are tracked exactly.
+ *
+ * Quantiles are a pure function of the recorded multiset — independent
+ * of recording order — which is what keeps serving telemetry
+ * thread-count invariant (see serve/render_service.h).
+ *
+ * Thread-safety: all members may be called concurrently.
+ */
+class LatencyHistogram
+{
+  public:
+    /** Per-bucket ratio: bounds the relative quantile error (~2%). */
+    static constexpr double kGrowth = 1.02;
+    /** Values at or below kMinValue land in the underflow bucket. */
+    static constexpr double kMinValue = 1e-6;
+
+    LatencyHistogram();
+
+    LatencyHistogram(const LatencyHistogram&) = delete;
+    LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+    /** Records one sample. Non-positive, NaN, and -inf values clamp to
+     *  kMinValue; +inf clamps into the (finite) overflow bucket. */
+    void Record(double value);
+
+    /**
+     * Returns the @p q quantile (q in [0, 1]) of the recorded samples:
+     * the representative value of the bucket holding the ceil(q * count)
+     * smallest sample, clamped into [min, max]. 0 when empty.
+     */
+    double Quantile(double q) const;
+
+    std::uint64_t count() const;
+    double sum() const;
+    double Mean() const;  //!< 0 when empty
+    double Min() const;   //!< exact; 0 when empty
+    double Max() const;   //!< exact; 0 when empty
+
+    /** Folds another histogram's samples into this one. */
+    void Merge(const LatencyHistogram& other);
+
+    void Clear();
+
+  private:
+    /** Bucket index of @p value (0 = underflow, last = overflow). */
+    static std::size_t BucketIndex(double value);
+
+    mutable std::mutex mutex_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
 };
 
 }  // namespace flexnerfer

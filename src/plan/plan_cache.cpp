@@ -33,6 +33,9 @@ PlanCache::GetByKey(const std::string& key, const Accelerator& accel,
         const auto it = entries_.find(key);
         if (it != entries_.end()) {
             ++stats_.plan_hits;
+            if (capacity_ > 0) {
+                lru_.splice(lru_.begin(), lru_, it->second->lru_it);
+            }
             return it->second;
         }
     }
@@ -45,8 +48,23 @@ PlanCache::GetByKey(const std::string& key, const Accelerator& accel,
     const auto inserted = entries_.emplace(key, std::move(entry));
     if (inserted.second) {
         ++stats_.plan_misses;
+        if (capacity_ > 0) {
+            lru_.push_front(key);
+            inserted.first->second->lru_it = lru_.begin();
+            while (entries_.size() > capacity_) {
+                // Dropping the map reference is all eviction does: an
+                // evicted entry kept alive by shared plans or prepared
+                // handles stays valid and replayable.
+                entries_.erase(lru_.back());
+                lru_.pop_back();
+                ++stats_.evictions;
+            }
+        }
     } else {
         ++stats_.plan_hits;
+        if (capacity_ > 0) {
+            lru_.splice(lru_.begin(), lru_, inserted.first->second->lru_it);
+        }
     }
     return inserted.first->second;
 }

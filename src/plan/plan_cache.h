@@ -16,14 +16,30 @@
  *
  * Thread-safety: all members may be called concurrently. Racing misses
  * may compile the same plan twice; the first insert wins and both
- * callers observe identical plans. Entries are never evicted — the
- * working set is bounded by the distinct (config, workload) pairs a
- * deployment serves.
+ * callers observe identical plans.
+ *
+ * By default entries are never evicted — the working set is bounded by
+ * the distinct (config, workload) pairs a deployment serves. Long-lived
+ * multi-tenant servers can instead bound the cache (capacity in
+ * entries): keyed lookups then refresh recency and inserts evict the
+ * least-recently-used entry. Eviction only drops the cache's reference;
+ * outstanding shared plans and PreparedFrame handles pin their entries
+ * and keep replaying bit-identically, and an evicted pair recompiles on
+ * its next keyed lookup into a byte-identical plan (compilation is a
+ * pure function of the key). The capacity bounds *plan entries* only:
+ * the embedded GemmMemo still grows with the distinct (engine config,
+ * GEMM shape) pairs ever executed — a much smaller set, since shapes
+ * repeat across workloads and entries are small (a key string plus one
+ * GemmResult) — so memo rows from evicted plans persist and keep
+ * accelerating their recompiles. Pruning the memo alongside eviction
+ * would need per-row refcounts; revisit if memo residency ever shows up
+ * in a deployment profile.
  */
 #ifndef FLEXNERFER_PLAN_PLAN_CACHE_H_
 #define FLEXNERFER_PLAN_PLAN_CACHE_H_
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -53,9 +69,17 @@ class PlanCache
         std::uint64_t plan_hits = 0;    //!< keyed lookups finding a plan
         std::uint64_t plan_misses = 0;  //!< keyed lookups that compiled
         std::uint64_t frame_hits = 0;   //!< replays from the result memo
+        std::uint64_t evictions = 0;    //!< LRU entries dropped (bounded)
     };
 
-    PlanCache() = default;
+    /**
+     * With @p capacity = 0 (the default) the cache is unbounded and
+     * behaves exactly as before. A positive capacity bounds the entry
+     * count: every insert beyond it evicts the least-recently-used
+     * entry (keyed Get/Run/Prepare refresh recency; prepared-handle
+     * Runs bypass the key table and leave recency untouched).
+     */
+    explicit PlanCache(std::size_t capacity = 0) : capacity_(capacity) {}
 
     PlanCache(const PlanCache&) = delete;
     PlanCache& operator=(const PlanCache&) = delete;
@@ -114,12 +138,15 @@ class PlanCache
 
     Stats stats() const;
     std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }  //!< 0 = unbounded
 
   private:
     struct Entry {
         std::shared_ptr<const FramePlan> plan;
         /** Executed cost; set by the first Run to finish this frame. */
         std::shared_ptr<const FrameCost> result;
+        /** This entry's slot in the recency list (bounded caches). */
+        std::list<std::string>::iterator lru_it;
     };
 
     /** Looks up or compiles the entry for @p key (counts hit/miss). */
@@ -133,6 +160,9 @@ class PlanCache
 
     mutable std::mutex mutex_;
     std::unordered_map<std::string, std::shared_ptr<Entry>> entries_;
+    /** Keys ordered most- to least-recently used (bounded caches). */
+    std::list<std::string> lru_;
+    const std::size_t capacity_;
     GemmMemo memo_;
     Stats stats_;
 };

@@ -1,38 +1,12 @@
 #include "runtime/batch_session.h"
 
 #include <algorithm>
-#include <chrono>
 #include <utility>
 
 #include "common/logging.h"
 #include "plan/plan_cache.h"
 
 namespace flexnerfer {
-namespace {
-
-/**
- * Blocks on @p future while helping drain @p pool, so waiting from inside
- * a pool task cannot deadlock (the enqueued job may sit on the waiting
- * worker's own deque).
- */
-FrameCost
-HelpfulGet(ThreadPool& pool, std::future<FrameCost>& future)
-{
-    for (;;) {
-        if (future.wait_for(std::chrono::seconds(0)) ==
-            std::future_status::ready) {
-            return future.get();
-        }
-        if (!pool.Help()) {
-            // Nothing runnable anywhere: the job is in flight on another
-            // thread. Park on the future briefly, then re-check for new
-            // helpable work.
-            future.wait_for(std::chrono::milliseconds(1));
-        }
-    }
-}
-
-}  // namespace
 
 BatchTicket
 BatchSession::Issue(std::future<FrameCost> future)

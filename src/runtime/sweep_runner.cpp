@@ -1,8 +1,11 @@
 #include "runtime/sweep_runner.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <string>
 
 #include "accel/flexnerfer.h"
 #include "accel/gpu_model.h"
@@ -55,58 +58,129 @@ MakeAccelerator(const SweepPoint& point)
 std::vector<SweepOutcome>
 SweepRunner::Run(const std::vector<SweepPoint>& points) const
 {
-    const auto n = static_cast<std::int64_t>(points.size());
-    return Map<SweepOutcome>(n, [this, &points](std::int64_t i) {
-        const SweepPoint& point = points[static_cast<std::size_t>(i)];
-        const std::unique_ptr<Accelerator> accel = MakeAccelerator(point);
-        // Frames compile through the plan layer and fan their ops across
-        // the pool (nested ParallelFor); with a cache, revisited
-        // (config, workload) pairs replay the compiled plan. Both paths
-        // are bit-identical to serial execution, keeping the sweep
-        // contract (results independent of thread count and cache state).
-        const auto run_frame = [this, &accel](const NerfWorkload& w) {
-            return cache_ != nullptr ? cache_->Run(*accel, w, &pool_)
-                                     : accel->RunWorkload(w, &pool_);
-        };
-        SweepOutcome outcome;
-        outcome.point = point;
-        if (point.model.empty()) {
-            outcome.per_model.reserve(AllModelNames().size());
-            for (const std::string& model : AllModelNames()) {
-                outcome.per_model.push_back(
-                    run_frame(BuildWorkload(model, point.params)));
+    return Run(points, OnResult());
+}
+
+std::vector<SweepOutcome>
+SweepRunner::Run(const std::vector<SweepPoint>& points,
+                 const OnResult& on_result) const
+{
+    // One deterministic fan-out (Map) plus a mutex serializing the
+    // on_result invocations; the final vector needs no locking (every
+    // point writes its own pre-assigned slot).
+    std::mutex stream_mutex;
+    return Map<SweepOutcome>(
+        static_cast<std::int64_t>(points.size()),
+        [this, &points, &on_result, &stream_mutex](std::int64_t i) {
+            SweepOutcome outcome =
+                Evaluate(points[static_cast<std::size_t>(i)]);
+            if (on_result) {
+                std::lock_guard<std::mutex> lock(stream_mutex);
+                on_result(static_cast<std::size_t>(i), outcome);
             }
-        } else {
-            outcome.per_model = {
-                run_frame(BuildWorkload(point.model, point.params))};
+            return outcome;
+        });
+}
+
+SweepOutcome
+SweepRunner::Evaluate(const SweepPoint& point) const
+{
+    const std::unique_ptr<Accelerator> accel = MakeAccelerator(point);
+    // Frames compile through the plan layer and fan their ops across
+    // the pool (nested ParallelFor); with a cache, revisited
+    // (config, workload) pairs replay the compiled plan. Both paths
+    // are bit-identical to serial execution, keeping the sweep
+    // contract (results independent of thread count and cache state).
+    const auto run_frame = [this, &accel](const NerfWorkload& w) {
+        return cache_ != nullptr ? cache_->Run(*accel, w, &pool_)
+                                 : accel->RunWorkload(w, &pool_);
+    };
+    SweepOutcome outcome;
+    outcome.point = point;
+    if (point.model.empty()) {
+        outcome.per_model.reserve(AllModelNames().size());
+        for (const std::string& model : AllModelNames()) {
+            outcome.per_model.push_back(
+                run_frame(BuildWorkload(model, point.params)));
         }
-        return outcome;
-    });
+    } else {
+        outcome.per_model = {
+            run_frame(BuildWorkload(point.model, point.params))};
+    }
+    return outcome;
+}
+
+namespace {
+
+/**
+ * Value of "<name> V" / "<name>=V" in argv, or null when the flag is
+ * absent. A trailing flag with no value is a usage error, not a silent
+ * fall-through to the default.
+ */
+const char*
+FlagValue(int argc, char** argv, const char* name)
+{
+    const std::size_t name_len = std::strlen(name);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], name, name_len) == 0 &&
+            argv[i][name_len] == '=') {
+            return argv[i] + name_len + 1;
+        }
+        if (std::strcmp(argv[i], name) == 0) {
+            if (i + 1 >= argc) {
+                Fatal(std::string(name) + " requires a value");
+            }
+            return argv[i + 1];
+        }
+    }
+    return nullptr;
+}
+
+}  // namespace
+
+std::int64_t
+IntFromArgs(int argc, char** argv, const char* name,
+            std::int64_t default_value)
+{
+    const char* value = FlagValue(argc, argv, name);
+    if (value == nullptr) return default_value;
+    char* end = nullptr;
+    errno = 0;
+    const long long n = std::strtoll(value, &end, 10);
+    if (end == value || *end != '\0' || errno == ERANGE || n < 0) {
+        Fatal(std::string("invalid ") + name + " value '" + value +
+              "' (expected a non-negative integer)");
+    }
+    return n;
+}
+
+double
+DoubleFromArgs(int argc, char** argv, const char* name,
+               double default_value)
+{
+    const char* value = FlagValue(argc, argv, name);
+    if (value == nullptr) return default_value;
+    char* end = nullptr;
+    errno = 0;
+    const double x = std::strtod(value, &end);
+    if (end == value || *end != '\0' || errno == ERANGE || x <= 0.0) {
+        Fatal(std::string("invalid ") + name + " value '" + value +
+              "' (expected a positive number)");
+    }
+    return x;
 }
 
 int
 ThreadsFromArgs(int argc, char** argv, int default_threads)
 {
-    const auto parse = [](const char* value) -> int {
-        char* end = nullptr;
-        const long n = std::strtol(value, &end, 10);
-        if (end == value || *end != '\0' || n < 0 || n > 4096) {
-            Fatal(std::string("invalid --threads value '") + value +
-                  "' (expected an integer in [0, 4096]; 0 = hardware "
-                  "concurrency)");
-        }
-        return static_cast<int>(n);
-    };
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-            return parse(argv[i] + 10);
-        }
-        if (std::strcmp(argv[i], "--threads") == 0) {
-            if (i + 1 >= argc) Fatal("--threads requires a value");
-            return parse(argv[i + 1]);
-        }
+    const std::int64_t n =
+        IntFromArgs(argc, argv, "--threads", default_threads);
+    if (n > 4096) {
+        Fatal("invalid --threads value " + std::to_string(n) +
+              " (expected an integer in [0, 4096]; 0 = hardware "
+              "concurrency)");
     }
-    return default_threads;
+    return static_cast<int>(n);
 }
 
 SweepTimer::SweepTimer(std::size_t count, const char* noun, int threads)

@@ -95,6 +95,27 @@ class SweepRunner
     std::vector<SweepOutcome> Run(const std::vector<SweepPoint>& points) const;
 
     /**
+     * Streaming observer for long sweeps: called once per point as it
+     * completes, with the point's input index and its outcome.
+     * Completion order is unspecified (whatever the pool finishes
+     * first), but invocations are serialized — the callback needs no
+     * locking of its own — and each outcome is identical to the one the
+     * final table holds at that index.
+     */
+    using OnResult =
+        std::function<void(std::size_t index, const SweepOutcome& outcome)>;
+
+    /**
+     * Like Run, but streams every outcome through @p on_result as it
+     * completes instead of going silent until the whole grid is done.
+     * The returned vector is still input-ordered and bit-identical to
+     * Run's — streaming changes when results become visible, not what
+     * they are.
+     */
+    std::vector<SweepOutcome> Run(const std::vector<SweepPoint>& points,
+                                  const OnResult& on_result) const;
+
+    /**
      * Generic deterministic fan-out: computes fn(0..n-1) in parallel and
      * returns the results indexed by i. T must be default-constructible.
      */
@@ -115,6 +136,9 @@ class SweepRunner
     ThreadPool& pool() const { return pool_; }
 
   private:
+    /** Evaluates one point (pure: accelerator built per call). */
+    SweepOutcome Evaluate(const SweepPoint& point) const;
+
     ThreadPool& pool_;
     PlanCache* cache_;
 };
@@ -125,6 +149,17 @@ class SweepRunner
  * concurrency; malformed or negative values exit with a usage error.
  */
 int ThreadsFromArgs(int argc, char** argv, int default_threads = 0);
+
+/**
+ * Generic numeric flag parsers shared by the bench/example binaries:
+ * accept "<name> V" and "<name>=V", return @p default_value when the
+ * flag is absent, and exit with a usage error on malformed, negative,
+ * or (for doubles) non-positive values.
+ */
+std::int64_t IntFromArgs(int argc, char** argv, const char* name,
+                         std::int64_t default_value);
+double DoubleFromArgs(int argc, char** argv, const char* name,
+                      double default_value);
 
 /**
  * RAII wall-clock reporter shared by the sweep benches: at scope exit

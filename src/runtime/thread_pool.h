@@ -18,6 +18,7 @@
 #define FLEXNERFER_RUNTIME_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -119,6 +120,30 @@ class ThreadPool
     std::atomic<std::uint64_t> next_queue_{0};
     std::atomic<bool> stop_{false};
 };
+
+/**
+ * Blocks on @p future while helping drain @p pool, so waiting from
+ * inside a pool task cannot deadlock (the awaited job may sit on the
+ * waiting worker's own deque). Shared by every front-end that waits on
+ * pool-executed results (BatchSession, RenderService).
+ */
+template <typename T>
+T
+HelpfulGet(ThreadPool& pool, std::future<T>& future)
+{
+    for (;;) {
+        if (future.wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+            return future.get();
+        }
+        if (!pool.Help()) {
+            // Nothing runnable anywhere: the job is in flight on another
+            // thread. Park on the future briefly, then re-check for new
+            // helpable work.
+            future.wait_for(std::chrono::milliseconds(1));
+        }
+    }
+}
 
 }  // namespace flexnerfer
 

@@ -1,0 +1,70 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+
+AdmissionController::Verdict
+AdmissionController::Admit(double arrival_ms, double est_latency_ms,
+                           double deadline_ms)
+{
+    FLEX_CHECK_MSG(est_latency_ms >= 0.0,
+                   "negative latency estimate " << est_latency_ms);
+    std::lock_guard<std::mutex> lock(mutex_);
+    arrival_ms = std::max(arrival_ms, 0.0);
+    if (saw_arrival_) {
+        arrival_ms = std::max(arrival_ms, last_arrival_ms_);
+    } else {
+        counters_.first_arrival_ms = arrival_ms;
+        saw_arrival_ = true;
+    }
+    last_arrival_ms_ = arrival_ms;
+
+    // Retire virtual work that completed before this arrival.
+    while (!in_service_.empty() && in_service_.front() <= arrival_ms) {
+        in_service_.pop_front();
+    }
+
+    Verdict verdict;
+    verdict.arrival_ms = arrival_ms;
+    verdict.queue_depth = in_service_.size();
+    verdict.start_ms = std::max(arrival_ms, busy_until_ms_);
+    verdict.completion_ms = verdict.start_ms + est_latency_ms;
+    verdict.wait_ms = verdict.start_ms - arrival_ms;
+
+    if (policy_.max_queue_depth > 0 &&
+        in_service_.size() >= policy_.max_queue_depth) {
+        verdict.outcome = Outcome::kRejectedQueueFull;
+        ++counters_.rejected_queue_full;
+        return verdict;
+    }
+
+    if (deadline_ms <= 0.0) deadline_ms = policy_.default_deadline_ms;
+    verdict.deadline_ms = deadline_ms;
+    if (deadline_ms > 0.0 &&
+        verdict.completion_ms > arrival_ms + deadline_ms) {
+        verdict.outcome = Outcome::kShedDeadline;
+        ++counters_.shed_deadline;
+        return verdict;
+    }
+
+    verdict.outcome = Outcome::kAccepted;
+    busy_until_ms_ = verdict.completion_ms;
+    in_service_.push_back(verdict.completion_ms);
+    ++counters_.accepted;
+    counters_.busy_ms += est_latency_ms;
+    counters_.last_completion_ms =
+        std::max(counters_.last_completion_ms, verdict.completion_ms);
+    return verdict;
+}
+
+AdmissionController::Counters
+AdmissionController::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+}  // namespace flexnerfer

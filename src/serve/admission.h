@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Admission control for the render-serving front-end.
+ *
+ * A deployed renderer cannot accept every request: under overload an
+ * unbounded queue turns every deadline miss into a cascade (each late
+ * frame delays all behind it). AdmissionController decides, at submit
+ * time, whether a request can still be served within its deadline — and
+ * sheds it immediately if not — using the plan layer's FrameCost latency
+ * as the service-time estimator (see RT-NeRF-style real-time budgets in
+ * PAPERS.md).
+ *
+ * Decisions run in *virtual time*: the modeled device serves admitted
+ * requests back-to-back in model milliseconds, so a request's estimated
+ * completion is `max(arrival, device busy-until) + estimated latency`.
+ * Virtual time makes every verdict a pure function of the admission
+ * sequence — independent of host thread count or wall-clock jitter —
+ * which is what keeps serving telemetry bit-identical across --threads N
+ * (the repo-wide determinism contract; see runtime/sweep_runner.h).
+ *
+ * Thread-safety: Admit and counter reads may be called concurrently;
+ * verdicts are serialized internally in call order.
+ */
+#ifndef FLEXNERFER_SERVE_ADMISSION_H_
+#define FLEXNERFER_SERVE_ADMISSION_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace flexnerfer {
+
+/** Queue-depth / deadline policy applied to every submitted request. */
+struct AdmissionPolicy {
+    /**
+     * Maximum requests queued-or-running (in virtual time) when a new
+     * request arrives; beyond it the request is rejected outright.
+     * 0 disables the depth limit.
+     */
+    std::size_t max_queue_depth = 64;
+
+    /**
+     * Deadline applied to requests that do not carry their own, in
+     * model milliseconds after arrival. 0 disables the default (such
+     * requests are never deadline-shed).
+     */
+    double default_deadline_ms = 0.0;
+};
+
+/** Virtual-time single-device admission controller. */
+class AdmissionController
+{
+  public:
+    enum class Outcome : std::uint8_t {
+        kAccepted,
+        kRejectedQueueFull,  //!< queue depth at limit on arrival
+        kShedDeadline,       //!< estimated completion past the deadline
+    };
+
+    /** One admission decision, with the virtual schedule that backs it. */
+    struct Verdict {
+        Outcome outcome = Outcome::kAccepted;
+        /** The arrival the schedule used (after the monotone clamp). */
+        double arrival_ms = 0.0;
+        double start_ms = 0.0;       //!< virtual service start
+        double completion_ms = 0.0;  //!< virtual completion
+        double wait_ms = 0.0;        //!< start - arrival (queueing delay)
+        std::size_t queue_depth = 0;  //!< depth observed on arrival
+        /** The deadline the verdict was judged against, after the
+         *  policy-default fallback (0 = none). The controller owns
+         *  deadline resolution; callers that need the effective
+         *  deadline (e.g. for dispatch ordering) read it from here
+         *  rather than re-deriving it. */
+        double deadline_ms = 0.0;
+    };
+
+    struct Counters {
+        std::uint64_t accepted = 0;
+        std::uint64_t rejected_queue_full = 0;
+        std::uint64_t shed_deadline = 0;
+        double busy_ms = 0.0;            //!< accepted service time total
+        double first_arrival_ms = 0.0;   //!< earliest arrival seen
+        double last_completion_ms = 0.0;  //!< latest accepted completion
+    };
+
+    explicit AdmissionController(const AdmissionPolicy& policy = {})
+        : policy_(policy)
+    {}
+
+    AdmissionController(const AdmissionController&) = delete;
+    AdmissionController& operator=(const AdmissionController&) = delete;
+
+    /**
+     * Decides one request arriving at virtual @p arrival_ms needing an
+     * estimated @p est_latency_ms of service, due @p deadline_ms after
+     * arrival (0 = no deadline: fall back to the policy default).
+     * Arrivals are clamped monotone (an arrival earlier than a previous
+     * one is treated as simultaneous with it), so any submission order
+     * yields a consistent schedule.
+     */
+    Verdict Admit(double arrival_ms, double est_latency_ms,
+                  double deadline_ms = 0.0);
+
+    Counters counters() const;
+    const AdmissionPolicy& policy() const { return policy_; }
+
+  private:
+    const AdmissionPolicy policy_;
+
+    mutable std::mutex mutex_;
+    /** Virtual completion times of admitted, not-yet-finished work. */
+    std::deque<double> in_service_;
+    double busy_until_ms_ = 0.0;
+    double last_arrival_ms_ = 0.0;
+    bool saw_arrival_ = false;
+    Counters counters_;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_SERVE_ADMISSION_H_

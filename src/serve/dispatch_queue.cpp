@@ -1,0 +1,33 @@
+#include "serve/dispatch_queue.h"
+
+#include <utility>
+
+namespace flexnerfer {
+
+void
+DispatchQueue::Push(DispatchItem item)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(item));
+}
+
+bool
+DispatchQueue::Pop(DispatchItem* item)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    // priority_queue::top is const — move through a const_cast is the
+    // standard workaround; the element is popped immediately after.
+    *item = std::move(const_cast<DispatchItem&>(queue_.top()));
+    queue_.pop();
+    return true;
+}
+
+std::size_t
+DispatchQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+}  // namespace flexnerfer

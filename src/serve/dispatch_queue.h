@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Priority/deadline-aware dispatch queue for admitted render requests.
+ *
+ * Admitted work does not execute in submission order: a deployed
+ * renderer serves its highest-priority, most-urgent request first.
+ * DispatchQueue orders pending work by (priority descending, absolute
+ * deadline ascending, submission sequence ascending) — the sequence
+ * tiebreak makes the pop order a total, deterministic function of the
+ * pushed set. RenderService pairs each Push with one pool drain task, so
+ * a worker always pops the currently most urgent item rather than the
+ * one whose submission woke it (see serve/render_service.h).
+ *
+ * Execution order only affects wall-clock behavior, never results:
+ * request outcomes and telemetry are fixed at admission in virtual time.
+ *
+ * Thread-safety: all members may be called concurrently.
+ */
+#ifndef FLEXNERFER_SERVE_DISPATCH_QUEUE_H_
+#define FLEXNERFER_SERVE_DISPATCH_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+namespace flexnerfer {
+
+/** One admitted request awaiting a worker. */
+struct DispatchItem {
+    int priority = 0;           //!< larger runs first
+    double deadline_ms = 0.0;   //!< absolute virtual deadline (0 = none)
+    std::uint64_t sequence = 0;  //!< submission order tiebreak
+    std::function<void()> work;
+};
+
+/** Thread-safe max-priority / earliest-deadline-first queue. */
+class DispatchQueue
+{
+  public:
+    DispatchQueue() = default;
+
+    DispatchQueue(const DispatchQueue&) = delete;
+    DispatchQueue& operator=(const DispatchQueue&) = delete;
+
+    void Push(DispatchItem item);
+
+    /**
+     * Pops the most urgent pending item into @p item; returns false
+     * when the queue is empty.
+     */
+    bool Pop(DispatchItem* item);
+
+    std::size_t size() const;
+
+  private:
+    struct Urgency {
+        bool
+        operator()(const DispatchItem& a, const DispatchItem& b) const
+        {
+            // priority_queue pops the *largest* element, so "a orders
+            // after b" must mean "a is less urgent than b".
+            if (a.priority != b.priority) return a.priority < b.priority;
+            // No deadline (0) is less urgent than any deadline.
+            const double da = a.deadline_ms <= 0.0 ? 1e300 : a.deadline_ms;
+            const double db = b.deadline_ms <= 0.0 ? 1e300 : b.deadline_ms;
+            if (da != db) return da > db;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    mutable std::mutex mutex_;
+    std::priority_queue<DispatchItem, std::vector<DispatchItem>, Urgency>
+        queue_;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_SERVE_DISPATCH_QUEUE_H_

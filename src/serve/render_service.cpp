@@ -1,0 +1,206 @@
+#include "serve/render_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+
+std::string
+ToString(RequestStatus status)
+{
+    switch (status) {
+      case RequestStatus::kCompleted: return "completed";
+      case RequestStatus::kRejectedQueueFull: return "rejected";
+      case RequestStatus::kShedDeadline: return "shed";
+    }
+    return "unknown";
+}
+
+double
+ServiceStats::ShedRate() const
+{
+    if (submitted == 0) return 0.0;
+    return static_cast<double>(rejected_queue_full + shed_deadline) /
+           static_cast<double>(submitted);
+}
+
+RenderService::RenderService(const ServeConfig& config)
+    : cache_(config.plan_cache_capacity), registry_(cache_),
+      admission_(config.admission), pool_(config.threads)
+{}
+
+RenderService::~RenderService()
+{
+    // Resolve every outstanding ticket so no worker touches a dead
+    // service; the pool destructor then drains any remaining drain
+    // tasks (which find an empty dispatch queue).
+    WaitAll();
+}
+
+void
+RenderService::RegisterScene(const std::string& name,
+                             const SweepPoint& spec)
+{
+    registry_.Register(name, spec);
+}
+
+FrameCost
+RenderService::WarmScene(const std::string& scene)
+{
+    return registry_.Touch(scene, &pool_, /*count_request=*/false)->cost;
+}
+
+ServeTicket
+RenderService::Issue(std::future<RenderResult> future)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const ServeTicket ticket = next_ticket_++;
+    inflight_.emplace(ticket, std::move(future));
+    return ticket;
+}
+
+ServeTicket
+RenderService::Submit(const SceneRequest& request)
+{
+    submitted_.fetch_add(1);
+    // First touch compiles and pins the scene; steady state returns the
+    // pinned entry (a map lookup).
+    const std::shared_ptr<const SceneEntry> scene =
+        registry_.Touch(request.scene, &pool_);
+
+    const AdmissionController::Verdict verdict = admission_.Admit(
+        request.arrival_ms, scene->cost.latency_ms, request.deadline_ms);
+
+    RenderResult result;
+    result.scene = request.scene;
+    result.queue_wait_ms = verdict.wait_ms;
+    result.latency_ms = verdict.completion_ms - verdict.arrival_ms;
+
+    using Outcome = AdmissionController::Outcome;
+    if (verdict.outcome != Outcome::kAccepted) {
+        result.status = verdict.outcome == Outcome::kRejectedQueueFull
+                            ? RequestStatus::kRejectedQueueFull
+                            : RequestStatus::kShedDeadline;
+        result.latency_ms = 0.0;
+        result.queue_wait_ms = 0.0;
+        registry_.CountOutcome(request.scene, /*accepted=*/false,
+                               result.status ==
+                                   RequestStatus::kShedDeadline);
+        // Resolve immediately: shed work never reaches the queue.
+        std::promise<RenderResult> promise;
+        promise.set_value(std::move(result));
+        return Issue(promise.get_future());
+    }
+
+    registry_.CountOutcome(request.scene, /*accepted=*/true,
+                           /*shed=*/false);
+    // Telemetry is recorded at admission — the virtual latency is fully
+    // determined here — so percentiles never depend on execution order.
+    latency_.Record(result.latency_ms);
+
+    auto promise = std::make_shared<std::promise<RenderResult>>();
+    std::future<RenderResult> future = promise->get_future();
+
+    DispatchItem item;
+    item.priority = request.priority;
+    // Dispatch orders by the absolute deadline admission actually
+    // judged against — the clamped arrival and the policy-resolved
+    // deadline — so a request admitted under the default is exactly as
+    // urgent as one carrying the same deadline explicitly.
+    item.deadline_ms = verdict.deadline_ms > 0.0
+                           ? verdict.arrival_ms + verdict.deadline_ms
+                           : 0.0;
+    item.sequence = sequence_.fetch_add(1);
+    item.work = [this, scene, promise,
+                 result = std::move(result)]() mutable {
+        // The steady-state hot path: replay the pinned prepared frame
+        // (memoized plan + result; see plan/plan_cache.h).
+        result.cost = cache_.Run(scene->frame, &pool_);
+        completed_.fetch_add(1);
+        promise->set_value(std::move(result));
+    };
+    queue_.Push(std::move(item));
+    // One drain task per admitted request: the worker pops the most
+    // urgent pending item, which need not be the one just pushed.
+    pool_.Enqueue([this] {
+        DispatchItem next;
+        if (queue_.Pop(&next)) next.work();
+    });
+    return Issue(std::move(future));
+}
+
+RenderResult
+RenderService::Wait(ServeTicket ticket)
+{
+    std::future<RenderResult> future;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = inflight_.find(ticket);
+        FLEX_CHECK_MSG(it != inflight_.end(),
+                       "unknown or already-consumed serve ticket");
+        future = std::move(it->second);
+        inflight_.erase(it);
+    }
+    return HelpfulGet(pool_, future);
+}
+
+std::vector<RenderResult>
+RenderService::WaitAll()
+{
+    std::vector<std::pair<ServeTicket, std::future<RenderResult>>> drained;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        drained.reserve(inflight_.size());
+        for (auto& entry : inflight_) {
+            drained.emplace_back(entry.first, std::move(entry.second));
+        }
+        inflight_.clear();
+    }
+    std::sort(drained.begin(), drained.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<RenderResult> results;
+    results.reserve(drained.size());
+    for (auto& entry : drained) {
+        results.push_back(HelpfulGet(pool_, entry.second));
+    }
+    return results;
+}
+
+ServiceStats
+RenderService::Snapshot() const
+{
+    ServiceStats stats;
+    const AdmissionController::Counters admitted = admission_.counters();
+    stats.submitted = submitted_.load();
+    stats.accepted = admitted.accepted;
+    stats.rejected_queue_full = admitted.rejected_queue_full;
+    stats.shed_deadline = admitted.shed_deadline;
+    stats.completed = completed_.load();
+
+    stats.p50_ms = latency_.Quantile(0.50);
+    stats.p90_ms = latency_.Quantile(0.90);
+    stats.p99_ms = latency_.Quantile(0.99);
+    stats.mean_ms = latency_.Mean();
+    stats.max_ms = latency_.Max();
+
+    // Meaningful only once something was accepted: rejected/shed
+    // arrivals set first_arrival_ms but never a completion.
+    stats.makespan_ms =
+        admitted.accepted > 0
+            ? admitted.last_completion_ms - admitted.first_arrival_ms
+            : 0.0;
+    if (stats.makespan_ms > 0.0) {
+        stats.sustained_qps = 1e3 * static_cast<double>(admitted.accepted) /
+                              stats.makespan_ms;
+        stats.utilization = admitted.busy_ms / stats.makespan_ms;
+    }
+
+    stats.cache = cache_.stats();
+    stats.cache_entries = cache_.size();
+    stats.scenes = registry_.Stats();
+    return stats;
+}
+
+}  // namespace flexnerfer

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * RenderService: the render-serving front-end over the plan layer.
+ *
+ * This is the repo's "millions of users" request path. A RenderService
+ * owns a work-stealing ThreadPool, a shared (optionally bounded/LRU)
+ * PlanCache, and one accelerator instance per registered scene, and
+ * exposes a Submit(SceneRequest) -> ticket API in front of
+ * BatchSession-style asynchronous execution:
+ *
+ *   Submit ──> SceneRegistry (compile + pin prepared frame, first touch)
+ *          ──> AdmissionController (queue-depth / deadline policy,
+ *               FrameCost-latency estimator, virtual time)
+ *          ──> DispatchQueue (priority desc, deadline asc)
+ *          ──> ThreadPool worker: PlanCache::Run(prepared handle)
+ *          ──> ticket future; LatencyHistogram telemetry
+ *
+ * Determinism contract (the repo-wide one, extended to serving): every
+ * request's verdict, virtual latency, and FrameCost are fixed at
+ * admission in virtual time — model milliseconds, not wall clock — so
+ * for a fixed submission sequence, Snapshot() and every result are
+ * bit-identical for any thread count. Only wall-clock throughput (which
+ * bench/serving prints to stderr) varies with --threads. Corollary:
+ * the virtual device model is FIFO, so request priority influences
+ * wall-clock dispatch order only, never verdicts or telemetry (see
+ * SceneRequest::priority).
+ *
+ * Thread-safety: Submit/Wait/WaitAll/Snapshot may be called from any
+ * thread. Concurrent Submits are admitted in an unspecified but
+ * serialized order (determinism then holds per submission order
+ * observed, which is why the open-loop bench submits from one thread).
+ */
+#ifndef FLEXNERFER_SERVE_RENDER_SERVICE_H_
+#define FLEXNERFER_SERVE_RENDER_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "plan/plan_cache.h"
+#include "runtime/thread_pool.h"
+#include "serve/admission.h"
+#include "serve/dispatch_queue.h"
+#include "serve/scene_registry.h"
+
+namespace flexnerfer {
+
+/** One render request against a registered scene. */
+struct SceneRequest {
+    std::string scene;
+    /**
+     * Larger values dispatch first on the worker pool. NOTE: priority
+     * affects *wall-clock execution order only*. Admission verdicts,
+     * virtual latencies, and all telemetry come from the virtual-time
+     * FIFO device model and are priority-blind — a high-priority
+     * request behind a long backlog is still shed if the FIFO estimate
+     * misses its deadline. This is the price of the determinism
+     * contract; a priority-aware virtual schedule (weighted fair
+     * queueing at admission) is on the roadmap.
+     */
+    int priority = 0;
+    /** Deadline in model ms after arrival; 0 = policy default. */
+    double deadline_ms = 0.0;
+    /** Virtual arrival timestamp in model ms. Submissions are expected
+     *  in non-decreasing arrival order (earlier arrivals clamp up). */
+    double arrival_ms = 0.0;
+};
+
+/** Terminal state of one request. */
+enum class RequestStatus : std::uint8_t {
+    kCompleted,
+    kRejectedQueueFull,
+    kShedDeadline,
+};
+
+std::string ToString(RequestStatus status);
+
+/** Outcome of one request (virtual-time latencies; see file header). */
+struct RenderResult {
+    RequestStatus status = RequestStatus::kCompleted;
+    std::string scene;
+    /** Rendered frame cost (kCompleted only; zero otherwise). */
+    FrameCost cost;
+    double queue_wait_ms = 0.0;  //!< virtual time spent queued
+    double latency_ms = 0.0;     //!< virtual arrival-to-completion
+};
+
+/** Handle to one submitted request. */
+using ServeTicket = std::uint64_t;
+
+/** Aggregate telemetry snapshot (deterministic once requests drain). */
+struct ServiceStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_queue_full = 0;
+    std::uint64_t shed_deadline = 0;
+    std::uint64_t completed = 0;  //!< accepted requests fully executed
+
+    /** Virtual request latency (arrival to completion) percentiles
+     *  over accepted requests; ~2% relative error (LatencyHistogram). */
+    double p50_ms = 0.0;
+    double p90_ms = 0.0;
+    double p99_ms = 0.0;
+    double mean_ms = 0.0;
+    double max_ms = 0.0;
+
+    /** Virtual span from first arrival to last accepted completion. */
+    double makespan_ms = 0.0;
+    /** Sustained throughput: accepted / makespan, in requests/s of
+     *  model time. */
+    double sustained_qps = 0.0;
+    /** Fraction of the makespan the modeled device was serving. */
+    double utilization = 0.0;
+
+    PlanCache::Stats cache;        //!< plan hits/misses/evictions
+    std::size_t cache_entries = 0;
+    std::vector<SceneStats> scenes;
+
+    double ShedRate() const;  //!< (rejected + shed) / submitted
+};
+
+/** Configuration of a RenderService. */
+struct ServeConfig {
+    /** Worker threads (0 = hardware concurrency). */
+    int threads = 0;
+    /** PlanCache capacity in entries (0 = unbounded). Pinned scenes
+     *  survive eviction; see plan/plan_cache.h. */
+    std::size_t plan_cache_capacity = 0;
+    AdmissionPolicy admission;
+};
+
+/** Serving front-end: admission, prepared-frame registry, telemetry. */
+class RenderService
+{
+  public:
+    explicit RenderService(const ServeConfig& config = {});
+
+    /** Drains all in-flight work before destruction. */
+    ~RenderService();
+
+    RenderService(const RenderService&) = delete;
+    RenderService& operator=(const RenderService&) = delete;
+
+    /** Registers a servable scene (see SceneRegistry::Register). */
+    void RegisterScene(const std::string& name, const SweepPoint& spec);
+
+    /**
+     * Pre-compiles and pins @p scene so its first real request already
+     * takes the prepared path, returning the scene's executed frame
+     * cost (whose latency_ms is the admission estimate; callers can
+     * build arrival schedules or reference-check replays against it).
+     */
+    FrameCost WarmScene(const std::string& scene);
+
+    /**
+     * Submits one request. Never blocks on rendering: rejected and shed
+     * requests resolve immediately; accepted requests resolve when a
+     * worker replays the scene's prepared frame. The first request
+     * against a cold scene additionally compiles it, on the submitting
+     * thread (WarmScene avoids that).
+     */
+    ServeTicket Submit(const SceneRequest& request);
+
+    /** Blocks until the ticket's request resolves; consumes the ticket. */
+    RenderResult Wait(ServeTicket ticket);
+
+    /** Drains every outstanding ticket, in submission order. */
+    std::vector<RenderResult> WaitAll();
+
+    ServiceStats Snapshot() const;
+
+    ThreadPool& pool() { return pool_; }
+    PlanCache& cache() { return cache_; }
+    const SceneRegistry& registry() const { return registry_; }
+
+  private:
+    ServeTicket Issue(std::future<RenderResult> future);
+
+    PlanCache cache_;
+    SceneRegistry registry_;
+    AdmissionController admission_;
+    DispatchQueue queue_;
+    LatencyHistogram latency_;
+
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> sequence_{0};
+
+    mutable std::mutex mutex_;
+    ServeTicket next_ticket_ = 0;
+    std::unordered_map<ServeTicket, std::future<RenderResult>> inflight_;
+
+    /** Declared last so it is destroyed first: its destructor drains
+     *  pending drain tasks, which reference the members above. */
+    ThreadPool pool_;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_SERVE_RENDER_SERVICE_H_

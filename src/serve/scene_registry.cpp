@@ -1,0 +1,146 @@
+#include "serve/scene_registry.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+
+void
+SceneRegistry::Register(const std::string& name, const SweepPoint& spec)
+{
+    if (spec.model.empty()) {
+        Fatal("scene '" + name +
+              "' must name a single model (empty model means a whole "
+              "sweep, which is not a servable scene)");
+    }
+    // Build the model and workload once: the alias guard fingerprints
+    // them here and the first touch consumes them. The fingerprint pair
+    // is the spec's authoritative identity — exactly the (config,
+    // workload) key the PlanCache will use — so two specs that lower to
+    // the same frame (e.g. GPU-backend scenes differing only in the
+    // precision field the GPU model ignores) collide however their raw
+    // SweepPoint fields differ.
+    Slot slot;
+    slot.spec = spec;
+    slot.accel = MakeAccelerator(spec);
+    slot.workload = BuildWorkload(spec.model, spec.params);
+    slot.stats.name = name;
+    std::string key;
+    slot.accel->AppendConfigFingerprint(&key);
+    AppendFingerprint(slot.workload, &key);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto owner = spec_owners_.emplace(std::move(key), name);
+    if (!owner.second) {
+        Fatal("scene '" + name + "' duplicates the spec of scene '" +
+              owner.first->second +
+              "' (alias scenes are not supported: they would split one "
+              "frame across two stat rows and break the frame-hit "
+              "accounting)");
+    }
+    const bool inserted = slots_.emplace(name, std::move(slot)).second;
+    if (!inserted) Fatal("scene '" + name + "' registered twice");
+    order_.push_back(name);
+}
+
+std::shared_ptr<const SceneEntry>
+SceneRegistry::Touch(const std::string& name, ThreadPool* pool,
+                     bool count_request)
+{
+    std::shared_ptr<std::mutex> prepare_mutex;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = slots_.find(name);
+        if (it == slots_.end()) {
+            Fatal("request names unregistered scene '" + name + "'");
+        }
+        if (count_request) ++it->second.stats.requests;
+        if (it->second.entry != nullptr) {
+            if (count_request) ++it->second.stats.prepared_replays;
+            return it->second.entry;
+        }
+        prepare_mutex = it->second.prepare_mutex;
+    }
+    // First touch: compile, pin, and estimate outside the registry lock
+    // (the expensive half). The per-scene mutex serializes racing first
+    // touches so exactly one estimation run executes — losers wake up,
+    // find the entry, and take the prepared path like any later touch.
+    // Deadlock-free: the preparer never waits on anyone holding either
+    // lock (its nested ParallelFor self-helps on the calling thread).
+    std::lock_guard<std::mutex> prepare_lock(*prepare_mutex);
+    auto entry = std::make_shared<SceneEntry>();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Slot& slot = slots_.at(name);
+        if (slot.entry != nullptr) {
+            if (count_request) ++slot.stats.prepared_replays;
+            return slot.entry;
+        }
+        // Holding the prepare mutex: adopt the model and workload that
+        // Register built.
+        entry->name = name;
+        entry->spec = slot.spec;
+        entry->accel = std::move(slot.accel);
+        entry->workload = std::move(slot.workload);
+    }
+    entry->frame = cache_.Prepare(*entry->accel, entry->workload);
+    entry->cost = cache_.Run(entry->frame, pool);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    Slot& slot = slots_.at(name);
+    slot.entry = std::move(entry);
+    slot.stats.est_latency_ms = slot.entry->cost.latency_ms;
+    return slot.entry;
+}
+
+void
+SceneRegistry::CountOutcome(const std::string& name, bool accepted,
+                            bool shed)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = slots_.find(name);
+    if (it == slots_.end()) return;
+    if (accepted) {
+        ++it->second.stats.accepted;
+    } else if (shed) {
+        ++it->second.stats.shed;
+    } else {
+        ++it->second.stats.rejected;
+    }
+}
+
+bool
+SceneRegistry::Has(const std::string& name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slots_.find(name) != slots_.end();
+}
+
+std::size_t
+SceneRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slots_.size();
+}
+
+std::vector<std::string>
+SceneRegistry::Names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return order_;
+}
+
+std::vector<SceneStats>
+SceneRegistry::Stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<SceneStats> stats;
+    stats.reserve(order_.size());
+    for (const std::string& name : order_) {
+        stats.push_back(slots_.at(name).stats);
+    }
+    return stats;
+}
+
+}  // namespace flexnerfer

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Per-scene prepared-frame registry for the serving front-end.
+ *
+ * A deployment serves a fixed repertoire of scenes — (accelerator
+ * configuration, NeRF workload) pairs — millions of times. The registry
+ * compiles each scene exactly once, on first touch: it instantiates the
+ * accelerator model, builds the workload, pins a PlanCache prepared-frame
+ * handle (see plan/plan_cache.h), and executes the plan once to obtain
+ * the FrameCost latency estimate that admission control needs. Every
+ * later request for the scene replays through the pinned handle — the
+ * steady-state prepared path that skips per-request fingerprinting — and
+ * the pin keeps the scene immune to LRU eviction in a bounded cache.
+ *
+ * Thread-safety: all members may be called concurrently. Racing first
+ * touches of one scene serialize on a per-scene mutex, so exactly one
+ * estimation run executes per scene however many requests race to it —
+ * which is what keeps the serving invariant "PlanCache frame hits ==
+ * accepted requests" exact even for cold concurrent submits. Distinct
+ * scenes prepare concurrently.
+ */
+#ifndef FLEXNERFER_SERVE_SCENE_REGISTRY_H_
+#define FLEXNERFER_SERVE_SCENE_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "models/workload.h"
+#include "plan/plan_cache.h"
+#include "runtime/sweep_runner.h"
+
+namespace flexnerfer {
+
+/** One registered scene, immutable once prepared. */
+struct SceneEntry {
+    std::string name;
+    SweepPoint spec;  //!< backend/precision/dataflow/model/params
+    std::unique_ptr<const Accelerator> accel;
+    NerfWorkload workload;
+    PlanCache::PreparedFrame frame;  //!< pinned prepared-frame handle
+    /** Executed cost of one frame; .latency_ms is the admission
+     *  estimate (exact for steady-state replays, which are memoized). */
+    FrameCost cost;
+};
+
+/** Per-scene serving counters (snapshot). */
+struct SceneStats {
+    std::string name;
+    double est_latency_ms = 0.0;
+    std::uint64_t requests = 0;          //!< submits naming this scene
+    std::uint64_t prepared_replays = 0;  //!< touches after preparation
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t shed = 0;
+};
+
+/** Maps scene names to pinned prepared frames, compiling on first touch. */
+class SceneRegistry
+{
+  public:
+    /** Scenes prepare into @p cache, which must outlive the registry. */
+    explicit SceneRegistry(PlanCache& cache) : cache_(cache) {}
+
+    SceneRegistry(const SceneRegistry&) = delete;
+    SceneRegistry& operator=(const SceneRegistry&) = delete;
+
+    /**
+     * Registers @p name as the scene described by @p spec (which must
+     * name a single model — a serving request renders one frame, not a
+     * sweep). Registration builds the accelerator model and workload
+     * descriptor (cheap, and the alias guard fingerprints them); plan
+     * compilation and the estimation run are deferred to the first
+     * touch, which consumes them. Re-registering a name is fatal, and
+     * so is registering a second name whose spec lowers to the same
+     * (config, workload) frame: alias scenes would split one underlying
+     * frame across two stat rows and double-count its estimation run,
+     * breaking the frame_hits == accepted invariant above.
+     */
+    void Register(const std::string& name, const SweepPoint& spec);
+
+    /**
+     * Returns the prepared entry for @p name, compiling and pinning it
+     * on first touch (with @p pool, the one-off estimation run fans
+     * across it). Fatal for unregistered names. The returned entry is
+     * shared and immutable; it stays valid for the caller's lifetime
+     * even if the scene is later dropped from the registry.
+     * @p count_request: whether this touch is a serving request (moves
+     * the requests/prepared_replays counters) or administrative
+     * warm-up (RenderService::WarmScene), which leaves them untouched
+     * so SceneStats::requests stays exactly "submits naming the scene".
+     */
+    std::shared_ptr<const SceneEntry> Touch(const std::string& name,
+                                            ThreadPool* pool = nullptr,
+                                            bool count_request = true);
+
+    /** Counts one admission outcome against @p name's stats. */
+    void CountOutcome(const std::string& name, bool accepted, bool shed);
+
+    bool Has(const std::string& name) const;
+    std::size_t size() const;
+
+    /** Registered scene names, in registration order. */
+    std::vector<std::string> Names() const;
+
+    /** Per-scene counters, in registration order. */
+    std::vector<SceneStats> Stats() const;
+
+  private:
+    struct Slot {
+        SweepPoint spec;
+        /** Built at Register (the alias guard fingerprints them) and
+         *  moved into the entry by the first touch. */
+        std::unique_ptr<const Accelerator> accel;
+        NerfWorkload workload;
+        /** Serializes first-touch preparation of this scene (shared so
+         *  it outlives the registry lock while a preparer holds it). */
+        std::shared_ptr<std::mutex> prepare_mutex =
+            std::make_shared<std::mutex>();
+        std::shared_ptr<const SceneEntry> entry;  //!< null until touched
+        SceneStats stats;
+    };
+
+    PlanCache& cache_;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, Slot> slots_;
+    /** Injective spec key (label excluded) -> first name registered
+     *  with it, to reject alias scenes with a useful message. */
+    std::unordered_map<std::string, std::string> spec_owners_;
+    std::vector<std::string> order_;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_SERVE_SCENE_REGISTRY_H_

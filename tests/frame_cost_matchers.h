@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared test matcher: exact (bitwise) equality on every FrameCost
+ * field. One copy, so a field added to FrameCost only needs this one
+ * helper updated for every bit-identity suite to keep covering it
+ * (PR 2's gemm_utilization drop is the cautionary tale).
+ */
+#ifndef FLEXNERFER_TESTS_FRAME_COST_MATCHERS_H_
+#define FLEXNERFER_TESTS_FRAME_COST_MATCHERS_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "accel/accelerator.h"
+
+namespace flexnerfer {
+
+inline void
+ExpectBitIdentical(const FrameCost& got, const FrameCost& want,
+                   const std::string& label = "")
+{
+    EXPECT_EQ(got.latency_ms, want.latency_ms) << label;
+    EXPECT_EQ(got.energy_mj, want.energy_mj) << label;
+    EXPECT_EQ(got.gemm_ms, want.gemm_ms) << label;
+    EXPECT_EQ(got.encoding_ms, want.encoding_ms) << label;
+    EXPECT_EQ(got.other_ms, want.other_ms) << label;
+    EXPECT_EQ(got.codec_ms, want.codec_ms) << label;
+    EXPECT_EQ(got.dram_ms, want.dram_ms) << label;
+    EXPECT_EQ(got.gemm_utilization, want.gemm_utilization) << label;
+    EXPECT_EQ(got.gemm_macs, want.gemm_macs) << label;
+    // Backstop through the authoritative predicate: a field added to
+    // FrameCost (and its operator==) stays covered here even before
+    // the per-field diagnostics above learn about it.
+    EXPECT_TRUE(got == want) << label;
+}
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_TESTS_FRAME_COST_MATCHERS_H_

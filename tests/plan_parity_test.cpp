@@ -27,6 +27,7 @@
 #include "plan/gemm_memo.h"
 #include "plan/plan_cache.h"
 #include "runtime/thread_pool.h"
+#include "frame_cost_matchers.h"
 
 namespace flexnerfer {
 namespace {
@@ -252,22 +253,6 @@ LegacyGpu(const GpuModel& model, const NerfWorkload& workload)
     }
     cost.energy_mj = busy_joules * 1e3;
     return cost;
-}
-
-/** Exact (bitwise) equality on every FrameCost field. */
-void
-ExpectBitIdentical(const FrameCost& got, const FrameCost& want,
-                   const std::string& label)
-{
-    EXPECT_EQ(got.latency_ms, want.latency_ms) << label;
-    EXPECT_EQ(got.energy_mj, want.energy_mj) << label;
-    EXPECT_EQ(got.gemm_ms, want.gemm_ms) << label;
-    EXPECT_EQ(got.encoding_ms, want.encoding_ms) << label;
-    EXPECT_EQ(got.other_ms, want.other_ms) << label;
-    EXPECT_EQ(got.codec_ms, want.codec_ms) << label;
-    EXPECT_EQ(got.dram_ms, want.dram_ms) << label;
-    EXPECT_EQ(got.gemm_utilization, want.gemm_utilization) << label;
-    EXPECT_EQ(got.gemm_macs, want.gemm_macs) << label;
 }
 
 /**

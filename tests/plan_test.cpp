@@ -23,23 +23,10 @@
 #include "runtime/batch_session.h"
 #include "runtime/sweep_runner.h"
 #include "runtime/thread_pool.h"
+#include "frame_cost_matchers.h"
 
 namespace flexnerfer {
 namespace {
-
-void
-ExpectBitIdentical(const FrameCost& a, const FrameCost& b)
-{
-    EXPECT_EQ(a.latency_ms, b.latency_ms);
-    EXPECT_EQ(a.energy_mj, b.energy_mj);
-    EXPECT_EQ(a.gemm_ms, b.gemm_ms);
-    EXPECT_EQ(a.encoding_ms, b.encoding_ms);
-    EXPECT_EQ(a.other_ms, b.other_ms);
-    EXPECT_EQ(a.codec_ms, b.codec_ms);
-    EXPECT_EQ(a.dram_ms, b.dram_ms);
-    EXPECT_EQ(a.gemm_utilization, b.gemm_utilization);
-    EXPECT_EQ(a.gemm_macs, b.gemm_macs);
-}
 
 TEST(FrameCost, SumCombinesUtilizationMacWeighted)
 {
@@ -288,6 +275,90 @@ TEST(PlanCache, ConcurrentHitMissStress)
     EXPECT_EQ(stats.plan_misses, accels.size() * workloads.size());
     EXPECT_GT(stats.frame_hits, 0u);
     EXPECT_LE(stats.frame_hits, static_cast<std::uint64_t>(n));
+}
+
+TEST(PlanCache, BoundedCacheEvictsLruAndRecompilesByteIdentically)
+{
+    const FlexNeRFerModel model;
+    const NerfWorkload w1 = BuildWorkload("NeRF");
+    const NerfWorkload w2 = BuildWorkload("KiloNeRF");
+    const NerfWorkload w3 = BuildWorkload("TensoRF");
+
+    PlanCache cache(2);
+    EXPECT_EQ(cache.capacity(), 2u);
+    const FrameCost first = cache.Run(model, w1);
+    cache.Run(model, w2);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    // A third distinct frame evicts the least-recently-used entry (w1).
+    cache.Run(model, w3);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+
+    // The evicted pair recompiles on its next keyed lookup — counted as
+    // a miss — into a byte-identical plan and frame result: compilation
+    // is a pure function of the key, so eviction can never change what
+    // a request observes, only what it costs.
+    const std::uint64_t misses_before = cache.stats().plan_misses;
+    ExpectBitIdentical(cache.Run(model, w1), first);
+    EXPECT_EQ(cache.stats().plan_misses, misses_before + 1);
+    EXPECT_EQ(cache.stats().evictions, 2u);  // w1's return evicted w2
+}
+
+TEST(PlanCache, KeyedHitsRefreshRecency)
+{
+    const FlexNeRFerModel model;
+    const NerfWorkload w1 = BuildWorkload("NeRF");
+    const NerfWorkload w2 = BuildWorkload("KiloNeRF");
+    const NerfWorkload w3 = BuildWorkload("TensoRF");
+
+    PlanCache cache(2);
+    const auto plan1 = cache.Get(model, w1);
+    cache.Get(model, w2);
+    // Touching w1 makes w2 the LRU entry, so inserting w3 evicts w2.
+    cache.Get(model, w1);
+    cache.Get(model, w3);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    const std::uint64_t hits_before = cache.stats().plan_hits;
+    EXPECT_EQ(cache.Get(model, w1).get(), plan1.get());  // still cached
+    EXPECT_EQ(cache.stats().plan_hits, hits_before + 1);
+}
+
+TEST(PlanCache, PreparedFramesPinEntriesAcrossEviction)
+{
+    const FlexNeRFerModel model;
+    const NerfWorkload w1 = BuildWorkload("NeRF");
+    const NerfWorkload w2 = BuildWorkload("KiloNeRF");
+
+    PlanCache cache(1);
+    const PlanCache::PreparedFrame frame = cache.Prepare(model, w1);
+    const FrameCost reference = cache.Run(frame);
+
+    // Inserting w2 evicts w1 from the key table...
+    cache.Run(model, w2);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+
+    // ...but the pinned handle still replays from the memoized result
+    // (a frame hit, not a recompile), exactly as before eviction.
+    const std::uint64_t frame_hits_before = cache.stats().frame_hits;
+    const std::uint64_t misses_before = cache.stats().plan_misses;
+    ExpectBitIdentical(cache.Run(frame), reference);
+    EXPECT_EQ(cache.stats().frame_hits, frame_hits_before + 1);
+    EXPECT_EQ(cache.stats().plan_misses, misses_before);
+}
+
+TEST(PlanCache, UnboundedByDefaultNeverEvicts)
+{
+    const FlexNeRFerModel model;
+    PlanCache cache;
+    EXPECT_EQ(cache.capacity(), 0u);
+    for (const std::string& name : AllModelNames()) {
+        cache.Get(model, BuildWorkload(name));
+    }
+    EXPECT_EQ(cache.size(), AllModelNames().size());
+    EXPECT_EQ(cache.stats().evictions, 0u);
 }
 
 TEST(PlanCache, ServesSweepRunnerAndBatchSession)

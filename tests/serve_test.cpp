@@ -1,0 +1,503 @@
+/**
+ * @file
+ * Unit tests for the serving front-end: LatencyHistogram percentiles vs
+ * exact sorted quantiles, admission accept/reject/shed paths, the
+ * priority dispatch order, per-scene prepared-frame reuse, and a
+ * multi-threaded soak of the whole RenderService (TSan/ASan target).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "accel/flexnerfer.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "models/workload.h"
+#include "runtime/sweep_runner.h"
+#include "runtime/thread_pool.h"
+#include "serve/admission.h"
+#include "serve/dispatch_queue.h"
+#include "serve/render_service.h"
+#include "serve/scene_registry.h"
+#include "frame_cost_matchers.h"
+
+namespace flexnerfer {
+namespace {
+
+SweepPoint
+NgpFlexScene()
+{
+    SweepPoint spec;
+    spec.backend = Backend::kFlexNeRFer;
+    spec.precision = Precision::kInt8;
+    spec.model = "Instant-NGP";
+    return spec;
+}
+
+/** Serial reference for a scene spec: cold compile + execute. */
+FrameCost
+Reference(const std::string& model)
+{
+    FlexNeRFerModel::Config config;
+    config.precision = Precision::kInt8;
+    return FlexNeRFerModel(config).RunWorkload(BuildWorkload(model));
+}
+
+TEST(LatencyHistogram, TracksExactQuantilesWithinBucketError)
+{
+    // Three decades of latencies in randomized order: every reported
+    // quantile must sit within the documented ~2% bucket ratio of the
+    // exact order statistic computed from the sorted samples.
+    Rng rng(7);
+    std::vector<double> samples;
+    for (int i = 0; i < 5000; ++i) {
+        samples.push_back(std::pow(10.0, rng.Uniform(0.0, 3.0)));
+    }
+    LatencyHistogram histogram;
+    for (double s : samples) histogram.Record(s);
+
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    for (double q : {0.01, 0.10, 0.50, 0.90, 0.99, 1.0}) {
+        const auto rank = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::ceil(q * static_cast<double>(sorted.size()))));
+        const double exact = sorted[rank - 1];
+        const double estimated = histogram.Quantile(q);
+        EXPECT_NEAR(estimated, exact, 0.025 * exact)
+            << "q = " << q;
+    }
+    EXPECT_EQ(histogram.count(), samples.size());
+    EXPECT_EQ(histogram.Min(), sorted.front());
+    EXPECT_EQ(histogram.Max(), sorted.back());
+    const double mean =
+        std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+        static_cast<double>(sorted.size());
+    EXPECT_NEAR(histogram.Mean(), mean, 1e-9 * mean);
+}
+
+TEST(LatencyHistogram, QuantileIsOrderIndependent)
+{
+    // The estimator is a pure function of the recorded multiset — the
+    // property serving telemetry's thread-invariance rests on.
+    Rng rng(11);
+    std::vector<double> samples;
+    for (int i = 0; i < 1000; ++i) samples.push_back(rng.Uniform(0.1, 50.0));
+
+    LatencyHistogram forward, shuffled;
+    for (double s : samples) forward.Record(s);
+    std::shuffle(samples.begin(), samples.end(), rng.engine());
+    for (double s : samples) shuffled.Record(s);
+
+    for (double q : {0.5, 0.9, 0.99}) {
+        EXPECT_EQ(forward.Quantile(q), shuffled.Quantile(q));
+    }
+}
+
+TEST(LatencyHistogram, ConcurrentRecordsAndMerge)
+{
+    LatencyHistogram histogram;
+    ThreadPool pool(8);
+    constexpr int kPerTask = 500;
+    pool.ParallelFor(16, [&histogram](std::int64_t task) {
+        for (int i = 0; i < kPerTask; ++i) {
+            histogram.Record(static_cast<double>(task + 1));
+        }
+    });
+    EXPECT_EQ(histogram.count(), 16u * kPerTask);
+    EXPECT_EQ(histogram.Min(), 1.0);
+    EXPECT_EQ(histogram.Max(), 16.0);
+
+    LatencyHistogram other;
+    other.Record(100.0);
+    other.Merge(histogram);
+    EXPECT_EQ(other.count(), 16u * kPerTask + 1);
+    EXPECT_EQ(other.Max(), 100.0);
+    EXPECT_EQ(other.Min(), 1.0);
+
+    histogram.Clear();
+    EXPECT_EQ(histogram.count(), 0u);
+    EXPECT_EQ(histogram.Quantile(0.5), 0.0);
+
+    // Self-merge is a no-op, not a doubling.
+    other.Merge(other);
+    EXPECT_EQ(other.count(), 16u * kPerTask + 1);
+
+    // Pathological samples clamp instead of hitting the float-to-int
+    // UB in the bucket index: NaN/-inf to the floor, +inf to the
+    // (finite) overflow bucket.
+    LatencyHistogram weird;
+    weird.Record(std::numeric_limits<double>::quiet_NaN());
+    weird.Record(-std::numeric_limits<double>::infinity());
+    weird.Record(std::numeric_limits<double>::infinity());
+    EXPECT_EQ(weird.count(), 3u);
+    EXPECT_EQ(weird.Min(), LatencyHistogram::kMinValue);
+    EXPECT_TRUE(std::isfinite(weird.Max()));
+    EXPECT_TRUE(std::isfinite(weird.Quantile(1.0)));
+}
+
+TEST(AdmissionController, AcceptsUntilQueueDepthThenRejects)
+{
+    AdmissionPolicy policy;
+    policy.max_queue_depth = 2;
+    AdmissionController admission(policy);
+    using Outcome = AdmissionController::Outcome;
+
+    // Three simultaneous arrivals, 10 ms of service each: the first two
+    // occupy the virtual queue, the third bounces.
+    EXPECT_EQ(admission.Admit(0.0, 10.0).outcome, Outcome::kAccepted);
+    EXPECT_EQ(admission.Admit(0.0, 10.0).outcome, Outcome::kAccepted);
+    EXPECT_EQ(admission.Admit(0.0, 10.0).outcome,
+              Outcome::kRejectedQueueFull);
+
+    // Once virtual work retires, capacity frees up again.
+    const auto verdict = admission.Admit(15.0, 10.0);
+    EXPECT_EQ(verdict.outcome, Outcome::kAccepted);
+    // The device is busy until 20 ms, so this arrival waits 5 ms.
+    EXPECT_EQ(verdict.start_ms, 20.0);
+    EXPECT_EQ(verdict.wait_ms, 5.0);
+    EXPECT_EQ(verdict.completion_ms, 30.0);
+
+    const auto counters = admission.counters();
+    EXPECT_EQ(counters.accepted, 3u);
+    EXPECT_EQ(counters.rejected_queue_full, 1u);
+    EXPECT_EQ(counters.busy_ms, 30.0);
+    EXPECT_EQ(counters.last_completion_ms, 30.0);
+}
+
+TEST(AdmissionController, ShedsWhenEstimatedCompletionMissesDeadline)
+{
+    AdmissionController admission;
+    using Outcome = AdmissionController::Outcome;
+
+    // An empty device meets a feasible deadline...
+    EXPECT_EQ(admission.Admit(0.0, 10.0, 15.0).outcome,
+              Outcome::kAccepted);
+    // ...but with 10 ms of backlog, a 12 ms deadline on a 10 ms frame
+    // is infeasible (estimated completion 20 ms) and sheds on arrival.
+    EXPECT_EQ(admission.Admit(0.0, 10.0, 12.0).outcome,
+              Outcome::kShedDeadline);
+    // A sheddable request leaves no residue: the backlog still ends at
+    // 10 ms, so a 25 ms-deadline request fits.
+    EXPECT_EQ(admission.Admit(0.0, 10.0, 25.0).outcome,
+              Outcome::kAccepted);
+    EXPECT_EQ(admission.counters().shed_deadline, 1u);
+}
+
+TEST(AdmissionController, DefaultDeadlineAppliesWhenRequestHasNone)
+{
+    AdmissionPolicy policy;
+    policy.default_deadline_ms = 5.0;
+    AdmissionController admission(policy);
+    using Outcome = AdmissionController::Outcome;
+    EXPECT_EQ(admission.Admit(0.0, 4.0).outcome, Outcome::kAccepted);
+    // Backlog 4 ms + service 4 ms > default deadline 5 ms.
+    EXPECT_EQ(admission.Admit(0.0, 4.0).outcome, Outcome::kShedDeadline);
+    // An explicit per-request deadline overrides the default.
+    EXPECT_EQ(admission.Admit(0.0, 4.0, 20.0).outcome,
+              Outcome::kAccepted);
+}
+
+TEST(DispatchQueue, PopsByPriorityThenDeadlineThenSequence)
+{
+    DispatchQueue queue;
+    std::vector<int> ran;
+    const auto push = [&queue, &ran](int id, int priority,
+                                     double deadline, std::uint64_t seq) {
+        DispatchItem item;
+        item.priority = priority;
+        item.deadline_ms = deadline;
+        item.sequence = seq;
+        item.work = [&ran, id] { ran.push_back(id); };
+        queue.Push(std::move(item));
+    };
+    push(0, 0, 0.0, 0);    // low prio, no deadline
+    push(1, 2, 50.0, 1);   // high prio, late deadline
+    push(2, 2, 10.0, 2);   // high prio, urgent deadline -> first
+    push(3, 0, 5.0, 3);    // low prio, urgent deadline
+    push(4, 0, 0.0, 4);    // low prio, no deadline, later sequence
+
+    EXPECT_EQ(queue.size(), 5u);
+    DispatchItem item;
+    while (queue.Pop(&item)) item.work();
+    EXPECT_EQ(ran, (std::vector<int>{2, 1, 3, 0, 4}));
+    EXPECT_FALSE(queue.Pop(&item));
+}
+
+TEST(SceneRegistry, FirstTouchPreparesLaterTouchesReplay)
+{
+    PlanCache cache;
+    SceneRegistry registry(cache);
+    registry.Register("ngp", NgpFlexScene());
+    EXPECT_TRUE(registry.Has("ngp"));
+    EXPECT_FALSE(registry.Has("missing"));
+
+    // First touch compiles and pins; the estimate is the executed cost.
+    const auto first = registry.Touch("ngp");
+    EXPECT_EQ(cache.stats().plan_misses, 1u);
+    EXPECT_EQ(cache.stats().frame_hits, 0u);
+    ExpectBitIdentical(first->cost, Reference("Instant-NGP"));
+
+    // Second touch returns the same pinned entry; replaying its frame
+    // hits the memoized result, not a recompile.
+    const auto second = registry.Touch("ngp");
+    EXPECT_EQ(second.get(), first.get());
+    ExpectBitIdentical(cache.Run(second->frame), first->cost);
+    EXPECT_EQ(cache.stats().plan_misses, 1u);
+    EXPECT_EQ(cache.stats().frame_hits, 1u);
+
+    const std::vector<SceneStats> stats = registry.Stats();
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].requests, 2u);
+    EXPECT_EQ(stats[0].prepared_replays, 1u);
+    EXPECT_EQ(stats[0].est_latency_ms, first->cost.latency_ms);
+}
+
+TEST(RenderService, SteadyStateRequestsHitThePreparedPath)
+{
+    ServeConfig config;
+    config.threads = 2;
+    RenderService service(config);
+    service.RegisterScene("ngp", NgpFlexScene());
+
+    std::vector<ServeTicket> tickets;
+    for (int i = 0; i < 6; ++i) {
+        SceneRequest request;
+        request.scene = "ngp";
+        tickets.push_back(service.Submit(request));
+    }
+    const FrameCost reference = Reference("Instant-NGP");
+    for (ServeTicket ticket : tickets) {
+        const RenderResult result = service.Wait(ticket);
+        EXPECT_EQ(result.status, RequestStatus::kCompleted);
+        ExpectBitIdentical(result.cost, reference);
+    }
+
+    const ServiceStats stats = service.Snapshot();
+    EXPECT_EQ(stats.submitted, 6u);
+    EXPECT_EQ(stats.accepted, 6u);
+    EXPECT_EQ(stats.completed, 6u);
+    // One compile (the first touch memoizes the frame result), so all
+    // six workers replay from the memo — the steady-state path.
+    EXPECT_EQ(stats.cache.plan_misses, 1u);
+    EXPECT_EQ(stats.cache.frame_hits, 6u);
+    ASSERT_EQ(stats.scenes.size(), 1u);
+    EXPECT_EQ(stats.scenes[0].prepared_replays, 5u);
+    // Back-to-back arrivals at t = 0 queue behind each other: latency
+    // percentiles reflect the virtual backlog, not wall clock.
+    EXPECT_GT(stats.p99_ms, stats.p50_ms);
+    const double expected_qps = 1e3 * 6.0 / (6.0 * reference.latency_ms);
+    EXPECT_NEAR(stats.sustained_qps, expected_qps, 1e-9 * expected_qps);
+}
+
+TEST(RenderService, DeadlineAndQueueDepthPoliciesShedAndReject)
+{
+    ServeConfig config;
+    config.threads = 2;
+    config.admission.max_queue_depth = 3;
+    RenderService service(config);
+    service.RegisterScene("ngp", NgpFlexScene());
+    const double est = service.WarmScene("ngp").latency_ms;
+
+    // Simultaneous arrivals: two queue up; a backlogged infeasible
+    // deadline sheds (queue depth 2 of 3, so it reaches the deadline
+    // check); a third fills the queue; a fourth bounces off the depth
+    // limit (depth is checked before the deadline — a full queue
+    // rejects even requests that could otherwise be deadline-judged).
+    SceneRequest request;
+    request.scene = "ngp";
+    const ServeTicket a = service.Submit(request);
+    const ServeTicket b = service.Submit(request);
+    SceneRequest tight = request;
+    tight.deadline_ms = 0.5 * est;
+    const ServeTicket c = service.Submit(tight);
+    const ServeTicket d = service.Submit(request);
+    const ServeTicket e = service.Submit(request);
+
+    EXPECT_EQ(service.Wait(a).status, RequestStatus::kCompleted);
+    EXPECT_EQ(service.Wait(b).status, RequestStatus::kCompleted);
+    EXPECT_EQ(service.Wait(c).status, RequestStatus::kShedDeadline);
+    EXPECT_EQ(service.Wait(d).status, RequestStatus::kCompleted);
+    EXPECT_EQ(service.Wait(e).status, RequestStatus::kRejectedQueueFull);
+
+    const ServiceStats stats = service.Snapshot();
+    EXPECT_EQ(stats.accepted, 3u);
+    EXPECT_EQ(stats.shed_deadline, 1u);
+    EXPECT_EQ(stats.rejected_queue_full, 1u);
+    EXPECT_DOUBLE_EQ(stats.ShedRate(), 0.4);
+    ASSERT_EQ(stats.scenes.size(), 1u);
+    EXPECT_EQ(stats.scenes[0].accepted, 3u);
+    EXPECT_EQ(stats.scenes[0].shed, 1u);
+    EXPECT_EQ(stats.scenes[0].rejected, 1u);
+}
+
+TEST(SceneRegistry, RejectsAliasScenesAndDuplicateNames)
+{
+    PlanCache cache;
+    SceneRegistry registry(cache);
+    registry.Register("ngp", NgpFlexScene());
+    // Same spec under a second name would double-count the estimation
+    // run and split one frame across two stat rows — rejected outright
+    // (the label is presentation only and does not de-alias).
+    SweepPoint alias = NgpFlexScene();
+    alias.label = "different label";
+    EXPECT_DEATH(registry.Register("ngp-alias", alias),
+                 "duplicates the spec");
+    EXPECT_DEATH(registry.Register("ngp", NgpFlexScene()),
+                 "duplicates the spec");
+    // A genuinely different spec registers fine.
+    SweepPoint other = NgpFlexScene();
+    other.precision = Precision::kInt4;
+    registry.Register("ngp-int4", other);
+    EXPECT_EQ(registry.size(), 2u);
+
+    // The guard keys on the frame the spec lowers to, not on raw spec
+    // fields: the GPU model ignores precision, so two GPU scenes
+    // differing only there are aliases of one frame and are rejected.
+    SweepPoint gpu16 = NgpFlexScene();
+    gpu16.backend = Backend::kGpu;
+    gpu16.precision = Precision::kInt16;
+    registry.Register("ngp-gpu", gpu16);
+    SweepPoint gpu8 = gpu16;
+    gpu8.precision = Precision::kInt8;
+    EXPECT_DEATH(registry.Register("ngp-gpu-int8", gpu8),
+                 "duplicates the spec");
+}
+
+TEST(SceneRegistry, RacingFirstTouchesConvergeToOneEntry)
+{
+    // Many workers touch one cold scene at once: duplicate prepares may
+    // race, but exactly one compile is counted, one entry survives, and
+    // every caller observes the same estimate.
+    PlanCache cache;
+    SceneRegistry registry(cache);
+    registry.Register("ngp", NgpFlexScene());
+
+    ThreadPool pool(8);
+    std::vector<double> estimates(16, 0.0);
+    pool.ParallelFor(16, [&registry, &estimates](std::int64_t i) {
+        estimates[static_cast<std::size_t>(i)] =
+            registry.Touch("ngp")->cost.latency_ms;
+    });
+    const FrameCost reference = Reference("Instant-NGP");
+    for (double estimate : estimates) {
+        EXPECT_EQ(estimate, reference.latency_ms);
+    }
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().plan_misses, 1u);
+    // Exactly one estimation run executed (racers serialize on the
+    // per-scene mutex and adopt the winner's entry), so no touch ever
+    // replays from the result memo — frame hits stay reserved for
+    // actual requests.
+    EXPECT_EQ(cache.stats().frame_hits, 0u);
+    const std::vector<SceneStats> stats = registry.Stats();
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].requests, 16u);
+    EXPECT_EQ(stats[0].prepared_replays, 15u);
+}
+
+TEST(RenderService, SnapshotIsZeroSafeWhenNothingWasAccepted)
+{
+    ServeConfig config;
+    config.threads = 1;
+    RenderService service(config);
+    service.RegisterScene("ngp", NgpFlexScene());
+    const double est = service.WarmScene("ngp").latency_ms;
+
+    SceneRequest hopeless;
+    hopeless.scene = "ngp";
+    hopeless.arrival_ms = 100.0;
+    hopeless.deadline_ms = 0.5 * est;  // infeasible even when idle
+    EXPECT_EQ(service.Wait(service.Submit(hopeless)).status,
+              RequestStatus::kShedDeadline);
+
+    const ServiceStats stats = service.Snapshot();
+    EXPECT_EQ(stats.accepted, 0u);
+    EXPECT_EQ(stats.makespan_ms, 0.0);  // not -100 (no completion ever)
+    EXPECT_EQ(stats.sustained_qps, 0.0);
+    EXPECT_EQ(stats.utilization, 0.0);
+    EXPECT_EQ(stats.p50_ms, 0.0);
+}
+
+TEST(RenderService, MultiThreadedSoakKeepsEveryInvariant)
+{
+    // Hammer one service from several submitter threads while its own
+    // pool executes: the TSan/ASan target for the whole subsystem.
+    // Admission order is nondeterministic here, so the assertions are
+    // the order-free invariants.
+    ServeConfig config;
+    config.threads = 4;
+    config.plan_cache_capacity = 2;  // force evictions under load
+    config.admission.max_queue_depth = 16;
+    config.admission.default_deadline_ms = 1e7;
+    RenderService service(config);
+
+    const std::vector<std::string> models = {"Instant-NGP", "KiloNeRF",
+                                             "TensoRF"};
+    std::vector<FrameCost> references;
+    for (const std::string& model : models) {
+        SweepPoint spec = NgpFlexScene();
+        spec.model = model;
+        service.RegisterScene(model, spec);
+        references.push_back(Reference(model));
+    }
+    // No warm-up on purpose: first touches race between submitters, and
+    // the frame-hit accounting below must stay exact regardless.
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 40;
+    std::vector<std::thread> submitters;
+    std::mutex tickets_mutex;
+    std::vector<ServeTicket> tickets;
+    for (int t = 0; t < kThreads; ++t) {
+        submitters.emplace_back([&service, &models, &tickets,
+                                 &tickets_mutex, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                SceneRequest request;
+                request.scene = models[static_cast<std::size_t>(
+                    (t + i) % static_cast<int>(models.size()))];
+                request.priority = i % 3;
+                request.arrival_ms = static_cast<double>(i);
+                const ServeTicket ticket = service.Submit(request);
+                std::lock_guard<std::mutex> lock(tickets_mutex);
+                tickets.push_back(ticket);
+            }
+        });
+    }
+    for (std::thread& submitter : submitters) submitter.join();
+    const std::vector<RenderResult> results = service.WaitAll();
+
+    ASSERT_EQ(results.size(),
+              static_cast<std::size_t>(kThreads * kPerThread));
+    std::uint64_t completed = 0;
+    for (const RenderResult& result : results) {
+        if (result.status != RequestStatus::kCompleted) continue;
+        ++completed;
+        std::size_t m = 0;
+        while (models[m] != result.scene) ++m;
+        ExpectBitIdentical(result.cost, references[m]);
+    }
+    const ServiceStats stats = service.Snapshot();
+    EXPECT_EQ(stats.submitted,
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+    EXPECT_EQ(stats.submitted, stats.accepted + stats.rejected_queue_full +
+                                   stats.shed_deadline);
+    EXPECT_EQ(stats.completed, stats.accepted);
+    EXPECT_EQ(completed, stats.accepted);
+    // Pinned scenes ride out LRU eviction: three scenes in a
+    // two-entry cache still serve every accepted request prepared.
+    EXPECT_EQ(stats.cache.plan_misses, 3u);
+    EXPECT_EQ(stats.cache.evictions, 1u);
+    EXPECT_EQ(stats.cache.frame_hits, stats.accepted);
+}
+
+}  // namespace
+}  // namespace flexnerfer
