@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared open-loop Poisson request stream for the serving benches.
+ *
+ * bench/serving and bench/serving_sharded drive the same arrival
+ * process: exponential interarrivals at a configured multiple of the
+ * modeled service rate, a uniformly random scene per request, a small
+ * priority spread, and a deadline that leaves slack when the queue is
+ * short and sheds when the backlog outgrows it. Hoisting the generator
+ * here keeps the two benches' schedules byte-identical for one seed —
+ * the sharded bench serves exactly the stream the single-device bench
+ * sheds — instead of drifting as two copies.
+ *
+ * Determinism: the stream is a pure function of (seed, mean service
+ * time, per-scene estimates); the fixed-seed Rng makes every draw
+ * platform- and thread-count-independent.
+ */
+#ifndef FLEXNERFER_BENCH_OPEN_LOOP_H_
+#define FLEXNERFER_BENCH_OPEN_LOOP_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace flexnerfer {
+
+/** One synthesized request of the open-loop arrival process. */
+struct OpenLoopRequest {
+    double arrival_ms = 0.0;    //!< absolute virtual arrival
+    std::size_t scene_index = 0;
+    int priority = 0;           //!< uniform in {0, 1, 2}
+    double deadline_ms = 0.0;   //!< relative to arrival
+};
+
+/** Fixed-seed Poisson stream over a scene repertoire. */
+class OpenLoopPoissonStream
+{
+  public:
+    /**
+     * Arrivals are exponential with mean @p mean_service_ms / @p load
+     * (offered load is relative to one modeled device); deadlines are
+     * 1.5x the drawn scene's estimate plus up to 6x the mean service
+     * time of uniform slack.
+     */
+    OpenLoopPoissonStream(std::uint64_t seed, double load,
+                          double mean_service_ms,
+                          const std::vector<double>& scene_est_ms)
+        : rng_(seed), mean_interarrival_ms_(mean_service_ms / load),
+          mean_service_ms_(mean_service_ms), scene_est_ms_(scene_est_ms)
+    {}
+
+    OpenLoopRequest
+    Next()
+    {
+        OpenLoopRequest request;
+        arrival_ms_ += -mean_interarrival_ms_ *
+                       std::log(1.0 - rng_.Uniform(0.0, 1.0));
+        request.arrival_ms = arrival_ms_;
+        request.scene_index = static_cast<std::size_t>(rng_.UniformInt(
+            0, static_cast<std::int64_t>(scene_est_ms_.size()) - 1));
+        request.priority = static_cast<int>(rng_.UniformInt(0, 2));
+        request.deadline_ms = 1.5 * scene_est_ms_[request.scene_index] +
+                              mean_service_ms_ * rng_.Uniform(0.0, 6.0);
+        return request;
+    }
+
+  private:
+    Rng rng_;
+    double mean_interarrival_ms_;
+    double mean_service_ms_;
+    std::vector<double> scene_est_ms_;
+    double arrival_ms_ = 0.0;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_BENCH_OPEN_LOOP_H_

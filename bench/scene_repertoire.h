@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The serving benches' scene repertoire: every paper NeRF workload on
+ * every accelerator family (FlexNeRFer INT8, NeuRex, RTX 2080 Ti
+ * roofline) — 7 models x 3 families = 21 scenes. Shared by
+ * bench/serving and bench/serving_sharded so both benches serve the
+ * same catalogue (and the sharded bench's routing distributes exactly
+ * the scenes the single-device bench queues).
+ */
+#ifndef FLEXNERFER_BENCH_SCENE_REPERTOIRE_H_
+#define FLEXNERFER_BENCH_SCENE_REPERTOIRE_H_
+
+#include <string>
+#include <vector>
+
+#include "models/workload.h"
+#include "runtime/sweep_runner.h"
+
+namespace flexnerfer {
+
+/** One servable scene: a registry name plus its sweep-point spec. */
+struct NamedScene {
+    std::string name;
+    SweepPoint spec;
+};
+
+/** The 21-scene catalogue, in deterministic registration order. */
+inline std::vector<NamedScene>
+PaperSceneRepertoire()
+{
+    struct Family {
+        const char* tag;
+        Backend backend;
+        Precision precision;
+    };
+    const std::vector<Family> families = {
+        {"flexnerfer-int8", Backend::kFlexNeRFer, Precision::kInt8},
+        {"neurex", Backend::kNeuRex, Precision::kInt16},
+        {"gpu", Backend::kGpu, Precision::kInt16},
+    };
+    std::vector<NamedScene> scenes;
+    for (const std::string& model : AllModelNames()) {
+        for (const Family& family : families) {
+            NamedScene scene;
+            scene.spec.backend = family.backend;
+            scene.spec.precision = family.precision;
+            scene.spec.model = model;
+            scene.name = model + "/" + family.tag;
+            scenes.push_back(std::move(scene));
+        }
+    }
+    return scenes;
+}
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_BENCH_SCENE_REPERTOIRE_H_

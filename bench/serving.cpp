@@ -21,15 +21,15 @@
  *                [--cache-cap N] [--seed N]
  */
 #include <chrono>
-#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
-#include "common/rng.h"
 #include "common/table.h"
+#include "open_loop.h"
 #include "runtime/sweep_runner.h"
+#include "scene_repertoire.h"
 #include "serve/render_service.h"
 
 using namespace flexnerfer;
@@ -57,29 +57,11 @@ main(int argc, char** argv)
     config.admission.max_queue_depth = 128;
     RenderService service(config);
 
-    // The scene repertoire: every paper workload on every accelerator
-    // family (FlexNeRFer INT8, NeuRex, RTX 2080 Ti roofline).
-    struct Family {
-        const char* tag;
-        Backend backend;
-        Precision precision;
-    };
-    const std::vector<Family> families = {
-        {"flexnerfer-int8", Backend::kFlexNeRFer, Precision::kInt8},
-        {"neurex", Backend::kNeuRex, Precision::kInt16},
-        {"gpu", Backend::kGpu, Precision::kInt16},
-    };
+    // The shared 21-scene catalogue (see scene_repertoire.h).
     std::vector<std::string> scenes;
-    for (const std::string& model : AllModelNames()) {
-        for (const Family& family : families) {
-            SweepPoint spec;
-            spec.backend = family.backend;
-            spec.precision = family.precision;
-            spec.model = model;
-            const std::string name = model + "/" + family.tag;
-            service.RegisterScene(name, spec);
-            scenes.push_back(name);
-        }
+    for (const NamedScene& scene : PaperSceneRepertoire()) {
+        service.RegisterScene(scene.name, scene.spec);
+        scenes.push_back(scene.name);
     }
 
     // Warm every scene (compile + pin + estimate) so the arrival
@@ -99,24 +81,19 @@ main(int argc, char** argv)
 
     // Open-loop Poisson arrivals at `load` times the service rate of
     // the single modeled device; deadlines leave slack when the queue
-    // is short and shed when the backlog outgrows them.
-    const double mean_interarrival_ms = mean_service_ms / load;
-    Rng rng(seed);
+    // is short and shed when the backlog outgrows them (the stream is
+    // shared with bench/serving_sharded — see open_loop.h).
+    OpenLoopPoissonStream stream(seed, load, mean_service_ms, est_ms);
     const auto wall_start = std::chrono::steady_clock::now();
-    double arrival_ms = 0.0;
     std::vector<ServeTicket> tickets;
     tickets.reserve(requests);
     for (std::size_t i = 0; i < requests; ++i) {
-        arrival_ms += -mean_interarrival_ms *
-                      std::log(1.0 - rng.Uniform(0.0, 1.0));
-        const auto scene_index = static_cast<std::size_t>(rng.UniformInt(
-            0, static_cast<std::int64_t>(scenes.size()) - 1));
+        const OpenLoopRequest drawn = stream.Next();
         SceneRequest request;
-        request.scene = scenes[scene_index];
-        request.arrival_ms = arrival_ms;
-        request.priority = static_cast<int>(rng.UniformInt(0, 2));
-        request.deadline_ms = 1.5 * est_ms[scene_index] +
-                              mean_service_ms * rng.Uniform(0.0, 6.0);
+        request.scene = scenes[drawn.scene_index];
+        request.arrival_ms = drawn.arrival_ms;
+        request.priority = drawn.priority;
+        request.deadline_ms = drawn.deadline_ms;
         tickets.push_back(service.Submit(request));
     }
     const std::vector<RenderResult> results = service.WaitAll();

@@ -4,6 +4,11 @@
  * scenes, warm them into the prepared-frame registry, submit requests
  * with priorities and deadlines, and read the telemetry snapshot.
  *
+ * With --shards N (N >= 2) the walkthrough instead drives the sharded
+ * front-end (serve/cluster.h): rendezvous routing, overload spill with
+ * its virtual recompile surcharge, merged cluster telemetry, and a
+ * drain/rebalance to N+1 shards.
+ *
  * All request outcomes and latencies are in virtual (model) time, so
  * this walkthrough prints the same thing on any machine and any thread
  * count — the serving determinism contract.
@@ -14,13 +19,143 @@
 
 #include "common/table.h"
 #include "runtime/sweep_runner.h"
+#include "serve/cluster.h"
 #include "serve/render_service.h"
 
 using namespace flexnerfer;
 
-int
-main()
+namespace {
+
+/** The walkthrough's three scenes (shared by both modes). */
+std::vector<std::pair<std::string, SweepPoint>>
+WalkthroughScenes()
 {
+    SweepPoint ngp_edge;
+    ngp_edge.backend = Backend::kFlexNeRFer;
+    ngp_edge.precision = Precision::kInt8;
+    ngp_edge.model = "Instant-NGP";
+
+    SweepPoint nerf_gpu;
+    nerf_gpu.backend = Backend::kGpu;
+    nerf_gpu.model = "NeRF";
+
+    SweepPoint tensorf_neurex;
+    tensorf_neurex.backend = Backend::kNeuRex;
+    tensorf_neurex.model = "TensoRF";
+
+    return {{"ngp-edge", ngp_edge},
+            {"nerf-gpu", nerf_gpu},
+            {"tensorf-neurex", tensorf_neurex}};
+}
+
+/** The sharded walkthrough: routing, spill, merged telemetry, resize. */
+int
+RunSharded(std::size_t shards)
+{
+    ClusterConfig config;
+    config.shards = shards;
+    config.threads_per_shard = 2;
+    config.plan_cache_capacity = 8;
+    config.admission.max_queue_depth = 4;
+    config.spill_recompile_factor = 1.0;
+    ShardedRenderService cluster(config);
+
+    std::printf("== Scene routing over %zu shards (rendezvous "
+                "hashing) ==\n",
+                shards);
+    Table routing({"Scene", "Est [ms]", "Home shard", "Spill candidate"});
+    std::vector<std::string> names;
+    for (const auto& [name, spec] : WalkthroughScenes()) {
+        cluster.RegisterScene(name, spec);
+        names.push_back(name);
+    }
+    for (const std::string& name : names) {
+        const FrameCost cost = cluster.WarmScene(name);
+        const std::vector<std::size_t> rank = cluster.router().Rank(name);
+        routing.AddRow({name, FormatDouble(cost.latency_ms, 3),
+                        std::to_string(rank[0]),
+                        rank.size() > 1 ? std::to_string(rank[1]) : "-"});
+    }
+    std::printf("%s\n", routing.ToString().c_str());
+
+    // A simultaneous burst aimed at one scene: its home shard's tight
+    // queue overflows, so later requests spill to the next-ranked shard
+    // (paying the recompile surcharge on the first landing) and the
+    // rest shed once every candidate is saturated.
+    std::printf("== Burst on one scene: home fills, spill absorbs ==\n");
+    std::vector<ClusterTicket> tickets;
+    for (int i = 0; i < 12; ++i) {
+        SceneRequest request;
+        request.scene = "ngp-edge";
+        request.arrival_ms = 0.0;
+        tickets.push_back(cluster.Submit(request));
+    }
+    Table outcomes({"#", "Status", "Shard", "Home", "Spilled",
+                    "Surcharge [ms]", "Latency [ms]"});
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+        const ClusterRenderResult r = cluster.Wait(tickets[i]);
+        outcomes.AddRow(
+            {std::to_string(i), ToString(r.result.status),
+             std::to_string(r.shard), std::to_string(r.home_shard),
+             r.spilled ? "yes" : "no",
+             r.spilled ? FormatDouble(r.spill_surcharge_ms, 3) : "-",
+             r.result.status == RequestStatus::kCompleted
+                 ? FormatDouble(r.result.latency_ms, 3)
+                 : "-"});
+    }
+    std::printf("%s\n", outcomes.ToString().c_str());
+
+    const ClusterStats stats = cluster.Snapshot();
+    std::printf("== Cluster telemetry (merged histograms) ==\n");
+    std::printf("  accepted %llu (spilled %llu, spill compiles %llu), "
+                "shed %llu, rejected %llu\n",
+                static_cast<unsigned long long>(stats.accepted),
+                static_cast<unsigned long long>(stats.spilled),
+                static_cast<unsigned long long>(stats.spill_recompiles),
+                static_cast<unsigned long long>(stats.shed_deadline),
+                static_cast<unsigned long long>(stats.rejected_queue_full));
+    std::printf("  latency p50 %s ms, p90 %s ms, p99 %s ms\n",
+                FormatDouble(stats.p50_ms, 3).c_str(),
+                FormatDouble(stats.p90_ms, 3).c_str(),
+                FormatDouble(stats.p99_ms, 3).c_str());
+    for (std::size_t i = 0; i < stats.per_shard.size(); ++i) {
+        const ShardTelemetry& shard = stats.per_shard[i];
+        std::printf("  shard %zu: homed %llu, accepted %llu, spill in "
+                    "%llu / out %llu, frame hits %llu\n",
+                    i, static_cast<unsigned long long>(shard.homed),
+                    static_cast<unsigned long long>(shard.service.accepted),
+                    static_cast<unsigned long long>(shard.spill_in),
+                    static_cast<unsigned long long>(shard.spill_out),
+                    static_cast<unsigned long long>(
+                        shard.service.cache.frame_hits));
+    }
+
+    // Drain and rebalance onto one more shard: rendezvous hashing moves
+    // the provable minimum of scenes, and lifetime telemetry survives.
+    const std::size_t moved = cluster.Resize(shards + 1);
+    std::printf("\n== Rebalance %zu -> %zu shards: %zu of %zu scene(s) "
+                "moved ==\n",
+                shards, shards + 1, moved, names.size());
+    for (const std::string& name : names) {
+        std::printf("  %-15s home shard %zu\n", name.c_str(),
+                    cluster.router().Home(name));
+    }
+    const ClusterStats after = cluster.Snapshot();
+    std::printf("  lifetime accepted %llu (telemetry survives the "
+                "rebalance)\n",
+                static_cast<unsigned long long>(after.accepted));
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::int64_t shards = IntFromArgs(argc, argv, "--shards", 1);
+    if (shards > 1) {
+        return RunSharded(static_cast<std::size_t>(shards));
+    }
     // A service with a tight queue and a default deadline, so this
     // walkthrough shows all three admission outcomes.
     ServeConfig config;
@@ -29,34 +164,22 @@ main()
     config.admission.max_queue_depth = 4;
     RenderService service(config);
 
-    // Scenes pair a workload with a device configuration. Instant-NGP
+    // Scenes pair a workload with a device configuration (Instant-NGP
     // on the FlexNeRFer INT8 config is the paper's headline on-device
-    // case; the GPU roofline serves as the datacenter fallback.
-    SweepPoint ngp_edge;
-    ngp_edge.backend = Backend::kFlexNeRFer;
-    ngp_edge.precision = Precision::kInt8;
-    ngp_edge.model = "Instant-NGP";
-    service.RegisterScene("ngp-edge", ngp_edge);
-
-    SweepPoint nerf_gpu;
-    nerf_gpu.backend = Backend::kGpu;
-    nerf_gpu.model = "NeRF";
-    service.RegisterScene("nerf-gpu", nerf_gpu);
-
-    SweepPoint tensorf_neurex;
-    tensorf_neurex.backend = Backend::kNeuRex;
-    tensorf_neurex.model = "TensoRF";
-    service.RegisterScene("tensorf-neurex", tensorf_neurex);
+    // case; the GPU roofline serves as the datacenter fallback). The
+    // catalogue is shared with the sharded walkthrough.
+    for (const auto& [name, spec] : WalkthroughScenes()) {
+        service.RegisterScene(name, spec);
+    }
 
     // First touch compiles the scene and pins its prepared frame; the
     // returned estimate is what admission control will use.
     std::printf("== Scene warm-up (compile + pin + estimate) ==\n");
-    for (const std::string& scene :
-         {std::string("ngp-edge"), std::string("nerf-gpu"),
-          std::string("tensorf-neurex")}) {
+    for (const auto& [name, spec] : WalkthroughScenes()) {
+        (void)spec;
         std::printf(
-            "  %-15s est %s ms/frame\n", scene.c_str(),
-            FormatDouble(service.WarmScene(scene).latency_ms, 3).c_str());
+            "  %-15s est %s ms/frame\n", name.c_str(),
+            FormatDouble(service.WarmScene(name).latency_ms, 3).c_str());
     }
 
     // A burst of simultaneous requests: a high-priority AR client with

@@ -7,6 +7,13 @@
  * is the seam PlanCache compiles through on a miss. It also builds the
  * (model config, workload) cache key so every key consumer derives it
  * the same way.
+ *
+ * Compilation is a pure function of (accel config, workload): two
+ * compiles of the same pair yield byte-identical plans, on any thread,
+ * which is why an evicted cache entry can recompile transparently.
+ *
+ * Thread-safety: stateless (static members only); may be called
+ * concurrently.
  */
 #ifndef FLEXNERFER_PLAN_FRAME_PLANNER_H_
 #define FLEXNERFER_PLAN_FRAME_PLANNER_H_

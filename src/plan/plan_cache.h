@@ -104,6 +104,15 @@ class PlanCache
      * entry directly, so replaying through it needs no fingerprint
      * rebuild and no handle-table lookup. Copyable, usable from any
      * thread; keeps its entry alive independently of the cache.
+     *
+     * Pinning lifetime: the pin is the handle — the entry lives
+     * exactly as long as any copy of the handle does (shared_ptr
+     * semantics), through LRU eviction and even past the PlanCache's
+     * own destruction. This is what lets a serving scene registry
+     * (serve/scene_registry.h) hold one handle per scene and guarantee
+     * the steady-state prepared path forever, and what keeps a shard
+     * replica's pins independent of its siblings in a cluster
+     * (serve/cluster.h).
      */
     class PreparedFrame
     {

@@ -7,37 +7,32 @@
 namespace flexnerfer {
 
 AdmissionController::Verdict
-AdmissionController::Admit(double arrival_ms, double est_latency_ms,
-                           double deadline_ms)
+AdmissionController::EvaluateLocked(double arrival_ms,
+                                    double est_latency_ms,
+                                    double deadline_ms) const
 {
-    FLEX_CHECK_MSG(est_latency_ms >= 0.0,
-                   "negative latency estimate " << est_latency_ms);
-    std::lock_guard<std::mutex> lock(mutex_);
+    // Apply the monotone arrival clamp without recording it (Admit
+    // records; Probe must not).
     arrival_ms = std::max(arrival_ms, 0.0);
-    if (saw_arrival_) {
-        arrival_ms = std::max(arrival_ms, last_arrival_ms_);
-    } else {
-        counters_.first_arrival_ms = arrival_ms;
-        saw_arrival_ = true;
-    }
-    last_arrival_ms_ = arrival_ms;
-
-    // Retire virtual work that completed before this arrival.
-    while (!in_service_.empty() && in_service_.front() <= arrival_ms) {
-        in_service_.pop_front();
-    }
+    if (saw_arrival_) arrival_ms = std::max(arrival_ms, last_arrival_ms_);
 
     Verdict verdict;
     verdict.arrival_ms = arrival_ms;
-    verdict.queue_depth = in_service_.size();
+    // Virtual work whose completion is at or before this arrival has
+    // retired. in_service_ holds completions in non-decreasing order
+    // (each admit's completion is >= the previous busy-until), so the
+    // still-busy suffix is one upper_bound away.
+    verdict.queue_depth = static_cast<std::size_t>(
+        in_service_.end() - std::upper_bound(in_service_.begin(),
+                                             in_service_.end(),
+                                             arrival_ms));
     verdict.start_ms = std::max(arrival_ms, busy_until_ms_);
     verdict.completion_ms = verdict.start_ms + est_latency_ms;
     verdict.wait_ms = verdict.start_ms - arrival_ms;
 
     if (policy_.max_queue_depth > 0 &&
-        in_service_.size() >= policy_.max_queue_depth) {
+        verdict.queue_depth >= policy_.max_queue_depth) {
         verdict.outcome = Outcome::kRejectedQueueFull;
-        ++counters_.rejected_queue_full;
         return verdict;
     }
 
@@ -46,18 +41,61 @@ AdmissionController::Admit(double arrival_ms, double est_latency_ms,
     if (deadline_ms > 0.0 &&
         verdict.completion_ms > arrival_ms + deadline_ms) {
         verdict.outcome = Outcome::kShedDeadline;
-        ++counters_.shed_deadline;
         return verdict;
     }
 
     verdict.outcome = Outcome::kAccepted;
-    busy_until_ms_ = verdict.completion_ms;
-    in_service_.push_back(verdict.completion_ms);
-    ++counters_.accepted;
-    counters_.busy_ms += est_latency_ms;
-    counters_.last_completion_ms =
-        std::max(counters_.last_completion_ms, verdict.completion_ms);
     return verdict;
+}
+
+AdmissionController::Verdict
+AdmissionController::Admit(double arrival_ms, double est_latency_ms,
+                           double deadline_ms)
+{
+    FLEX_CHECK_MSG(est_latency_ms >= 0.0,
+                   "negative latency estimate " << est_latency_ms);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Verdict verdict =
+        EvaluateLocked(arrival_ms, est_latency_ms, deadline_ms);
+
+    // Commit the clamped arrival and retire completed virtual work.
+    if (!saw_arrival_) {
+        counters_.first_arrival_ms = verdict.arrival_ms;
+        saw_arrival_ = true;
+    }
+    last_arrival_ms_ = verdict.arrival_ms;
+    while (!in_service_.empty() &&
+           in_service_.front() <= verdict.arrival_ms) {
+        in_service_.pop_front();
+    }
+
+    switch (verdict.outcome) {
+      case Outcome::kRejectedQueueFull:
+        ++counters_.rejected_queue_full;
+        break;
+      case Outcome::kShedDeadline:
+        ++counters_.shed_deadline;
+        break;
+      case Outcome::kAccepted:
+        busy_until_ms_ = verdict.completion_ms;
+        in_service_.push_back(verdict.completion_ms);
+        ++counters_.accepted;
+        counters_.busy_ms += est_latency_ms;
+        counters_.last_completion_ms = std::max(
+            counters_.last_completion_ms, verdict.completion_ms);
+        break;
+    }
+    return verdict;
+}
+
+AdmissionController::Verdict
+AdmissionController::Probe(double arrival_ms, double est_latency_ms,
+                           double deadline_ms) const
+{
+    FLEX_CHECK_MSG(est_latency_ms >= 0.0,
+                   "negative latency estimate " << est_latency_ms);
+    std::lock_guard<std::mutex> lock(mutex_);
+    return EvaluateLocked(arrival_ms, est_latency_ms, deadline_ms);
 }
 
 AdmissionController::Counters

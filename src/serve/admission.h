@@ -101,10 +101,27 @@ class AdmissionController
     Verdict Admit(double arrival_ms, double est_latency_ms,
                   double deadline_ms = 0.0);
 
+    /**
+     * Computes the verdict Admit would return for the same arguments
+     * right now, without committing anything: no counters move, the
+     * virtual schedule is untouched, and the monotone arrival clamp is
+     * applied but not recorded. The shard router probes a replica's
+     * admission model this way before deciding where a request lands
+     * (serve/cluster.h); as long as no Admit intervenes, a subsequent
+     * Admit with identical arguments returns an identical verdict.
+     */
+    Verdict Probe(double arrival_ms, double est_latency_ms,
+                  double deadline_ms = 0.0) const;
+
     Counters counters() const;
     const AdmissionPolicy& policy() const { return policy_; }
 
   private:
+    /** Computes the verdict for the current schedule without mutating
+     *  it (shared by Admit and Probe; mutex_ must be held). */
+    Verdict EvaluateLocked(double arrival_ms, double est_latency_ms,
+                           double deadline_ms) const;
+
     const AdmissionPolicy policy_;
 
     mutable std::mutex mutex_;

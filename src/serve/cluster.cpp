@@ -1,0 +1,472 @@
+#include "serve/cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+
+double
+ClusterStats::ShedRate() const
+{
+    if (submitted == 0) return 0.0;
+    return static_cast<double>(rejected_queue_full + shed_deadline) /
+           static_cast<double>(submitted);
+}
+
+double
+ClusterStats::SpillRate() const
+{
+    if (submitted == 0) return 0.0;
+    return static_cast<double>(spilled) / static_cast<double>(submitted);
+}
+
+namespace {
+
+ServeConfig
+ReplicaConfig(const ClusterConfig& config)
+{
+    ServeConfig replica;
+    replica.threads = config.threads_per_shard;
+    replica.plan_cache_capacity = config.plan_cache_capacity;
+    replica.admission = config.admission;
+    return replica;
+}
+
+std::vector<std::unique_ptr<RenderService>>
+MakeReplicas(const ClusterConfig& config, std::size_t shards)
+{
+    std::vector<std::unique_ptr<RenderService>> replicas;
+    replicas.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+        replicas.push_back(
+            std::make_unique<RenderService>(ReplicaConfig(config)));
+    }
+    return replicas;
+}
+
+/**
+ * One epoch's per-replica telemetry aggregation — shared by Resize
+ * (folding retiring replicas into the lifetime aggregates) and
+ * Snapshot (reporting the current epoch), so the subtle guards (an
+ * arrival counts once the replica saw a submit, a completion once it
+ * accepted) cannot drift between the two.
+ */
+struct ShardFold {
+    std::uint64_t submitted = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_queue_full = 0;
+    std::uint64_t shed_deadline = 0;
+    std::uint64_t completed = 0;
+    double busy_ms = 0.0;
+    double first_arrival_ms = 0.0;
+    bool saw_arrival = false;
+    double last_completion_ms = 0.0;
+    bool saw_completion = false;
+
+    void
+    Add(const ServiceStats& stats,
+        const AdmissionController::Counters& counters)
+    {
+        submitted += stats.submitted;
+        accepted += stats.accepted;
+        rejected_queue_full += stats.rejected_queue_full;
+        shed_deadline += stats.shed_deadline;
+        completed += stats.completed;
+        busy_ms += counters.busy_ms;
+        if (stats.submitted > 0) {
+            if (!saw_arrival ||
+                counters.first_arrival_ms < first_arrival_ms) {
+                first_arrival_ms = counters.first_arrival_ms;
+            }
+            saw_arrival = true;
+        }
+        if (stats.accepted > 0) {
+            last_completion_ms = std::max(last_completion_ms,
+                                          counters.last_completion_ms);
+            saw_completion = true;
+        }
+    }
+
+    /** This epoch's arrival-to-completion span (0 until both seen). */
+    double
+    SpanMs() const
+    {
+        return saw_arrival && saw_completion
+                   ? last_completion_ms - first_arrival_ms
+                   : 0.0;
+    }
+};
+
+}  // namespace
+
+ShardedRenderService::ShardedRenderService(const ClusterConfig& config)
+    : config_(config), router_(config.shards),
+      shards_(MakeReplicas(config, config.shards)), aux_(config.shards)
+{
+    if (config.spill_recompile_factor < 0.0) {
+        Fatal("spill_recompile_factor must be >= 0");
+    }
+}
+
+ShardedRenderService::~ShardedRenderService()
+{
+    // Resolve every outstanding cluster ticket before the replicas (and
+    // their pools) go down.
+    WaitAll();
+}
+
+void
+ShardedRenderService::RegisterScene(const std::string& name,
+                                    const SweepPoint& spec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (scenes_.count(name) != 0) {
+        Fatal("scene '" + name + "' registered twice with the cluster");
+    }
+    SceneDesc desc;
+    desc.spec = spec;
+    desc.registered_on.assign(shards_.size(), 0);
+    desc.pinned_on.assign(shards_.size(), 0);
+    desc.rank = router_.Rank(name);
+    const std::size_t home = desc.rank[0];
+    scenes_.emplace(name, std::move(desc));
+    scene_order_.push_back(name);
+    // Register on the home shard eagerly (it validates the spec and the
+    // alias guard); spill shards register lazily on first landing.
+    EnsureRegisteredLocked(name, home);
+}
+
+void
+ShardedRenderService::EnsureRegisteredLocked(const std::string& scene,
+                                             std::size_t shard)
+{
+    SceneDesc& desc = scenes_.at(scene);
+    if (desc.registered_on[shard]) return;
+    shards_[shard]->RegisterScene(scene, desc.spec);
+    desc.registered_on[shard] = 1;
+}
+
+ShardedRenderService::SceneDesc&
+ShardedRenderService::EnsureWarmLocked(const std::string& scene)
+{
+    const auto it = scenes_.find(scene);
+    if (it == scenes_.end()) {
+        Fatal("request names scene '" + scene +
+              "' not registered with the cluster");
+    }
+    SceneDesc& desc = it->second;
+    if (!desc.warmed) {
+        // The router probes with the scene's latency estimate, so the
+        // home pin must exist before the first routing decision. This
+        // is an administrative warm-up: it does not count as a request.
+        const std::size_t home = desc.rank[0];
+        EnsureRegisteredLocked(scene, home);
+        desc.warm_cost = shards_[home]->WarmScene(scene);
+        desc.est_latency_ms = desc.warm_cost.latency_ms;
+        desc.pinned_on[home] = 1;
+        desc.warmed = true;
+    }
+    return desc;
+}
+
+FrameCost
+ShardedRenderService::WarmScene(const std::string& scene)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return EnsureWarmLocked(scene).warm_cost;
+}
+
+ClusterTicket
+ShardedRenderService::Submit(const SceneRequest& request)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    SceneDesc& desc = EnsureWarmLocked(request.scene);
+
+    const std::vector<std::size_t>& rank = desc.rank;
+    const std::size_t home = rank[0];
+    std::size_t chosen = home;
+    bool spilled = false;
+    bool cold_spill = false;
+    double surcharge_ms = 0.0;
+
+    using Outcome = AdmissionController::Outcome;
+    if (config_.enable_spill && shards_.size() > 1 &&
+        config_.max_spill_candidates > 0) {
+        const AdmissionController::Verdict at_home =
+            shards_[home]->admission().Probe(request.arrival_ms,
+                                             desc.est_latency_ms,
+                                             request.deadline_ms);
+        if (at_home.outcome != Outcome::kAccepted) {
+            const std::size_t candidates = std::min(
+                config_.max_spill_candidates, shards_.size() - 1);
+            for (std::size_t i = 1; i <= candidates; ++i) {
+                const std::size_t candidate = rank[i];
+                const double candidate_surcharge =
+                    desc.pinned_on[candidate]
+                        ? 0.0
+                        : config_.spill_recompile_factor *
+                              desc.est_latency_ms;
+                const AdmissionController::Verdict verdict =
+                    shards_[candidate]->admission().Probe(
+                        request.arrival_ms,
+                        desc.est_latency_ms + candidate_surcharge,
+                        request.deadline_ms);
+                if (verdict.outcome == Outcome::kAccepted) {
+                    chosen = candidate;
+                    spilled = true;
+                    cold_spill = !desc.pinned_on[candidate];
+                    surcharge_ms = candidate_surcharge;
+                    break;
+                }
+            }
+            // No candidate would take it either: fall through to the
+            // home shard, which records the real shed/reject verdict.
+        }
+    }
+
+    EnsureRegisteredLocked(request.scene, chosen);
+    // The probe and this Admit see the same schedule: the cluster is
+    // the replica's only submitter and holds mutex_ across both.
+    const ServeTicket shard_ticket =
+        shards_[chosen]->Submit(request, surcharge_ms);
+
+    ++aux_[home].homed;
+    if (spilled) {
+        ++aux_[chosen].spill_in;
+        ++aux_[home].spill_out;
+        if (cold_spill) ++aux_[chosen].spill_recompiles;
+        // The spill's first touch compiled and pinned the scene there:
+        // later spills to this shard pay no recompile surcharge.
+        desc.pinned_on[chosen] = 1;
+    }
+
+    const ClusterTicket ticket = next_ticket_++;
+    Pending pending;
+    pending.shard = chosen;
+    pending.home_shard = home;
+    pending.spilled = spilled;
+    pending.spill_surcharge_ms = surcharge_ms;
+    pending.shard_ticket = shard_ticket;
+    pending_.emplace(ticket, std::move(pending));
+    return ticket;
+}
+
+ClusterRenderResult
+ShardedRenderService::Finish(Pending&& pending)
+{
+    ClusterRenderResult out;
+    out.shard = pending.shard;
+    out.home_shard = pending.home_shard;
+    out.spilled = pending.spilled;
+    out.spill_surcharge_ms = pending.spill_surcharge_ms;
+    out.result = pending.resolved
+                     ? std::move(pending.result)
+                     : shards_[pending.shard]->Wait(pending.shard_ticket);
+    return out;
+}
+
+ClusterRenderResult
+ShardedRenderService::Wait(ClusterTicket ticket)
+{
+    Pending pending;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = pending_.find(ticket);
+        FLEX_CHECK_MSG(it != pending_.end(),
+                       "unknown or already-consumed cluster ticket");
+        pending = std::move(it->second);
+        pending_.erase(it);
+    }
+    return Finish(std::move(pending));
+}
+
+std::vector<ClusterRenderResult>
+ShardedRenderService::WaitAll()
+{
+    std::vector<std::pair<ClusterTicket, Pending>> drained;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        drained.reserve(pending_.size());
+        for (auto& entry : pending_) {
+            drained.emplace_back(entry.first, std::move(entry.second));
+        }
+        pending_.clear();
+    }
+    std::sort(drained.begin(), drained.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<ClusterRenderResult> results;
+    results.reserve(drained.size());
+    for (auto& entry : drained) {
+        results.push_back(Finish(std::move(entry.second)));
+    }
+    return results;
+}
+
+std::size_t
+ShardedRenderService::Resize(std::size_t new_shards)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (new_shards == 0) Fatal("a cluster needs at least one shard");
+
+    // Drain: resolve every outstanding ticket against the old replicas.
+    // Results are retained, so tickets issued before the resize stay
+    // claimable after it.
+    for (auto& entry : pending_) {
+        Pending& pending = entry.second;
+        if (pending.resolved) continue;
+        pending.result = shards_[pending.shard]->Wait(pending.shard_ticket);
+        pending.resolved = true;
+    }
+
+    // Fold the retiring replicas' telemetry into the lifetime
+    // aggregates, so Snapshot keeps reporting cluster-lifetime totals
+    // across rebalances.
+    ShardFold fold;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        fold.Add(shards_[i]->Snapshot(),
+                 shards_[i]->admission().counters());
+        retired_.spilled += aux_[i].spill_in;
+        retired_.spill_recompiles += aux_[i].spill_recompiles;
+        retired_.latency.Merge(shards_[i]->latency_histogram());
+    }
+    retired_.submitted += fold.submitted;
+    retired_.accepted += fold.accepted;
+    retired_.rejected_queue_full += fold.rejected_queue_full;
+    retired_.shed_deadline += fold.shed_deadline;
+    retired_.completed += fold.completed;
+    retired_.busy_ms += fold.busy_ms;
+    if (fold.saw_arrival) {
+        if (!retired_.saw_arrival ||
+            fold.first_arrival_ms < retired_.first_arrival_ms) {
+            retired_.first_arrival_ms = fold.first_arrival_ms;
+        }
+        retired_.saw_arrival = true;
+    }
+    retired_.last_completion_ms = std::max(retired_.last_completion_ms,
+                                           fold.last_completion_ms);
+    // The epoch's capacity: its own shard count times its own span.
+    // Accumulated per epoch so utilization stays a fraction of the
+    // shard-time that actually existed, whatever Resize does later.
+    retired_.capacity_ms +=
+        static_cast<double>(shards_.size()) * fold.SpanMs();
+
+    // Count the scenes whose home moves — the HRW minimum (growing
+    // relocates only scenes topping out on the added shards, shrinking
+    // only scenes homed on removed ones).
+    const ShardRouter new_router(new_shards);
+    std::size_t moved = 0;
+    for (const std::string& name : scene_order_) {
+        if (scenes_.at(name).rank[0] != new_router.Home(name)) ++moved;
+    }
+
+    router_ = new_router;
+    shards_ = MakeReplicas(config_, new_shards);
+    aux_.assign(new_shards, ShardAux{});
+    for (const std::string& name : scene_order_) {
+        SceneDesc& desc = scenes_.at(name);
+        desc.registered_on.assign(new_shards, 0);
+        desc.pinned_on.assign(new_shards, 0);
+        desc.rank = router_.Rank(name);
+        const bool was_warm = desc.warmed;
+        desc.warmed = false;
+        EnsureRegisteredLocked(name, desc.rank[0]);
+        // Re-warm only scenes that were warm: never-touched scenes stay
+        // cold until their first request, exactly as before the resize.
+        if (was_warm) EnsureWarmLocked(name);
+    }
+    return moved;
+}
+
+ClusterStats
+ShardedRenderService::Snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ClusterStats stats;
+    stats.shards = shards_.size();
+    stats.spilled = retired_.spilled;
+    stats.spill_recompiles = retired_.spill_recompiles;
+
+    LatencyHistogram merged;
+    merged.Merge(retired_.latency);
+
+    // The current epoch's aggregation; lifetime = retired_ + fold.
+    ShardFold fold;
+    stats.per_shard.reserve(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        ShardTelemetry shard;
+        shard.service = shards_[i]->Snapshot();
+        shard.homed = aux_[i].homed;
+        shard.spill_in = aux_[i].spill_in;
+        shard.spill_out = aux_[i].spill_out;
+        shard.spill_recompiles = aux_[i].spill_recompiles;
+        fold.Add(shard.service, shards_[i]->admission().counters());
+        stats.spilled += shard.spill_in;
+        stats.spill_recompiles += shard.spill_recompiles;
+        merged.Merge(shards_[i]->latency_histogram());
+        stats.per_shard.push_back(std::move(shard));
+    }
+    stats.submitted = retired_.submitted + fold.submitted;
+    stats.accepted = retired_.accepted + fold.accepted;
+    stats.rejected_queue_full =
+        retired_.rejected_queue_full + fold.rejected_queue_full;
+    stats.shed_deadline = retired_.shed_deadline + fold.shed_deadline;
+    stats.completed = retired_.completed + fold.completed;
+
+    stats.p50_ms = merged.Quantile(0.50);
+    stats.p90_ms = merged.Quantile(0.90);
+    stats.p99_ms = merged.Quantile(0.99);
+    stats.mean_ms = merged.Mean();
+    stats.max_ms = merged.Max();
+
+    double first_arrival_ms = retired_.first_arrival_ms;
+    bool saw_arrival = retired_.saw_arrival;
+    if (fold.saw_arrival) {
+        if (!saw_arrival || fold.first_arrival_ms < first_arrival_ms) {
+            first_arrival_ms = fold.first_arrival_ms;
+        }
+        saw_arrival = true;
+    }
+    const double last_completion_ms = std::max(
+        retired_.last_completion_ms, fold.last_completion_ms);
+    const bool saw_completion =
+        retired_.accepted > 0 || fold.saw_completion;
+    if (saw_arrival && saw_completion) {
+        stats.makespan_ms = last_completion_ms - first_arrival_ms;
+    }
+    if (stats.makespan_ms > 0.0) {
+        stats.sustained_qps = 1e3 * static_cast<double>(stats.accepted) /
+                              stats.makespan_ms;
+    }
+    // Utilization: busy time over the shard-time that actually existed
+    // — each epoch weighted by its own shard count and span, so the
+    // ratio survives Resize unchanged in meaning.
+    const double capacity_ms =
+        retired_.capacity_ms +
+        static_cast<double>(stats.shards) * fold.SpanMs();
+    if (capacity_ms > 0.0) {
+        stats.utilization = (retired_.busy_ms + fold.busy_ms) /
+                            capacity_ms;
+    }
+    return stats;
+}
+
+std::size_t
+ShardedRenderService::shards() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shards_.size();
+}
+
+RenderService&
+ShardedRenderService::shard(std::size_t index)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    FLEX_CHECK_MSG(index < shards_.size(),
+                   "shard index " << index << " out of range (cluster "
+                                  << "has " << shards_.size() << ")");
+    return *shards_[index];
+}
+
+}  // namespace flexnerfer

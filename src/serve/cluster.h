@@ -1,0 +1,291 @@
+/**
+ * @file
+ * ShardedRenderService: N RenderService replicas behind a scene-affine
+ * router.
+ *
+ * One RenderService models one device; fleet-scale traffic needs many.
+ * The cluster owns N fully independent replicas — each with its own
+ * ThreadPool, bounded PlanCache, SceneRegistry, and virtual-time
+ * AdmissionController — and routes Submit(SceneRequest) by rendezvous
+ * (HRW) hashing on the scene id (serve/shard_router.h):
+ *
+ *   Submit ──> ShardRouter::Rank(scene)       home = rank[0]
+ *          ──> Probe home admission           would it accept?
+ *          ──> yes: home shard Submit         prepared-pin replay
+ *          ──> no: probe next-ranked shards   overload-aware spill,
+ *               (recompile surcharge when      charged to the spill
+ *                the scene is cold there)      shard's virtual clock
+ *          ──> all would shed: home Submit    records the real verdict
+ *
+ * Scene affinity is the point: every scene's prepared-frame pin lives on
+ * exactly one home shard, so the per-shard serving invariant
+ * "PlanCache frame hits == accepted requests" keeps holding — spills
+ * show up as explicit plan compiles (spill_recompiles), never as broken
+ * hit accounting.
+ *
+ * Determinism contract (the repo-wide one, extended to routing): the
+ * router serializes submissions, every probe/verdict/spill decision runs
+ * in virtual time, and the recompile surcharge is a fixed policy
+ * (spill_recompile_factor x the scene's latency estimate) — so for a
+ * fixed submission sequence, every request's shard, spill flag,
+ * surcharge, verdict, and latency, every per-shard counter, and the
+ * merged cluster percentiles are bit-identical for any threads_per_shard
+ * and any wall-clock interleaving. Only wall-clock throughput varies.
+ *
+ * Rebalancing: Resize(new_shards) drains every in-flight request
+ * (outstanding tickets stay valid — their results are resolved and
+ * retained), folds the old replicas' telemetry into the cluster-lifetime
+ * aggregates, rebuilds the replica set, and re-registers every scene on
+ * its new home. HRW moves the minimum: growing relocates ~1/(N+1) of
+ * the scenes, shrinking only those homed on removed shards.
+ *
+ * Thread-safety: Submit/Wait/WaitAll/Snapshot/WarmScene may be called
+ * concurrently (submissions serialize internally, in an unspecified
+ * order — determinism then holds per admission order observed, which is
+ * why bench/serving_sharded submits from one thread). Resize must not
+ * race other members: quiesce callers first. Submitting directly to a
+ * replica obtained via shard() would break the probe/Admit agreement —
+ * replicas are exposed for inspection only.
+ */
+#ifndef FLEXNERFER_SERVE_CLUSTER_H_
+#define FLEXNERFER_SERVE_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/render_service.h"
+#include "serve/shard_router.h"
+
+namespace flexnerfer {
+
+/** Configuration of a ShardedRenderService. */
+struct ClusterConfig {
+    /** Replica count (>= 1; fatal otherwise). */
+    std::size_t shards = 1;
+    /** Worker threads per replica (0 = hardware concurrency). */
+    int threads_per_shard = 0;
+    /** Per-replica PlanCache capacity in entries (0 = unbounded). */
+    std::size_t plan_cache_capacity = 0;
+    /** Per-replica admission policy (every replica gets a copy). */
+    AdmissionPolicy admission;
+    /** Try next-ranked shards when the home would not accept. */
+    bool enable_spill = true;
+    /** How many next-ranked shards a spill may probe (>= 1). */
+    std::size_t max_spill_candidates = 1;
+    /**
+     * Virtual recompile cost a spilled request pays on a shard that
+     * does not hold the scene's pin yet, as a fraction of the scene's
+     * frame latency estimate. Charged to that shard's virtual clock
+     * (it delays everything behind it and counts against the deadline),
+     * so spilling is only worth it when the home backlog exceeds it.
+     */
+    double spill_recompile_factor = 1.0;
+};
+
+/** Handle to one request submitted to the cluster. */
+using ClusterTicket = std::uint64_t;
+
+/** Outcome of one routed request (virtual time; see file header). */
+struct ClusterRenderResult {
+    RenderResult result;
+    std::size_t shard = 0;       //!< replica that resolved the request
+    std::size_t home_shard = 0;  //!< the scene's HRW home
+    bool spilled = false;        //!< served away from home
+    /** Virtual recompile surcharge the spill paid (0 when the spill
+     *  shard already held the scene's pin, or no spill happened). */
+    double spill_surcharge_ms = 0.0;
+};
+
+/** One replica's telemetry, with the cluster's routing counters. */
+struct ShardTelemetry {
+    ServiceStats service;  //!< the replica's own snapshot
+    std::uint64_t homed = 0;      //!< requests whose HRW home is here
+    std::uint64_t spill_in = 0;   //!< accepted here away from home
+    std::uint64_t spill_out = 0;  //!< homed here, served elsewhere
+    std::uint64_t spill_recompiles = 0;  //!< spill_in that compiled
+};
+
+/** Cluster-level aggregate telemetry (deterministic once drained).
+ *  Counters and percentiles span the cluster lifetime, including
+ *  replicas retired by Resize; per_shard covers the current epoch. */
+struct ClusterStats {
+    std::size_t shards = 0;
+    std::uint64_t submitted = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_queue_full = 0;
+    std::uint64_t shed_deadline = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t spilled = 0;           //!< accepted away from home
+    std::uint64_t spill_recompiles = 0;  //!< spills that compiled
+
+    /** Merged virtual-latency percentiles over every replica's
+     *  histogram (geometric buckets merge losslessly, so the ~2%
+     *  bound is unchanged; see common/stats.h). */
+    double p50_ms = 0.0;
+    double p90_ms = 0.0;
+    double p99_ms = 0.0;
+    double mean_ms = 0.0;
+    double max_ms = 0.0;
+
+    /** Virtual span from the earliest arrival any replica saw to the
+     *  latest accepted completion on any replica (cluster lifetime,
+     *  across resizes). */
+    double makespan_ms = 0.0;
+    /** Accepted / makespan, in requests/s of model time. */
+    double sustained_qps = 0.0;
+    /** Fraction of the available shard-time spent serving: total busy
+     *  time / total capacity, where each epoch between resizes
+     *  contributes (its shard count x its own arrival-to-completion
+     *  span) of capacity — so the ratio stays meaningful when Resize
+     *  changes the replica count mid-lifetime. */
+    double utilization = 0.0;
+
+    std::vector<ShardTelemetry> per_shard;
+
+    double ShedRate() const;   //!< (rejected + shed) / submitted
+    double SpillRate() const;  //!< spilled / submitted
+};
+
+/** N RenderService replicas behind rendezvous routing with spill. */
+class ShardedRenderService
+{
+  public:
+    explicit ShardedRenderService(const ClusterConfig& config);
+
+    /** Drains all replicas before destruction. */
+    ~ShardedRenderService();
+
+    ShardedRenderService(const ShardedRenderService&) = delete;
+    ShardedRenderService& operator=(const ShardedRenderService&) = delete;
+
+    /**
+     * Registers a servable scene cluster-wide. The spec is recorded and
+     * the scene is registered on its home shard; spill shards register
+     * it lazily, on the first spill that lands there.
+     */
+    void RegisterScene(const std::string& name, const SweepPoint& spec);
+
+    /**
+     * Pre-compiles and pins @p scene on its home shard, returning the
+     * executed frame cost (whose latency_ms is the admission estimate
+     * the router probes with). A scene that was never warmed is warmed
+     * automatically by its first Submit.
+     */
+    FrameCost WarmScene(const std::string& scene);
+
+    /**
+     * Routes and submits one request (see file header for the flow).
+     * Never blocks on rendering; the first touch of a cold scene (home
+     * warm-up or spill recompile) runs on the submitting thread.
+     */
+    ClusterTicket Submit(const SceneRequest& request);
+
+    /** Blocks until the ticket's request resolves; consumes the ticket. */
+    ClusterRenderResult Wait(ClusterTicket ticket);
+
+    /** Drains every outstanding ticket, in submission order. */
+    std::vector<ClusterRenderResult> WaitAll();
+
+    /**
+     * Drains the cluster and rebalances onto @p new_shards replicas:
+     * outstanding tickets are resolved (and stay claimable via Wait),
+     * retiring replicas fold their telemetry into the lifetime
+     * aggregates, and every scene re-registers and re-warms on its new
+     * home. Returns the number of scenes whose home moved — the HRW
+     * minimum. Must not race other members (see file header).
+     */
+    std::size_t Resize(std::size_t new_shards);
+
+    ClusterStats Snapshot() const;
+
+    std::size_t shards() const;
+    const ShardRouter& router() const { return router_; }
+    /** Replica access for inspection (tests, benches). Do not Submit
+     *  through it — that would break the probe/Admit agreement. */
+    RenderService& shard(std::size_t index);
+
+  private:
+    /** Cluster-side record of one registered scene. */
+    struct SceneDesc {
+        SweepPoint spec;
+        double est_latency_ms = 0.0;  //!< valid once warmed
+        FrameCost warm_cost;          //!< home-shard executed frame
+        bool warmed = false;
+        /** The scene's shard preference order (ShardRouter::Rank) —
+         *  pure in (scene, shard count), so cached here and rebuilt
+         *  only on Resize instead of re-sorted per request. */
+        std::vector<std::size_t> rank;
+        /** Per-shard: scene registered on that replica. */
+        std::vector<char> registered_on;
+        /** Per-shard: replica holds the scene's pin (home warm-up or a
+         *  past spill), so a spill there pays no recompile surcharge. */
+        std::vector<char> pinned_on;
+    };
+
+    /** One outstanding or resolved ticket. */
+    struct Pending {
+        bool resolved = false;
+        std::size_t shard = 0;
+        std::size_t home_shard = 0;
+        bool spilled = false;
+        double spill_surcharge_ms = 0.0;
+        ServeTicket shard_ticket = 0;
+        RenderResult result;  //!< valid once resolved
+    };
+
+    /** Routing counters the replicas cannot see (per current epoch). */
+    struct ShardAux {
+        std::uint64_t homed = 0;
+        std::uint64_t spill_in = 0;
+        std::uint64_t spill_out = 0;
+        std::uint64_t spill_recompiles = 0;
+    };
+
+    /** Telemetry of replicas retired by Resize (cluster lifetime). */
+    struct Retired {
+        std::uint64_t submitted = 0;
+        std::uint64_t accepted = 0;
+        std::uint64_t rejected_queue_full = 0;
+        std::uint64_t shed_deadline = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t spilled = 0;
+        std::uint64_t spill_recompiles = 0;
+        double busy_ms = 0.0;
+        double first_arrival_ms = 0.0;
+        double last_completion_ms = 0.0;
+        bool saw_arrival = false;
+        /** Shard-time retired epochs had available: each contributes
+         *  its shard count x its own arrival-to-completion span (the
+         *  utilization denominator; see ClusterStats::utilization). */
+        double capacity_ms = 0.0;
+        LatencyHistogram latency;
+    };
+
+    /** Registers @p scene on @p shard if not yet (mutex_ held). */
+    void EnsureRegisteredLocked(const std::string& scene,
+                                std::size_t shard);
+    /** Warms @p scene on its home if not yet (mutex_ held). */
+    SceneDesc& EnsureWarmLocked(const std::string& scene);
+    /** Resolves @p pending's shard ticket into its result. */
+    ClusterRenderResult Finish(Pending&& pending);
+
+    const ClusterConfig config_;
+
+    mutable std::mutex mutex_;
+    ShardRouter router_;
+    std::vector<std::unique_ptr<RenderService>> shards_;
+    std::vector<ShardAux> aux_;
+    std::unordered_map<std::string, SceneDesc> scenes_;
+    std::vector<std::string> scene_order_;
+    std::unordered_map<ClusterTicket, Pending> pending_;
+    ClusterTicket next_ticket_ = 0;
+    Retired retired_;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_SERVE_CLUSTER_H_

@@ -62,7 +62,7 @@ RenderService::Issue(std::future<RenderResult> future)
 }
 
 ServeTicket
-RenderService::Submit(const SceneRequest& request)
+RenderService::Submit(const SceneRequest& request, double extra_service_ms)
 {
     submitted_.fetch_add(1);
     // First touch compiles and pins the scene; steady state returns the
@@ -71,7 +71,8 @@ RenderService::Submit(const SceneRequest& request)
         registry_.Touch(request.scene, &pool_);
 
     const AdmissionController::Verdict verdict = admission_.Admit(
-        request.arrival_ms, scene->cost.latency_ms, request.deadline_ms);
+        request.arrival_ms, scene->cost.latency_ms + extra_service_ms,
+        request.deadline_ms);
 
     RenderResult result;
     result.scene = request.scene;

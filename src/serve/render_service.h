@@ -164,8 +164,17 @@ class RenderService
      * worker replays the scene's prepared frame. The first request
      * against a cold scene additionally compiles it, on the submitting
      * thread (WarmScene avoids that).
+     *
+     * @p extra_service_ms is added to the scene's latency estimate when
+     * the virtual device schedules this request — it models out-of-band
+     * work serialized on the device, such as the recompile a spilled
+     * request pays on a shard that does not hold the scene's pin (see
+     * serve/cluster.h). It participates in the deadline check and in
+     * the reported virtual latency, so a surcharged request can shed
+     * where an unsurcharged one would fit.
      */
-    ServeTicket Submit(const SceneRequest& request);
+    ServeTicket Submit(const SceneRequest& request,
+                       double extra_service_ms = 0.0);
 
     /** Blocks until the ticket's request resolves; consumes the ticket. */
     RenderResult Wait(ServeTicket ticket);
@@ -178,6 +187,19 @@ class RenderService
     ThreadPool& pool() { return pool_; }
     PlanCache& cache() { return cache_; }
     const SceneRegistry& registry() const { return registry_; }
+
+    /** The virtual-time admission model, for side-effect-free probes
+     *  (AdmissionController::Probe) and raw counter reads. Routing
+     *  layers probe here before choosing a replica; the probe/Admit
+     *  agreement only holds while the prober is the sole submitter
+     *  (serve/cluster.h serializes its submissions for exactly this). */
+    const AdmissionController& admission() const { return admission_; }
+
+    /** Virtual request-latency histogram over accepted requests.
+     *  Geometric buckets merge losslessly (LatencyHistogram::Merge), so
+     *  a cluster folds replica histograms into fleet percentiles with
+     *  the same ~2% bound as any single replica's. */
+    const LatencyHistogram& latency_histogram() const { return latency_; }
 
   private:
     ServeTicket Issue(std::future<RenderResult> future);

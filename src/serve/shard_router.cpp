@@ -1,0 +1,83 @@
+#include "serve/shard_router.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+namespace {
+
+/** 64-bit FNV-1a over the scene name bytes. */
+std::uint64_t
+Fnv1a(const std::string& bytes)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const char c : bytes) {
+        hash ^= static_cast<std::uint8_t>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+/** splitmix64 finalizer: a full-avalanche mix of one 64-bit word. */
+std::uint64_t
+Mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::size_t shards) : shards_(shards)
+{
+    if (shards == 0) {
+        Fatal("a shard router needs at least one shard");
+    }
+}
+
+std::uint64_t
+ShardRouter::Weight(const std::string& scene, std::size_t shard)
+{
+    return Mix(Fnv1a(scene) ^
+               Mix(static_cast<std::uint64_t>(shard)));
+}
+
+std::size_t
+ShardRouter::Home(const std::string& scene) const
+{
+    std::size_t best = 0;
+    std::uint64_t best_weight = Weight(scene, 0);
+    for (std::size_t shard = 1; shard < shards_; ++shard) {
+        const std::uint64_t weight = Weight(scene, shard);
+        if (weight > best_weight) {
+            best = shard;
+            best_weight = weight;
+        }
+    }
+    return best;
+}
+
+std::vector<std::size_t>
+ShardRouter::Rank(const std::string& scene) const
+{
+    std::vector<std::uint64_t> weights(shards_);
+    for (std::size_t shard = 0; shard < shards_; ++shard) {
+        weights[shard] = Weight(scene, shard);
+    }
+    std::vector<std::size_t> order(shards_);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&weights](std::size_t a, std::size_t b) {
+                  if (weights[a] != weights[b]) {
+                      return weights[a] > weights[b];
+                  }
+                  return a < b;
+              });
+    return order;
+}
+
+}  // namespace flexnerfer

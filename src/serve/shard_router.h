@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Rendezvous (highest-random-weight) routing of scenes to shards.
+ *
+ * A sharded deployment wants every request for one scene to land on the
+ * replica that already holds that scene's prepared-frame pin — routing
+ * to state, not to load. Rendezvous hashing gives that affinity without
+ * a routing table: every (scene, shard) pair gets a stable pseudo-random
+ * weight, and a scene's home is the shard with the highest weight. The
+ * full descending-weight order doubles as the spill preference list
+ * (serve/cluster.h tries the next-ranked shard when the home is
+ * overloaded), and shard-count changes move the provable minimum of
+ * scenes: growing N -> N+1 relocates only scenes whose new top weight is
+ * on the added shard (~1/(N+1) of them), and shrinking N -> M relocates
+ * only scenes whose home was a removed shard — every weight among the
+ * survivors is unchanged, so surviving homes never move.
+ *
+ * Determinism: weights mix a FNV-1a digest of the scene name with the
+ * shard index through the splitmix64 finalizer — fixed-width unsigned
+ * arithmetic only, so rankings are identical on every platform, run,
+ * and thread count (the routing half of the serving determinism
+ * contract; see serve/render_service.h).
+ *
+ * Thread-safety: immutable after construction; all members may be
+ * called concurrently.
+ */
+#ifndef FLEXNERFER_SERVE_SHARD_ROUTER_H_
+#define FLEXNERFER_SERVE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flexnerfer {
+
+/** Maps scene ids to a deterministic shard preference order. */
+class ShardRouter
+{
+  public:
+    /** A router over @p shards replicas (>= 1; fatal otherwise). */
+    explicit ShardRouter(std::size_t shards);
+
+    std::size_t shards() const { return shards_; }
+
+    /** The scene's home shard: argmax over Weight(scene, shard). */
+    std::size_t Home(const std::string& scene) const;
+
+    /**
+     * All shard indices ordered by descending weight (index ascending
+     * breaks the ~2^-64 ties): Rank(scene)[0] is the home, [1] the
+     * first spill candidate, and so on.
+     */
+    std::vector<std::size_t> Rank(const std::string& scene) const;
+
+    /**
+     * The stable rendezvous weight of (scene, shard). Pure and
+     * platform-independent; exposed so tests can verify rankings and
+     * the minimal-movement property from first principles.
+     */
+    static std::uint64_t Weight(const std::string& scene,
+                                std::size_t shard);
+
+  private:
+    std::size_t shards_;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_SERVE_SHARD_ROUTER_H_

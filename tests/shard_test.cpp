@@ -1,0 +1,628 @@
+/**
+ * @file
+ * Unit tests for the sharded serving layer: rendezvous routing (ranking
+ * determinism and the minimal-movement property), side-effect-free
+ * admission probes, spill mechanics (surcharge, pinning, counters), the
+ * thread-count determinism of the whole cluster at 1/2/4/8 shards, the
+ * per-shard "frame hits == accepted" invariant under spills, histogram
+ * merge bounds, and drain/rebalance.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "runtime/sweep_runner.h"
+#include "serve/admission.h"
+#include "serve/cluster.h"
+#include "serve/shard_router.h"
+#include "frame_cost_matchers.h"
+
+namespace flexnerfer {
+namespace {
+
+SweepPoint
+FlexScene(const std::string& model)
+{
+    SweepPoint spec;
+    spec.backend = Backend::kFlexNeRFer;
+    spec.precision = Precision::kInt8;
+    spec.model = model;
+    return spec;
+}
+
+std::vector<std::string>
+SceneNames(std::size_t count)
+{
+    std::vector<std::string> names;
+    for (std::size_t i = 0; i < count; ++i) {
+        names.push_back("scene-" + std::to_string(i));
+    }
+    return names;
+}
+
+TEST(ShardRouter, RankIsAStableHomeLedPermutation)
+{
+    const ShardRouter router(8);
+    for (const std::string& scene : SceneNames(50)) {
+        const std::vector<std::size_t> rank = router.Rank(scene);
+        ASSERT_EQ(rank.size(), 8u);
+        // A permutation of 0..7, led by the home shard, in strictly
+        // descending weight order.
+        std::set<std::size_t> unique(rank.begin(), rank.end());
+        EXPECT_EQ(unique.size(), 8u);
+        EXPECT_EQ(rank.front(), router.Home(scene));
+        for (std::size_t i = 1; i < rank.size(); ++i) {
+            EXPECT_GE(ShardRouter::Weight(scene, rank[i - 1]),
+                      ShardRouter::Weight(scene, rank[i]));
+        }
+        // Stable across calls and router instances.
+        EXPECT_EQ(rank, ShardRouter(8).Rank(scene));
+    }
+}
+
+TEST(ShardRouter, SpreadsScenesAcrossShards)
+{
+    // Not a statistical test — just that rendezvous hashing does not
+    // degenerate (every shard homes something, given enough scenes).
+    const ShardRouter router(4);
+    std::vector<std::size_t> homed(4, 0);
+    for (const std::string& scene : SceneNames(200)) {
+        ++homed[router.Home(scene)];
+    }
+    for (std::size_t shard = 0; shard < 4; ++shard) {
+        EXPECT_GT(homed[shard], 0u) << "shard " << shard;
+    }
+}
+
+TEST(ShardRouter, ResizeMovesTheProvableMinimum)
+{
+    const std::vector<std::string> scenes = SceneNames(300);
+    // Growing N -> N+1: a scene moves iff its new top weight is on the
+    // added shard — so every moved scene's new home IS the new shard.
+    for (std::size_t n = 1; n <= 8; ++n) {
+        const ShardRouter before(n);
+        const ShardRouter after(n + 1);
+        for (const std::string& scene : scenes) {
+            const std::size_t old_home = before.Home(scene);
+            const std::size_t new_home = after.Home(scene);
+            if (new_home != old_home) {
+                EXPECT_EQ(new_home, n);
+            }
+        }
+    }
+    // Shrinking N -> M: survivors' weights are untouched, so only
+    // scenes homed on removed shards move.
+    const ShardRouter eight(8);
+    const ShardRouter three(3);
+    for (const std::string& scene : scenes) {
+        if (eight.Home(scene) < 3) {
+            EXPECT_EQ(three.Home(scene), eight.Home(scene));
+        }
+    }
+}
+
+TEST(AdmissionController, ProbeMatchesAdmitAndHasNoSideEffects)
+{
+    AdmissionPolicy policy;
+    policy.max_queue_depth = 3;
+    policy.default_deadline_ms = 50.0;
+    AdmissionController admission(policy);
+
+    // Mixed accept/shed/reject sequence: before every Admit, a Probe
+    // with the same arguments returns the identical verdict, and the
+    // probe moves nothing (counters are bit-identical to a probe-free
+    // run of the same sequence).
+    struct Call {
+        double arrival, est, deadline;
+    };
+    const std::vector<Call> calls = {
+        {0.0, 10.0, 0.0},  {0.0, 10.0, 0.0},   {0.0, 10.0, 15.0},
+        {0.0, 10.0, 0.0},  {0.0, 10.0, 100.0}, {5.0, 10.0, 0.0},
+        {40.0, 10.0, 0.0}, {40.0, 5.0, 12.0},
+    };
+    AdmissionController reference(policy);
+    for (const Call& call : calls) {
+        const auto probed =
+            admission.Probe(call.arrival, call.est, call.deadline);
+        // Probing twice changes nothing either.
+        const auto probed_again =
+            admission.Probe(call.arrival, call.est, call.deadline);
+        const auto admitted =
+            admission.Admit(call.arrival, call.est, call.deadline);
+        EXPECT_EQ(probed.outcome, admitted.outcome);
+        EXPECT_EQ(probed.outcome, probed_again.outcome);
+        EXPECT_EQ(probed.arrival_ms, admitted.arrival_ms);
+        EXPECT_EQ(probed.start_ms, admitted.start_ms);
+        EXPECT_EQ(probed.completion_ms, admitted.completion_ms);
+        EXPECT_EQ(probed.wait_ms, admitted.wait_ms);
+        EXPECT_EQ(probed.queue_depth, admitted.queue_depth);
+        EXPECT_EQ(probed.deadline_ms, admitted.deadline_ms);
+        reference.Admit(call.arrival, call.est, call.deadline);
+    }
+    const auto probed_counters = admission.counters();
+    const auto reference_counters = reference.counters();
+    EXPECT_EQ(probed_counters.accepted, reference_counters.accepted);
+    EXPECT_EQ(probed_counters.rejected_queue_full,
+              reference_counters.rejected_queue_full);
+    EXPECT_EQ(probed_counters.shed_deadline,
+              reference_counters.shed_deadline);
+    EXPECT_EQ(probed_counters.busy_ms, reference_counters.busy_ms);
+    EXPECT_EQ(probed_counters.last_completion_ms,
+              reference_counters.last_completion_ms);
+}
+
+TEST(LatencyHistogram, MergeMatchesConcatenationWithinBucketBound)
+{
+    // Merged-vs-concatenated: folding two histograms must equal
+    // recording the concatenated samples into one (bucket counts add),
+    // and both must sit within the documented ~2% of the exact sorted
+    // quantiles of the concatenation.
+    Rng rng(23);
+    std::vector<double> left, right;
+    for (int i = 0; i < 3000; ++i) {
+        left.push_back(std::pow(10.0, rng.Uniform(0.0, 2.0)));
+    }
+    for (int i = 0; i < 1500; ++i) {
+        right.push_back(std::pow(10.0, rng.Uniform(1.0, 3.0)));
+    }
+    LatencyHistogram a, b, concatenated;
+    for (double s : left) {
+        a.Record(s);
+        concatenated.Record(s);
+    }
+    for (double s : right) {
+        b.Record(s);
+        concatenated.Record(s);
+    }
+    LatencyHistogram merged;
+    merged.Merge(a);
+    merged.Merge(b);
+
+    std::vector<double> sorted = left;
+    sorted.insert(sorted.end(), right.begin(), right.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (double q : {0.01, 0.10, 0.50, 0.90, 0.99, 1.0}) {
+        EXPECT_EQ(merged.Quantile(q), concatenated.Quantile(q)) << q;
+        const auto rank = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::ceil(q * static_cast<double>(sorted.size()))));
+        const double exact = sorted[rank - 1];
+        EXPECT_NEAR(merged.Quantile(q), exact, 0.025 * exact) << q;
+    }
+    EXPECT_EQ(merged.count(), sorted.size());
+    EXPECT_EQ(merged.Min(), sorted.front());
+    EXPECT_EQ(merged.Max(), sorted.back());
+    EXPECT_NEAR(merged.Mean(), concatenated.Mean(), 1e-12);
+}
+
+TEST(LatencyHistogram, MergeEdgeCasesEmptyAndSingleton)
+{
+    // Empty into empty: still empty.
+    LatencyHistogram empty_a, empty_b;
+    empty_a.Merge(empty_b);
+    EXPECT_EQ(empty_a.count(), 0u);
+    EXPECT_EQ(empty_a.Quantile(0.5), 0.0);
+
+    // Empty into nonempty: unchanged (including exact min/max).
+    LatencyHistogram single;
+    single.Record(7.0);
+    single.Merge(empty_b);
+    EXPECT_EQ(single.count(), 1u);
+    EXPECT_EQ(single.Min(), 7.0);
+    EXPECT_EQ(single.Max(), 7.0);
+    EXPECT_EQ(single.Quantile(0.5), 7.0);
+
+    // Nonempty into empty: adopts the source exactly.
+    LatencyHistogram adopted;
+    adopted.Merge(single);
+    EXPECT_EQ(adopted.count(), 1u);
+    EXPECT_EQ(adopted.Min(), 7.0);
+    EXPECT_EQ(adopted.Max(), 7.0);
+    EXPECT_EQ(adopted.Quantile(0.01), 7.0);
+    EXPECT_EQ(adopted.Quantile(1.0), 7.0);
+
+    // Singleton into singleton: count 2, exact extremes.
+    LatencyHistogram other;
+    other.Record(3.0);
+    other.Merge(single);
+    EXPECT_EQ(other.count(), 2u);
+    EXPECT_EQ(other.Min(), 3.0);
+    EXPECT_EQ(other.Max(), 7.0);
+    EXPECT_EQ(other.sum(), 10.0);
+}
+
+TEST(ShardedRenderService, SpillPaysRecompileOnceAndKeepsInvariants)
+{
+    // One scene, two shards, a queue deep enough that the deadline is
+    // the binding constraint. With estimate E and deadline 2.5E, the
+    // home accepts until its backlog reaches 2E; the next request
+    // spills to the other shard, paying the recompile surcharge
+    // (factor 1.0 -> E) exactly once — later spills find the pin.
+    ClusterConfig config;
+    config.shards = 2;
+    config.threads_per_shard = 2;
+    config.spill_recompile_factor = 1.0;
+    ShardedRenderService cluster(config);
+    cluster.RegisterScene("ngp", FlexScene("Instant-NGP"));
+    const double est = cluster.WarmScene("ngp").latency_ms;
+    const std::size_t home = cluster.router().Home("ngp");
+    const std::size_t other = 1 - home;
+
+    std::vector<ClusterTicket> tickets;
+    for (int i = 0; i < 6; ++i) {
+        SceneRequest request;
+        request.scene = "ngp";
+        request.arrival_ms = 0.0;
+        request.deadline_ms = 2.5 * est;
+        tickets.push_back(cluster.Submit(request));
+    }
+    std::vector<ClusterRenderResult> results;
+    results.reserve(tickets.size());
+    for (const ClusterTicket ticket : tickets) {
+        results.push_back(cluster.Wait(ticket));
+    }
+
+    // Home absorbs 0..1 (completion E, 2E); 2 would complete at 3E >
+    // 2.5E, so it spills cold: surcharge E, completion E + E = 2E on
+    // the idle shard. 3 spills warm (no surcharge, completion 3E >
+    // 2.5E? no: backlog 2E + E = 3E > 2.5E -> the spill shard now also
+    // sheds), so 3+ shed at home after failing every candidate.
+    EXPECT_EQ(results[0].shard, home);
+    EXPECT_FALSE(results[0].spilled);
+    EXPECT_EQ(results[1].shard, home);
+    EXPECT_EQ(results[2].shard, other);
+    EXPECT_TRUE(results[2].spilled);
+    EXPECT_EQ(results[2].spill_surcharge_ms, est);
+    EXPECT_EQ(results[2].result.status, RequestStatus::kCompleted);
+    // Virtual latency includes the surcharge: idle shard, so 2E.
+    EXPECT_DOUBLE_EQ(results[2].result.latency_ms, 2.0 * est);
+    // The next spill would find the pin (no surcharge), but the spill
+    // shard's backlog is now 2E: completion 3E > 2.5E, so it sheds at
+    // home instead.
+    EXPECT_EQ(results[3].result.status, RequestStatus::kShedDeadline);
+    EXPECT_FALSE(results[3].spilled);
+    EXPECT_EQ(results[3].shard, home);
+
+    const ClusterStats stats = cluster.Snapshot();
+    EXPECT_EQ(stats.accepted, 3u);
+    EXPECT_EQ(stats.spilled, 1u);
+    EXPECT_EQ(stats.spill_recompiles, 1u);
+    EXPECT_EQ(stats.shed_deadline, 3u);
+    EXPECT_EQ(stats.per_shard[home].spill_out, 1u);
+    EXPECT_EQ(stats.per_shard[other].spill_in, 1u);
+    EXPECT_EQ(stats.per_shard[other].spill_recompiles, 1u);
+    // The prepared-path invariant holds on both shards, spills and all.
+    for (const ShardTelemetry& shard : stats.per_shard) {
+        EXPECT_EQ(shard.service.cache.frame_hits, shard.service.accepted);
+    }
+    // Completed requests replay bit-identically wherever they ran.
+    for (const ClusterRenderResult& r : results) {
+        if (r.result.status == RequestStatus::kCompleted) {
+            ExpectBitIdentical(r.result.cost, results[0].result.cost);
+        }
+    }
+}
+
+TEST(ShardedRenderService, WarmSpillPaysNoSurcharge)
+{
+    // Once a spill pinned the scene on a shard, later spills there are
+    // surcharge-free. Same setup, but requests arrive spaced so the
+    // spill shard drains between bursts.
+    ClusterConfig config;
+    config.shards = 2;
+    config.threads_per_shard = 1;
+    config.spill_recompile_factor = 1.0;
+    ShardedRenderService cluster(config);
+    cluster.RegisterScene("ngp", FlexScene("Instant-NGP"));
+    const double est = cluster.WarmScene("ngp").latency_ms;
+
+    const auto burst = [&cluster, est](double arrival) {
+        std::vector<ClusterRenderResult> results;
+        for (int i = 0; i < 3; ++i) {
+            SceneRequest request;
+            request.scene = "ngp";
+            request.arrival_ms = arrival;
+            request.deadline_ms = 2.5 * est;
+            results.push_back(cluster.Wait(cluster.Submit(request)));
+        }
+        return results;
+    };
+    const auto first = burst(0.0);
+    EXPECT_TRUE(first[2].spilled);
+    EXPECT_EQ(first[2].spill_surcharge_ms, est);
+    // Far later (everything drained): the same pattern spills again,
+    // but the pin is warm now — no recompile surcharge.
+    const auto second = burst(100.0 * est);
+    EXPECT_TRUE(second[2].spilled);
+    EXPECT_EQ(second[2].spill_surcharge_ms, 0.0);
+    // (100E + E) - 100E reassociates: exact up to rounding only.
+    EXPECT_NEAR(second[2].result.latency_ms, est, 1e-9 * est);
+
+    const ClusterStats stats = cluster.Snapshot();
+    EXPECT_EQ(stats.spilled, 2u);
+    EXPECT_EQ(stats.spill_recompiles, 1u);
+}
+
+/** Fixed mixed-scene request schedule used by the determinism tests. */
+std::vector<SceneRequest>
+FixedSchedule(const std::vector<std::string>& scenes,
+              const std::vector<double>& est_ms, double mean_est_ms,
+              std::size_t requests)
+{
+    Rng rng(99);
+    std::vector<SceneRequest> schedule;
+    double arrival = 0.0;
+    const double mean_interarrival = mean_est_ms / 2.5;  // overloaded
+    for (std::size_t i = 0; i < requests; ++i) {
+        arrival += -mean_interarrival *
+                   std::log(1.0 - rng.Uniform(0.0, 1.0));
+        const auto scene = static_cast<std::size_t>(rng.UniformInt(
+            0, static_cast<std::int64_t>(scenes.size()) - 1));
+        SceneRequest request;
+        request.scene = scenes[scene];
+        request.arrival_ms = arrival;
+        request.priority = static_cast<int>(rng.UniformInt(0, 2));
+        request.deadline_ms = 1.5 * est_ms[scene] +
+                              mean_est_ms * rng.Uniform(0.0, 4.0);
+        schedule.push_back(std::move(request));
+    }
+    return schedule;
+}
+
+struct ClusterRun {
+    std::vector<ClusterRenderResult> results;
+    ClusterStats stats;
+};
+
+ClusterRun
+RunCluster(std::size_t shards, int threads_per_shard,
+           const std::vector<std::string>& scenes,
+           const std::vector<SceneRequest>& schedule)
+{
+    ClusterConfig config;
+    config.shards = shards;
+    config.threads_per_shard = threads_per_shard;
+    config.plan_cache_capacity = 4;  // bounded: pins must survive LRU
+    config.admission.max_queue_depth = 8;
+    ShardedRenderService cluster(config);
+    for (const std::string& scene : scenes) {
+        cluster.RegisterScene(scene, FlexScene(scene));
+    }
+    for (const std::string& scene : scenes) cluster.WarmScene(scene);
+    std::vector<ClusterTicket> tickets;
+    tickets.reserve(schedule.size());
+    for (const SceneRequest& request : schedule) {
+        tickets.push_back(cluster.Submit(request));
+    }
+    ClusterRun run;
+    run.results = cluster.WaitAll();
+    run.stats = cluster.Snapshot();
+    return run;
+}
+
+TEST(ShardedRenderService, DeterministicAcrossThreadCountsAndInvariant)
+{
+    // The acceptance-criteria test: for a fixed submission sequence,
+    // every verdict, routed shard, spill decision, surcharge, latency,
+    // per-shard counter, and merged percentile is bit-identical for
+    // --threads 1 vs N, at every shard count; and per-shard frame hits
+    // == accepted (spill recompiles are explicit plan misses, never
+    // phantom hits) at 1, 2, 4, and 8 shards.
+    const std::vector<std::string> scenes = {
+        "Instant-NGP", "KiloNeRF", "TensoRF", "NeRF", "NSVF"};
+    std::vector<double> est_ms;
+    double mean_est = 0.0;
+    {
+        // One throwaway cluster just to learn the estimates.
+        ClusterConfig config;
+        config.shards = 1;
+        config.threads_per_shard = 1;
+        ShardedRenderService probe(config);
+        for (const std::string& scene : scenes) {
+            probe.RegisterScene(scene, FlexScene(scene));
+            est_ms.push_back(probe.WarmScene(scene).latency_ms);
+            mean_est += est_ms.back();
+        }
+        mean_est /= static_cast<double>(scenes.size());
+    }
+    const std::vector<SceneRequest> schedule =
+        FixedSchedule(scenes, est_ms, mean_est, 160);
+
+    for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+        const ClusterRun serial = RunCluster(shards, 1, scenes, schedule);
+        const ClusterRun parallel =
+            RunCluster(shards, 4, scenes, schedule);
+
+        ASSERT_EQ(serial.results.size(), schedule.size());
+        ASSERT_EQ(parallel.results.size(), schedule.size());
+        for (std::size_t i = 0; i < schedule.size(); ++i) {
+            const ClusterRenderResult& a = serial.results[i];
+            const ClusterRenderResult& b = parallel.results[i];
+            EXPECT_EQ(a.result.status, b.result.status) << i;
+            EXPECT_EQ(a.shard, b.shard) << i;
+            EXPECT_EQ(a.home_shard, b.home_shard) << i;
+            EXPECT_EQ(a.spilled, b.spilled) << i;
+            EXPECT_EQ(a.spill_surcharge_ms, b.spill_surcharge_ms) << i;
+            EXPECT_EQ(a.result.latency_ms, b.result.latency_ms) << i;
+            EXPECT_EQ(a.result.queue_wait_ms, b.result.queue_wait_ms)
+                << i;
+        }
+        const ClusterStats& sa = serial.stats;
+        const ClusterStats& sb = parallel.stats;
+        EXPECT_EQ(sa.accepted, sb.accepted);
+        EXPECT_EQ(sa.rejected_queue_full, sb.rejected_queue_full);
+        EXPECT_EQ(sa.shed_deadline, sb.shed_deadline);
+        EXPECT_EQ(sa.spilled, sb.spilled);
+        EXPECT_EQ(sa.spill_recompiles, sb.spill_recompiles);
+        EXPECT_EQ(sa.p50_ms, sb.p50_ms);
+        EXPECT_EQ(sa.p90_ms, sb.p90_ms);
+        EXPECT_EQ(sa.p99_ms, sb.p99_ms);
+        EXPECT_EQ(sa.mean_ms, sb.mean_ms);
+        EXPECT_EQ(sa.max_ms, sb.max_ms);
+        EXPECT_EQ(sa.sustained_qps, sb.sustained_qps);
+        EXPECT_EQ(sa.utilization, sb.utilization);
+
+        // The sequence must actually exercise the machinery to prove
+        // anything: overload sheds at every count; spills need a 2nd
+        // shard.
+        EXPECT_GT(sa.shed_deadline + sa.rejected_queue_full, 0u);
+        if (shards > 1) {
+            EXPECT_GT(sa.spilled, 0u);
+        }
+
+        EXPECT_EQ(sa.completed, sa.accepted);
+        ASSERT_EQ(sa.per_shard.size(), shards);
+        for (std::size_t i = 0; i < shards; ++i) {
+            EXPECT_EQ(sa.per_shard[i].service.cache.frame_hits,
+                      sa.per_shard[i].service.accepted)
+                << "shard " << i << " of " << shards;
+            EXPECT_EQ(sa.per_shard[i].homed, sb.per_shard[i].homed);
+            EXPECT_EQ(sa.per_shard[i].spill_in, sb.per_shard[i].spill_in);
+            EXPECT_EQ(sa.per_shard[i].spill_out,
+                      sb.per_shard[i].spill_out);
+        }
+    }
+}
+
+TEST(ShardedRenderService, ResizeDrainsRebalancesAndKeepsTelemetry)
+{
+    const std::vector<std::string> scenes = {"Instant-NGP", "KiloNeRF",
+                                             "TensoRF", "NeRF"};
+    ClusterConfig config;
+    config.shards = 3;
+    config.threads_per_shard = 2;
+    ShardedRenderService cluster(config);
+    for (const std::string& scene : scenes) {
+        cluster.RegisterScene(scene, FlexScene(scene));
+        cluster.WarmScene(scene);
+    }
+
+    // Outstanding tickets at resize time must survive the drain.
+    std::vector<ClusterTicket> tickets;
+    for (int i = 0; i < 8; ++i) {
+        SceneRequest request;
+        request.scene = scenes[static_cast<std::size_t>(i) %
+                               scenes.size()];
+        request.arrival_ms = static_cast<double>(i);
+        tickets.push_back(cluster.Submit(request));
+    }
+    const ClusterStats before = cluster.Snapshot();
+    EXPECT_EQ(before.submitted, 8u);
+
+    // The moved count is exactly what the routers predict, and HRW
+    // keeps every survivor-homed scene in place on both directions.
+    const std::size_t moved = cluster.Resize(5);
+    const ShardRouter old_router(3);
+    const ShardRouter new_router(5);
+    std::size_t expected_moved = 0;
+    for (const std::string& scene : scenes) {
+        if (old_router.Home(scene) != new_router.Home(scene)) {
+            ++expected_moved;
+            EXPECT_GE(new_router.Home(scene), 3u);  // to an added shard
+        }
+    }
+    EXPECT_EQ(moved, expected_moved);
+    EXPECT_EQ(cluster.shards(), 5u);
+
+    // Tickets issued before the resize still resolve.
+    for (const ClusterTicket ticket : tickets) {
+        const ClusterRenderResult result = cluster.Wait(ticket);
+        EXPECT_EQ(result.result.status, RequestStatus::kCompleted);
+    }
+
+    // Lifetime telemetry survived the replica swap...
+    const ClusterStats after = cluster.Snapshot();
+    EXPECT_EQ(after.submitted, 8u);
+    EXPECT_EQ(after.accepted, before.accepted);
+    EXPECT_EQ(after.completed, after.accepted);
+    EXPECT_EQ(after.p50_ms, before.p50_ms);
+    EXPECT_EQ(after.p99_ms, before.p99_ms);
+
+    // ...and the rebalanced cluster serves on the new homes with the
+    // invariant intact.
+    std::vector<ClusterTicket> more;
+    for (int i = 0; i < 6; ++i) {
+        SceneRequest request;
+        request.scene = scenes[static_cast<std::size_t>(i) %
+                               scenes.size()];
+        request.arrival_ms = 1000.0 + static_cast<double>(i);
+        more.push_back(cluster.Submit(request));
+    }
+    for (const ClusterTicket ticket : more) {
+        const ClusterRenderResult result = cluster.Wait(ticket);
+        EXPECT_EQ(result.result.status, RequestStatus::kCompleted);
+        EXPECT_EQ(result.shard, new_router.Home(result.result.scene));
+    }
+    const ClusterStats final_stats = cluster.Snapshot();
+    EXPECT_EQ(final_stats.submitted, 14u);
+    EXPECT_EQ(final_stats.completed, final_stats.accepted);
+    for (const ShardTelemetry& shard : final_stats.per_shard) {
+        EXPECT_EQ(shard.service.cache.frame_hits, shard.service.accepted);
+    }
+
+    // Utilization stays a fraction across a shrink: the 5-shard epoch's
+    // busy time is weighed against 5-shard capacity even after the
+    // cluster drops to one replica (each epoch contributes its own
+    // shard count x span to the denominator).
+    cluster.Resize(1);
+    const ClusterStats shrunk = cluster.Snapshot();
+    EXPECT_GT(shrunk.utilization, 0.0);
+    EXPECT_LE(shrunk.utilization, 1.0);
+    EXPECT_EQ(shrunk.accepted, final_stats.accepted);
+}
+
+TEST(ShardedRenderService, SingleShardMatchesPlainRenderService)
+{
+    // A 1-shard cluster is a RenderService with routing overhead only:
+    // identical verdicts, latencies, and telemetry for the same
+    // sequence.
+    ServeConfig serve_config;
+    serve_config.threads = 2;
+    serve_config.admission.max_queue_depth = 4;
+    RenderService plain(serve_config);
+    ClusterConfig cluster_config;
+    cluster_config.shards = 1;
+    cluster_config.threads_per_shard = 2;
+    cluster_config.admission.max_queue_depth = 4;
+    ShardedRenderService cluster(cluster_config);
+
+    plain.RegisterScene("ngp", FlexScene("Instant-NGP"));
+    cluster.RegisterScene("ngp", FlexScene("Instant-NGP"));
+    const double est = plain.WarmScene("ngp").latency_ms;
+    EXPECT_EQ(cluster.WarmScene("ngp").latency_ms, est);
+
+    std::vector<ServeTicket> plain_tickets;
+    std::vector<ClusterTicket> cluster_tickets;
+    for (int i = 0; i < 8; ++i) {
+        SceneRequest request;
+        request.scene = "ngp";
+        request.arrival_ms = 0.0;
+        request.deadline_ms = (i % 2 == 0) ? 0.0 : 3.5 * est;
+        plain_tickets.push_back(plain.Submit(request));
+        cluster_tickets.push_back(cluster.Submit(request));
+    }
+    for (std::size_t i = 0; i < plain_tickets.size(); ++i) {
+        const RenderResult a = plain.Wait(plain_tickets[i]);
+        const ClusterRenderResult b = cluster.Wait(cluster_tickets[i]);
+        EXPECT_EQ(a.status, b.result.status) << i;
+        EXPECT_EQ(a.latency_ms, b.result.latency_ms) << i;
+        EXPECT_EQ(a.queue_wait_ms, b.result.queue_wait_ms) << i;
+        EXPECT_FALSE(b.spilled);
+    }
+    const ServiceStats plain_stats = plain.Snapshot();
+    const ClusterStats cluster_stats = cluster.Snapshot();
+    EXPECT_EQ(cluster_stats.accepted, plain_stats.accepted);
+    EXPECT_EQ(cluster_stats.p50_ms, plain_stats.p50_ms);
+    EXPECT_EQ(cluster_stats.p99_ms, plain_stats.p99_ms);
+    EXPECT_EQ(cluster_stats.sustained_qps, plain_stats.sustained_qps);
+}
+
+}  // namespace
+}  // namespace flexnerfer

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Docs consistency check (run by the CI docs-check job).
+#
+# Fails when:
+#  - docs/PAPER_MAP.md names a bench target (2nd table column) that
+#    CMake would not define — targets are globbed from bench/*.cpp and
+#    examples/*.cpp, so a target exists iff its source file does;
+#  - any backtick-quoted repo path (src/, tests/, bench/, examples/,
+#    tools/, docs/) referenced in docs/*.md does not exist;
+#  - README.md does not link the two docs.
+set -u
+cd "$(dirname "$0")/.."
+fail=0
+
+# 0. The docs themselves must exist (and be linked — see check 3):
+#    a deleted file must fail loudly, not skip its other checks.
+for doc in docs/ARCHITECTURE.md docs/PAPER_MAP.md; do
+    if [ ! -f "${doc}" ]; then
+        echo "${doc} is missing" >&2
+        fail=1
+    fi
+done
+if [ "${fail}" -ne 0 ]; then
+    echo "docs check FAILED" >&2
+    exit 1
+fi
+
+# 1. Bench targets named in PAPER_MAP's "Bench target" column.
+while IFS= read -r target; do
+    [ -z "${target}" ] && continue
+    if [ ! -f "bench/${target}.cpp" ] &&
+       [ ! -f "examples/${target}.cpp" ]; then
+        echo "docs/PAPER_MAP.md: no bench/ or examples/ source defines" \
+             "target '${target}'" >&2
+        fail=1
+    fi
+done < <(awk -F'|' '/^\|/ { print $3 }' docs/PAPER_MAP.md |
+         grep -o '`[A-Za-z0-9_]*`' | tr -d '`' | sort -u)
+
+# 2. Backtick-quoted repo paths in every docs file. An extensionless
+#    bench/ or examples/ reference names a build target: it resolves
+#    if its .cpp source exists.
+while IFS= read -r path; do
+    [ -z "${path}" ] && continue
+    p="${path%/}"
+    if [ ! -e "${p}" ] && [ ! -f "${p}.cpp" ]; then
+        echo "docs: referenced path '${path}' does not exist" >&2
+        fail=1
+    fi
+done < <(grep -hoE \
+         '`(src|tests|bench|examples|tools|docs)/[A-Za-z0-9_./-]*`' \
+         docs/*.md | tr -d '`' | sort -u)
+
+# 3. The docs must be reachable from the README.
+for doc in docs/ARCHITECTURE.md docs/PAPER_MAP.md; do
+    if ! grep -q "${doc}" README.md; then
+        echo "README.md does not link ${doc}" >&2
+        fail=1
+    fi
+done
+
+if [ "${fail}" -ne 0 ]; then
+    echo "docs check FAILED" >&2
+    exit 1
+fi
+echo "docs check OK"
