@@ -89,9 +89,11 @@ main(int argc, char** argv)
             cluster.RegisterScene(scene.name, scene.spec);
             scenes.push_back(scene.name);
         }
+        // Critical-path estimates: what the router probes and the spill
+        // surcharge is priced from (see serve/cluster.h).
         for (const std::string& scene : scenes) {
             warm_costs.push_back(cluster.WarmScene(scene));
-            est_ms.push_back(warm_costs.back().latency_ms);
+            est_ms.push_back(EstimatedServiceMs(warm_costs.back()));
             mean_service_ms += est_ms.back();
         }
         mean_service_ms /= static_cast<double>(scenes.size());

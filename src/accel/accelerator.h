@@ -38,6 +38,18 @@ struct FrameCost {
      *  summed costs combine utilization as a meaningful average. */
     double gemm_macs = 0.0;
 
+    /**
+     * Length of the longest dependency chain through the frame's op
+     * DAG, in ms — the latency floor of a layer-pipelined execution
+     * where every op starts the moment its predecessors retire (see
+     * plan/frame_plan.h). latency_ms stays the flat per-op sum (the
+     * device-occupancy/energy basis); critical_path_ms <= latency_ms
+     * up to summation-order rounding, with equality (same caveat) for
+     * single-op-per-layer (pure chain) plans. 0 when no plan execution
+     * produced the cost.
+     */
+    double critical_path_ms = 0.0;
+
     FrameCost&
     operator+=(const FrameCost& o)
     {
@@ -58,6 +70,9 @@ struct FrameCost {
         other_ms += o.other_ms;
         codec_ms += o.codec_ms;
         dram_ms += o.dram_ms;
+        // Summed costs model frames rendered back to back, so their
+        // pipeline floors serialize too.
+        critical_path_ms += o.critical_path_ms;
         return *this;
     }
 
@@ -77,7 +92,8 @@ struct FrameCost {
                a.other_ms == b.other_ms && a.codec_ms == b.codec_ms &&
                a.dram_ms == b.dram_ms &&
                a.gemm_utilization == b.gemm_utilization &&
-               a.gemm_macs == b.gemm_macs;
+               a.gemm_macs == b.gemm_macs &&
+               a.critical_path_ms == b.critical_path_ms;
     }
 
     friend bool
@@ -86,6 +102,21 @@ struct FrameCost {
         return !(a == b);
     }
 };
+
+/**
+ * The service-time estimate serving layers feed into admission control
+ * and spill surcharges: the dependency-DAG critical path when the plan
+ * carries one, else the flat op sum (costs not produced by a plan
+ * execution, e.g. hand-assembled test fixtures). One definition, so the
+ * admission model, the shard router's probes, and the benches can never
+ * disagree about what "the scene's latency estimate" means.
+ */
+inline double
+EstimatedServiceMs(const FrameCost& cost)
+{
+    return cost.critical_path_ms > 0.0 ? cost.critical_path_ms
+                                       : cost.latency_ms;
+}
 
 /**
  * A device that can execute a NeRF frame.
@@ -122,9 +153,10 @@ class Accelerator
 
     /**
      * Estimates the cost of rendering one frame of @p workload by
-     * compiling and executing a plan in place. With a pool, independent
-     * ops run in parallel; the result is bit-identical for any thread
-     * count (including none). Safe to call concurrently on one instance.
+     * compiling and executing a plan in place. With a pool, the op DAG
+     * runs as a wavefront (dependencies respected, independent stages
+     * overlapped); the result is bit-identical for any thread count
+     * (including none). Safe to call concurrently on one instance.
      */
     FrameCost RunWorkload(const NerfWorkload& workload,
                           ThreadPool* pool = nullptr) const;

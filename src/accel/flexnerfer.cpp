@@ -38,6 +38,9 @@ FlexNeRFerModel::Plan(const NerfWorkload& workload) const
     FramePlanBuilder builder(workload.name);
     builder.SetEpilogue(config_.static_power_w);
 
+    // Ops lower 1:1 in workload order, so the dependency edges each op
+    // carries (models/workload.h) keep their indices; Build validates
+    // them into the layered DAG the wavefront executor schedules.
     for (const WorkloadOp& op : workload.ops) {
         switch (op.kind) {
           case OpKind::kGemm: {

@@ -47,6 +47,9 @@ GpuModel::Plan(const NerfWorkload& workload) const
     const double peak_flops = config_.fp32_tflops * 1e12;
     const double bw = config_.dram_gb_s * 1e9;
 
+    // 1:1 lowering in workload order: the dependency edges carry into
+    // the plan, so even the roofline model reports a critical-path
+    // pipeline floor alongside its flat kernel-sum latency.
     for (const WorkloadOp& op : workload.ops) {
         double op_ms = 0.0;
         double utilization = 0.0;

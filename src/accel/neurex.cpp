@@ -31,6 +31,9 @@ NeuRexModel::Plan(const NerfWorkload& workload) const
     FramePlanBuilder builder(workload.name);
     builder.SetEpilogue(config_.static_power_w);
 
+    // 1:1 lowering in workload order: dependency edges keep their
+    // indices, so the dense engine gets the same layered DAG (the
+    // pipeline structure is the model's, not the accelerator's).
     for (const WorkloadOp& op : workload.ops) {
         switch (op.kind) {
           case OpKind::kGemm: {

@@ -6,11 +6,18 @@
 namespace flexnerfer {
 namespace {
 
-/** Helper appending an MLP chain: input layer, hidden layers, output head. */
-void
+/**
+ * Helper appending an MLP chain: input layer, hidden layers, output
+ * head. @p deps feeds the first layer (the encodings or upstream head
+ * whose activations it reads); every later layer chains on its
+ * predecessor. Returns the head's op index so downstream stages (a
+ * color branch, volume rendering) can depend on it.
+ */
+std::size_t
 AppendMlp(NerfWorkload* w, const std::string& prefix, double samples,
           std::int64_t input_dim, const std::vector<std::int64_t>& hidden,
-          std::int64_t output_dim, const WorkloadParams& params)
+          std::int64_t output_dim, const WorkloadParams& params,
+          std::vector<std::size_t> deps = {})
 {
     std::int64_t in = input_dim;
     const auto samples_i = static_cast<std::int64_t>(samples);
@@ -18,6 +25,9 @@ AppendMlp(NerfWorkload* w, const std::string& prefix, double samples,
         WorkloadOp op;
         op.kind = OpKind::kGemm;
         op.name = prefix + "_fc" + std::to_string(layer);
+        op.deps = layer == 0
+                      ? deps
+                      : std::vector<std::size_t>{w->ops.size() - 1};
         // First layer reads freshly encoded activations (dense); hidden
         // layers see post-ReLU sparsity.
         const double density_a =
@@ -31,41 +41,53 @@ AppendMlp(NerfWorkload* w, const std::string& prefix, double samples,
     WorkloadOp head;
     head.kind = OpKind::kGemm;
     head.name = prefix + "_head";
+    head.deps = hidden.empty()
+                    ? std::move(deps)
+                    : std::vector<std::size_t>{w->ops.size() - 1};
     head.gemm = {samples_i, in, output_dim, params.activation_density, 1.0,
                  params.weight_prune_ratio};
     head.activations_on_chip = true;
     w->ops.push_back(head);
+    return w->ops.size() - 1;
 }
 
-void
-AppendPosEnc(NerfWorkload* w, const std::string& name, double values)
+std::size_t
+AppendPosEnc(NerfWorkload* w, const std::string& name, double values,
+             std::vector<std::size_t> deps = {})
 {
     WorkloadOp op;
     op.kind = OpKind::kPositionalEncoding;
     op.name = name;
+    op.deps = std::move(deps);
     op.encoding_values = values;
     w->ops.push_back(op);
+    return w->ops.size() - 1;
 }
 
-void
+std::size_t
 AppendHashEnc(NerfWorkload* w, const std::string& name, double queries,
-              int levels)
+              int levels, std::vector<std::size_t> deps = {})
 {
     WorkloadOp op;
     op.kind = OpKind::kHashEncoding;
     op.name = name;
+    op.deps = std::move(deps);
     op.encoding_values = queries * levels;
     w->ops.push_back(op);
+    return w->ops.size() - 1;
 }
 
-void
-AppendOther(NerfWorkload* w, const std::string& name, double flops)
+std::size_t
+AppendOther(NerfWorkload* w, const std::string& name, double flops,
+            std::vector<std::size_t> deps = {})
 {
     WorkloadOp op;
     op.kind = OpKind::kOther;
     op.name = name;
+    op.deps = std::move(deps);
     op.other_flops = flops;
     w->ops.push_back(op);
+    return w->ops.size() - 1;
 }
 
 }  // namespace
@@ -116,6 +138,12 @@ AppendFingerprint(const NerfWorkload& workload, std::string* out)
         FingerprintAppend(out, op.activations_on_chip);
         FingerprintAppend(out, op.encoding_values);
         FingerprintAppend(out, op.other_flops);
+        // Dependency edges change the compiled DAG (layering, critical
+        // path), so they are part of the plan-cache identity.
+        FingerprintAppend(out, static_cast<std::uint64_t>(op.deps.size()));
+        for (const std::size_t dep : op.deps) {
+            FingerprintAppend(out, static_cast<std::uint64_t>(dep));
+        }
     }
 }
 
@@ -148,57 +176,98 @@ BuildWorkload(const std::string& model_name, const WorkloadParams& params)
     const double pixels =
         static_cast<double>(params.image_width) * params.image_height;
 
+    // Dependency edges encode each model's stage structure — the
+    // sampling -> feature(encoding) -> color(MLP) -> compositing chain
+    // of the paper's runtime breakdown (fig. 3/13) — so the plan layer
+    // can overlap whatever is NOT on that chain. Op order stays the
+    // publication order (it is the deterministic reduction order);
+    // edges may point forward (e.g. an encoding that waits on a
+    // sampling op appended after it).
     if (model_name == "NeRF") {
         // Vanilla NeRF: 64 coarse + 128 fine samples per ray, 8 x 256 MLP
         // on 60-d positional encodings plus a 24-d view branch.
         const double samples = pixels * 192.0 * params.scene_complexity;
         w.samples_per_frame = samples;
-        AppendPosEnc(&w, "posenc_xyz_dir", samples * 5.0 * 10.0);
-        AppendMlp(&w, "mlp", samples, 60,
-                  {256, 256, 256, 256, 256, 256, 256, 256}, 256, params);
-        AppendMlp(&w, "rgb_branch", samples, 256 + 24, {128}, 3, params);
-        AppendOther(&w, "volume_rendering", samples * 12.0);
-        AppendOther(&w, "ray_marching", pixels * 192.0 * 4.0);
+        const std::size_t posenc =
+            AppendPosEnc(&w, "posenc_xyz_dir", samples * 5.0 * 10.0);
+        const std::size_t trunk = AppendMlp(
+            &w, "mlp", samples, 60,
+            {256, 256, 256, 256, 256, 256, 256, 256}, 256, params,
+            {posenc});
+        // The color branch reads the trunk features and the (already
+        // computed) view-direction encoding.
+        const std::size_t rgb = AppendMlp(&w, "rgb_branch", samples,
+                                          256 + 24, {128}, 3, params,
+                                          {trunk, posenc});
+        AppendOther(&w, "volume_rendering", samples * 12.0, {rgb});
+        const std::size_t march =
+            AppendOther(&w, "ray_marching", pixels * 192.0 * 4.0);
+        // Sampling produces the query points the encoder consumes.
+        w.ops[posenc].deps = {march};
     } else if (model_name == "KiloNeRF") {
         // Thousands of tiny 2 x 32 MLPs; empty-space skipping keeps ~38%
         // of the vanilla sample count alive, so encoding is a large share.
         const double samples = pixels * 192.0 * 0.38 *
                                params.scene_complexity;
         w.samples_per_frame = samples;
-        AppendPosEnc(&w, "posenc", samples * 5.0 * 10.0);
-        AppendMlp(&w, "tiny_mlp", samples, 60, {32, 32}, 4, params);
-        AppendOther(&w, "volume_rendering", samples * 12.0);
-        AppendOther(&w, "grid_routing", samples * 8.0);
+        const std::size_t posenc =
+            AppendPosEnc(&w, "posenc", samples * 5.0 * 10.0);
+        const std::size_t head = AppendMlp(&w, "tiny_mlp", samples, 60,
+                                           {32, 32}, 4, params, {posenc});
+        AppendOther(&w, "volume_rendering", samples * 12.0, {head});
+        // Routing samples to their tiny MLPs precedes encoding them.
+        const std::size_t routing =
+            AppendOther(&w, "grid_routing", samples * 8.0);
+        w.ops[posenc].deps = {routing};
     } else if (model_name == "NSVF") {
         // Sparse voxel embeddings (grid lookups) feeding a 3-layer MLP;
         // voxel filtering keeps ~25% of samples.
         const double samples = pixels * 192.0 * 0.25 *
                                params.scene_complexity;
         w.samples_per_frame = samples;
-        AppendHashEnc(&w, "voxel_embedding", samples, 1);
-        AppendPosEnc(&w, "posenc", samples * 5.0 * 6.0);
-        AppendMlp(&w, "mlp", samples, 32 + 24, {128, 128, 128}, 4, params);
-        AppendOther(&w, "voxel_traversal", samples * 16.0);
+        const std::size_t embed =
+            AppendHashEnc(&w, "voxel_embedding", samples, 1);
+        const std::size_t posenc =
+            AppendPosEnc(&w, "posenc", samples * 5.0 * 6.0);
+        // Both feature paths feed the MLP and run concurrently once
+        // traversal has emitted the surviving samples.
+        AppendMlp(&w, "mlp", samples, 32 + 24, {128, 128, 128}, 4, params,
+                  {embed, posenc});
+        const std::size_t traversal =
+            AppendOther(&w, "voxel_traversal", samples * 16.0);
+        w.ops[embed].deps = {traversal};
+        w.ops[posenc].deps = {traversal};
     } else if (model_name == "Mip-NeRF") {
         // Integrated positional encoding over conical frustums, single
         // 8 x 256 multiscale MLP, 128 samples per ray.
         const double samples = pixels * 128.0 * params.scene_complexity;
         w.samples_per_frame = samples;
-        AppendPosEnc(&w, "integrated_posenc", samples * 5.0 * 16.0);
-        AppendMlp(&w, "mlp", samples, 96,
-                  {256, 256, 256, 256, 256, 256, 256, 256}, 256, params);
-        AppendMlp(&w, "rgb_branch", samples, 256 + 24, {128}, 3, params);
-        AppendOther(&w, "volume_rendering", samples * 12.0);
+        const std::size_t posenc = AppendPosEnc(
+            &w, "integrated_posenc", samples * 5.0 * 16.0);
+        const std::size_t trunk = AppendMlp(
+            &w, "mlp", samples, 96,
+            {256, 256, 256, 256, 256, 256, 256, 256}, 256, params,
+            {posenc});
+        const std::size_t rgb = AppendMlp(&w, "rgb_branch", samples,
+                                          256 + 24, {128}, 3, params,
+                                          {trunk, posenc});
+        AppendOther(&w, "volume_rendering", samples * 12.0, {rgb});
     } else if (model_name == "Instant-NGP") {
         // Multiresolution hash encoding (16 levels) + tiny MLPs; occupancy
         // grids keep ~26 samples per ray alive.
         const double samples = pixels * 26.0 * params.scene_complexity;
         w.samples_per_frame = samples;
-        AppendHashEnc(&w, "hash_encoding", samples, 16);
-        AppendMlp(&w, "density_mlp", samples, 32, {64}, 16, params);
-        AppendMlp(&w, "color_mlp", samples, 16 + 16, {64, 64}, 3, params);
-        AppendOther(&w, "volume_rendering", samples * 12.0);
-        AppendOther(&w, "occupancy_marching", pixels * 26.0 * 6.0);
+        const std::size_t hash =
+            AppendHashEnc(&w, "hash_encoding", samples, 16);
+        const std::size_t density = AppendMlp(&w, "density_mlp", samples,
+                                              32, {64}, 16, params, {hash});
+        const std::size_t color = AppendMlp(&w, "color_mlp", samples,
+                                            16 + 16, {64, 64}, 3, params,
+                                            {density});
+        AppendOther(&w, "volume_rendering", samples * 12.0, {color});
+        const std::size_t march =
+            AppendOther(&w, "occupancy_marching", pixels * 26.0 * 6.0);
+        w.ops[hash].deps = {march};
     } else if (model_name == "IBRNet") {
         // CNN feature extraction over 10 source views + ray transformer.
         const double views = 10.0;
@@ -208,28 +277,46 @@ BuildWorkload(const std::string& model_name, const WorkloadParams& params)
             WorkloadOp conv;
             conv.kind = OpKind::kGemm;
             conv.name = "cnn_conv" + std::to_string(layer);
+            // Convolution layers chain; conv0 reads the source views.
+            if (layer > 0) conv.deps = {w.ops.size() - 1};
             // im2col GEMM: (HW) x (9 * C_in) x C_out per view.
             conv.gemm = {static_cast<std::int64_t>(feat_pixels * views),
                          9 * (layer == 0 ? 3 : 32), 32, 1.0, 1.0,
                          params.weight_prune_ratio};
             w.ops.push_back(conv);
         }
+        const std::size_t cnn_out = w.ops.size() - 1;
         const double samples = w.samples_per_frame;
-        AppendMlp(&w, "ray_transformer_qkv", samples, 35, {64, 64}, 16,
-                  params);
-        AppendMlp(&w, "aggregation", samples, 16 * 10, {64}, 4, params);
-        AppendOther(&w, "attention_softmax", samples * views * 8.0);
-        AppendOther(&w, "volume_rendering", samples * 12.0);
+        // The ray transformer's QKV projections read per-sample ray
+        // state, so they run concurrently with the per-view CNN; the
+        // two branches meet at aggregation, which blends the CNN's
+        // view features under the attention weights.
+        const std::size_t qkv =
+            AppendMlp(&w, "ray_transformer_qkv", samples, 35, {64, 64}, 16,
+                      params);
+        const std::size_t agg = AppendMlp(&w, "aggregation", samples,
+                                          16 * 10, {64}, 4, params);
+        const std::size_t softmax = AppendOther(
+            &w, "attention_softmax", samples * views * 8.0, {qkv});
+        w.ops[agg - 1].deps = {cnn_out, softmax};
+        AppendOther(&w, "volume_rendering", samples * 12.0, {agg});
     } else if (model_name == "TensoRF") {
         // Tensorial decomposition: plane/line feature interpolation
         // (grid-style lookups) + small decoding MLP, ~50 samples per ray.
         const double samples = pixels * 50.0 * params.scene_complexity;
         w.samples_per_frame = samples;
-        AppendHashEnc(&w, "tensor_interp", samples, 3);
-        AppendPosEnc(&w, "posenc_app", samples * 3.0 * 2.0);
-        AppendMlp(&w, "decode_mlp", samples, 27 + 120, {128}, 3, params);
-        AppendOther(&w, "tensor_products", samples * 48.0);
-        AppendOther(&w, "volume_rendering", samples * 12.0);
+        const std::size_t interp =
+            AppendHashEnc(&w, "tensor_interp", samples, 3);
+        const std::size_t posenc =
+            AppendPosEnc(&w, "posenc_app", samples * 3.0 * 2.0);
+        const std::size_t head = AppendMlp(&w, "decode_mlp", samples,
+                                           27 + 120, {128}, 3, params);
+        const std::size_t products = AppendOther(
+            &w, "tensor_products", samples * 48.0, {interp});
+        // The decoder reads the contracted tensor features plus the
+        // appearance encoding, which run as parallel branches.
+        w.ops[head - 1].deps = {products, posenc};
+        AppendOther(&w, "volume_rendering", samples * 12.0, {head});
     } else {
         Fatal("unknown NeRF model '" + model_name + "'");
     }

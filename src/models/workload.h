@@ -32,6 +32,18 @@ struct WorkloadOp {
     OpKind kind = OpKind::kGemm;
     std::string name;
 
+    /**
+     * Indices (into NerfWorkload::ops) of the ops whose outputs this op
+     * consumes — MLP layers chain on their predecessor, encodings chain
+     * on the sampling pass that produced their query points, volume
+     * rendering chains on the final color head. Edges may point forward
+     * (op order is the reduction order, not the schedule); the plan
+     * layer topologically sorts them into a layered DAG and executes it
+     * as a wavefront (see plan/frame_plan.h). An empty list marks a
+     * source op, ready at frame start.
+     */
+    std::vector<std::size_t> deps;
+
     /** GEMM geometry (kGemm only); m is the total sample count. */
     GemmShape gemm;
     /** True for hidden layers whose activations never leave the chip. */

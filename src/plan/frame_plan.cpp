@@ -1,8 +1,12 @@
 #include "plan/frame_plan.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/units.h"
 #include "plan/gemm_memo.h"
 #include "runtime/thread_pool.h"
@@ -72,19 +76,100 @@ PlannedOp::Evaluate(GemmMemo* memo) const
     return fixed;
 }
 
+void
+FramePlan::EvaluateSerial(GemmMemo* memo,
+                          std::vector<OpCost>* fragments) const
+{
+    // Topological order is the serial analogue of the wavefront: each
+    // op runs after its predecessors, as the modeled pipeline would.
+    // (Evaluation is pure per op, so any order yields the same
+    // fragments; the contract is about fidelity, not correctness.)
+    for (const std::size_t i : topo_order_) {
+        (*fragments)[i] = ops_[i].Evaluate(memo);
+    }
+}
+
+void
+FramePlan::EvaluateWavefront(ThreadPool& pool, GemmMemo* memo,
+                             std::vector<OpCost>* fragments) const
+{
+    const std::size_t n = ops_.size();
+    // Plan-local wavefront state, drained by a ParallelFor over n
+    // slots: each iteration completes exactly one op — pop a ready op,
+    // evaluate it, retire its out-edges (enabling successors). Riding
+    // ParallelFor (rather than raw Enqueues plus a completion future)
+    // keeps the wavefront nest-safe: ParallelFor's caller claims
+    // iterations itself, so an Execute issued from inside a pool task
+    // — the serving hot path — finishes even when every other worker
+    // is blocked in a frame of its own.
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<std::size_t> ready;
+    bool aborted = false;  // an Evaluate threw; wake and bail out
+    std::vector<std::size_t> pending(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pending[i] = ops_[i].deps.size();
+        if (pending[i] == 0) ready.push_back(i);
+    }
+
+    pool.ParallelFor(
+        static_cast<std::int64_t>(n), [&](std::int64_t) {
+            std::size_t op;
+            {
+                // Waiting is deadlock-free: when the ready deque is
+                // empty and ops remain, some op is mid-evaluation on
+                // another thread (an iteration never blocks while it
+                // holds an op), and its retirement — or its failure —
+                // signals us.
+                std::unique_lock<std::mutex> lock(mutex);
+                cv.wait(lock, [&ready, &aborted] {
+                    return !ready.empty() || aborted;
+                });
+                if (aborted) return;
+                op = ready.front();
+                ready.pop_front();
+            }
+            try {
+                (*fragments)[op] = ops_[op].Evaluate(memo);
+            } catch (...) {
+                // Unblock every waiting iteration before propagating:
+                // the op's successors will never retire, and
+                // ParallelFor's cancel machinery only skips iterations
+                // that have not yet entered this fn.
+                {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    aborted = true;
+                }
+                cv.notify_all();
+                throw;  // ParallelFor rethrows on the calling thread
+            }
+            bool enabled = false;
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                for (const std::size_t succ : successors_[op]) {
+                    if (--pending[succ] == 0) {
+                        ready.push_back(succ);
+                        enabled = true;
+                    }
+                }
+            }
+            if (enabled) cv.notify_all();
+        });
+}
+
 FrameCost
 FramePlan::Execute(ThreadPool* pool, GemmMemo* memo) const
 {
-    const auto n = static_cast<std::int64_t>(ops_.size());
     std::vector<OpCost> fragments(ops_.size());
-    const auto evaluate = [this, &fragments, memo](std::int64_t i) {
-        fragments[static_cast<std::size_t>(i)] =
-            ops_[static_cast<std::size_t>(i)].Evaluate(memo);
-    };
-    if (pool != nullptr && n > 1) {
-        pool->ParallelFor(n, evaluate);
+    // The wavefront only pays off when the DAG has width: a pure chain
+    // (depth == op count) admits one ready op at a time, so fanning it
+    // out would just park pool workers in waits for the whole frame —
+    // run it on the calling thread instead (identical result either
+    // way; evaluation is pure and the reduction is fixed-order).
+    if (pool != nullptr && ops_.size() > 1 && depth_ < ops_.size()) {
+        EvaluateWavefront(*pool, memo, &fragments);
     } else {
-        for (std::int64_t i = 0; i < n; ++i) evaluate(i);
+        EvaluateSerial(memo, &fragments);
     }
 
     // Enqueue-order reduction: one addition per op per field, in op
@@ -111,9 +196,30 @@ FramePlan::Execute(ThreadPool* pool, GemmMemo* memo) const
     total.gemm_macs = utilization_macs;
     total.energy_mj = energy * energy_scale_;
     if (static_power_w_ != 0.0) {
-        // Clock tree, leakage, and idle-stage power accrue over the frame.
+        // Clock tree, leakage, and idle-stage power accrue over the
+        // frame. The energy basis stays the summed op-active time:
+        // pipelining overlaps stages, it does not shorten any stage's
+        // powered-on time.
         total.energy_mj += total.latency_ms * static_power_w_;
     }
+
+    // Critical path: the frame's pipeline floor. Folded in topological
+    // order with exactly one max per edge and one add per op —
+    // finish(i) = max over deps(finish(dep)) + latency(i) — so the
+    // value is bit-identical for any thread count and reproducible by
+    // an independent implementation of the same recurrence (the parity
+    // tests compute it from the legacy per-op latencies).
+    std::vector<double> finish(ops_.size(), 0.0);
+    double critical_path_ms = 0.0;
+    for (const std::size_t i : topo_order_) {
+        double ready_ms = 0.0;
+        for (const std::size_t dep : ops_[i].deps) {
+            ready_ms = std::max(ready_ms, finish[dep]);
+        }
+        finish[i] = ready_ms + fragments[i].cost.latency_ms;
+        critical_path_ms = std::max(critical_path_ms, finish[i]);
+    }
+    total.critical_path_ms = critical_path_ms;
     return total;
 }
 
@@ -148,6 +254,7 @@ FramePlanBuilder::AddEngineOp(const WorkloadOp& op,
     PlannedOp planned;
     planned.kind = op.kind;
     planned.name = op.name;
+    planned.deps = op.deps;
     planned.uses_engine = true;
     planned.engine_config = config;
     planned.shape = shape;
@@ -164,6 +271,7 @@ FramePlanBuilder::AddFixedOp(const WorkloadOp& op, const OpCost& fragment)
     PlannedOp planned;
     planned.kind = op.kind;
     planned.name = op.name;
+    planned.deps = op.deps;
     planned.fixed = fragment;
     plan_.ops_.push_back(std::move(planned));
 }
@@ -171,6 +279,60 @@ FramePlanBuilder::AddFixedOp(const WorkloadOp& op, const OpCost& fragment)
 FramePlan
 FramePlanBuilder::Build()
 {
+    const std::size_t n = plan_.ops_.size();
+
+    // Validate edges and build the successor (transposed) adjacency.
+    plan_.successors_.assign(n, {});
+    std::vector<std::size_t> pending(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (const std::size_t dep : plan_.ops_[i].deps) {
+            if (dep >= n) {
+                Fatal("plan '" + plan_.workload_name_ + "': op '" +
+                      plan_.ops_[i].name + "' depends on op index " +
+                      std::to_string(dep) + ", but the plan has only " +
+                      std::to_string(n) + " ops");
+            }
+            if (dep == i) {
+                Fatal("plan '" + plan_.workload_name_ + "': op '" +
+                      plan_.ops_[i].name + "' depends on itself");
+            }
+            plan_.successors_[dep].push_back(i);
+            ++pending[i];
+        }
+    }
+
+    // Kahn's algorithm with a deterministic tie-break: among ready ops,
+    // the lowest index runs first. n is a few dozen at most, so the
+    // O(n^2) ready scan beats a heap on both simplicity and constant.
+    plan_.topo_order_.clear();
+    plan_.topo_order_.reserve(n);
+    plan_.layer_of_.assign(n, 0);
+    std::vector<char> emitted(n, 0);
+    for (std::size_t step = 0; step < n; ++step) {
+        std::size_t next = n;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!emitted[i] && pending[i] == 0) {
+                next = i;
+                break;
+            }
+        }
+        if (next == n) {
+            Fatal("plan '" + plan_.workload_name_ +
+                  "': dependency edges form a cycle (no executable "
+                  "order exists)");
+        }
+        emitted[next] = 1;
+        plan_.topo_order_.push_back(next);
+        std::size_t layer = 0;
+        for (const std::size_t dep : plan_.ops_[next].deps) {
+            layer = std::max(layer, plan_.layer_of_[dep] + 1);
+        }
+        plan_.layer_of_[next] = layer;
+        plan_.depth_ = std::max(plan_.depth_, layer + 1);
+        for (const std::size_t succ : plan_.successors_[next]) {
+            --pending[succ];
+        }
+    }
     return std::move(plan_);
 }
 

@@ -10,10 +10,25 @@
  * else was folded into fixed cost fragments during lowering) and reduces
  * the per-op fragments in enqueue order.
  *
+ * Plans are dependency-aware: each PlannedOp carries the predecessor
+ * edges of its workload op (MLP layer chains, the sampling -> feature
+ * -> color stage structure; see models/workload.h), and Build validates
+ * them into a layered DAG with a deterministic topological order. With
+ * a pool, Execute schedules the DAG as a *wavefront* — an op is
+ * enqueued the moment its last predecessor retires, so independent
+ * branches (a color head and a view encoding, sibling feature grids)
+ * overlap instead of serializing behind a flat ParallelFor barrier.
+ * The DAG also yields the frame's pipeline floor: the critical-path
+ * latency reported in FrameCost::critical_path_ms, which serving
+ * admission uses as its service-time estimator (accelerator.h's
+ * EstimatedServiceMs).
+ *
  * Determinism contract (matching SweepRunner): Execute is a pure
  * function of the plan — fragments are computed into pre-assigned slots
- * and reduced in op order, so the returned FrameCost is bit-identical
- * whether it runs serially, on one pool thread, or on many.
+ * and reduced in op order (never completion order), and the critical
+ * path is folded in topological order with one max+add per edge — so
+ * the returned FrameCost is bit-identical whether it runs serially, on
+ * one pool thread, or on many.
  *
  * Thread-safety: a FramePlan is immutable after Build; Execute is deeply
  * const and may be called concurrently on one instance (each call owns
@@ -62,6 +77,10 @@ struct PlannedOp {
     OpKind kind = OpKind::kGemm;
     std::string name;
 
+    /** Predecessor op indices (the workload op's dependency edges).
+     *  Empty marks a source op, ready at frame start. */
+    std::vector<std::size_t> deps;
+
     /** True when Execute must run the GEMM engine for this op; false
      *  when the fragment was fully resolved at compile time. */
     bool uses_engine = false;
@@ -87,10 +106,13 @@ class FramePlan
   public:
     /**
      * Executes every op and reduces the fragments in enqueue order.
-     * With @p pool, independent ops run across the work-stealing pool;
-     * with null, execution is serial. @p memo, when given, memoizes
-     * engine runs across repeated executions (and across plans sharing
-     * engine-config/shape pairs). Bit-identical for any combination.
+     * With @p pool, the dependency DAG runs as a wavefront across the
+     * work-stealing pool (ops become ready as their predecessors
+     * retire); with null, execution walks the deterministic topological
+     * order serially. @p memo, when given, memoizes engine runs across
+     * repeated executions (and across plans sharing engine-config/shape
+     * pairs). Bit-identical for any combination, including the
+     * critical-path field.
      */
     FrameCost Execute(ThreadPool* pool = nullptr,
                       GemmMemo* memo = nullptr) const;
@@ -101,14 +123,44 @@ class FramePlan
     /** Ops Execute evaluates through the GEMM engine. */
     std::size_t engine_op_count() const;
 
+    /**
+     * The deterministic topological order Build derived: Kahn's
+     * algorithm with the lowest-index ready op first, so two compiles
+     * of one (config, workload) — on any thread — order identically.
+     */
+    const std::vector<std::size_t>& topo_order() const {
+        return topo_order_;
+    }
+
+    /** Dependency layer of each op: 0 for sources, else
+     *  1 + max(layer of predecessors). */
+    const std::vector<std::size_t>& layer_of() const { return layer_of_; }
+
+    /** Number of dependency layers (pipeline depth); 0 for empty plans,
+     *  ops_.size() for a pure chain. */
+    std::size_t depth() const { return depth_; }
+
     /** Post-reduction static power term (mJ += latency_ms x W). */
     double static_power_w() const { return static_power_w_; }
 
   private:
     friend class FramePlanBuilder;
 
+    /** Evaluates fragments serially, in topological order. */
+    void EvaluateSerial(GemmMemo* memo,
+                        std::vector<OpCost>* fragments) const;
+    /** Evaluates fragments as a wavefront over @p pool. */
+    void EvaluateWavefront(ThreadPool& pool, GemmMemo* memo,
+                           std::vector<OpCost>* fragments) const;
+
     std::string workload_name_;
     std::vector<PlannedOp> ops_;
+    /** Built by FramePlanBuilder::Build (see topo_order()/layer_of()).
+     *  successors_ is the transposed edge list the wavefront walks. */
+    std::vector<std::size_t> topo_order_;
+    std::vector<std::size_t> layer_of_;
+    std::vector<std::vector<std::size_t>> successors_;
+    std::size_t depth_ = 0;
     /** Applied to the summed per-op energies before the static-power
      *  term: 1.0 for mJ fragments, 1e3 for the GPU's joule fragments
      *  (preserving the legacy sum-then-scale rounding exactly). */
@@ -128,7 +180,8 @@ class FramePlanBuilder
     /**
      * Adds an engine-backed GEMM op. The memo key is derived here from
      * the resolved config and shape; @p useful_macs only matters for
-     * kDenseEngine utilization weighting.
+     * kDenseEngine utilization weighting. The workload op's dependency
+     * edges carry over into the plan.
      */
     void AddEngineOp(const WorkloadOp& op, const GemmEngineConfig& config,
                      const GemmShape& shape, GemmLowering lowering,
@@ -137,7 +190,13 @@ class FramePlanBuilder
     /** Adds an op whose fragment is fully resolved at compile time. */
     void AddFixedOp(const WorkloadOp& op, const OpCost& fragment);
 
-    /** Finalizes the plan; the builder must not be reused afterwards. */
+    /**
+     * Finalizes the plan; the builder must not be reused afterwards.
+     * Validates the dependency edges — every index in range, no cycles
+     * (fatal otherwise) — and derives the deterministic topological
+     * order, the layer assignment, and the successor lists Execute's
+     * wavefront walks.
+     */
     FramePlan Build();
 
   private:

@@ -1,9 +1,11 @@
 #include "plan/plan_cache.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/logging.h"
 #include "plan/frame_planner.h"
+#include "runtime/thread_pool.h"
 
 namespace flexnerfer {
 namespace {
@@ -21,6 +23,16 @@ ScratchKey(const Accelerator& accel, const NerfWorkload& workload)
     FramePlanner::AppendCacheKey(accel, workload, &key);
     return key;
 }
+
+/**
+ * Plan executions in flight on this thread's stack. The in-flight
+ * dedup below must only ever *wait* at depth 0: an executing frame's
+ * drain loop helps run arbitrary queued tasks, so a wait nested above
+ * an execution could close a cycle (waiting — directly or through a
+ * chain of entries — on its own unwinding). Waits from non-executors
+ * only, toward executors only, cannot cycle: executors never wait.
+ */
+thread_local int tls_executing_plans = 0;
 
 }  // namespace
 
@@ -78,21 +90,90 @@ PlanCache::Get(const Accelerator& accel, const NerfWorkload& workload)
 FrameCost
 PlanCache::RunEntry(const std::shared_ptr<Entry>& entry, ThreadPool* pool)
 {
-    std::shared_ptr<const FramePlan> plan;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (entry->result != nullptr) {
-            ++stats_.frame_hits;
-            return *entry->result;
+    // Loops only when a joined execution fails without publishing a
+    // result (its exception propagates on the executing thread; this
+    // waiter then retries, typically becoming the executor itself).
+    for (;;) {
+        std::shared_ptr<const FramePlan> plan;
+        std::shared_future<void> wait_on;
+        std::shared_ptr<std::promise<void>> fulfil;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (entry->result != nullptr) {
+                ++stats_.frame_hits;
+                return *entry->result;
+            }
+            if (entry->inflight.valid() && tls_executing_plans == 0) {
+                // Another thread is already executing this frame: join
+                // it instead of redundantly re-running a pure plan.
+                // Joining is only safe at depth 0 (see
+                // tls_executing_plans); a call nested inside an
+                // execution falls through and duplicates the pure run
+                // instead — bit-identical, just not deduplicated.
+                wait_on = entry->inflight;
+            } else {
+                if (!entry->inflight.valid()) {
+                    fulfil = std::make_shared<std::promise<void>>();
+                    entry->inflight = fulfil->get_future().share();
+                }
+                plan = entry->plan;
+            }
         }
-        plan = entry->plan;
+
+        if (wait_on.valid()) {
+            // Wait helping drain the pool: the executing thread's
+            // wavefront tasks may need this worker, so parking without
+            // helping could deadlock a fully-subscribed pool.
+            while (wait_on.wait_for(std::chrono::seconds(0)) !=
+                   std::future_status::ready) {
+                if (pool == nullptr || !pool->Help()) {
+                    wait_on.wait_for(std::chrono::milliseconds(1));
+                }
+            }
+            std::lock_guard<std::mutex> lock(mutex_);
+            // The result is published under the lock before the
+            // promise is fulfilled — unless the execution threw, in
+            // which case the loop retries.
+            if (entry->result != nullptr) {
+                ++stats_.frame_hits;
+                return *entry->result;
+            }
+            continue;
+        }
+
+        FrameCost cost;
+        ++tls_executing_plans;
+        try {
+            cost = plan->Execute(pool, &memo_);
+        } catch (...) {
+            // Release the in-flight marker (if owned) and wake joined
+            // waiters before propagating; they observe the missing
+            // result and retry.
+            --tls_executing_plans;
+            if (fulfil != nullptr) {
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    entry->inflight = std::shared_future<void>();
+                }
+                fulfil->set_value();
+            }
+            throw;
+        }
+        --tls_executing_plans;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (entry->result == nullptr) {
+                entry->result = std::make_shared<const FrameCost>(cost);
+            }
+            // Only the promise owner retires the in-flight marker; a
+            // nested duplicate run leaves the real executor's in place.
+            if (fulfil != nullptr) {
+                entry->inflight = std::shared_future<void>();
+            }
+        }
+        if (fulfil != nullptr) fulfil->set_value();
+        return cost;
     }
-    const FrameCost cost = plan->Execute(pool, &memo_);
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (entry->result == nullptr) {
-        entry->result = std::make_shared<const FrameCost>(cost);
-    }
-    return cost;
 }
 
 FrameCost

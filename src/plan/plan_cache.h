@@ -16,7 +16,10 @@
  *
  * Thread-safety: all members may be called concurrently. Racing misses
  * may compile the same plan twice; the first insert wins and both
- * callers observe identical plans.
+ * callers observe identical plans. Racing *executions* of one frame do
+ * not duplicate work: the first Run executes, concurrent Runs wait on
+ * it (helping drain the pool) and replay the memoized result as frame
+ * hits — a burst of identical requests costs one execution.
  *
  * By default entries are never evicted — the working set is bounded by
  * the distinct (config, workload) pairs a deployment serves. Long-lived
@@ -39,6 +42,7 @@
 #define FLEXNERFER_PLAN_PLAN_CACHE_H_
 
 #include <cstdint>
+#include <future>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -154,6 +158,14 @@ class PlanCache
         std::shared_ptr<const FramePlan> plan;
         /** Executed cost; set by the first Run to finish this frame. */
         std::shared_ptr<const FrameCost> result;
+        /**
+         * Set while the first execution of this frame is in flight:
+         * concurrent Runs of one entry wait on it (helping drain the
+         * pool) and then replay the memoized result as frame hits,
+         * instead of redundantly executing the same pure plan — the
+         * thundering-herd guard for a burst of identical requests.
+         */
+        std::shared_future<void> inflight;
         /** This entry's slot in the recency list (bounded caches). */
         std::list<std::string>::iterator lru_it;
     };

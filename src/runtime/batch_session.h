@@ -10,10 +10,13 @@
  * instance safely serves all workers concurrently.
  *
  * Frames execute through the plan layer: each job compiles (or, with a
- * PlanCache attached, reuses) a FramePlan and fans its independent ops
- * across the same pool, so a single in-flight frame also exploits
- * intra-frame parallelism. With a cache, repeated frames — the serving
- * hot path — replay memoized plans and engine runs, bit-identically.
+ * PlanCache attached, reuses) a FramePlan and schedules its dependency
+ * DAG as a wavefront across the same pool (ops run as predecessors
+ * retire; see plan/frame_plan.h), so a single in-flight frame also
+ * exploits intra-frame pipeline parallelism. With a cache, repeated
+ * frames — the serving hot path — replay memoized plans and engine
+ * runs, bit-identically, and racing executions of one frame dedup onto
+ * a single in-flight run.
  *
  * Thread-safety: Enqueue* and Wait* may be called from any thread. Each
  * ticket is owned by its caller; Wait consumes the ticket's result.

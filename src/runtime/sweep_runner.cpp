@@ -86,11 +86,12 @@ SweepOutcome
 SweepRunner::Evaluate(const SweepPoint& point) const
 {
     const std::unique_ptr<Accelerator> accel = MakeAccelerator(point);
-    // Frames compile through the plan layer and fan their ops across
-    // the pool (nested ParallelFor); with a cache, revisited
-    // (config, workload) pairs replay the compiled plan. Both paths
-    // are bit-identical to serial execution, keeping the sweep
-    // contract (results independent of thread count and cache state).
+    // Frames compile through the plan layer and run their dependency
+    // DAG as a wavefront across the pool (nested ParallelFor); with a
+    // cache, revisited (config, workload) pairs replay the compiled
+    // plan. Both paths are bit-identical to serial execution, keeping
+    // the sweep contract (results independent of thread count and
+    // cache state).
     const auto run_frame = [this, &accel](const NerfWorkload& w) {
         return cache_ != nullptr ? cache_->Run(*accel, w, &pool_)
                                  : accel->RunWorkload(w, &pool_);

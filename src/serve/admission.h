@@ -6,9 +6,10 @@
  * unbounded queue turns every deadline miss into a cascade (each late
  * frame delays all behind it). AdmissionController decides, at submit
  * time, whether a request can still be served within its deadline — and
- * sheds it immediately if not — using the plan layer's FrameCost latency
- * as the service-time estimator (see RT-NeRF-style real-time budgets in
- * PAPERS.md).
+ * sheds it immediately if not — using the plan layer's critical-path
+ * latency (the frame's dependency-DAG pipeline floor; see
+ * accel/accelerator.h EstimatedServiceMs) as the service-time estimator
+ * (see RT-NeRF-style real-time budgets in PAPERS.md).
  *
  * Decisions run in *virtual time*: the modeled device serves admitted
  * requests back-to-back in model milliseconds, so a request's estimated

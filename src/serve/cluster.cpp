@@ -164,7 +164,10 @@ ShardedRenderService::EnsureWarmLocked(const std::string& scene)
         const std::size_t home = desc.rank[0];
         EnsureRegisteredLocked(scene, home);
         desc.warm_cost = shards_[home]->WarmScene(scene);
-        desc.est_latency_ms = desc.warm_cost.latency_ms;
+        // Critical-path estimate (EstimatedServiceMs): the router's
+        // probes and the spill surcharge price pipeline depth, not the
+        // flat op sum, matching what RenderService::Submit admits with.
+        desc.est_latency_ms = EstimatedServiceMs(desc.warm_cost);
         desc.pinned_on[home] = 1;
         desc.warmed = true;
     }

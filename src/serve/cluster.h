@@ -79,7 +79,8 @@ struct ClusterConfig {
     /**
      * Virtual recompile cost a spilled request pays on a shard that
      * does not hold the scene's pin yet, as a fraction of the scene's
-     * frame latency estimate. Charged to that shard's virtual clock
+     * service-time estimate (the frame's critical-path latency,
+     * EstimatedServiceMs). Charged to that shard's virtual clock
      * (it delays everything behind it and counts against the deadline),
      * so spilling is only worth it when the home backlog exceeds it.
      */
@@ -171,9 +172,10 @@ class ShardedRenderService
 
     /**
      * Pre-compiles and pins @p scene on its home shard, returning the
-     * executed frame cost (whose latency_ms is the admission estimate
-     * the router probes with). A scene that was never warmed is warmed
-     * automatically by its first Submit.
+     * executed frame cost (EstimatedServiceMs of it — the critical
+     * path — is the admission estimate the router probes with). A
+     * scene that was never warmed is warmed automatically by its first
+     * Submit.
      */
     FrameCost WarmScene(const std::string& scene);
 
@@ -212,7 +214,8 @@ class ShardedRenderService
     /** Cluster-side record of one registered scene. */
     struct SceneDesc {
         SweepPoint spec;
-        double est_latency_ms = 0.0;  //!< valid once warmed
+        /** EstimatedServiceMs(warm_cost); valid once warmed. */
+        double est_latency_ms = 0.0;
         FrameCost warm_cost;          //!< home-shard executed frame
         bool warmed = false;
         /** The scene's shard preference order (ShardRouter::Rank) —

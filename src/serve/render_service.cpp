@@ -70,8 +70,14 @@ RenderService::Submit(const SceneRequest& request, double extra_service_ms)
     const std::shared_ptr<const SceneEntry> scene =
         registry_.Touch(request.scene, &pool_);
 
+    // The service-time estimate is the frame's pipeline floor — the
+    // dependency-DAG critical path — not the flat op sum: the wavefront
+    // executor overlaps independent stages, so a deep-but-narrow frame
+    // occupies the device for its longest chain, and admission verdicts
+    // must reflect that (see accel/accelerator.h, EstimatedServiceMs).
     const AdmissionController::Verdict verdict = admission_.Admit(
-        request.arrival_ms, scene->cost.latency_ms + extra_service_ms,
+        request.arrival_ms,
+        EstimatedServiceMs(scene->cost) + extra_service_ms,
         request.deadline_ms);
 
     RenderResult result;

@@ -10,7 +10,7 @@
  *
  *   Submit ──> SceneRegistry (compile + pin prepared frame, first touch)
  *          ──> AdmissionController (queue-depth / deadline policy,
- *               FrameCost-latency estimator, virtual time)
+ *               critical-path latency estimator, virtual time)
  *          ──> DispatchQueue (priority desc, deadline asc)
  *          ──> ThreadPool worker: PlanCache::Run(prepared handle)
  *          ──> ticket future; LatencyHistogram telemetry
@@ -153,8 +153,9 @@ class RenderService
     /**
      * Pre-compiles and pins @p scene so its first real request already
      * takes the prepared path, returning the scene's executed frame
-     * cost (whose latency_ms is the admission estimate; callers can
-     * build arrival schedules or reference-check replays against it).
+     * cost (EstimatedServiceMs of it — the dependency-DAG critical
+     * path — is the admission estimate; callers can build arrival
+     * schedules or reference-check replays against it).
      */
     FrameCost WarmScene(const std::string& scene);
 

@@ -90,7 +90,7 @@ SceneRegistry::Touch(const std::string& name, ThreadPool* pool,
     std::lock_guard<std::mutex> lock(mutex_);
     Slot& slot = slots_.at(name);
     slot.entry = std::move(entry);
-    slot.stats.est_latency_ms = slot.entry->cost.latency_ms;
+    slot.stats.est_latency_ms = EstimatedServiceMs(slot.entry->cost);
     return slot.entry;
 }
 

@@ -42,14 +42,17 @@ struct SceneEntry {
     std::unique_ptr<const Accelerator> accel;
     NerfWorkload workload;
     PlanCache::PreparedFrame frame;  //!< pinned prepared-frame handle
-    /** Executed cost of one frame; .latency_ms is the admission
-     *  estimate (exact for steady-state replays, which are memoized). */
+    /** Executed cost of one frame; EstimatedServiceMs(cost) — the
+     *  dependency-DAG critical path — is the admission estimate (exact
+     *  for steady-state replays, which are memoized). */
     FrameCost cost;
 };
 
 /** Per-scene serving counters (snapshot). */
 struct SceneStats {
     std::string name;
+    /** The admission service-time estimate: the scene frame's
+     *  critical-path latency (EstimatedServiceMs). */
     double est_latency_ms = 0.0;
     std::uint64_t requests = 0;          //!< submits naming this scene
     std::uint64_t prepared_replays = 0;  //!< touches after preparation

@@ -29,6 +29,7 @@ ExpectBitIdentical(const FrameCost& got, const FrameCost& want,
     EXPECT_EQ(got.dram_ms, want.dram_ms) << label;
     EXPECT_EQ(got.gemm_utilization, want.gemm_utilization) << label;
     EXPECT_EQ(got.gemm_macs, want.gemm_macs) << label;
+    EXPECT_EQ(got.critical_path_ms, want.critical_path_ms) << label;
     // Backstop through the authoritative predicate: a field added to
     // FrameCost (and its operator==) stays covered here even before
     // the per-field diagnostics above learn about it.

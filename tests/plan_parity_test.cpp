@@ -4,9 +4,14 @@
  *
  * The reference implementations below are verbatim copies of the legacy
  * per-model RunWorkload switch-loops (serial, one pass over the ops) that
- * the FramePlan layer replaced. Planned execution must reproduce their
- * FrameCost bit-identically — every field compared with EXPECT_EQ on the
- * raw doubles — for all 7 workloads x all precisions x all three
+ * the FramePlan layer replaced — extended only to record each op's
+ * latency so the dependency-DAG critical path (FrameCost's
+ * critical_path_ms, which postdates the legacy loops) can be derived by
+ * an independent implementation of the same max+add recurrence
+ * (ReferenceCriticalPathMs below: memoized DFS, vs the executor's
+ * topological fold). Planned execution must reproduce their FrameCost
+ * bit-identically — every field compared with EXPECT_EQ on the raw
+ * doubles — for all 7 workloads x all precisions x all three
  * accelerator families, at any thread count, with or without plan/memo
  * caching. This is the contract that allowed deleting the legacy loops.
  */
@@ -14,6 +19,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -32,6 +39,38 @@
 namespace flexnerfer {
 namespace {
 
+/**
+ * Independent critical-path reference: memoized DFS over the workload's
+ * dependency edges, folding finish(i) = max over deps(finish(dep)) +
+ * latency(i) — the same per-node arithmetic FramePlan::Execute performs
+ * in topological order, reached by a different traversal, so agreement
+ * is meaningful and must be bit-exact (max is order-independent; each
+ * finish value is one identical add).
+ */
+double
+ReferenceCriticalPathMs(const NerfWorkload& workload,
+                        const std::vector<double>& op_ms)
+{
+    std::vector<double> finish(workload.ops.size(), 0.0);
+    std::vector<char> done(workload.ops.size(), 0);
+    std::function<double(std::size_t)> visit =
+        [&](std::size_t i) -> double {
+        if (done[i]) return finish[i];
+        double ready = 0.0;
+        for (const std::size_t dep : workload.ops[i].deps) {
+            ready = std::max(ready, visit(dep));
+        }
+        finish[i] = ready + op_ms[i];
+        done[i] = 1;  // terminates: BuildWorkload emits acyclic edges
+        return finish[i];
+    };
+    double critical_path = 0.0;
+    for (std::size_t i = 0; i < workload.ops.size(); ++i) {
+        critical_path = std::max(critical_path, visit(i));
+    }
+    return critical_path;
+}
+
 /** Legacy FlexNeRFerModel::RunWorkload, kept as the golden reference. */
 FrameCost
 LegacyFlexNeRFer(const FlexNeRFerModel& model, const NerfWorkload& workload)
@@ -40,6 +79,7 @@ LegacyFlexNeRFer(const FlexNeRFerModel& model, const NerfWorkload& workload)
     FrameCost cost;
     double utilization_weighted = 0.0;
     double utilization_macs = 0.0;
+    std::vector<double> op_ms;  // per-op latency, for the critical path
 
     for (const WorkloadOp& op : workload.ops) {
         switch (op.kind) {
@@ -60,6 +100,7 @@ LegacyFlexNeRFer(const FlexNeRFerModel& model, const NerfWorkload& workload)
             cost.energy_mj += r.EnergyMj();
             utilization_weighted += r.utilization * r.useful_macs;
             utilization_macs += r.useful_macs;
+            op_ms.push_back(r.latency_ms);
             break;
           }
           case OpKind::kPositionalEncoding: {
@@ -70,6 +111,7 @@ LegacyFlexNeRFer(const FlexNeRFerModel& model, const NerfWorkload& workload)
             cost.latency_ms += ms;
             cost.energy_mj += PjToMj(op.encoding_values *
                                      config.pee_energy_pj_per_value);
+            op_ms.push_back(ms);
             break;
           }
           case OpKind::kHashEncoding: {
@@ -80,6 +122,7 @@ LegacyFlexNeRFer(const FlexNeRFerModel& model, const NerfWorkload& workload)
             cost.latency_ms += ms;
             cost.energy_mj += PjToMj(op.encoding_values *
                                      config.hee_energy_pj_per_query);
+            op_ms.push_back(ms);
             break;
           }
           case OpKind::kOther: {
@@ -89,6 +132,7 @@ LegacyFlexNeRFer(const FlexNeRFerModel& model, const NerfWorkload& workload)
             cost.latency_ms += ms;
             cost.energy_mj += PjToMj(op.other_flops *
                                      config.vector_energy_pj_per_flop);
+            op_ms.push_back(ms);
             break;
           }
         }
@@ -98,6 +142,7 @@ LegacyFlexNeRFer(const FlexNeRFerModel& model, const NerfWorkload& workload)
                                : 0.0;
     cost.gemm_macs = utilization_macs;
     cost.energy_mj += cost.latency_ms * config.static_power_w;
+    cost.critical_path_ms = ReferenceCriticalPathMs(workload, op_ms);
     return cost;
 }
 
@@ -109,6 +154,7 @@ LegacyNeuRex(const NeuRexModel& model, const NerfWorkload& workload)
     FrameCost cost;
     double utilization_weighted = 0.0;
     double utilization_macs = 0.0;
+    std::vector<double> op_ms;  // per-op latency, for the critical path
 
     for (const WorkloadOp& op : workload.ops) {
         switch (op.kind) {
@@ -145,6 +191,7 @@ LegacyNeuRex(const NeuRexModel& model, const NerfWorkload& workload)
                 (r.issued_macs > 0.0 ? useful / r.issued_macs : 0.0) *
                 useful;
             utilization_macs += useful;
+            op_ms.push_back(r.latency_ms);
             break;
           }
           case OpKind::kPositionalEncoding: {
@@ -155,6 +202,7 @@ LegacyNeuRex(const NeuRexModel& model, const NerfWorkload& workload)
             cost.latency_ms += ms;
             cost.energy_mj += PjToMj(op.encoding_values *
                                      config.posenc_energy_pj_per_value);
+            op_ms.push_back(ms);
             break;
           }
           case OpKind::kHashEncoding: {
@@ -165,6 +213,7 @@ LegacyNeuRex(const NeuRexModel& model, const NerfWorkload& workload)
             cost.latency_ms += ms;
             cost.energy_mj += PjToMj(op.encoding_values *
                                      config.hee_energy_pj_per_query);
+            op_ms.push_back(ms);
             break;
           }
           case OpKind::kOther: {
@@ -174,6 +223,7 @@ LegacyNeuRex(const NeuRexModel& model, const NerfWorkload& workload)
             cost.latency_ms += ms;
             cost.energy_mj += PjToMj(op.other_flops *
                                      config.vector_energy_pj_per_flop);
+            op_ms.push_back(ms);
             break;
           }
         }
@@ -183,6 +233,7 @@ LegacyNeuRex(const NeuRexModel& model, const NerfWorkload& workload)
                                : 0.0;
     cost.gemm_macs = utilization_macs;
     cost.energy_mj += cost.latency_ms * config.static_power_w;
+    cost.critical_path_ms = ReferenceCriticalPathMs(workload, op_ms);
     return cost;
 }
 
@@ -195,6 +246,7 @@ LegacyGpu(const GpuModel& model, const NerfWorkload& workload)
     const double peak_flops = config.fp32_tflops * 1e12;
     const double bw = config.dram_gb_s * 1e9;
     double busy_joules = 0.0;
+    std::vector<double> per_op_ms;  // for the critical path
 
     for (const WorkloadOp& op : workload.ops) {
         double op_ms = 0.0;
@@ -250,8 +302,10 @@ LegacyGpu(const GpuModel& model, const NerfWorkload& workload)
             (config.board_power_w - config.idle_power_w) *
                 std::min(1.0, utilization);
         busy_joules += power * op_ms * 1e-3;
+        per_op_ms.push_back(op_ms);
     }
     cost.energy_mj = busy_joules * 1e3;
+    cost.critical_path_ms = ReferenceCriticalPathMs(workload, per_op_ms);
     return cost;
 }
 

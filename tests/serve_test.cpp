@@ -258,7 +258,9 @@ TEST(SceneRegistry, FirstTouchPreparesLaterTouchesReplay)
     ASSERT_EQ(stats.size(), 1u);
     EXPECT_EQ(stats[0].requests, 2u);
     EXPECT_EQ(stats[0].prepared_replays, 1u);
-    EXPECT_EQ(stats[0].est_latency_ms, first->cost.latency_ms);
+    // The recorded estimate is the critical path — what admission
+    // schedules with — not the flat op sum.
+    EXPECT_EQ(stats[0].est_latency_ms, EstimatedServiceMs(first->cost));
 }
 
 TEST(RenderService, SteadyStateRequestsHitThePreparedPath)
@@ -294,7 +296,10 @@ TEST(RenderService, SteadyStateRequestsHitThePreparedPath)
     // Back-to-back arrivals at t = 0 queue behind each other: latency
     // percentiles reflect the virtual backlog, not wall clock.
     EXPECT_GT(stats.p99_ms, stats.p50_ms);
-    const double expected_qps = 1e3 * 6.0 / (6.0 * reference.latency_ms);
+    // The virtual device serves each request for its critical-path
+    // estimate, so six back-to-back requests span 6 x that.
+    const double expected_qps =
+        1e3 * 6.0 / (6.0 * EstimatedServiceMs(reference));
     EXPECT_NEAR(stats.sustained_qps, expected_qps, 1e-9 * expected_qps);
 }
 
@@ -305,7 +310,7 @@ TEST(RenderService, DeadlineAndQueueDepthPoliciesShedAndReject)
     config.admission.max_queue_depth = 3;
     RenderService service(config);
     service.RegisterScene("ngp", NgpFlexScene());
-    const double est = service.WarmScene("ngp").latency_ms;
+    const double est = EstimatedServiceMs(service.WarmScene("ngp"));
 
     // Simultaneous arrivals: two queue up; a backlogged infeasible
     // deadline sheds (queue depth 2 of 3, so it reaches the deadline
@@ -410,7 +415,7 @@ TEST(RenderService, SnapshotIsZeroSafeWhenNothingWasAccepted)
     config.threads = 1;
     RenderService service(config);
     service.RegisterScene("ngp", NgpFlexScene());
-    const double est = service.WarmScene("ngp").latency_ms;
+    const double est = EstimatedServiceMs(service.WarmScene("ngp"));
 
     SceneRequest hopeless;
     hopeless.scene = "ngp";

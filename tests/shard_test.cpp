@@ -251,7 +251,7 @@ TEST(ShardedRenderService, SpillPaysRecompileOnceAndKeepsInvariants)
     config.spill_recompile_factor = 1.0;
     ShardedRenderService cluster(config);
     cluster.RegisterScene("ngp", FlexScene("Instant-NGP"));
-    const double est = cluster.WarmScene("ngp").latency_ms;
+    const double est = EstimatedServiceMs(cluster.WarmScene("ngp"));
     const std::size_t home = cluster.router().Home("ngp");
     const std::size_t other = 1 - home;
 
@@ -321,7 +321,7 @@ TEST(ShardedRenderService, WarmSpillPaysNoSurcharge)
     config.spill_recompile_factor = 1.0;
     ShardedRenderService cluster(config);
     cluster.RegisterScene("ngp", FlexScene("Instant-NGP"));
-    const double est = cluster.WarmScene("ngp").latency_ms;
+    const double est = EstimatedServiceMs(cluster.WarmScene("ngp"));
 
     const auto burst = [&cluster, est](double arrival) {
         std::vector<ClusterRenderResult> results;
@@ -427,7 +427,7 @@ TEST(ShardedRenderService, DeterministicAcrossThreadCountsAndInvariant)
         ShardedRenderService probe(config);
         for (const std::string& scene : scenes) {
             probe.RegisterScene(scene, FlexScene(scene));
-            est_ms.push_back(probe.WarmScene(scene).latency_ms);
+            est_ms.push_back(EstimatedServiceMs(probe.WarmScene(scene)));
             mean_est += est_ms.back();
         }
         mean_est /= static_cast<double>(scenes.size());

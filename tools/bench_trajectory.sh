@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Bench-trajectory runner (the CI bench-trajectory job).
+#
+# Runs the plan_cache, serving, and serving_sharded smokes from an
+# existing build directory, verifies their stdout is thread-count
+# invariant (cmp of --threads 1 vs 4, the repo-wide determinism
+# contract), and distils the headline metrics — model-time QPS,
+# p50/p99 latency, shed/spill rates, plan-cache hit accounting, and
+# the plan_cache wall-clock replay speedups — into one BENCH_ci.json.
+# CI uploads the file as an artifact on every push, so the numbers
+# form a trajectory over commits instead of scrolling away in job
+# logs.
+#
+# Usage: tools/bench_trajectory.sh <build-dir> [output.json]
+set -eu
+
+build_dir="${1:?usage: bench_trajectory.sh <build-dir> [output.json]}"
+out_json="${2:-BENCH_ci.json}"
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+
+requests_serving=400
+requests_sharded=300
+
+run_pair() {
+    # run_pair <name> <binary> <args...>: runs at --threads 1 and 4,
+    # cmp-checks stdout invariance, leaves ${workdir}/<name>.out.
+    local name="$1" binary="$2"
+    shift 2
+    "${build_dir}/${binary}" "$@" --threads 1 \
+        > "${workdir}/${name}.t1.out" 2> "${workdir}/${name}.t1.err"
+    "${build_dir}/${binary}" "$@" --threads 4 \
+        > "${workdir}/${name}.out" 2> "${workdir}/${name}.err"
+    if ! cmp -s "${workdir}/${name}.t1.out" "${workdir}/${name}.out"; then
+        echo "${name}: stdout differs between --threads 1 and 4" >&2
+        diff "${workdir}/${name}.t1.out" "${workdir}/${name}.out" >&2 || true
+        exit 1
+    fi
+    echo "${name}: stdout thread-invariant (1 vs 4)"
+}
+
+run_pair plan_cache plan_cache --rounds 64
+run_pair serving serving --requests "${requests_serving}"
+run_pair serving_sharded serving_sharded --requests "${requests_sharded}"
+
+# --- serving: summary-table scalars ("metric ...  value" rows). -------
+sv="${workdir}/serving.out"
+sv_metric() { grep "^$1" "${sv}" | head -1 | awk '{print $NF}'; }
+sv_qps="$(sv_metric 'sustained QPS')"
+sv_p50="$(sv_metric 'p50 latency')"
+sv_p99="$(sv_metric 'p99 latency')"
+sv_shed_rate="$(sv_metric 'shed rate')"
+sv_util="$(sv_metric 'device utilization')"
+sv_accepted="$(grep '^accepted / completed' "${sv}" | awk '{print $NF}')"
+sv_plan_misses="$(sv_metric 'plan compiles')"
+sv_evictions="$(sv_metric 'plan evictions')"
+# "prepared frame hits   <hits> of <accepted> accepted"
+sv_frame_hits="$(grep '^prepared frame hits' "${sv}" | awk '{print $4}')"
+sv_frame_hit_rate="$(awk -v h="${sv_frame_hits}" -v a="${sv_accepted}" \
+    'BEGIN { printf (a > 0 ? "%.6f" : "0"), (a > 0 ? h / a : 0) }')"
+
+# --- plan_cache: wall-clock replay trajectory (stderr; machine-load
+# dependent by nature — recorded for the trend, not cmp-checked). ------
+pc="${workdir}/plan_cache.err"
+pc_cold_us="$(grep 'cold:' "${pc}" | sed 's/.*(//' | awk '{print $1}')"
+pc_keyed_us="$(grep 'cached (keyed)' "${pc}" | sed 's/.*(//' | awk '{print $1}')"
+pc_prepared_us="$(grep 'cached (prepared)' "${pc}" | sed 's/.*(//' \
+    | awk '{print $1}')"
+pc_speedup="$(grep 'speedup:' "${pc}" | awk '{print $NF}' | tr -d 'x')"
+
+# --- serving_sharded: one row per shard count from the scaling
+# summary table (Shards Accepted Shed Rejected Spilled Spill% Shed%
+# QPS p50 p90 p99 Util). -----------------------------------------------
+sh="${workdir}/serving_sharded.out"
+shard_rows="$(awk '/== Scaling summary/,0' "${sh}" \
+    | awk 'NF >= 12 && $1 ~ /^[0-9]+$/ {
+        printf "    {\"shards\": %s, \"accepted\": %s, " \
+               "\"spill_rate_pct\": %s, \"shed_rate_pct\": %s, " \
+               "\"qps_model\": %s, \"p50_ms\": %s, \"p99_ms\": %s, " \
+               "\"utilization_pct\": %s},\n",
+               $1, $2, $6, $7, $8, $9, $11, $12 }')"
+shard_rows="${shard_rows%,*}"  # drop the trailing comma + newline
+
+commit="${GITHUB_SHA:-$(git -C "$(dirname "$0")/.." rev-parse HEAD \
+    2>/dev/null || echo unknown)}"
+
+cat > "${out_json}" << EOF
+{
+  "schema": "flexnerfer-bench-trajectory-v1",
+  "commit": "${commit}",
+  "generated_utc": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "serving": {
+    "requests": ${requests_serving},
+    "qps_model": ${sv_qps},
+    "p50_ms": ${sv_p50},
+    "p99_ms": ${sv_p99},
+    "shed_rate_pct": ${sv_shed_rate},
+    "utilization_pct": ${sv_util},
+    "accepted": ${sv_accepted},
+    "cache": {
+      "plan_misses": ${sv_plan_misses},
+      "evictions": ${sv_evictions},
+      "frame_hits": ${sv_frame_hits},
+      "frame_hit_rate": ${sv_frame_hit_rate}
+    }
+  },
+  "plan_cache_wall_clock": {
+    "cold_us_per_frame": ${pc_cold_us},
+    "keyed_us_per_frame": ${pc_keyed_us},
+    "prepared_us_per_frame": ${pc_prepared_us},
+    "prepared_speedup_x": ${pc_speedup}
+  },
+  "serving_sharded": [
+${shard_rows}
+  ]
+}
+EOF
+
+# The artifact must be machine-parseable forever: validate if a JSON
+# tool exists (python3 is present on the CI runners).
+if command -v python3 > /dev/null 2>&1; then
+    python3 -m json.tool "${out_json}" > /dev/null
+fi
+echo "wrote ${out_json}"

@@ -59,6 +59,28 @@ for doc in docs/ARCHITECTURE.md docs/PAPER_MAP.md; do
     fi
 done
 
+# 4. Every tests/*.cpp suite must be registered with ctest. CMake
+#    registers suites by globbing tests/*_test.cpp, so a source that
+#    does not match the glob silently never runs — the exact failure
+#    this check exists to catch. Headers (shared matchers) are exempt.
+if ! grep -q 'tests/\*_test\.cpp' CMakeLists.txt; then
+    echo "CMakeLists.txt no longer globs tests/*_test.cpp - update" \
+         "tools/check_docs.sh's test-registration check to match the" \
+         "new registration scheme" >&2
+    fail=1
+fi
+for test_src in tests/*.cpp; do
+    case "${test_src}" in
+        tests/*_test.cpp) ;;  # matched by the ctest glob
+        *)
+            echo "${test_src} does not match the tests/*_test.cpp glob" \
+                 "CMakeLists.txt registers with ctest - rename it" \
+                 "*_test.cpp (or make it a header if it is a helper)" >&2
+            fail=1
+            ;;
+    esac
+done
+
 if [ "${fail}" -ne 0 ]; then
     echo "docs check FAILED" >&2
     exit 1
