@@ -158,6 +158,18 @@ LatencyHistogram::Max() const
     return max_;
 }
 
+LatencySummary
+LatencyHistogram::Summary() const
+{
+    LatencySummary summary;
+    summary.p50_ms = Quantile(0.50);
+    summary.p90_ms = Quantile(0.90);
+    summary.p99_ms = Quantile(0.99);
+    summary.mean_ms = Mean();
+    summary.max_ms = Max();
+    return summary;
+}
+
 void
 LatencyHistogram::Merge(const LatencyHistogram& other)
 {

@@ -46,6 +46,21 @@ class StatSet
 };
 
 /**
+ * A point-in-time digest of one LatencyHistogram: the percentile set
+ * every serving snapshot reports (ServiceStats, TierStats,
+ * ClusterStats all carry exactly these five numbers). A plain value
+ * type — histograms themselves are non-copyable (they own a mutex), so
+ * snapshots copy the digest, not the histogram.
+ */
+struct LatencySummary {
+    double p50_ms = 0.0;
+    double p90_ms = 0.0;
+    double p99_ms = 0.0;
+    double mean_ms = 0.0;
+    double max_ms = 0.0;
+};
+
+/**
  * Thread-safe streaming percentile estimator (p50/p90/p99) over positive
  * latency samples, in constant memory.
  *
@@ -91,6 +106,10 @@ class LatencyHistogram
     double Mean() const;  //!< 0 when empty
     double Min() const;   //!< exact; 0 when empty
     double Max() const;   //!< exact; 0 when empty
+
+    /** The p50/p90/p99/mean/max digest in one call (all zeros when
+     *  empty) — the shape every serving snapshot embeds. */
+    LatencySummary Summary() const;
 
     /** Folds another histogram's samples into this one. */
     void Merge(const LatencyHistogram& other);

@@ -99,6 +99,21 @@ struct ShardFold {
     }
 };
 
+/** Sums one epoch's per-tier counters into a lifetime accumulator
+ *  (both indexed by the cluster-wide resolved tier list). */
+void
+AddTierCounters(std::vector<AdmissionController::TierCounters>& into,
+                const std::vector<AdmissionController::TierCounters>& from)
+{
+    for (std::size_t i = 0; i < into.size(); ++i) {
+        into[i].submitted += from[i].submitted;
+        into[i].accepted += from[i].accepted;
+        into[i].rejected_queue_full += from[i].rejected_queue_full;
+        into[i].shed_deadline += from[i].shed_deadline;
+        into[i].busy_ms += from[i].busy_ms;
+    }
+}
+
 }  // namespace
 
 ShardedRenderService::ShardedRenderService(const ClusterConfig& config)
@@ -108,6 +123,11 @@ ShardedRenderService::ShardedRenderService(const ClusterConfig& config)
     if (config.spill_recompile_factor < 0.0) {
         Fatal("spill_recompile_factor must be >= 0");
     }
+    // Every replica resolves the same tier list; the lifetime per-tier
+    // aggregates are indexed by it from day one.
+    const std::size_t tiers = ResolvedTiers(config.admission).size();
+    retired_.tier_latency.resize(tiers);
+    retired_.tier_counters.resize(tiers);
 }
 
 ShardedRenderService::~ShardedRenderService()
@@ -200,7 +220,8 @@ ShardedRenderService::Submit(const SceneRequest& request)
         const AdmissionController::Verdict at_home =
             shards_[home]->admission().Probe(request.arrival_ms,
                                              desc.est_latency_ms,
-                                             request.deadline_ms);
+                                             request.deadline_ms,
+                                             request.tier);
         if (at_home.outcome != Outcome::kAccepted) {
             const std::size_t candidates = std::min(
                 config_.max_spill_candidates, shards_.size() - 1);
@@ -215,7 +236,7 @@ ShardedRenderService::Submit(const SceneRequest& request)
                     shards_[candidate]->admission().Probe(
                         request.arrival_ms,
                         desc.est_latency_ms + candidate_surcharge,
-                        request.deadline_ms);
+                        request.deadline_ms, request.tier);
                 if (verdict.outcome == Outcome::kAccepted) {
                     chosen = candidate;
                     spilled = true;
@@ -328,11 +349,17 @@ ShardedRenderService::Resize(std::size_t new_shards)
     // across rebalances.
     ShardFold fold;
     for (std::size_t i = 0; i < shards_.size(); ++i) {
-        fold.Add(shards_[i]->Snapshot(),
-                 shards_[i]->admission().counters());
+        const AdmissionController::Counters counters =
+            shards_[i]->admission().counters();
+        fold.Add(shards_[i]->Snapshot(), counters);
         retired_.spilled += aux_[i].spill_in;
         retired_.spill_recompiles += aux_[i].spill_recompiles;
         retired_.latency.Merge(shards_[i]->latency_histogram());
+        AddTierCounters(retired_.tier_counters, counters.tiers);
+        for (std::size_t t = 0; t < retired_.tier_latency.size(); ++t) {
+            retired_.tier_latency[t].Merge(
+                shards_[i]->tier_latency_histogram(t));
+        }
     }
     retired_.submitted += fold.submitted;
     retired_.accepted += fold.accepted;
@@ -422,6 +449,35 @@ ShardedRenderService::Snapshot() const
     stats.p99_ms = merged.Quantile(0.99);
     stats.mean_ms = merged.Mean();
     stats.max_ms = merged.Max();
+
+    // Per-tier fleet rows: lifetime counters (retired epochs + every
+    // current replica) and losslessly merged per-tier histograms.
+    const std::vector<TierPolicy> tiers = ResolvedTiers(config_.admission);
+    std::vector<AdmissionController::TierCounters> tier_counters =
+        retired_.tier_counters;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        AddTierCounters(tier_counters,
+                        shards_[i]->admission().counters().tiers);
+    }
+    stats.tiers.resize(tiers.size());
+    for (std::size_t t = 0; t < tiers.size(); ++t) {
+        TierStats& tier = stats.tiers[t];
+        tier.name = tiers[t].name;
+        tier.weight = tiers[t].weight;
+        tier.shed_budget = tiers[t].shed_budget;
+        tier.default_deadline_ms = tiers[t].default_deadline_ms;
+        tier.submitted = tier_counters[t].submitted;
+        tier.accepted = tier_counters[t].accepted;
+        tier.rejected_queue_full = tier_counters[t].rejected_queue_full;
+        tier.shed_deadline = tier_counters[t].shed_deadline;
+        tier.busy_ms = tier_counters[t].busy_ms;
+        LatencyHistogram tier_merged;
+        tier_merged.Merge(retired_.tier_latency[t]);
+        for (std::size_t i = 0; i < shards_.size(); ++i) {
+            tier_merged.Merge(shards_[i]->tier_latency_histogram(t));
+        }
+        tier.latency = tier_merged.Summary();
+    }
 
     double first_arrival_ms = retired_.first_arrival_ms;
     bool saw_arrival = retired_.saw_arrival;

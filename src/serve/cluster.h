@@ -51,6 +51,7 @@
 #define FLEXNERFER_SERVE_CLUSTER_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -131,6 +132,14 @@ struct ClusterStats {
     double p99_ms = 0.0;
     double mean_ms = 0.0;
     double max_ms = 0.0;
+
+    /** One row per resolved SLO tier, merged across every replica and
+     *  every retired epoch: counters sum, histograms merge losslessly,
+     *  so a tier's fleet-wide shed rate and percentiles carry the same
+     *  guarantees as a single replica's (see render_service.h
+     *  TierStats). Every replica runs the same AdmissionPolicy, so the
+     *  tier list is identical cluster-wide. */
+    std::vector<TierStats> tiers;
 
     /** Virtual span from the earliest arrival any replica saw to the
      *  latest accepted completion on any replica (cluster lifetime,
@@ -266,6 +275,11 @@ class ShardedRenderService
          *  utilization denominator; see ClusterStats::utilization). */
         double capacity_ms = 0.0;
         LatencyHistogram latency;
+        /** Per-tier lifetime telemetry (same indexing as the resolved
+         *  tier list). A deque of histograms because they are neither
+         *  copyable nor movable (common/stats.h). */
+        std::deque<LatencyHistogram> tier_latency;
+        std::vector<AdmissionController::TierCounters> tier_counters;
     };
 
     /** Registers @p scene on @p shard if not yet (mutex_ held). */

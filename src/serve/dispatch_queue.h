@@ -12,7 +12,11 @@
  * one whose submission woke it (see serve/render_service.h).
  *
  * Execution order only affects wall-clock behavior, never results:
- * request outcomes and telemetry are fixed at admission in virtual time.
+ * request outcomes and telemetry are fixed at admission in virtual
+ * time. Verdict shaping under contention is the admission tiers' job
+ * (weighted fair queueing in serve/admission.h) — the two mechanisms
+ * split cleanly: tier = who gets the virtual device's capacity,
+ * priority = which already-admitted request a worker runs next.
  *
  * Thread-safety: all members may be called concurrently.
  */

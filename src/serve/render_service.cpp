@@ -19,6 +19,14 @@ ToString(RequestStatus status)
 }
 
 double
+TierStats::ShedRate() const
+{
+    if (submitted == 0) return 0.0;
+    return static_cast<double>(rejected_queue_full + shed_deadline) /
+           static_cast<double>(submitted);
+}
+
+double
 ServiceStats::ShedRate() const
 {
     if (submitted == 0) return 0.0;
@@ -28,7 +36,8 @@ ServiceStats::ShedRate() const
 
 RenderService::RenderService(const ServeConfig& config)
     : cache_(config.plan_cache_capacity), registry_(cache_),
-      admission_(config.admission), pool_(config.threads)
+      admission_(config.admission),
+      tier_latency_(admission_.tiers().size()), pool_(config.threads)
 {}
 
 RenderService::~RenderService()
@@ -78,10 +87,11 @@ RenderService::Submit(const SceneRequest& request, double extra_service_ms)
     const AdmissionController::Verdict verdict = admission_.Admit(
         request.arrival_ms,
         EstimatedServiceMs(scene->cost) + extra_service_ms,
-        request.deadline_ms);
+        request.deadline_ms, request.tier);
 
     RenderResult result;
     result.scene = request.scene;
+    result.tier = verdict.tier;
     result.queue_wait_ms = verdict.wait_ms;
     result.latency_ms = verdict.completion_ms - verdict.arrival_ms;
 
@@ -106,6 +116,7 @@ RenderService::Submit(const SceneRequest& request, double extra_service_ms)
     // Telemetry is recorded at admission — the virtual latency is fully
     // determined here — so percentiles never depend on execution order.
     latency_.Record(result.latency_ms);
+    tier_latency_[verdict.tier].Record(result.latency_ms);
 
     auto promise = std::make_shared<std::promise<RenderResult>>();
     std::future<RenderResult> future = promise->get_future();
@@ -136,6 +147,15 @@ RenderService::Submit(const SceneRequest& request, double extra_service_ms)
         if (queue_.Pop(&next)) next.work();
     });
     return Issue(std::move(future));
+}
+
+const LatencyHistogram&
+RenderService::tier_latency_histogram(std::size_t tier) const
+{
+    FLEX_CHECK_MSG(tier < tier_latency_.size(),
+                   "tier " << tier << " out of range (service resolves "
+                           << tier_latency_.size() << " tiers)");
+    return tier_latency_[tier];
 }
 
 RenderResult
@@ -186,11 +206,32 @@ RenderService::Snapshot() const
     stats.shed_deadline = admitted.shed_deadline;
     stats.completed = completed_.load();
 
-    stats.p50_ms = latency_.Quantile(0.50);
-    stats.p90_ms = latency_.Quantile(0.90);
-    stats.p99_ms = latency_.Quantile(0.99);
-    stats.mean_ms = latency_.Mean();
-    stats.max_ms = latency_.Max();
+    const LatencySummary latency = latency_.Summary();
+    stats.p50_ms = latency.p50_ms;
+    stats.p90_ms = latency.p90_ms;
+    stats.p99_ms = latency.p99_ms;
+    stats.mean_ms = latency.mean_ms;
+    stats.max_ms = latency.max_ms;
+
+    // One row per resolved tier: policy knobs echoed next to the
+    // counters and latency digest they govern.
+    const std::vector<TierPolicy>& tiers = admission_.tiers();
+    stats.tiers.resize(tiers.size());
+    for (std::size_t i = 0; i < tiers.size(); ++i) {
+        TierStats& tier = stats.tiers[i];
+        tier.name = tiers[i].name;
+        tier.weight = tiers[i].weight;
+        tier.shed_budget = tiers[i].shed_budget;
+        tier.default_deadline_ms = tiers[i].default_deadline_ms;
+        const AdmissionController::TierCounters& counters =
+            admitted.tiers[i];
+        tier.submitted = counters.submitted;
+        tier.accepted = counters.accepted;
+        tier.rejected_queue_full = counters.rejected_queue_full;
+        tier.shed_deadline = counters.shed_deadline;
+        tier.busy_ms = counters.busy_ms;
+        tier.latency = tier_latency_[i].Summary();
+    }
 
     // Meaningful only once something was accepted: rejected/shed
     // arrivals set first_arrival_ms but never a completion.

@@ -20,10 +20,11 @@
  * admission in virtual time — model milliseconds, not wall clock — so
  * for a fixed submission sequence, Snapshot() and every result are
  * bit-identical for any thread count. Only wall-clock throughput (which
- * bench/serving prints to stderr) varies with --threads. Corollary:
- * the virtual device model is FIFO, so request priority influences
- * wall-clock dispatch order only, never verdicts or telemetry (see
- * SceneRequest::priority).
+ * bench/serving prints to stderr) varies with --threads. The virtual
+ * device is weighted-fair across SLO tiers (serve/admission.h):
+ * SceneRequest::tier shapes verdicts and telemetry — deterministically,
+ * because WFQ runs on the same virtual clock — while
+ * SceneRequest::priority still orders wall-clock dispatch only.
  *
  * Thread-safety: Submit/Wait/WaitAll/Snapshot may be called from any
  * thread. Concurrent Submits are admitted in an unspecified but
@@ -35,6 +36,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -55,17 +57,24 @@ namespace flexnerfer {
 struct SceneRequest {
     std::string scene;
     /**
-     * Larger values dispatch first on the worker pool. NOTE: priority
-     * affects *wall-clock execution order only*. Admission verdicts,
-     * virtual latencies, and all telemetry come from the virtual-time
-     * FIFO device model and are priority-blind — a high-priority
-     * request behind a long backlog is still shed if the FIFO estimate
-     * misses its deadline. This is the price of the determinism
-     * contract; a priority-aware virtual schedule (weighted fair
-     * queueing at admission) is on the roadmap.
+     * SLO tier: index into AdmissionPolicy::tiers (0 when the policy
+     * configures none). The tier shapes the *verdict*: it selects the
+     * request's WFQ virtual queue (weight, share of the device under
+     * contention), its default deadline, and its depth cap, and it
+     * buckets the per-tier telemetry (ServiceStats::tiers). Naming a
+     * tier the policy does not resolve is fatal.
+     */
+    std::size_t tier = 0;
+    /**
+     * Larger values dispatch first on the worker pool. Priority
+     * affects wall-clock execution order only — verdict shaping is the
+     * tier's job (see `tier`), which keeps dispatch order free to
+     * chase wall-clock urgency without touching the deterministic
+     * virtual schedule.
      */
     int priority = 0;
-    /** Deadline in model ms after arrival; 0 = policy default. */
+    /** Deadline in model ms after arrival; 0 = tier default, then
+     *  policy default. */
     double deadline_ms = 0.0;
     /** Virtual arrival timestamp in model ms. Submissions are expected
      *  in non-decreasing arrival order (earlier arrivals clamp up). */
@@ -85,6 +94,8 @@ std::string ToString(RequestStatus status);
 struct RenderResult {
     RequestStatus status = RequestStatus::kCompleted;
     std::string scene;
+    /** The SLO tier the request was judged under. */
+    std::size_t tier = 0;
     /** Rendered frame cost (kCompleted only; zero otherwise). */
     FrameCost cost;
     double queue_wait_ms = 0.0;  //!< virtual time spent queued
@@ -93,6 +104,35 @@ struct RenderResult {
 
 /** Handle to one submitted request. */
 using ServeTicket = std::uint64_t;
+
+/**
+ * Per-tier serving telemetry: the tier's policy knobs echoed next to
+ * the counters and latency digest they govern, so one row answers
+ * "is this tier inside its SLO". Reported by ServiceStats::tiers (one
+ * replica) and ClusterStats::tiers (merged across shards and resizes —
+ * the histograms merge losslessly, so merged percentiles keep the same
+ * ~2% bound; see common/stats.h).
+ */
+struct TierStats {
+    std::string name;
+    double weight = 1.0;
+    double shed_budget = 1.0;
+    double default_deadline_ms = 0.0;
+
+    std::uint64_t submitted = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_queue_full = 0;
+    std::uint64_t shed_deadline = 0;
+    double busy_ms = 0.0;  //!< accepted virtual service time
+
+    /** Virtual latency digest over the tier's accepted requests. */
+    LatencySummary latency;
+
+    double ShedRate() const;  //!< (rejected + shed) / submitted
+    /** Whether the observed shed rate honors the configured budget —
+     *  the SLO check the traffic-zoo bench asserts per tier. */
+    bool WithinShedBudget() const { return ShedRate() <= shed_budget; }
+};
 
 /** Aggregate telemetry snapshot (deterministic once requests drain). */
 struct ServiceStats {
@@ -121,6 +161,9 @@ struct ServiceStats {
     PlanCache::Stats cache;        //!< plan hits/misses/evictions
     std::size_t cache_entries = 0;
     std::vector<SceneStats> scenes;
+    /** One row per resolved SLO tier (AdmissionController::tiers()),
+     *  in tier-index order. */
+    std::vector<TierStats> tiers;
 
     double ShedRate() const;  //!< (rejected + shed) / submitted
 };
@@ -202,6 +245,11 @@ class RenderService
      *  the same ~2% bound as any single replica's. */
     const LatencyHistogram& latency_histogram() const { return latency_; }
 
+    /** Per-tier slice of the latency histogram (same tier indexing as
+     *  admission().tiers()); the cluster merges these into fleet
+     *  per-tier percentiles exactly like the global one. */
+    const LatencyHistogram& tier_latency_histogram(std::size_t tier) const;
+
   private:
     ServeTicket Issue(std::future<RenderResult> future);
 
@@ -210,6 +258,10 @@ class RenderService
     AdmissionController admission_;
     DispatchQueue queue_;
     LatencyHistogram latency_;
+    /** One histogram per resolved tier. A deque because histograms are
+     *  neither copyable nor movable (they own a mutex): deque
+     *  emplace-constructs in place and never relocates. */
+    std::deque<LatencyHistogram> tier_latency_;
 
     std::atomic<std::uint64_t> submitted_{0};
     std::atomic<std::uint64_t> completed_{0};

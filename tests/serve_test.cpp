@@ -206,6 +206,206 @@ TEST(AdmissionController, DefaultDeadlineAppliesWhenRequestHasNone)
               Outcome::kAccepted);
 }
 
+TEST(AdmissionController, SingleTierWfqReducesToLegacyFifo)
+{
+    // With one (implicit) tier there is nothing to weigh: the fluid
+    // device serializes, and every weighted-fair verdict must be
+    // bit-identical to the kFifo discipline's — the backward
+    // compatibility contract of the tier rework.
+    AdmissionPolicy wfq_policy;
+    wfq_policy.max_queue_depth = 2;
+    wfq_policy.default_deadline_ms = 40.0;
+    AdmissionPolicy fifo_policy = wfq_policy;
+    fifo_policy.discipline = AdmissionDiscipline::kFifo;
+    AdmissionController wfq(wfq_policy);
+    AdmissionController fifo(fifo_policy);
+
+    struct Call {
+        double arrival, est, deadline;
+    };
+    const std::vector<Call> calls = {
+        {0.0, 10.0, 0.0},  {0.0, 10.0, 0.0},  {0.0, 10.0, 0.0},
+        {5.0, 10.0, 18.0}, {25.0, 10.0, 0.0}, {26.0, 4.0, 30.0},
+    };
+    for (const Call& call : calls) {
+        const auto a = wfq.Admit(call.arrival, call.est, call.deadline);
+        const auto b = fifo.Admit(call.arrival, call.est, call.deadline);
+        EXPECT_EQ(a.outcome, b.outcome);
+        EXPECT_EQ(a.start_ms, b.start_ms);
+        EXPECT_EQ(a.completion_ms, b.completion_ms);
+        EXPECT_EQ(a.wait_ms, b.wait_ms);
+        EXPECT_EQ(a.queue_depth, b.queue_depth);
+        EXPECT_EQ(a.tier_queue_depth, b.tier_queue_depth);
+        EXPECT_EQ(a.deadline_ms, b.deadline_ms);
+        EXPECT_EQ(a.start_tag, b.start_tag);
+        EXPECT_EQ(a.finish_tag, b.finish_tag);
+    }
+    const auto ca = wfq.counters();
+    const auto cb = fifo.counters();
+    EXPECT_EQ(ca.accepted, cb.accepted);
+    EXPECT_EQ(ca.rejected_queue_full, cb.rejected_queue_full);
+    EXPECT_EQ(ca.shed_deadline, cb.shed_deadline);
+    EXPECT_EQ(ca.busy_ms, cb.busy_ms);
+    EXPECT_EQ(ca.last_completion_ms, cb.last_completion_ms);
+}
+
+TEST(AdmissionController, WfqSplitsCapacityByWeight)
+{
+    // The hand-computable GPS-fluid case: tiers at weights 3 and 1.
+    AdmissionPolicy policy;
+    policy.max_queue_depth = 0;
+    TierPolicy heavy;
+    heavy.name = "heavy";
+    heavy.weight = 3.0;
+    TierPolicy light;
+    light.name = "light";
+    light.weight = 1.0;
+    policy.tiers = {heavy, light};
+    AdmissionController admission(policy);
+    using Outcome = AdmissionController::Outcome;
+
+    // A lone light-tier request owns the whole device: 12 ms of work
+    // completes at 12 ms despite weight 1 (work-conserving, not a hard
+    // 25% slice).
+    const auto first = admission.Admit(0.0, 12.0, 0.0, 1);
+    EXPECT_EQ(first.outcome, Outcome::kAccepted);
+    EXPECT_EQ(first.start_ms, 0.0);
+    EXPECT_DOUBLE_EQ(first.completion_ms, 12.0);
+
+    // A heavy-tier request joins: both queues backlogged, so heavy
+    // drains at 3/4 of the device — 12 / (3/4) = 16 ms.
+    const auto second = admission.Admit(0.0, 12.0, 0.0, 0);
+    EXPECT_EQ(second.outcome, Outcome::kAccepted);
+    EXPECT_EQ(second.start_ms, 0.0);
+    EXPECT_DOUBLE_EQ(second.completion_ms, 16.0);
+
+    // A second light request queues behind the first: light drains at
+    // 1/4 until heavy empties at 16 ms (4 ms of light done by then),
+    // then at the full rate — start once the prior 12 ms drains
+    // (t = 24), the remaining work finishes at 36 ms.
+    const auto third = admission.Admit(0.0, 12.0, 0.0, 1);
+    EXPECT_EQ(third.outcome, Outcome::kAccepted);
+    EXPECT_DOUBLE_EQ(third.start_ms, 24.0);
+    EXPECT_DOUBLE_EQ(third.completion_ms, 36.0);
+
+    // WFQ virtual tags: service-per-weight, not wall time. Heavy's
+    // 12 / 3 = 4 undercuts light's 12 / 1 = 12; the second light
+    // request stacks on its queue's finish tag.
+    EXPECT_DOUBLE_EQ(first.finish_tag, 12.0);
+    EXPECT_DOUBLE_EQ(second.finish_tag, 4.0);
+    EXPECT_DOUBLE_EQ(third.start_tag, 12.0);
+    EXPECT_DOUBLE_EQ(third.finish_tag, 24.0);
+
+    const auto counters = admission.counters();
+    EXPECT_EQ(counters.tiers[0].busy_ms, 12.0);
+    EXPECT_EQ(counters.tiers[1].busy_ms, 24.0);
+}
+
+TEST(AdmissionController, TierDefaultsResolveDeadlinesAndCapDepth)
+{
+    AdmissionPolicy policy;
+    policy.max_queue_depth = 0;
+    policy.default_deadline_ms = 100.0;
+    TierPolicy strict;
+    strict.name = "strict";
+    strict.default_deadline_ms = 5.0;
+    TierPolicy capped;
+    capped.name = "capped";
+    capped.max_queue_depth = 1;
+    policy.tiers = {strict, capped};
+    AdmissionController admission(policy);
+    using Outcome = AdmissionController::Outcome;
+
+    // The strict tier's 5 ms default beats the policy's 100 ms: 4 ms
+    // fits an idle device...
+    EXPECT_EQ(admission.Admit(0.0, 4.0, 0.0, 0).outcome,
+              Outcome::kAccepted);
+    // ...but behind 4 ms of backlog the completion (8 ms) misses it,
+    // and the verdict reports the tier default it was judged against.
+    const auto shed = admission.Admit(0.0, 4.0, 0.0, 0);
+    EXPECT_EQ(shed.outcome, Outcome::kShedDeadline);
+    EXPECT_EQ(shed.deadline_ms, 5.0);
+    // An explicit per-request deadline still overrides the tier's.
+    EXPECT_EQ(admission.Admit(0.0, 4.0, 50.0, 0).outcome,
+              Outcome::kAccepted);
+
+    // The capped tier has no deadline of its own, so the policy
+    // default (100 ms) applies — and its depth cap of 1 bounces the
+    // second in-flight request with the legacy deadline-0 verdict.
+    EXPECT_EQ(admission.Admit(0.0, 4.0, 0.0, 1).outcome,
+              Outcome::kAccepted);
+    const auto rejected = admission.Admit(0.0, 4.0, 0.0, 1);
+    EXPECT_EQ(rejected.outcome, Outcome::kRejectedQueueFull);
+    EXPECT_EQ(rejected.deadline_ms, 0.0);
+    EXPECT_EQ(rejected.tier_queue_depth, 1u);
+
+    const auto counters = admission.counters();
+    EXPECT_EQ(counters.tiers[0].submitted, 3u);
+    EXPECT_EQ(counters.tiers[0].accepted, 2u);
+    EXPECT_EQ(counters.tiers[0].shed_deadline, 1u);
+    EXPECT_EQ(counters.tiers[1].submitted, 2u);
+    EXPECT_EQ(counters.tiers[1].accepted, 1u);
+    EXPECT_EQ(counters.tiers[1].rejected_queue_full, 1u);
+
+    // Tiers are policy, not data: an unresolved tier index is a bug in
+    // the caller, not a request to shed.
+    EXPECT_DEATH(admission.Admit(0.0, 1.0, 0.0, 7), "out of range");
+}
+
+TEST(AdmissionController, WfqShieldsPaidTierFromLowTierFlood)
+{
+    // The starvation regression: a sustained 2x-overload flood of
+    // free-tier work with a trickle of paid traffic. Under WFQ the
+    // paid tier's 6/7 guaranteed share keeps its queue near-empty and
+    // its tight deadline always feasible; under FIFO the shared queue
+    // runs at the free tier's loose deadline depth and starves paid.
+    AdmissionPolicy policy;
+    policy.max_queue_depth = 0;
+    TierPolicy paid;
+    paid.name = "paid";
+    paid.weight = 6.0;
+    paid.default_deadline_ms = 10.0;
+    paid.shed_budget = 0.02;
+    TierPolicy free_tier;
+    free_tier.name = "free";
+    free_tier.weight = 1.0;
+    free_tier.default_deadline_ms = 1000.0;
+    free_tier.max_queue_depth = 64;
+    policy.tiers = {paid, free_tier};
+    AdmissionPolicy fifo_policy = policy;
+    fifo_policy.discipline = AdmissionDiscipline::kFifo;
+
+    const auto flood = [](AdmissionController& admission) {
+        for (int i = 0; i < 20000; ++i) {
+            const double t = 0.5 * i;  // free offered load: 2 devices
+            admission.Admit(t, 1.0, 0.0, 1);
+            if (i % 5 == 0) {
+                admission.Admit(t, 1.0, 0.0, 0);  // paid load: 0.4
+            }
+        }
+    };
+    AdmissionController wfq(policy);
+    AdmissionController fifo(fifo_policy);
+    flood(wfq);
+    flood(fifo);
+
+    const auto wfq_paid = wfq.counters().tiers[0];
+    const auto fifo_paid = fifo.counters().tiers[0];
+    ASSERT_GT(wfq_paid.submitted, 0u);
+    // WFQ: zero paid sheds — trivially within the 2% budget.
+    EXPECT_EQ(wfq_paid.shed_deadline + wfq_paid.rejected_queue_full, 0u);
+    // FIFO: the same paid stream starves behind the flood.
+    const double fifo_shed_rate =
+        static_cast<double>(fifo_paid.shed_deadline +
+                            fifo_paid.rejected_queue_full) /
+        static_cast<double>(fifo_paid.submitted);
+    EXPECT_GT(fifo_shed_rate, 0.5);
+
+    // WFQ is work-conserving, not capacity-reserving: the flood still
+    // gets served, it just cannot displace paid work.
+    EXPECT_GT(wfq.counters().tiers[1].accepted, 0u);
+}
+
 TEST(DispatchQueue, PopsByPriorityThenDeadlineThenSequence)
 {
     DispatchQueue queue;
@@ -342,6 +542,73 @@ TEST(RenderService, DeadlineAndQueueDepthPoliciesShedAndReject)
     EXPECT_EQ(stats.scenes[0].accepted, 3u);
     EXPECT_EQ(stats.scenes[0].shed, 1u);
     EXPECT_EQ(stats.scenes[0].rejected, 1u);
+}
+
+TEST(RenderService, SnapshotReportsPerTierVerdictsAndLatency)
+{
+    ServeConfig config;
+    config.threads = 2;
+    config.admission.max_queue_depth = 0;
+    TierPolicy gold;
+    gold.name = "gold";
+    gold.weight = 4.0;
+    gold.shed_budget = 0.5;
+    TierPolicy bulk;
+    bulk.name = "bulk";
+    bulk.weight = 1.0;
+    config.admission.tiers = {gold, bulk};
+    RenderService service(config);
+    service.RegisterScene("ngp", NgpFlexScene());
+    const double est = EstimatedServiceMs(service.WarmScene("ngp"));
+
+    const auto submit = [&service](std::size_t tier, double deadline) {
+        SceneRequest request;
+        request.scene = "ngp";
+        request.tier = tier;
+        request.deadline_ms = deadline;
+        return service.Submit(request);
+    };
+    for (int i = 0; i < 3; ++i) submit(0, 0.0);
+    for (int i = 0; i < 2; ++i) submit(1, 0.0);
+    // Infeasible even on an idle device: this bulk request sheds, and
+    // the result still reports the tier it was judged in.
+    const RenderResult shed = service.Wait(submit(1, 0.5 * est));
+    EXPECT_EQ(shed.status, RequestStatus::kShedDeadline);
+    EXPECT_EQ(shed.tier, 1u);
+    service.WaitAll();
+
+    const ServiceStats stats = service.Snapshot();
+    ASSERT_EQ(stats.tiers.size(), 2u);
+    const TierStats& gold_row = stats.tiers[0];
+    const TierStats& bulk_row = stats.tiers[1];
+    EXPECT_EQ(gold_row.name, "gold");
+    EXPECT_EQ(gold_row.weight, 4.0);
+    EXPECT_EQ(gold_row.shed_budget, 0.5);
+    EXPECT_EQ(gold_row.submitted, 3u);
+    EXPECT_EQ(gold_row.accepted, 3u);
+    EXPECT_EQ(gold_row.shed_deadline, 0u);
+    EXPECT_EQ(gold_row.ShedRate(), 0.0);
+    EXPECT_TRUE(gold_row.WithinShedBudget());
+    EXPECT_EQ(bulk_row.name, "bulk");
+    EXPECT_EQ(bulk_row.submitted, 3u);
+    EXPECT_EQ(bulk_row.accepted, 2u);
+    EXPECT_EQ(bulk_row.shed_deadline, 1u);
+    EXPECT_DOUBLE_EQ(bulk_row.ShedRate(), 1.0 / 3.0);
+
+    // Per-tier latency digests are recorded at admission, over accepted
+    // requests only, and add up to the global histogram.
+    EXPECT_GT(gold_row.latency.p50_ms, 0.0);
+    EXPECT_GT(bulk_row.latency.p50_ms, 0.0);
+    EXPECT_EQ(service.tier_latency_histogram(0).count() +
+                  service.tier_latency_histogram(1).count(),
+              stats.accepted);
+    EXPECT_GE(stats.max_ms, std::max(gold_row.latency.max_ms,
+                                     bulk_row.latency.max_ms));
+
+    // Tier totals reconcile with the global counters.
+    EXPECT_EQ(gold_row.submitted + bulk_row.submitted, stats.submitted);
+    EXPECT_EQ(gold_row.accepted + bulk_row.accepted, stats.accepted);
+    EXPECT_DOUBLE_EQ(gold_row.busy_ms + bulk_row.busy_ms, 5.0 * est);
 }
 
 TEST(SceneRegistry, RejectsAliasScenesAndDuplicateNames)

@@ -158,6 +158,70 @@ TEST(AdmissionController, ProbeMatchesAdmitAndHasNoSideEffects)
               reference_counters.last_completion_ms);
 }
 
+/** Three-tier WFQ policy shared by the tiered tests below. */
+std::vector<TierPolicy>
+DeterminismTiers()
+{
+    TierPolicy vip;
+    vip.name = "vip";
+    vip.weight = 4.0;
+    TierPolicy mid;
+    mid.name = "mid";
+    mid.weight = 2.0;
+    TierPolicy bulk;
+    bulk.name = "bulk";
+    bulk.weight = 1.0;
+    return {vip, mid, bulk};
+}
+
+TEST(AdmissionController, TieredProbeMatchesAdmit)
+{
+    // The router's spill decisions hang on Probe/Admit agreement, now
+    // across weighted tier queues: same drain, same fluid pricing,
+    // same tags, for every tier.
+    AdmissionPolicy policy;
+    policy.max_queue_depth = 6;
+    policy.tiers = DeterminismTiers();
+    policy.tiers[0].default_deadline_ms = 25.0;
+    policy.tiers[2].max_queue_depth = 2;
+    AdmissionController admission(policy);
+
+    struct Call {
+        double arrival, est, deadline;
+        std::size_t tier;
+    };
+    const std::vector<Call> calls = {
+        {0.0, 10.0, 0.0, 2},  {0.0, 10.0, 0.0, 0},  {0.0, 10.0, 0.0, 1},
+        {0.0, 10.0, 0.0, 2},  {0.0, 10.0, 0.0, 2},  {5.0, 10.0, 0.0, 0},
+        {12.0, 8.0, 30.0, 1}, {30.0, 10.0, 0.0, 2}, {31.0, 4.0, 9.0, 0},
+    };
+    for (const Call& call : calls) {
+        const auto probed = admission.Probe(call.arrival, call.est,
+                                            call.deadline, call.tier);
+        const auto admitted = admission.Admit(call.arrival, call.est,
+                                              call.deadline, call.tier);
+        EXPECT_EQ(probed.outcome, admitted.outcome);
+        EXPECT_EQ(probed.tier, admitted.tier);
+        EXPECT_EQ(probed.start_ms, admitted.start_ms);
+        EXPECT_EQ(probed.completion_ms, admitted.completion_ms);
+        EXPECT_EQ(probed.wait_ms, admitted.wait_ms);
+        EXPECT_EQ(probed.queue_depth, admitted.queue_depth);
+        EXPECT_EQ(probed.tier_queue_depth, admitted.tier_queue_depth);
+        EXPECT_EQ(probed.deadline_ms, admitted.deadline_ms);
+        EXPECT_EQ(probed.start_tag, admitted.start_tag);
+        EXPECT_EQ(probed.finish_tag, admitted.finish_tag);
+    }
+    // The sequence exercised every verdict path across the tiers.
+    const auto counters = admission.counters();
+    std::uint64_t rejected = 0, shed = 0;
+    for (const auto& tier : counters.tiers) {
+        rejected += tier.rejected_queue_full;
+        shed += tier.shed_deadline;
+    }
+    EXPECT_GT(rejected, 0u);
+    EXPECT_GT(shed, 0u);
+}
+
 TEST(LatencyHistogram, MergeMatchesConcatenationWithinBucketBound)
 {
     // Merged-vs-concatenated: folding two histograms must equal
@@ -368,6 +432,7 @@ FixedSchedule(const std::vector<std::string>& scenes,
         SceneRequest request;
         request.scene = scenes[scene];
         request.arrival_ms = arrival;
+        request.tier = static_cast<std::size_t>(rng.UniformInt(0, 2));
         request.priority = static_cast<int>(rng.UniformInt(0, 2));
         request.deadline_ms = 1.5 * est_ms[scene] +
                               mean_est_ms * rng.Uniform(0.0, 4.0);
@@ -391,6 +456,7 @@ RunCluster(std::size_t shards, int threads_per_shard,
     config.threads_per_shard = threads_per_shard;
     config.plan_cache_capacity = 4;  // bounded: pins must survive LRU
     config.admission.max_queue_depth = 8;
+    config.admission.tiers = DeterminismTiers();
     ShardedRenderService cluster(config);
     for (const std::string& scene : scenes) {
         cluster.RegisterScene(scene, FlexScene(scene));
@@ -409,10 +475,11 @@ RunCluster(std::size_t shards, int threads_per_shard,
 
 TEST(ShardedRenderService, DeterministicAcrossThreadCountsAndInvariant)
 {
-    // The acceptance-criteria test: for a fixed submission sequence,
-    // every verdict, routed shard, spill decision, surcharge, latency,
-    // per-shard counter, and merged percentile is bit-identical for
-    // --threads 1 vs N, at every shard count; and per-shard frame hits
+    // The acceptance-criteria test: for a fixed tiered submission
+    // sequence under the three-queue WFQ policy, every verdict, routed
+    // shard, spill decision, surcharge, latency, per-shard counter,
+    // per-tier counter, and merged percentile is bit-identical for
+    // --threads 1 vs 8, at every shard count; and per-shard frame hits
     // == accepted (spill recompiles are explicit plan misses, never
     // phantom hits) at 1, 2, 4, and 8 shards.
     const std::vector<std::string> scenes = {
@@ -438,7 +505,7 @@ TEST(ShardedRenderService, DeterministicAcrossThreadCountsAndInvariant)
     for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
         const ClusterRun serial = RunCluster(shards, 1, scenes, schedule);
         const ClusterRun parallel =
-            RunCluster(shards, 4, scenes, schedule);
+            RunCluster(shards, 8, scenes, schedule);
 
         ASSERT_EQ(serial.results.size(), schedule.size());
         ASSERT_EQ(parallel.results.size(), schedule.size());
@@ -450,6 +517,7 @@ TEST(ShardedRenderService, DeterministicAcrossThreadCountsAndInvariant)
             EXPECT_EQ(a.home_shard, b.home_shard) << i;
             EXPECT_EQ(a.spilled, b.spilled) << i;
             EXPECT_EQ(a.spill_surcharge_ms, b.spill_surcharge_ms) << i;
+            EXPECT_EQ(a.result.tier, b.result.tier) << i;
             EXPECT_EQ(a.result.latency_ms, b.result.latency_ms) << i;
             EXPECT_EQ(a.result.queue_wait_ms, b.result.queue_wait_ms)
                 << i;
@@ -468,6 +536,28 @@ TEST(ShardedRenderService, DeterministicAcrossThreadCountsAndInvariant)
         EXPECT_EQ(sa.max_ms, sb.max_ms);
         EXPECT_EQ(sa.sustained_qps, sb.sustained_qps);
         EXPECT_EQ(sa.utilization, sb.utilization);
+
+        // Per-tier telemetry — counters and merged latency digests —
+        // is part of the determinism contract too.
+        ASSERT_EQ(sa.tiers.size(), 3u);
+        ASSERT_EQ(sb.tiers.size(), 3u);
+        for (std::size_t t = 0; t < sa.tiers.size(); ++t) {
+            EXPECT_EQ(sa.tiers[t].submitted, sb.tiers[t].submitted) << t;
+            EXPECT_EQ(sa.tiers[t].accepted, sb.tiers[t].accepted) << t;
+            EXPECT_EQ(sa.tiers[t].shed_deadline,
+                      sb.tiers[t].shed_deadline)
+                << t;
+            EXPECT_EQ(sa.tiers[t].rejected_queue_full,
+                      sb.tiers[t].rejected_queue_full)
+                << t;
+            EXPECT_EQ(sa.tiers[t].busy_ms, sb.tiers[t].busy_ms) << t;
+            EXPECT_EQ(sa.tiers[t].latency.p50_ms,
+                      sb.tiers[t].latency.p50_ms)
+                << t;
+            EXPECT_EQ(sa.tiers[t].latency.p99_ms,
+                      sb.tiers[t].latency.p99_ms)
+                << t;
+        }
 
         // The sequence must actually exercise the machinery to prove
         // anything: overload sheds at every count; spills need a 2nd
@@ -576,6 +666,84 @@ TEST(ShardedRenderService, ResizeDrainsRebalancesAndKeepsTelemetry)
     EXPECT_GT(shrunk.utilization, 0.0);
     EXPECT_LE(shrunk.utilization, 1.0);
     EXPECT_EQ(shrunk.accepted, final_stats.accepted);
+}
+
+TEST(ShardedRenderService, TierTelemetryMergesAcrossShardsAndResize)
+{
+    const std::vector<std::string> scenes = {"Instant-NGP", "KiloNeRF",
+                                             "TensoRF", "NeRF"};
+    ClusterConfig config;
+    config.shards = 2;
+    config.threads_per_shard = 2;
+    config.admission.max_queue_depth = 0;
+    config.admission.tiers = DeterminismTiers();
+    ShardedRenderService cluster(config);
+    for (const std::string& scene : scenes) {
+        cluster.RegisterScene(scene, FlexScene(scene));
+        cluster.WarmScene(scene);
+    }
+
+    // Twelve requests round-robining scenes and tiers; no deadlines and
+    // no depth caps, so every one is accepted somewhere.
+    for (int i = 0; i < 12; ++i) {
+        SceneRequest request;
+        request.scene = scenes[static_cast<std::size_t>(i) %
+                               scenes.size()];
+        request.arrival_ms = static_cast<double>(i);
+        request.tier = static_cast<std::size_t>(i) % 3;
+        cluster.Submit(request);
+    }
+    cluster.WaitAll();
+
+    const ClusterStats before = cluster.Snapshot();
+    ASSERT_EQ(before.tiers.size(), 3u);
+    for (std::size_t t = 0; t < 3; ++t) {
+        // Cluster tier rows are the sums of the live shard rows (no
+        // retired epoch yet) — and the merged latency digest spans the
+        // shards, so its max is the max over the shard maxima.
+        std::uint64_t submitted = 0, accepted = 0;
+        double max_ms = 0.0;
+        for (const ShardTelemetry& shard : before.per_shard) {
+            submitted += shard.service.tiers[t].submitted;
+            accepted += shard.service.tiers[t].accepted;
+            max_ms = std::max(max_ms,
+                              shard.service.tiers[t].latency.max_ms);
+        }
+        EXPECT_EQ(before.tiers[t].submitted, submitted) << t;
+        EXPECT_EQ(before.tiers[t].accepted, accepted) << t;
+        EXPECT_EQ(before.tiers[t].submitted, 4u) << t;
+        EXPECT_EQ(before.tiers[t].accepted, 4u) << t;
+        EXPECT_EQ(before.tiers[t].latency.max_ms, max_ms) << t;
+        EXPECT_EQ(before.tiers[t].name,
+                  config.admission.tiers[t].name);
+    }
+
+    // A resize retires the old replicas; their per-tier counters and
+    // histograms fold into the lifetime telemetry, bit-preserved.
+    cluster.Resize(3);
+    const ClusterStats after = cluster.Snapshot();
+    ASSERT_EQ(after.tiers.size(), 3u);
+    for (std::size_t t = 0; t < 3; ++t) {
+        EXPECT_EQ(after.tiers[t].submitted, before.tiers[t].submitted);
+        EXPECT_EQ(after.tiers[t].accepted, before.tiers[t].accepted);
+        EXPECT_EQ(after.tiers[t].busy_ms, before.tiers[t].busy_ms);
+        EXPECT_EQ(after.tiers[t].latency.p50_ms,
+                  before.tiers[t].latency.p50_ms);
+        EXPECT_EQ(after.tiers[t].latency.max_ms,
+                  before.tiers[t].latency.max_ms);
+    }
+
+    // And the merged view keeps accruing on the new replicas.
+    SceneRequest request;
+    request.scene = scenes[0];
+    request.arrival_ms = 1000.0;
+    request.tier = 2;
+    cluster.Wait(cluster.Submit(request));
+    const ClusterStats final_stats = cluster.Snapshot();
+    EXPECT_EQ(final_stats.tiers[2].submitted,
+              before.tiers[2].submitted + 1);
+    EXPECT_EQ(final_stats.tiers[2].accepted,
+              before.tiers[2].accepted + 1);
 }
 
 TEST(ShardedRenderService, SingleShardMatchesPlainRenderService)

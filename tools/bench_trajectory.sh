@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Bench-trajectory runner (the CI bench-trajectory job).
 #
-# Runs the plan_cache, serving, and serving_sharded smokes from an
-# existing build directory, verifies their stdout is thread-count
-# invariant (cmp of --threads 1 vs 4, the repo-wide determinism
-# contract), and distils the headline metrics — model-time QPS,
-# p50/p99 latency, shed/spill rates, plan-cache hit accounting, and
-# the plan_cache wall-clock replay speedups — into one BENCH_ci.json.
+# Runs the plan_cache, serving, serving_sharded, and traffic_zoo
+# smokes from an existing build directory, verifies their stdout is
+# thread-count invariant (cmp of --threads 1 vs 4, the repo-wide
+# determinism contract), and distils the headline metrics — model-time
+# QPS, p50/p99 latency, shed/spill rates, per-tier traffic-zoo verdict
+# tables, plan-cache hit accounting, and the plan_cache wall-clock
+# replay speedups — into one BENCH_ci.json.
 # CI uploads the file as an artifact on every push, so the numbers
 # form a trajectory over commits instead of scrolling away in job
 # logs.
@@ -21,6 +22,7 @@ trap 'rm -rf "${workdir}"' EXIT
 
 requests_serving=400
 requests_sharded=300
+requests_zoo=400
 
 run_pair() {
     # run_pair <name> <binary> <args...>: runs at --threads 1 and 4,
@@ -42,6 +44,7 @@ run_pair() {
 run_pair plan_cache plan_cache --rounds 64
 run_pair serving serving --requests "${requests_serving}"
 run_pair serving_sharded serving_sharded --requests "${requests_sharded}"
+run_pair traffic_zoo traffic_zoo --requests "${requests_zoo}"
 
 # --- serving: summary-table scalars ("metric ...  value" rows). -------
 sv="${workdir}/serving.out"
@@ -81,6 +84,22 @@ shard_rows="$(awk '/== Scaling summary/,0' "${sh}" \
                $1, $2, $6, $7, $8, $9, $11, $12 }')"
 shard_rows="${shard_rows%,*}"  # drop the trailing comma + newline
 
+# --- traffic_zoo: one row per (scenario, policy, tier) from the
+# machine-readable "[zoo] key=value ..." lines — the per-tier WFQ-vs-
+# FIFO verdict and latency trajectory. ---------------------------------
+zoo_rows="$(grep '^\[zoo\]' "${workdir}/traffic_zoo.out" \
+    | awk '{
+        printf "    {"
+        for (i = 2; i <= NF; ++i) {
+            split($i, kv, "=")
+            quoted = (kv[1] == "scenario" || kv[1] == "policy" ||
+                      kv[1] == "tier")
+            printf "%s\"%s\": %s%s%s", (i > 2 ? ", " : ""), kv[1],
+                   (quoted ? "\"" : ""), kv[2], (quoted ? "\"" : "")
+        }
+        printf "},\n" }')"
+zoo_rows="${zoo_rows%,*}"  # drop the trailing comma + newline
+
 commit="${GITHUB_SHA:-$(git -C "$(dirname "$0")/.." rev-parse HEAD \
     2>/dev/null || echo unknown)}"
 
@@ -112,6 +131,9 @@ cat > "${out_json}" << EOF
   },
   "serving_sharded": [
 ${shard_rows}
+  ],
+  "traffic_zoo": [
+${zoo_rows}
   ]
 }
 EOF

@@ -7,14 +7,15 @@
 #    examples/*.cpp, so a target exists iff its source file does;
 #  - any backtick-quoted repo path (src/, tests/, bench/, examples/,
 #    tools/, docs/) referenced in docs/*.md does not exist;
-#  - README.md does not link the two docs.
+#  - any docs/*.md file is not linked from README.md (orphan docs rot
+#    unseen — every guide must be reachable from the front page).
 set -u
 cd "$(dirname "$0")/.."
 fail=0
 
-# 0. The docs themselves must exist (and be linked — see check 3):
-#    a deleted file must fail loudly, not skip its other checks.
-for doc in docs/ARCHITECTURE.md docs/PAPER_MAP.md; do
+# 0. The core docs must exist (and be linked — see check 3): a deleted
+#    file must fail loudly, not skip its other checks.
+for doc in docs/ARCHITECTURE.md docs/PAPER_MAP.md docs/SERVING_GUIDE.md; do
     if [ ! -f "${doc}" ]; then
         echo "${doc} is missing" >&2
         fail=1
@@ -51,8 +52,9 @@ done < <(grep -hoE \
          '`(src|tests|bench|examples|tools|docs)/[A-Za-z0-9_./-]*`' \
          docs/*.md | tr -d '`' | sort -u)
 
-# 3. The docs must be reachable from the README.
-for doc in docs/ARCHITECTURE.md docs/PAPER_MAP.md; do
+# 3. Every docs file must be reachable from the README — not just the
+#    core two: a guide nobody can find from the front page is dead.
+for doc in docs/*.md; do
     if ! grep -q "${doc}" README.md; then
         echo "README.md does not link ${doc}" >&2
         fail=1
