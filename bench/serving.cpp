@@ -13,12 +13,21 @@
  * prepared path (its FrameCost replays the scene's pinned plan
  * bit-identically, and PlanCache frame hits equal accepted requests).
  *
+ * With --batch-window-ms > 0, same-scene requests arriving within the
+ * window fuse into single pipelined FramePlan executions and joiners
+ * are admitted at the marginal critical path (serve/render_service.h).
+ * The bench then also replays the identical arrival stream through a
+ * window=0 baseline and asserts the fused path's payoff: at >= 2x
+ * offered load the batched run must shed less (or sustain more QPS)
+ * than the baseline. The default (0) preserves the legacy single-frame
+ * path and its stdout byte-for-byte.
+ *
  * stdout (thread-count invariant): admission/latency/cache summary and
  * the per-scene table, all in virtual (model) time. stderr: wall-clock
  * throughput, which is the only thing --threads changes.
  *
  * Usage: serving [--threads N] [--requests N] [--load F]
- *                [--cache-cap N] [--seed N]
+ *                [--cache-cap N] [--seed N] [--batch-window-ms F]
  */
 #include <chrono>
 #include <cstdio>
@@ -33,6 +42,88 @@
 #include "serve/render_service.h"
 
 using namespace flexnerfer;
+
+namespace {
+
+/** One full open-loop pass through a RenderService. */
+struct RunOutput {
+    ServiceStats stats;
+    std::vector<RenderResult> results;
+    std::vector<std::string> scenes;
+    std::vector<FrameCost> warm_costs;
+    double wall_ms = 0.0;
+    int pool_threads = 0;
+};
+
+/**
+ * Registers the 21-scene catalogue, warms it, and replays the fixed-seed
+ * arrival stream through a service configured with @p batch_window_ms.
+ * The stream depends only on (seed, load, warm estimates), so two runs
+ * differing in the window see identical arrivals — the comparison the
+ * batching FLEX_CHECK rides on.
+ */
+RunOutput
+RunOpenLoop(int threads, std::size_t requests, double load,
+            std::size_t cache_cap, std::uint64_t seed,
+            double batch_window_ms)
+{
+    ServeConfig config;
+    config.threads = threads;
+    config.plan_cache_capacity = cache_cap;
+    config.admission.max_queue_depth = 128;
+    config.batch_window_ms = batch_window_ms;
+    RenderService service(config);
+
+    RunOutput out;
+    // The shared 21-scene catalogue (see scene_repertoire.h).
+    for (const NamedScene& scene : PaperSceneRepertoire()) {
+        service.RegisterScene(scene.name, scene.spec);
+        out.scenes.push_back(scene.name);
+    }
+
+    // Warm every scene (compile + pin + estimate) so the arrival
+    // schedule can be derived from the latency estimates and so request
+    // one already takes the prepared path. The estimate is the frame's
+    // dependency-DAG critical path — the same pipeline-aware value the
+    // admission controller schedules with — not the flat op sum.
+    std::vector<double> est_ms;
+    out.warm_costs.reserve(out.scenes.size());
+    est_ms.reserve(out.scenes.size());
+    double mean_service_ms = 0.0;
+    for (const std::string& scene : out.scenes) {
+        out.warm_costs.push_back(service.WarmScene(scene));
+        est_ms.push_back(EstimatedServiceMs(out.warm_costs.back()));
+        mean_service_ms += est_ms.back();
+    }
+    mean_service_ms /= static_cast<double>(out.scenes.size());
+
+    // Open-loop Poisson arrivals at `load` times the service rate of
+    // the single modeled device; deadlines leave slack when the queue
+    // is short and shed when the backlog outgrows them (the stream is
+    // shared with bench/serving_sharded — see open_loop.h).
+    OpenLoopPoissonStream stream(seed, load, mean_service_ms, est_ms);
+    const auto wall_start = std::chrono::steady_clock::now();
+    std::vector<ServeTicket> tickets;
+    tickets.reserve(requests);
+    for (std::size_t i = 0; i < requests; ++i) {
+        const OpenLoopRequest drawn = stream.Next();
+        SceneRequest request;
+        request.scene = out.scenes[drawn.scene_index];
+        request.arrival_ms = drawn.arrival_ms;
+        request.priority = drawn.priority;
+        request.deadline_ms = drawn.deadline_ms;
+        tickets.push_back(service.Submit(request));
+    }
+    out.results = service.WaitAll();
+    out.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
+    out.stats = service.Snapshot();
+    out.pool_threads = service.pool().n_threads();
+    return out;
+}
+
+}  // namespace
 
 int
 main(int argc, char** argv)
@@ -50,66 +141,24 @@ main(int argc, char** argv)
         static_cast<std::size_t>(IntFromArgs(argc, argv, "--cache-cap", 16));
     const auto seed = static_cast<std::uint64_t>(
         IntFromArgs(argc, argv, "--seed", 20250730));
+    const double batch_window_ms =
+        DoubleFromArgs(argc, argv, "--batch-window-ms", 0.0);
+    const bool batching = batch_window_ms > 0.0;
 
-    ServeConfig config;
-    config.threads = threads;
-    config.plan_cache_capacity = cache_cap;
-    config.admission.max_queue_depth = 128;
-    RenderService service(config);
-
-    // The shared 21-scene catalogue (see scene_repertoire.h).
-    std::vector<std::string> scenes;
-    for (const NamedScene& scene : PaperSceneRepertoire()) {
-        service.RegisterScene(scene.name, scene.spec);
-        scenes.push_back(scene.name);
-    }
-
-    // Warm every scene (compile + pin + estimate) so the arrival
-    // schedule can be derived from the latency estimates and so request
-    // one already takes the prepared path. The estimate is the frame's
-    // dependency-DAG critical path — the same pipeline-aware value the
-    // admission controller schedules with — not the flat op sum.
-    std::vector<FrameCost> warm_costs;
-    std::vector<double> est_ms;
-    warm_costs.reserve(scenes.size());
-    est_ms.reserve(scenes.size());
-    double mean_service_ms = 0.0;
-    for (const std::string& scene : scenes) {
-        warm_costs.push_back(service.WarmScene(scene));
-        est_ms.push_back(EstimatedServiceMs(warm_costs.back()));
-        mean_service_ms += est_ms.back();
-    }
-    mean_service_ms /= static_cast<double>(scenes.size());
-
-    // Open-loop Poisson arrivals at `load` times the service rate of
-    // the single modeled device; deadlines leave slack when the queue
-    // is short and shed when the backlog outgrows them (the stream is
-    // shared with bench/serving_sharded — see open_loop.h).
-    OpenLoopPoissonStream stream(seed, load, mean_service_ms, est_ms);
-    const auto wall_start = std::chrono::steady_clock::now();
-    std::vector<ServeTicket> tickets;
-    tickets.reserve(requests);
-    for (std::size_t i = 0; i < requests; ++i) {
-        const OpenLoopRequest drawn = stream.Next();
-        SceneRequest request;
-        request.scene = scenes[drawn.scene_index];
-        request.arrival_ms = drawn.arrival_ms;
-        request.priority = drawn.priority;
-        request.deadline_ms = drawn.deadline_ms;
-        tickets.push_back(service.Submit(request));
-    }
-    const std::vector<RenderResult> results = service.WaitAll();
-    const double wall_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - wall_start)
-            .count();
+    const RunOutput run = RunOpenLoop(threads, requests, load, cache_cap,
+                                      seed, batch_window_ms);
+    const ServiceStats& stats = run.stats;
+    const std::vector<std::string>& scenes = run.scenes;
+    const std::vector<FrameCost>& warm_costs = run.warm_costs;
 
     // Steady state must ride the prepared path: every completed request
     // replays its scene's pinned plan bit-identically to the warm-up
-    // execution of that scene.
-    FLEX_CHECK(results.size() == requests);
+    // execution of that scene — per element, batched or not (fusing
+    // identical frames amortizes them; it never changes what one frame
+    // costs).
+    FLEX_CHECK(run.results.size() == requests);
     std::size_t completed = 0;
-    for (const RenderResult& r : results) {
+    for (const RenderResult& r : run.results) {
         if (r.status != RequestStatus::kCompleted) continue;
         ++completed;
         std::size_t scene_index = 0;
@@ -120,13 +169,29 @@ main(int argc, char** argv)
                            << r.scene);
     }
 
-    const ServiceStats stats = service.Snapshot();
     FLEX_CHECK(stats.completed == stats.accepted);
-    FLEX_CHECK_MSG(stats.cache.frame_hits == stats.accepted,
-                   "every accepted request must hit the prepared frame "
-                   "path (frame hits "
-                       << stats.cache.frame_hits << " vs accepted "
-                       << stats.accepted << ")");
+    if (batching) {
+        // Batched mode dispatches one fused (memoized) execution per
+        // batch: the hit accounting follows batches, not requests.
+        FLEX_CHECK_MSG(
+            stats.cache.frame_hits == stats.batches_dispatched,
+            "every dispatched batch must replay a prepared fused frame "
+            "(frame hits "
+                << stats.cache.frame_hits << " vs batches "
+                << stats.batches_dispatched << ")");
+        const double occupancy_floor =
+            static_cast<double>(stats.accepted) /
+            static_cast<double>(stats.batches_dispatched);
+        FLEX_CHECK_MSG(stats.batch_occupancy == occupancy_floor,
+                       "batch occupancy must equal accepted / batches "
+                       "once drained");
+    } else {
+        FLEX_CHECK_MSG(stats.cache.frame_hits == stats.accepted,
+                       "every accepted request must hit the prepared "
+                       "frame path (frame hits "
+                           << stats.cache.frame_hits << " vs accepted "
+                           << stats.accepted << ")");
+    }
 
     std::printf("== Serving: open-loop %zu requests over %zu scenes "
                 "(offered load %.2fx) ==\n",
@@ -160,7 +225,24 @@ main(int argc, char** argv)
         {"plan evictions (LRU)", std::to_string(stats.cache.evictions)});
     summary.AddRow({"prepared frame hits",
                     std::to_string(stats.cache.frame_hits) + " of " +
-                        std::to_string(stats.accepted) + " accepted"});
+                        std::to_string(batching
+                                           ? stats.batches_dispatched
+                                           : stats.accepted) +
+                        (batching ? " batches" : " accepted")});
+    if (batching) {
+        summary.AddRow(
+            {"batch window [model ms]", FormatDouble(batch_window_ms, 0)});
+        summary.AddRow({"batches dispatched",
+                        std::to_string(stats.batches_dispatched)});
+        summary.AddRow({"fused batches (>= 2 elements)",
+                        std::to_string(stats.fused_batches)});
+        summary.AddRow({"requests in fused batches",
+                        std::to_string(stats.batched_requests)});
+        summary.AddRow({"batch occupancy [req/batch]",
+                        FormatDouble(stats.batch_occupancy, 3)});
+        summary.AddRow({"max batch elements",
+                        std::to_string(stats.max_batch_elements)});
+    }
     std::printf("%s\n", summary.ToString().c_str());
 
     // Admission schedules with the critical-path estimate; the flat op
@@ -182,13 +264,63 @@ main(int argc, char** argv)
                 "pinned prepared frame bit-identically.\n",
                 completed);
 
+    if (batching) {
+        // Replay the identical arrival stream with the window off: the
+        // fused path must pay for itself where it claims to — under
+        // overload, marginal-priced joins keep requests the baseline
+        // sheds.
+        const RunOutput baseline = RunOpenLoop(
+            threads, requests, load, cache_cap, seed,
+            /*batch_window_ms=*/0.0);
+        const ServiceStats& base = baseline.stats;
+        Table versus({"Metric", "window=0", "batched", "delta"});
+        versus.AddRow(
+            {"shed rate [%]", FormatDouble(100.0 * base.ShedRate(), 2),
+             FormatDouble(100.0 * stats.ShedRate(), 2),
+             FormatDouble(100.0 * (stats.ShedRate() - base.ShedRate()),
+                          2)});
+        versus.AddRow({"accepted", std::to_string(base.accepted),
+                       std::to_string(stats.accepted),
+                       std::to_string(static_cast<long long>(
+                                          stats.accepted) -
+                                      static_cast<long long>(
+                                          base.accepted))});
+        versus.AddRow({"sustained QPS (model time)",
+                       FormatDouble(base.sustained_qps, 2),
+                       FormatDouble(stats.sustained_qps, 2),
+                       FormatDouble(stats.sustained_qps -
+                                        base.sustained_qps,
+                                    2)});
+        versus.AddRow({"p99 latency [ms]", FormatDouble(base.p99_ms, 3),
+                       FormatDouble(stats.p99_ms, 3),
+                       FormatDouble(stats.p99_ms - base.p99_ms, 3)});
+        std::printf("== Batched vs window=0 on the identical arrival "
+                    "stream ==\n%s\n",
+                    versus.ToString().c_str());
+        if (load >= 2.0) {
+            FLEX_CHECK_MSG(
+                stats.ShedRate() < base.ShedRate() ||
+                    stats.sustained_qps > base.sustained_qps,
+                "at >= 2x load the batch window must bend the shed-rate "
+                "curve (or raise sustained QPS): batched shed "
+                    << stats.ShedRate() << " vs baseline "
+                    << base.ShedRate() << ", batched QPS "
+                    << stats.sustained_qps << " vs baseline "
+                    << base.sustained_qps);
+            std::printf("Batching payoff verified at %.2fx load: the "
+                        "fused path sheds less (or sustains more QPS) "
+                        "than the single-frame baseline.\n",
+                        load);
+        }
+    }
+
     std::fprintf(stderr,
                  "[serving] %zu requests on %d threads: %.1f ms wall "
                  "(%.0f wall QPS; model-time QPS above is "
                  "thread-invariant)\n",
-                 requests, service.pool().n_threads(), wall_ms,
-                 wall_ms > 0.0 ? 1e3 * static_cast<double>(requests) /
-                                     wall_ms
-                               : 0.0);
+                 requests, run.pool_threads, run.wall_ms,
+                 run.wall_ms > 0.0 ? 1e3 * static_cast<double>(requests) /
+                                         run.wall_ms
+                                   : 0.0);
     return 0;
 }

@@ -119,6 +119,27 @@ EstimatedServiceMs(const FrameCost& cost)
 }
 
 /**
+ * The batched variant: what joining an in-flight same-scene batch costs
+ * on the margin. @p fused is the executed cost of the batch with the
+ * joiner fused in, @p previous the cost at the batch's current size —
+ * the difference is how much the pipeline floor actually grows, which
+ * for a FuseBatch frame is roughly one bottleneck-stage latency instead
+ * of a whole frame (models/workload.h). Floored at zero so admission
+ * never books negative service time. Marginals telescope: summed over a
+ * batch's joiners plus the opener's full estimate, they reproduce the
+ * fused frame's EstimatedServiceMs exactly, keeping the admission
+ * model's busy-time accounting consistent with what the device executes.
+ */
+inline double
+EstimatedMarginalServiceMs(const FrameCost& fused,
+                           const FrameCost& previous)
+{
+    const double delta =
+        EstimatedServiceMs(fused) - EstimatedServiceMs(previous);
+    return delta > 0.0 ? delta : 0.0;
+}
+
+/**
  * A device that can execute a NeRF frame.
  *
  * Thread-safety contract: implementations must keep Plan const in the

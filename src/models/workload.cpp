@@ -157,6 +157,37 @@ WorkloadFingerprint(const NerfWorkload& workload)
     return out;
 }
 
+NerfWorkload
+FuseBatch(const NerfWorkload& base, std::size_t elements)
+{
+    if (elements == 0) Fatal("FuseBatch needs at least one element");
+    if (elements == 1) return base;
+    if (base.ops.empty()) {
+        Fatal("cannot batch-fuse workload '" + base.name +
+              "' with no ops");
+    }
+    NerfWorkload fused;
+    fused.name = base.name + "+batch" + std::to_string(elements);
+    fused.batch_size = base.batch_size;
+    fused.samples_per_frame =
+        base.samples_per_frame * static_cast<double>(elements);
+    const std::size_t stride = base.ops.size();
+    fused.ops.reserve(stride * elements);
+    for (std::size_t element = 0; element < elements; ++element) {
+        for (std::size_t i = 0; i < stride; ++i) {
+            WorkloadOp op = base.ops[i];
+            op.name += "#e" + std::to_string(element);
+            // Intra-element edges shift with the replica...
+            for (std::size_t& dep : op.deps) dep += element * stride;
+            // ...and each stage waits for the previous element to clear
+            // it: unit stage occupancy, the pipeline's only coupling.
+            if (element > 0) op.deps.push_back((element - 1) * stride + i);
+            fused.ops.push_back(std::move(op));
+        }
+    }
+    return fused;
+}
+
 const std::vector<std::string>&
 AllModelNames()
 {

@@ -108,6 +108,32 @@ const std::vector<std::string>& AllModelNames();
 NerfWorkload BuildWorkload(const std::string& model_name,
                            const WorkloadParams& params = {});
 
+/**
+ * Fuses @p elements requests for the same scene into one batched
+ * workload: the base op list is replicated once per batch element, each
+ * replica keeping its intra-element dependency chain, plus one
+ * cross-element edge per op from the previous element's instance of the
+ * same op. The cross edges model per-stage unit occupancy — each
+ * pipeline stage serves one batch element at a time — so the plan
+ * layer's wavefront overlaps element N's color/compositing with element
+ * N+1's sampling (the Potamoi-style unified streaming of ray/sample
+ * stages; see PAPERS.md), and the fused frame's critical path grows by
+ * roughly one bottleneck-stage latency per extra element instead of a
+ * whole frame:
+ *
+ *   critical_path(B) ~= critical_path(1) + (B - 1) x bottleneck_stage
+ *
+ * The marginal cost of joining a batch (accel/accelerator.h,
+ * EstimatedMarginalServiceMs) falls out of that directly.
+ *
+ * The fused workload is a first-class NerfWorkload: its name carries a
+ * "+batch<B>" suffix and its op names an "#e<k>" element suffix, so its
+ * fingerprint — and therefore its plan-cache identity — separates from
+ * the base workload and from every other batch shape. @p elements == 1
+ * returns @p base unchanged (same fingerprint, same cache entry).
+ */
+NerfWorkload FuseBatch(const NerfWorkload& base, std::size_t elements);
+
 }  // namespace flexnerfer
 
 #endif  // FLEXNERFER_MODELS_WORKLOAD_H_

@@ -31,6 +31,8 @@ ReplicaConfig(const ClusterConfig& config)
     replica.threads = config.threads_per_shard;
     replica.plan_cache_capacity = config.plan_cache_capacity;
     replica.admission = config.admission;
+    replica.batch_window_ms = config.batch_window_ms;
+    replica.max_batch_elements = config.max_batch_elements;
     return replica;
 }
 
@@ -59,6 +61,11 @@ struct ShardFold {
     std::uint64_t rejected_queue_full = 0;
     std::uint64_t shed_deadline = 0;
     std::uint64_t completed = 0;
+    std::uint64_t batches_dispatched = 0;
+    std::uint64_t fused_batches = 0;
+    std::uint64_t batched_requests = 0;
+    std::uint64_t batched_accepted = 0;
+    std::size_t max_batch_elements = 0;
     double busy_ms = 0.0;
     double first_arrival_ms = 0.0;
     bool saw_arrival = false;
@@ -74,6 +81,18 @@ struct ShardFold {
         rejected_queue_full += stats.rejected_queue_full;
         shed_deadline += stats.shed_deadline;
         completed += stats.completed;
+        batches_dispatched += stats.batches_dispatched;
+        fused_batches += stats.fused_batches;
+        batched_requests += stats.batched_requests;
+        // occupancy = accepted-per-batch, so occupancy x batches is the
+        // replica's accepted-in-batches count, exactly (the replica
+        // computed the ratio from these integers).
+        batched_accepted += static_cast<std::uint64_t>(
+            stats.batch_occupancy *
+                static_cast<double>(stats.batches_dispatched) +
+            0.5);
+        max_batch_elements =
+            std::max(max_batch_elements, stats.max_batch_elements);
         busy_ms += counters.busy_ms;
         if (stats.submitted > 0) {
             if (!saw_arrival ||
@@ -252,7 +271,10 @@ ShardedRenderService::Submit(const SceneRequest& request)
 
     EnsureRegisteredLocked(request.scene, chosen);
     // The probe and this Admit see the same schedule: the cluster is
-    // the replica's only submitter and holds mutex_ across both.
+    // the replica's only submitter and holds mutex_ across both. With
+    // batching on, the probe's full solo estimate upper-bounds the
+    // marginal price the replica may actually admit at, so the
+    // agreement stays one-sided safe: probe-accept implies accept.
     const ServeTicket shard_ticket =
         shards_[chosen]->Submit(request, surcharge_ms);
 
@@ -366,6 +388,12 @@ ShardedRenderService::Resize(std::size_t new_shards)
     retired_.rejected_queue_full += fold.rejected_queue_full;
     retired_.shed_deadline += fold.shed_deadline;
     retired_.completed += fold.completed;
+    retired_.batches_dispatched += fold.batches_dispatched;
+    retired_.fused_batches += fold.fused_batches;
+    retired_.batched_requests += fold.batched_requests;
+    retired_.batched_accepted += fold.batched_accepted;
+    retired_.max_batch_elements =
+        std::max(retired_.max_batch_elements, fold.max_batch_elements);
     retired_.busy_ms += fold.busy_ms;
     if (fold.saw_arrival) {
         if (!retired_.saw_arrival ||
@@ -443,6 +471,19 @@ ShardedRenderService::Snapshot() const
         retired_.rejected_queue_full + fold.rejected_queue_full;
     stats.shed_deadline = retired_.shed_deadline + fold.shed_deadline;
     stats.completed = retired_.completed + fold.completed;
+    stats.batches_dispatched =
+        retired_.batches_dispatched + fold.batches_dispatched;
+    stats.fused_batches = retired_.fused_batches + fold.fused_batches;
+    stats.batched_requests =
+        retired_.batched_requests + fold.batched_requests;
+    stats.max_batch_elements =
+        std::max(retired_.max_batch_elements, fold.max_batch_elements);
+    if (stats.batches_dispatched > 0) {
+        stats.batch_occupancy =
+            static_cast<double>(retired_.batched_accepted +
+                                fold.batched_accepted) /
+            static_cast<double>(stats.batches_dispatched);
+    }
 
     stats.p50_ms = merged.Quantile(0.50);
     stats.p90_ms = merged.Quantile(0.90);

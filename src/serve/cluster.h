@@ -86,6 +86,21 @@ struct ClusterConfig {
      * so spilling is only worth it when the home backlog exceeds it.
      */
     double spill_recompile_factor = 1.0;
+    /**
+     * Per-replica same-scene batch-fusion window in model ms (0 = off;
+     * see ServeConfig::batch_window_ms). Scene affinity makes fusion
+     * strictly more effective behind the router: every request for a
+     * scene lands on its home shard, so the whole fleet's same-scene
+     * arrivals collect into one shard's windows. Router probes keep
+     * using the scene's full solo estimate — conservative, since a
+     * join would be admitted at the cheaper marginal price — so a
+     * probe-accept always implies the shard accepts the submit; the
+     * only cost is an occasional spill that a marginal-priced home
+     * admit would have taken.
+     */
+    double batch_window_ms = 0.0;
+    /** Largest fused execution per replica (>= 1; see ServeConfig). */
+    std::size_t max_batch_elements = 8;
 };
 
 /** Handle to one request submitted to the cluster. */
@@ -123,6 +138,15 @@ struct ClusterStats {
     std::uint64_t completed = 0;
     std::uint64_t spilled = 0;           //!< accepted away from home
     std::uint64_t spill_recompiles = 0;  //!< spills that compiled
+
+    /** Batch-fusion totals summed across every replica and every
+     *  retired epoch (all zero while batch_window_ms is 0; see
+     *  render_service.h ServiceStats for the per-replica semantics). */
+    std::uint64_t batches_dispatched = 0;
+    std::uint64_t fused_batches = 0;
+    std::uint64_t batched_requests = 0;
+    std::size_t max_batch_elements = 0;  //!< largest anywhere
+    double batch_occupancy = 0.0;        //!< fleet mean requests/batch
 
     /** Merged virtual-latency percentiles over every replica's
      *  histogram (geometric buckets merge losslessly, so the ~2%
@@ -266,6 +290,11 @@ class ShardedRenderService
         std::uint64_t completed = 0;
         std::uint64_t spilled = 0;
         std::uint64_t spill_recompiles = 0;
+        std::uint64_t batches_dispatched = 0;
+        std::uint64_t fused_batches = 0;
+        std::uint64_t batched_requests = 0;
+        std::uint64_t batched_accepted = 0;
+        std::size_t max_batch_elements = 0;
         double busy_ms = 0.0;
         double first_arrival_ms = 0.0;
         double last_completion_ms = 0.0;

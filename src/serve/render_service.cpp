@@ -37,8 +37,19 @@ ServiceStats::ShedRate() const
 RenderService::RenderService(const ServeConfig& config)
     : cache_(config.plan_cache_capacity), registry_(cache_),
       admission_(config.admission),
-      tier_latency_(admission_.tiers().size()), pool_(config.threads)
-{}
+      tier_latency_(admission_.tiers().size()),
+      batch_window_ms_(config.batch_window_ms),
+      max_batch_elements_(config.max_batch_elements),
+      pool_(config.threads)
+{
+    if (batch_window_ms_ < 0.0) {
+        Fatal("ServeConfig::batch_window_ms must be >= 0");
+    }
+    if (batch_window_ms_ > 0.0 && max_batch_elements_ == 0) {
+        Fatal("ServeConfig::max_batch_elements must be >= 1 when the "
+              "batch window is on");
+    }
+}
 
 RenderService::~RenderService()
 {
@@ -73,6 +84,12 @@ RenderService::Issue(std::future<RenderResult> future)
 ServeTicket
 RenderService::Submit(const SceneRequest& request, double extra_service_ms)
 {
+    // The batching path is a separate function, not interleaved
+    // conditions: with the window off this body is exactly the
+    // pre-batching service, byte-identical telemetry included.
+    if (batch_window_ms_ > 0.0) {
+        return SubmitBatched(request, extra_service_ms);
+    }
     submitted_.fetch_add(1);
     // First touch compiles and pins the scene; steady state returns the
     // pinned entry (a map lookup).
@@ -149,6 +166,195 @@ RenderService::Submit(const SceneRequest& request, double extra_service_ms)
     return Issue(std::move(future));
 }
 
+ServeTicket
+RenderService::SubmitBatched(const SceneRequest& request,
+                             double extra_service_ms)
+{
+    submitted_.fetch_add(1);
+    const std::shared_ptr<const SceneEntry> scene =
+        registry_.Touch(request.scene, &pool_);
+
+    // One lock around the whole join-or-open decision and its Admit:
+    // the verdict depends on which batch the request lands in, so both
+    // must see one consistent submission order.
+    std::lock_guard<std::mutex> lock(batch_mutex_);
+    // Mirror the admission clamp (arrivals are non-decreasing) so
+    // window expiry and the device clock agree on "now".
+    const double arrival =
+        std::max(request.arrival_ms, last_batch_arrival_ms_);
+    last_batch_arrival_ms_ = arrival;
+    FlushExpiredLocked(arrival);
+
+    auto batch = open_batches_.end();
+    const auto open = open_by_scene_.find(request.scene);
+    if (open != open_by_scene_.end()) {
+        if (open->second->members.size() >= max_batch_elements_) {
+            // Full: dispatch it now; this request opens a fresh batch.
+            FlushBatchLocked(open->second);
+        } else {
+            batch = open->second;
+        }
+    }
+    const bool joining = batch != open_batches_.end();
+
+    // Joiners are priced at the *marginal* critical path: how much the
+    // fused frame grows by taking one more element — roughly one
+    // bottleneck stage (models/workload.h, FuseBatch) — instead of a
+    // whole frame. Openers pay the full solo estimate, exactly like
+    // the unbatched path.
+    std::shared_ptr<const BatchedSceneFrame> fused;
+    double est = 0.0;
+    if (joining) {
+        fused = registry_.TouchBatched(request.scene,
+                                       batch->members.size() + 1, &pool_);
+        est = EstimatedMarginalServiceMs(fused->cost, batch->fused_cost);
+    } else {
+        est = EstimatedServiceMs(scene->cost);
+    }
+    const AdmissionController::Verdict verdict = admission_.Admit(
+        request.arrival_ms, est + extra_service_ms, request.deadline_ms,
+        request.tier);
+
+    RenderResult result;
+    result.scene = request.scene;
+    result.tier = verdict.tier;
+    result.queue_wait_ms = verdict.wait_ms;
+    result.latency_ms = verdict.completion_ms - verdict.arrival_ms;
+
+    using Outcome = AdmissionController::Outcome;
+    if (verdict.outcome != Outcome::kAccepted) {
+        result.status = verdict.outcome == Outcome::kRejectedQueueFull
+                            ? RequestStatus::kRejectedQueueFull
+                            : RequestStatus::kShedDeadline;
+        result.latency_ms = 0.0;
+        result.queue_wait_ms = 0.0;
+        registry_.CountOutcome(request.scene, /*accepted=*/false,
+                               result.status ==
+                                   RequestStatus::kShedDeadline);
+        // A shed or rejected joiner consumes no batch slot: the open
+        // batch keeps collecting as if the request never arrived.
+        std::promise<RenderResult> promise;
+        promise.set_value(std::move(result));
+        return Issue(promise.get_future());
+    }
+
+    registry_.CountOutcome(request.scene, /*accepted=*/true,
+                           /*shed=*/false);
+    latency_.Record(result.latency_ms);
+    tier_latency_[verdict.tier].Record(result.latency_ms);
+    // Every member reports the scene's solo frame cost — the fused
+    // execution is an amortization of identical frames, not a different
+    // render — so per-request results are bit-identical to the
+    // unbatched path's (the flush checks the fused cost separately).
+    result.cost = scene->cost;
+
+    auto promise = std::make_shared<std::promise<RenderResult>>();
+    std::future<RenderResult> future = promise->get_future();
+    const double abs_deadline_ms =
+        verdict.deadline_ms > 0.0
+            ? verdict.arrival_ms + verdict.deadline_ms
+            : 0.0;
+    BatchMember member;
+    member.promise = std::move(promise);
+    member.result = std::move(result);
+
+    if (joining) {
+        batch->members.push_back(std::move(member));
+        // The batch now *is* the next-larger fused shape: the admitted
+        // marginal and the shape a flush replays advance together.
+        batch->fused_cost = fused->cost;
+        batch->frame = fused->frame;
+        batch->max_priority =
+            std::max(batch->max_priority, request.priority);
+        if (abs_deadline_ms > 0.0 &&
+            (batch->min_abs_deadline_ms == 0.0 ||
+             abs_deadline_ms < batch->min_abs_deadline_ms)) {
+            batch->min_abs_deadline_ms = abs_deadline_ms;
+        }
+    } else {
+        OpenBatch fresh;
+        fresh.scene = request.scene;
+        fresh.close_ms = arrival + batch_window_ms_;
+        fresh.max_priority = request.priority;
+        fresh.min_abs_deadline_ms = abs_deadline_ms;
+        fresh.fused_cost = scene->cost;
+        fresh.frame = scene->frame;
+        fresh.members.push_back(std::move(member));
+        open_batches_.push_back(std::move(fresh));
+        open_by_scene_[request.scene] = std::prev(open_batches_.end());
+    }
+    return Issue(std::move(future));
+}
+
+void
+RenderService::FlushBatchLocked(std::list<OpenBatch>::iterator batch)
+{
+    OpenBatch closing = std::move(*batch);
+    open_by_scene_.erase(closing.scene);
+    open_batches_.erase(batch);
+
+    const std::size_t elements = closing.members.size();
+    ++batches_dispatched_;
+    batched_accepted_total_ += elements;
+    if (elements >= 2) {
+        ++fused_batches_;
+        batched_requests_ += elements;
+    }
+    max_batch_seen_ = std::max(max_batch_seen_, elements);
+
+    DispatchItem item;
+    // The batch dispatches at its most urgent member's priority and
+    // earliest absolute deadline: fusing must never make a request less
+    // urgent than it was admitted as.
+    item.priority = closing.max_priority;
+    item.deadline_ms = closing.min_abs_deadline_ms;
+    item.sequence = sequence_.fetch_add(1);
+    auto members = std::make_shared<std::vector<BatchMember>>(
+        std::move(closing.members));
+    item.work = [this, scene = closing.scene, frame = closing.frame,
+                 expected = closing.fused_cost, members, elements]() {
+        // One fused replay serves every member. The shape was executed
+        // when its estimation run prepared it (scene_registry.h), so
+        // this replay is memoized — the batched-mode invariant is
+        // "PlanCache frame hits == batches dispatched".
+        const FrameCost fused_cost = cache_.Run(frame, &pool_);
+        FLEX_CHECK_MSG(fused_cost == expected,
+                       "fused batch replay diverged from its estimation "
+                       "run for scene '"
+                           << scene << "' (" << elements << " elements)");
+        for (BatchMember& member : *members) {
+            member.result.batch_elements = elements;
+            completed_.fetch_add(1);
+            member.promise->set_value(std::move(member.result));
+        }
+    };
+    queue_.Push(std::move(item));
+    pool_.Enqueue([this] {
+        DispatchItem next;
+        if (queue_.Pop(&next)) next.work();
+    });
+}
+
+void
+RenderService::FlushExpiredLocked(double arrival_ms)
+{
+    // Windows close in open order — close_ms is the monotone clamped
+    // arrival plus a fixed window — so expiry only ever trims a prefix.
+    while (!open_batches_.empty() &&
+           open_batches_.front().close_ms <= arrival_ms) {
+        FlushBatchLocked(open_batches_.begin());
+    }
+}
+
+void
+RenderService::FlushAllOpenBatches()
+{
+    std::lock_guard<std::mutex> lock(batch_mutex_);
+    while (!open_batches_.empty()) {
+        FlushBatchLocked(open_batches_.begin());
+    }
+}
+
 const LatencyHistogram&
 RenderService::tier_latency_histogram(std::size_t tier) const
 {
@@ -161,6 +367,10 @@ RenderService::tier_latency_histogram(std::size_t tier) const
 RenderResult
 RenderService::Wait(ServeTicket ticket)
 {
+    // A waited ticket may ride a still-open batch whose window can only
+    // close on a later submission: flush every open batch so the caller
+    // never blocks on a window with nothing behind it.
+    FlushAllOpenBatches();
     std::future<RenderResult> future;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -176,6 +386,7 @@ RenderService::Wait(ServeTicket ticket)
 std::vector<RenderResult>
 RenderService::WaitAll()
 {
+    FlushAllOpenBatches();
     std::vector<std::pair<ServeTicket, std::future<RenderResult>>> drained;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -243,6 +454,19 @@ RenderService::Snapshot() const
         stats.sustained_qps = 1e3 * static_cast<double>(admitted.accepted) /
                               stats.makespan_ms;
         stats.utilization = admitted.busy_ms / stats.makespan_ms;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(batch_mutex_);
+        stats.batches_dispatched = batches_dispatched_;
+        stats.fused_batches = fused_batches_;
+        stats.batched_requests = batched_requests_;
+        stats.max_batch_elements = max_batch_seen_;
+        if (batches_dispatched_ > 0) {
+            stats.batch_occupancy =
+                static_cast<double>(batched_accepted_total_) /
+                static_cast<double>(batches_dispatched_);
+        }
     }
 
     stats.cache = cache_.stats();

@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -100,6 +101,10 @@ struct RenderResult {
     FrameCost cost;
     double queue_wait_ms = 0.0;  //!< virtual time spent queued
     double latency_ms = 0.0;     //!< virtual arrival-to-completion
+    /** How many same-scene requests the fused execution that rendered
+     *  this one carried (1 = solo frame; always 1 with the batch
+     *  window off or for rejected/shed requests). */
+    std::size_t batch_elements = 1;
 };
 
 /** Handle to one submitted request. */
@@ -158,6 +163,19 @@ struct ServiceStats {
     /** Fraction of the makespan the modeled device was serving. */
     double utilization = 0.0;
 
+    /**
+     * Batch-fusion telemetry (all zero while the batch window is off).
+     * Counters cover dispatched batches: Snapshot() taken mid-window
+     * excludes still-open batches, which Wait/WaitAll flush.
+     */
+    std::uint64_t batches_dispatched = 0;  //!< fused executions, incl. solos
+    std::uint64_t fused_batches = 0;       //!< executions with >= 2 elements
+    std::uint64_t batched_requests = 0;    //!< requests riding those
+    std::size_t max_batch_elements = 0;    //!< largest fused execution
+    /** Mean accepted requests per dispatched batch (>= 1 once any
+     *  batch dispatched; the fused path's amortization factor). */
+    double batch_occupancy = 0.0;
+
     PlanCache::Stats cache;        //!< plan hits/misses/evictions
     std::size_t cache_entries = 0;
     std::vector<SceneStats> scenes;
@@ -176,6 +194,25 @@ struct ServeConfig {
      *  survive eviction; see plan/plan_cache.h. */
     std::size_t plan_cache_capacity = 0;
     AdmissionPolicy admission;
+    /**
+     * Same-scene batch-fusion window in model ms; 0 (the default)
+     * disables fusion — every admitted request executes as its own
+     * frame, byte-identical to the pre-batching service. When positive,
+     * an accepted request *opens* a batch for its scene; later requests
+     * for that scene arriving within the window *join* it (up to
+     * max_batch_elements) and are admitted at the marginal critical
+     * path of growing the fused frame (accel/accelerator.h,
+     * EstimatedMarginalServiceMs) — dramatically cheaper than opening a
+     * cold frame, which is what bends the shed-rate curve at high load.
+     * The batch dispatches as one fused FramePlan execution when its
+     * window closes, fills up, or a Wait forces a flush. Verdicts stay
+     * pure functions of the submission order in virtual time.
+     */
+    double batch_window_ms = 0.0;
+    /** Largest fused execution (>= 1). A full batch dispatches and the
+     *  next same-scene request opens a fresh one; 1 keeps windows open
+     *  but makes every "batch" a solo frame. */
+    std::size_t max_batch_elements = 8;
 };
 
 /** Serving front-end: admission, prepared-frame registry, telemetry. */
@@ -251,7 +288,40 @@ class RenderService
     const LatencyHistogram& tier_latency_histogram(std::size_t tier) const;
 
   private:
+    /** One admitted request riding an open batch: its promise and the
+     *  result fixed at admission (batch_elements patched at flush). */
+    struct BatchMember {
+        std::shared_ptr<std::promise<RenderResult>> promise;
+        RenderResult result;
+    };
+
+    /** One same-scene batch collecting joiners until its window closes.
+     *  `fused_cost`/`frame` track the current member count's fused
+     *  shape, so the next joiner prices against them and a flush
+     *  replays exactly the shape admission booked. */
+    struct OpenBatch {
+        std::string scene;
+        double close_ms = 0.0;  //!< opener's clamped arrival + window
+        int max_priority = 0;
+        /** Earliest member absolute deadline (0 = none yet). */
+        double min_abs_deadline_ms = 0.0;
+        FrameCost fused_cost;
+        PlanCache::PreparedFrame frame;
+        std::vector<BatchMember> members;
+    };
+
     ServeTicket Issue(std::future<RenderResult> future);
+    /** The batching Submit path (batch_window_ms > 0). */
+    ServeTicket SubmitBatched(const SceneRequest& request,
+                              double extra_service_ms);
+    /** Dispatches @p batch as one fused execution (batch_mutex_ held). */
+    void FlushBatchLocked(std::list<OpenBatch>::iterator batch);
+    /** Dispatches every open batch whose window closed by @p arrival_ms
+     *  (batch_mutex_ held; list order is window-close order). */
+    void FlushExpiredLocked(double arrival_ms);
+    /** Dispatches every open batch (Wait/WaitAll force the flush so a
+     *  blocked caller never waits on a window that cannot close). */
+    void FlushAllOpenBatches();
 
     PlanCache cache_;
     SceneRegistry registry_;
@@ -270,6 +340,26 @@ class RenderService
     mutable std::mutex mutex_;
     ServeTicket next_ticket_ = 0;
     std::unordered_map<ServeTicket, std::future<RenderResult>> inflight_;
+
+    /** Batch-fusion state (ServeConfig::batch_window_ms). batch_mutex_
+     *  serializes the whole join-or-open decision with its Admit call,
+     *  so verdicts stay pure functions of the submission order. */
+    const double batch_window_ms_;
+    const std::size_t max_batch_elements_;
+    mutable std::mutex batch_mutex_;
+    /** Open batches in window-open order (list: flushing one batch must
+     *  not invalidate the others' iterators in open_by_scene_). */
+    std::list<OpenBatch> open_batches_;
+    std::unordered_map<std::string, std::list<OpenBatch>::iterator>
+        open_by_scene_;
+    /** Mirror of the admission clamp (submissions in non-decreasing
+     *  arrival order), driving window-expiry flushes. */
+    double last_batch_arrival_ms_ = 0.0;
+    std::uint64_t batches_dispatched_ = 0;
+    std::uint64_t fused_batches_ = 0;
+    std::uint64_t batched_requests_ = 0;
+    std::uint64_t batched_accepted_total_ = 0;
+    std::size_t max_batch_seen_ = 0;
 
     /** Declared last so it is destroyed first: its destructor drains
      *  pending drain tasks, which reference the members above. */

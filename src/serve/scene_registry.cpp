@@ -94,6 +94,56 @@ SceneRegistry::Touch(const std::string& name, ThreadPool* pool,
     return slot.entry;
 }
 
+std::shared_ptr<const BatchedSceneFrame>
+SceneRegistry::TouchBatched(const std::string& name, std::size_t elements,
+                            ThreadPool* pool)
+{
+    if (elements == 0) {
+        Fatal("scene '" + name + "': a batch needs at least one element");
+    }
+    // Administrative touch: ensures the scene is prepared (the fused
+    // shapes reuse its accelerator model and workload descriptor)
+    // without moving the request counters.
+    const std::shared_ptr<const SceneEntry> entry =
+        Touch(name, pool, /*count_request=*/false);
+
+    std::shared_ptr<std::mutex> prepare_mutex;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Slot& slot = slots_.at(name);
+        const auto it = slot.batched.find(elements);
+        if (it != slot.batched.end()) return it->second;
+        prepare_mutex = slot.prepare_mutex;
+    }
+    // First use of this (scene, element-count) shape: compile, pin, and
+    // estimate outside the registry lock, serialized per scene exactly
+    // like a first touch, so one estimation run executes per shape
+    // however many submits race to open the same batch size.
+    std::lock_guard<std::mutex> prepare_lock(*prepare_mutex);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Slot& slot = slots_.at(name);
+        const auto it = slot.batched.find(elements);
+        if (it != slot.batched.end()) return it->second;
+    }
+    auto batched = std::make_shared<BatchedSceneFrame>();
+    batched->elements = elements;
+    if (elements == 1) {
+        // The 1-element "batch" is the scene itself: alias its prepared
+        // entry so a singleton flush replays the same memoized frame.
+        batched->frame = entry->frame;
+        batched->cost = entry->cost;
+    } else {
+        const NerfWorkload fused = FuseBatch(entry->workload, elements);
+        batched->frame = cache_.Prepare(*entry->accel, fused);
+        batched->cost = cache_.Run(batched->frame, pool);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    Slot& slot = slots_.at(name);
+    return slot.batched.emplace(elements, std::move(batched))
+        .first->second;
+}
+
 void
 SceneRegistry::CountOutcome(const std::string& name, bool accepted,
                             bool shed)

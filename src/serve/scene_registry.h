@@ -48,6 +48,20 @@ struct SceneEntry {
     FrameCost cost;
 };
 
+/**
+ * One prepared fused batch of a scene — the (scene, element-count)
+ * grain of the batching path. Immutable once built: the frame handle
+ * pins the fused plan in the cache and `cost` is its executed cost, so
+ * EstimatedServiceMs(cost) prices a batch of this shape and the
+ * difference against the next-smaller shape prices one more joiner
+ * (EstimatedMarginalServiceMs).
+ */
+struct BatchedSceneFrame {
+    std::size_t elements = 1;
+    PlanCache::PreparedFrame frame;  //!< pinned fused prepared frame
+    FrameCost cost;                  //!< executed fused-frame cost
+};
+
 /** Per-scene serving counters (snapshot). */
 struct SceneStats {
     std::string name;
@@ -100,6 +114,21 @@ class SceneRegistry
                                             ThreadPool* pool = nullptr,
                                             bool count_request = true);
 
+    /**
+     * Returns the prepared fused frame for @p elements requests of
+     * @p name (see models/workload.h, FuseBatch), compiling and pinning
+     * each (scene, element-count) shape lazily on its first use — one
+     * estimation run per shape, exactly like a scene's first touch, so
+     * the batching invariant "PlanCache frame hits == batches
+     * dispatched" stays exact. @p elements == 1 aliases the scene's own
+     * prepared entry (same plan-cache entry, same cost). Touches the
+     * scene first if needed; never moves the request counters
+     * (batch-shape preparation is administrative).
+     */
+    std::shared_ptr<const BatchedSceneFrame> TouchBatched(
+        const std::string& name, std::size_t elements,
+        ThreadPool* pool = nullptr);
+
     /** Counts one admission outcome against @p name's stats. */
     void CountOutcome(const std::string& name, bool accepted, bool shed);
 
@@ -124,6 +153,11 @@ class SceneRegistry
         std::shared_ptr<std::mutex> prepare_mutex =
             std::make_shared<std::mutex>();
         std::shared_ptr<const SceneEntry> entry;  //!< null until touched
+        /** Prepared fused frames by element count (lazily built; the
+         *  1-element shape aliases `entry`). */
+        std::unordered_map<std::size_t,
+                           std::shared_ptr<const BatchedSceneFrame>>
+            batched;
         SceneStats stats;
     };
 

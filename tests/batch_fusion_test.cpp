@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Tests for same-scene batch fusion: the FuseBatch workload transform
+ * (structure, fingerprints, cache separation), the fused plan's
+ * determinism and marginal-cost shape, the batched RenderService path
+ * (per-element parity, counters, thread-invariant verdicts), and the
+ * batch-window edge cases (solo cap, mixed tiers, mid-window sheds).
+ */
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "accel/flexnerfer.h"
+#include "models/workload.h"
+#include "plan/frame_plan.h"
+#include "plan/plan_cache.h"
+#include "runtime/thread_pool.h"
+#include "serve/admission.h"
+#include "serve/render_service.h"
+#include "serve/scene_registry.h"
+#include "frame_cost_matchers.h"
+
+namespace flexnerfer {
+namespace {
+
+SweepPoint
+NgpFlexScene()
+{
+    SweepPoint spec;
+    spec.backend = Backend::kFlexNeRFer;
+    spec.precision = Precision::kInt8;
+    spec.model = "Instant-NGP";
+    return spec;
+}
+
+FlexNeRFerModel
+Flex()
+{
+    FlexNeRFerModel::Config config;
+    config.precision = Precision::kInt8;
+    return FlexNeRFerModel(config);
+}
+
+TEST(FuseBatch, SingleElementIsTheIdentity)
+{
+    const NerfWorkload base = BuildWorkload("Instant-NGP");
+    const NerfWorkload fused = FuseBatch(base, 1);
+    EXPECT_EQ(fused.name, base.name);
+    EXPECT_EQ(fused.ops.size(), base.ops.size());
+    // Same fingerprint => same PlanCache key: a batch of one reuses the
+    // solo frame instead of compiling a twin under another name.
+    EXPECT_EQ(WorkloadFingerprint(fused), WorkloadFingerprint(base));
+}
+
+TEST(FuseBatch, ReplicatesOpsAndAddsCrossElementStageEdges)
+{
+    const NerfWorkload base = BuildWorkload("Instant-NGP");
+    const std::size_t stride = base.ops.size();
+    const NerfWorkload fused = FuseBatch(base, 3);
+
+    EXPECT_EQ(fused.name, base.name + "+batch3");
+    ASSERT_EQ(fused.ops.size(), 3 * stride);
+    EXPECT_EQ(fused.samples_per_frame, 3.0 * base.samples_per_frame);
+    EXPECT_EQ(fused.batch_size, base.batch_size);
+
+    for (std::size_t element = 0; element < 3; ++element) {
+        for (std::size_t i = 0; i < stride; ++i) {
+            const WorkloadOp& op = fused.ops[element * stride + i];
+            EXPECT_EQ(op.name, base.ops[i].name + "#e" +
+                                   std::to_string(element));
+            // Intra-element deps shift with the element...
+            const std::size_t base_deps = base.ops[i].deps.size();
+            ASSERT_EQ(op.deps.size(),
+                      base_deps + (element > 0 ? 1u : 0u));
+            for (std::size_t d = 0; d < base_deps; ++d) {
+                EXPECT_EQ(op.deps[d],
+                          base.ops[i].deps[d] + element * stride);
+            }
+            // ...and every op past element 0 waits on the *same stage*
+            // of the previous element: unit stage occupancy, the edge
+            // that makes the wavefront overlap element N's tail with
+            // element N+1's head.
+            if (element > 0) {
+                EXPECT_EQ(op.deps.back(), (element - 1) * stride + i);
+            }
+        }
+    }
+}
+
+TEST(FuseBatch, FingerprintsSeparateBatchShapesInThePlanCache)
+{
+    const NerfWorkload base = BuildWorkload("Instant-NGP");
+    const std::string solo = WorkloadFingerprint(base);
+    const std::string two = WorkloadFingerprint(FuseBatch(base, 2));
+    const std::string three = WorkloadFingerprint(FuseBatch(base, 3));
+    EXPECT_NE(solo, two);
+    EXPECT_NE(solo, three);
+    EXPECT_NE(two, three);
+
+    // Each shape compiles its own entry — no fused frame ever replays
+    // a differently-shaped batch's memo.
+    PlanCache cache;
+    const FlexNeRFerModel flex = Flex();
+    cache.Prepare(flex, base);
+    cache.Prepare(flex, FuseBatch(base, 2));
+    cache.Prepare(flex, FuseBatch(base, 3));
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.stats().plan_misses, 3u);
+}
+
+TEST(FuseBatch, FusedPlanExecutesBitIdenticallySerialAndPooled)
+{
+    const FlexNeRFerModel flex = Flex();
+    const NerfWorkload fused = FuseBatch(BuildWorkload("KiloNeRF"), 4);
+    const FramePlan plan = flex.Plan(fused);
+    const FrameCost serial = plan.Execute();
+    ThreadPool pool(8);
+    ExpectBitIdentical(plan.Execute(&pool), serial);
+}
+
+TEST(FuseBatch, MarginalCostStaysBelowTheSoloCriticalPath)
+{
+    // The economics the admission controller prices: growing a fused
+    // frame by one element costs at most one bottleneck stage, so the
+    // marginal critical path is positive yet below the solo frame's,
+    // and the marginals telescope back to the fused total.
+    const FlexNeRFerModel flex = Flex();
+    const NerfWorkload base = BuildWorkload("Instant-NGP");
+    std::vector<FrameCost> costs;
+    for (std::size_t elements = 1; elements <= 4; ++elements) {
+        costs.push_back(flex.Plan(FuseBatch(base, elements)).Execute());
+    }
+    const double solo = EstimatedServiceMs(costs[0]);
+    double telescoped = solo;
+    for (std::size_t k = 1; k < costs.size(); ++k) {
+        const double marginal =
+            EstimatedMarginalServiceMs(costs[k], costs[k - 1]);
+        EXPECT_GT(marginal, 0.0) << "k = " << k;
+        EXPECT_LT(marginal, solo) << "k = " << k;
+        telescoped += marginal;
+    }
+    EXPECT_DOUBLE_EQ(telescoped, EstimatedServiceMs(costs.back()));
+}
+
+TEST(SceneRegistry, TouchBatchedAliasesTheSoloFrameAtOneElement)
+{
+    PlanCache cache;
+    SceneRegistry registry(cache);
+    registry.Register("ngp", NgpFlexScene());
+
+    const auto solo = registry.Touch("ngp");
+    const auto batched1 = registry.TouchBatched("ngp", 1);
+    EXPECT_EQ(batched1->elements, 1u);
+    ExpectBitIdentical(batched1->cost, solo->cost);
+    EXPECT_EQ(cache.stats().plan_misses, 1u);  // no second compile
+
+    // Two elements compile (and estimation-run) the fused shape once;
+    // repeat touches replay the pinned entry.
+    const auto batched2 = registry.TouchBatched("ngp", 2);
+    EXPECT_EQ(batched2->elements, 2u);
+    EXPECT_EQ(cache.stats().plan_misses, 2u);
+    EXPECT_GT(EstimatedServiceMs(batched2->cost),
+              EstimatedServiceMs(solo->cost));
+    EXPECT_EQ(registry.TouchBatched("ngp", 2).get(), batched2.get());
+    EXPECT_EQ(cache.stats().plan_misses, 2u);
+}
+
+/** Submits @p count same-scene requests at one arrival instant. */
+std::vector<ServeTicket>
+SubmitBurst(RenderService* service, const std::string& scene,
+            int count, double arrival_ms)
+{
+    std::vector<ServeTicket> tickets;
+    for (int i = 0; i < count; ++i) {
+        SceneRequest request;
+        request.scene = scene;
+        request.arrival_ms = arrival_ms;
+        tickets.push_back(service->Submit(request));
+    }
+    return tickets;
+}
+
+TEST(BatchedRenderService, FusedRequestsKeepPerElementParity)
+{
+    ServeConfig config;
+    config.threads = 2;
+    config.batch_window_ms = 1e6;
+    RenderService service(config);
+    service.RegisterScene("ngp", NgpFlexScene());
+    const FrameCost warm = service.WarmScene("ngp");
+
+    const std::vector<ServeTicket> tickets =
+        SubmitBurst(&service, "ngp", 4, 0.0);
+    for (ServeTicket ticket : tickets) {
+        const RenderResult result = service.Wait(ticket);
+        EXPECT_EQ(result.status, RequestStatus::kCompleted);
+        // Every element of the fused execution reports the *solo* warm
+        // cost: fusion is an execution strategy, not a result change.
+        ExpectBitIdentical(result.cost, warm);
+        EXPECT_EQ(result.batch_elements, 4u);
+    }
+
+    const ServiceStats stats = service.Snapshot();
+    EXPECT_EQ(stats.accepted, 4u);
+    EXPECT_EQ(stats.completed, 4u);
+    EXPECT_EQ(stats.batches_dispatched, 1u);
+    EXPECT_EQ(stats.fused_batches, 1u);
+    EXPECT_EQ(stats.batched_requests, 4u);
+    EXPECT_EQ(stats.max_batch_elements, 4u);
+    EXPECT_DOUBLE_EQ(stats.batch_occupancy, 4.0);
+    // One fused dispatch replays one memoized frame — hit accounting
+    // follows batches in fused mode.
+    EXPECT_EQ(stats.cache.frame_hits, stats.batches_dispatched);
+}
+
+TEST(BatchedRenderService, FullBatchDispatchesAndReopens)
+{
+    ServeConfig config;
+    config.threads = 1;
+    config.batch_window_ms = 1e6;
+    config.max_batch_elements = 2;
+    RenderService service(config);
+    service.RegisterScene("ngp", NgpFlexScene());
+    service.WarmScene("ngp");
+
+    SubmitBurst(&service, "ngp", 5, 0.0);
+    service.WaitAll();
+    const ServiceStats stats = service.Snapshot();
+    EXPECT_EQ(stats.accepted, 5u);
+    // Cap 2 over 5 requests: two full batches plus a solo remainder.
+    EXPECT_EQ(stats.batches_dispatched, 3u);
+    EXPECT_EQ(stats.fused_batches, 2u);
+    EXPECT_EQ(stats.max_batch_elements, 2u);
+    EXPECT_EQ(stats.batched_requests, 4u);
+}
+
+TEST(BatchedRenderService, SoloCapKeepsEveryBatchASingleFrame)
+{
+    // max_batch_elements = 1: windows open and close but nothing ever
+    // fuses — the degenerate configuration must still drain cleanly.
+    ServeConfig config;
+    config.threads = 1;
+    config.batch_window_ms = 1e6;
+    config.max_batch_elements = 1;
+    RenderService service(config);
+    service.RegisterScene("ngp", NgpFlexScene());
+    const FrameCost warm = service.WarmScene("ngp");
+
+    const std::vector<ServeTicket> tickets =
+        SubmitBurst(&service, "ngp", 3, 0.0);
+    for (ServeTicket ticket : tickets) {
+        const RenderResult result = service.Wait(ticket);
+        EXPECT_EQ(result.status, RequestStatus::kCompleted);
+        EXPECT_EQ(result.batch_elements, 1u);
+        ExpectBitIdentical(result.cost, warm);
+    }
+    const ServiceStats stats = service.Snapshot();
+    EXPECT_EQ(stats.batches_dispatched, 3u);
+    EXPECT_EQ(stats.fused_batches, 0u);
+    EXPECT_EQ(stats.max_batch_elements, 1u);
+    EXPECT_DOUBLE_EQ(stats.batch_occupancy, 1.0);
+}
+
+TEST(BatchedRenderService, MixedTiersFuseIntoOneExecution)
+{
+    ServeConfig config;
+    config.threads = 2;
+    config.batch_window_ms = 1e6;
+    TierPolicy paid;
+    paid.name = "paid";
+    paid.weight = 4.0;
+    TierPolicy free_tier;
+    free_tier.name = "free";
+    free_tier.weight = 1.0;
+    config.admission.tiers = {paid, free_tier};
+    RenderService service(config);
+    service.RegisterScene("ngp", NgpFlexScene());
+    service.WarmScene("ngp");
+
+    std::vector<ServeTicket> tickets;
+    for (int i = 0; i < 4; ++i) {
+        SceneRequest request;
+        request.scene = "ngp";
+        request.tier = static_cast<std::size_t>(i % 2);
+        request.arrival_ms = 0.0;
+        tickets.push_back(service.Submit(request));
+    }
+    // Tiers shape verdicts, not batch membership: all four ride one
+    // fused execution yet keep their own tier in the result.
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+        const RenderResult result = service.Wait(tickets[i]);
+        EXPECT_EQ(result.status, RequestStatus::kCompleted);
+        EXPECT_EQ(result.tier, i % 2);
+        EXPECT_EQ(result.batch_elements, 4u);
+    }
+    const ServiceStats stats = service.Snapshot();
+    EXPECT_EQ(stats.batches_dispatched, 1u);
+    ASSERT_EQ(stats.tiers.size(), 2u);
+    EXPECT_EQ(stats.tiers[0].accepted, 2u);
+    EXPECT_EQ(stats.tiers[1].accepted, 2u);
+}
+
+TEST(BatchedRenderService, MidWindowShedConsumesNoBatchSlot)
+{
+    ServeConfig config;
+    config.threads = 1;
+    config.batch_window_ms = 1e6;
+    config.max_batch_elements = 3;
+    RenderService service(config);
+    service.RegisterScene("ngp", NgpFlexScene());
+    const double est = EstimatedServiceMs(service.WarmScene("ngp"));
+
+    SceneRequest request;
+    request.scene = "ngp";
+    request.arrival_ms = 0.0;
+    const ServeTicket opener = service.Submit(request);
+    // Infeasible even at the marginal price: sheds, and must leave the
+    // open batch untouched.
+    SceneRequest hopeless = request;
+    hopeless.deadline_ms = 1e-6 * est;
+    const ServeTicket shed = service.Submit(hopeless);
+    const ServeTicket joiner_a = service.Submit(request);
+    const ServeTicket joiner_b = service.Submit(request);
+
+    const RenderResult shed_result = service.Wait(shed);
+    EXPECT_EQ(shed_result.status, RequestStatus::kShedDeadline);
+    EXPECT_EQ(shed_result.batch_elements, 1u);
+    // All three accepted requests fit the 3-slot batch — the shed in
+    // the middle did not burn a slot or split the batch.
+    for (ServeTicket ticket : {opener, joiner_a, joiner_b}) {
+        const RenderResult result = service.Wait(ticket);
+        EXPECT_EQ(result.status, RequestStatus::kCompleted);
+        EXPECT_EQ(result.batch_elements, 3u);
+    }
+    const ServiceStats stats = service.Snapshot();
+    EXPECT_EQ(stats.accepted, 3u);
+    EXPECT_EQ(stats.shed_deadline, 1u);
+    EXPECT_EQ(stats.batches_dispatched, 1u);
+}
+
+TEST(BatchedRenderService, WindowExpiryClosesTheBatchDeterministically)
+{
+    ServeConfig config;
+    config.threads = 1;
+    config.batch_window_ms = 10.0;
+    RenderService service(config);
+    service.RegisterScene("ngp", NgpFlexScene());
+    service.WarmScene("ngp");
+
+    SceneRequest request;
+    request.scene = "ngp";
+    request.arrival_ms = 0.0;
+    const ServeTicket first = service.Submit(request);
+    // Arrives after the 10 ms window closed: flushes the first batch
+    // and opens its own.
+    request.arrival_ms = 25.0;
+    const ServeTicket second = service.Submit(request);
+
+    EXPECT_EQ(service.Wait(first).batch_elements, 1u);
+    EXPECT_EQ(service.Wait(second).batch_elements, 1u);
+    const ServiceStats stats = service.Snapshot();
+    EXPECT_EQ(stats.batches_dispatched, 2u);
+    EXPECT_EQ(stats.fused_batches, 0u);
+}
+
+/** One deterministic mixed stream: bursts over three scenes with a
+ *  tight-deadline shed salted in, submitted in a fixed order. */
+std::vector<RenderResult>
+RunDeterministicStream(int threads)
+{
+    ServeConfig config;
+    config.threads = threads;
+    config.batch_window_ms = 5e4;
+    config.admission.max_queue_depth = 12;
+    RenderService service(config);
+    const std::vector<std::string> scenes = {"Instant-NGP", "KiloNeRF",
+                                             "TensoRF"};
+    for (const std::string& model : scenes) {
+        SweepPoint spec = NgpFlexScene();
+        spec.model = model;
+        service.RegisterScene(model, spec);
+        service.WarmScene(model);
+    }
+
+    std::vector<ServeTicket> tickets;
+    for (int i = 0; i < 48; ++i) {
+        SceneRequest request;
+        request.scene = scenes[static_cast<std::size_t>(i) % 3];
+        request.arrival_ms = 400.0 * (i / 6);  // bursts of six
+        request.priority = i % 2;
+        if (i % 11 == 7) request.deadline_ms = 1.0;  // forced shed
+        tickets.push_back(service.Submit(request));
+    }
+    std::vector<RenderResult> results;
+    for (ServeTicket ticket : tickets) {
+        results.push_back(service.Wait(ticket));
+    }
+    return results;
+}
+
+TEST(BatchedRenderService, VerdictsAreInvariantAcrossThreadCounts)
+{
+    // The PR's determinism contract, batched edition: verdicts,
+    // latencies, and batch shapes are pure functions of the admission
+    // order in virtual time — the pool width must be unobservable.
+    const std::vector<RenderResult> one = RunDeterministicStream(1);
+    const std::vector<RenderResult> eight = RunDeterministicStream(8);
+    ASSERT_EQ(one.size(), eight.size());
+    for (std::size_t i = 0; i < one.size(); ++i) {
+        EXPECT_EQ(one[i].status, eight[i].status) << "i = " << i;
+        EXPECT_EQ(one[i].tier, eight[i].tier) << "i = " << i;
+        EXPECT_EQ(one[i].latency_ms, eight[i].latency_ms) << "i = " << i;
+        EXPECT_EQ(one[i].queue_wait_ms, eight[i].queue_wait_ms)
+            << "i = " << i;
+        EXPECT_EQ(one[i].batch_elements, eight[i].batch_elements)
+            << "i = " << i;
+        ExpectBitIdentical(one[i].cost, eight[i].cost);
+    }
+}
+
+}  // namespace
+}  // namespace flexnerfer

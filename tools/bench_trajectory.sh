@@ -43,6 +43,8 @@ run_pair() {
 
 run_pair plan_cache plan_cache --rounds 64
 run_pair serving serving --requests "${requests_serving}"
+run_pair serving_batched serving --requests "${requests_serving}" \
+    --load 2.5 --batch-window-ms 200000
 run_pair serving_sharded serving_sharded --requests "${requests_sharded}"
 run_pair traffic_zoo traffic_zoo --requests "${requests_zoo}"
 
@@ -61,6 +63,21 @@ sv_evictions="$(sv_metric 'plan evictions')"
 sv_frame_hits="$(grep '^prepared frame hits' "${sv}" | awk '{print $4}')"
 sv_frame_hit_rate="$(awk -v h="${sv_frame_hits}" -v a="${sv_accepted}" \
     'BEGIN { printf (a > 0 ? "%.6f" : "0"), (a > 0 ? h / a : 0) }')"
+
+# --- serving (batched): the fused-batching path at 2.5x load — the
+# same summary-table scalars plus the batching counters. ---------------
+sb="${workdir}/serving_batched.out"
+sb_metric() { grep "^$1" "${sb}" | head -1 | awk '{print $NF}'; }
+sb_qps="$(sb_metric 'sustained QPS')"
+sb_p50="$(sb_metric 'p50 latency')"
+sb_p99="$(sb_metric 'p99 latency')"
+sb_shed_rate="$(sb_metric 'shed rate')"
+sb_accepted="$(grep '^accepted / completed' "${sb}" | awk '{print $NF}')"
+sb_batches="$(sb_metric 'batches dispatched')"
+sb_fused="$(sb_metric 'fused batches')"
+sb_batched_requests="$(sb_metric 'requests in fused batches')"
+sb_occupancy="$(sb_metric 'batch occupancy')"
+sb_max_elements="$(sb_metric 'max batch elements')"
 
 # --- plan_cache: wall-clock replay trajectory (stderr; machine-load
 # dependent by nature — recorded for the trend, not cmp-checked). ------
@@ -122,6 +139,21 @@ cat > "${out_json}" << EOF
       "frame_hits": ${sv_frame_hits},
       "frame_hit_rate": ${sv_frame_hit_rate}
     }
+  },
+  "serving_batched": {
+    "requests": ${requests_serving},
+    "load": 2.5,
+    "batch_window_ms": 200000,
+    "qps_model": ${sb_qps},
+    "p50_ms": ${sb_p50},
+    "p99_ms": ${sb_p99},
+    "shed_rate_pct": ${sb_shed_rate},
+    "accepted": ${sb_accepted},
+    "batches_dispatched": ${sb_batches},
+    "fused_batches": ${sb_fused},
+    "batched_requests": ${sb_batched_requests},
+    "batch_occupancy": ${sb_occupancy},
+    "max_batch_elements": ${sb_max_elements}
   },
   "plan_cache_wall_clock": {
     "cold_us_per_frame": ${pc_cold_us},
