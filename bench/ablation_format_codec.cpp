@@ -11,7 +11,7 @@
 #include "accel/flexnerfer.h"
 #include "common/table.h"
 #include "gemm/engine.h"
-#include "sim/metrics.h"
+#include "obs/metrics.h"
 
 using namespace flexnerfer;
 

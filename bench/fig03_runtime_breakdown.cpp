@@ -7,7 +7,7 @@
 
 #include "accel/gpu_model.h"
 #include "common/table.h"
-#include "sim/metrics.h"
+#include "obs/metrics.h"
 
 using namespace flexnerfer;
 

@@ -10,7 +10,7 @@
 #include "accel/neurex.h"
 #include "accel/ppa.h"
 #include "common/table.h"
-#include "sim/metrics.h"
+#include "obs/metrics.h"
 
 using namespace flexnerfer;
 

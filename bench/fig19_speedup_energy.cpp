@@ -14,7 +14,7 @@
 
 #include "common/table.h"
 #include "runtime/sweep_runner.h"
-#include "sim/metrics.h"
+#include "obs/metrics.h"
 
 using namespace flexnerfer;
 

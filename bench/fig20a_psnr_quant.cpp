@@ -12,7 +12,7 @@
 #include "common/table.h"
 #include "nerf/field_fit.h"
 #include "nerf/renderer.h"
-#include "sim/metrics.h"
+#include "obs/metrics.h"
 
 using namespace flexnerfer;
 

@@ -32,7 +32,7 @@
 #include "plan/plan_cache.h"
 #include "runtime/sweep_runner.h"
 #include "runtime/thread_pool.h"
-#include "sim/metrics.h"
+#include "obs/metrics.h"
 
 using namespace flexnerfer;
 

@@ -26,8 +26,17 @@
  * the per-scene table, all in virtual (model) time. stderr: wall-clock
  * throughput, which is the only thing --threads changes.
  *
+ * With --trace-out PATH the primary run records an end-to-end request
+ * trace and exports it as Chrome trace-event JSON (bench/trace_support.h);
+ * --metrics-out PATH additionally snapshots the run's ServiceStats
+ * through the unified MetricsRegistry. Both artifacts and the "[trace]"
+ * stdout census are virtual-time derived and thread-count invariant;
+ * the batched mode's window=0 baseline replay is never traced.
+ *
  * Usage: serving [--threads N] [--requests N] [--load F]
  *                [--cache-cap N] [--seed N] [--batch-window-ms F]
+ *                [--trace-out PATH] [--trace-clock virtual|wall]
+ *                [--metrics-out PATH]
  */
 #include <chrono>
 #include <cstdio>
@@ -36,10 +45,12 @@
 
 #include "common/logging.h"
 #include "common/table.h"
+#include "obs/metrics_registry.h"
 #include "open_loop.h"
 #include "runtime/sweep_runner.h"
 #include "scene_repertoire.h"
 #include "serve/render_service.h"
+#include "trace_support.h"
 
 using namespace flexnerfer;
 
@@ -145,6 +156,7 @@ main(int argc, char** argv)
         DoubleFromArgs(argc, argv, "--batch-window-ms", 0.0);
     const bool batching = batch_window_ms > 0.0;
 
+    BenchTraceSession trace_session(argc, argv);
     const RunOutput run = RunOpenLoop(threads, requests, load, cache_cap,
                                       seed, batch_window_ms);
     const ServiceStats& stats = run.stats;
@@ -268,7 +280,9 @@ main(int argc, char** argv)
         // Replay the identical arrival stream with the window off: the
         // fused path must pay for itself where it claims to — under
         // overload, marginal-priced joins keep requests the baseline
-        // sheds.
+        // sheds. The baseline is a comparison artifact, not part of
+        // the primary run — stop recording so it stays untraced.
+        trace_session.StopRecording();
         const RunOutput baseline = RunOpenLoop(
             threads, requests, load, cache_cap, seed,
             /*batch_window_ms=*/0.0);
@@ -312,6 +326,13 @@ main(int argc, char** argv)
                         "than the single-frame baseline.\n",
                         load);
         }
+    }
+
+    trace_session.Finish();
+    if (trace_session.metrics_requested()) {
+        MetricsRegistry registry;
+        stats.PublishTo(registry);
+        trace_session.WriteMetrics(registry);
     }
 
     std::fprintf(stderr,

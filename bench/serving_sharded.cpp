@@ -23,8 +23,16 @@
  * tables, all in virtual (model) time. stderr: wall-clock throughput,
  * the only thing --threads changes.
  *
+ * With --trace-out PATH every shard-count pass records request traces
+ * (including routing probes and spills) into one Chrome trace-event
+ * JSON export; --metrics-out PATH snapshots each pass's ClusterStats
+ * into the unified MetricsRegistry under a cluster.shards<N> prefix.
+ * See bench/trace_support.h.
+ *
  * Usage: serving_sharded [--threads N] [--requests N] [--load F]
  *                        [--cache-cap N] [--seed N] [--spill-factor F]
+ *                        [--trace-out PATH] [--trace-clock virtual|wall]
+ *                        [--metrics-out PATH]
  */
 #include <chrono>
 #include <cstdio>
@@ -33,10 +41,12 @@
 
 #include "common/logging.h"
 #include "common/table.h"
+#include "obs/metrics_registry.h"
 #include "open_loop.h"
 #include "runtime/sweep_runner.h"
 #include "scene_repertoire.h"
 #include "serve/cluster.h"
+#include "trace_support.h"
 
 using namespace flexnerfer;
 
@@ -62,6 +72,9 @@ main(int argc, char** argv)
         DoubleFromArgs(argc, argv, "--spill-factor", 1.0);
 
     const std::vector<NamedScene> repertoire = PaperSceneRepertoire();
+
+    BenchTraceSession trace_session(argc, argv);
+    MetricsRegistry registry;
 
     Table scaling({"Shards", "Accepted", "Shed", "Rejected", "Spilled",
                    "Spill rate [%]", "Shed rate [%]", "QPS (model)",
@@ -139,6 +152,10 @@ main(int argc, char** argv)
 
         const ClusterStats stats = cluster.Snapshot();
         FLEX_CHECK(stats.completed == stats.accepted);
+        if (trace_session.metrics_requested()) {
+            stats.PublishTo(registry, "cluster.shards" +
+                                          std::to_string(shard_count));
+        }
         for (const ShardTelemetry& shard : stats.per_shard) {
             FLEX_CHECK_MSG(
                 shard.service.cache.frame_hits == shard.service.accepted,
@@ -199,5 +216,7 @@ main(int argc, char** argv)
     std::printf("All completed requests replayed their scene's pinned "
                 "prepared frame bit-identically; per-shard frame hits == "
                 "accepted at every shard count.\n");
+    trace_session.Finish();
+    trace_session.WriteMetrics(registry);
     return 0;
 }

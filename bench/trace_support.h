@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Shared --trace-out / --metrics-out plumbing for the serving benches.
+ *
+ * A BenchTraceSession parses the observability flags, installs a
+ * process-wide TraceRecorder when tracing is requested, and exports the
+ * artifacts on Finish():
+ *
+ *   --trace-out PATH      Chrome trace-event JSON (chrome://tracing,
+ *                         Perfetto). Also prints the deterministic
+ *                         "[trace] ..." event-census line and one
+ *                         "[trace-stage] ..." line per op stage to
+ *                         stdout — virtual-time derived, so they are
+ *                         byte-identical for any --threads N, like the
+ *                         rest of the bench's stdout.
+ *   --trace-clock CLOCK   "virtual" (default; the deterministic
+ *                         projection CI cmp's across thread counts) or
+ *                         "wall" (per recording thread, wall-clock µs).
+ *   --metrics-out PATH    MetricsRegistry JSON snapshot (the bench
+ *                         publishes its ServiceStats/ClusterStats into
+ *                         the registry before writing).
+ *
+ * Without the flags nothing is installed and the bench's default
+ * stdout stays byte-identical to the untraced binary — the disabled
+ * path costs one relaxed atomic load per instrumentation probe.
+ *
+ * Benches that replay a second, untraced baseline (bench/serving's
+ * batched-vs-window=0 comparison) call StopRecording() between the
+ * runs so baseline events never pollute the primary trace.
+ */
+#ifndef FLEXNERFER_BENCH_TRACE_SUPPORT_H_
+#define FLEXNERFER_BENCH_TRACE_SUPPORT_H_
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "runtime/sweep_runner.h"
+
+namespace flexnerfer {
+
+/** Observability session of one bench run (see file header). */
+class BenchTraceSession
+{
+  public:
+    BenchTraceSession(int argc, char** argv)
+    {
+        const char* const trace = StringFromArgs(argc, argv, "--trace-out", "");
+        const char* const metrics =
+            StringFromArgs(argc, argv, "--metrics-out", "");
+        const char* const clock =
+            StringFromArgs(argc, argv, "--trace-clock", "virtual");
+        trace_path_ = trace != nullptr ? trace : "";
+        metrics_path_ = metrics != nullptr ? metrics : "";
+        if (std::strcmp(clock, "virtual") == 0) {
+            clock_ = TraceClock::kVirtual;
+        } else if (std::strcmp(clock, "wall") == 0) {
+            clock_ = TraceClock::kWall;
+        } else {
+            Fatal(std::string("invalid --trace-clock value '") + clock +
+                  "' (expected 'virtual' or 'wall')");
+        }
+        clock_name_ = clock;
+        if (!trace_path_.empty()) {
+            recorder_ = std::make_unique<TraceRecorder>();
+            TraceRecorder::InstallGlobal(recorder_.get());
+            installed_ = true;
+        }
+    }
+
+    ~BenchTraceSession() { StopRecording(); }
+
+    BenchTraceSession(const BenchTraceSession&) = delete;
+    BenchTraceSession& operator=(const BenchTraceSession&) = delete;
+
+    /** Whether --trace-out was given (a recorder is collecting). */
+    bool tracing() const { return recorder_ != nullptr; }
+
+    /** Whether --metrics-out was given. */
+    bool metrics_requested() const { return !metrics_path_.empty(); }
+
+    /**
+     * Uninstalls the recorder (idempotent). Call before replaying an
+     * untraced baseline; already-recorded events stay exportable.
+     */
+    void StopRecording()
+    {
+        if (installed_) {
+            TraceRecorder::InstallGlobal(nullptr);
+            installed_ = false;
+        }
+    }
+
+    /**
+     * Stops recording, prints the deterministic stdout census
+     * ("[trace] ..." + per-stage attribution), and writes the trace
+     * file. No-op without --trace-out.
+     */
+    void Finish()
+    {
+        if (!tracing() || finished_) return;
+        finished_ = true;
+        StopRecording();
+
+        std::size_t spans = 0;
+        std::size_t instants = 0;
+        std::size_t counters = 0;
+        // Per-stage attribution over the per-op spans (cat "op", arg
+        // "stage"): virtual critical-path milliseconds by engine stage,
+        // the trace-derived counterpart of the paper's Fig. 3 runtime
+        // breakdown. std::map iterates stages alphabetically —
+        // deterministic output order.
+        struct StageAgg {
+            std::size_t ops = 0;
+            double virtual_ms = 0.0;
+        };
+        std::map<std::string, StageAgg> stages;
+        double total_op_ms = 0.0;
+        for (const TraceEvent& event : recorder_->SortedEvents()) {
+            switch (event.phase) {
+                case TracePhase::kSpan: ++spans; break;
+                case TracePhase::kInstant: ++instants; break;
+                case TracePhase::kCounter: ++counters; break;
+            }
+            if (event.phase != TracePhase::kSpan ||
+                std::strcmp(event.category, "op") != 0) {
+                continue;
+            }
+            for (const TraceArg& arg : event.args) {
+                if (arg.key != "stage") continue;
+                const double dur_ms =
+                    event.virt_end_ms - event.virt_begin_ms;
+                StageAgg& agg = stages[arg.value];
+                ++agg.ops;
+                agg.virtual_ms += dur_ms;
+                total_op_ms += dur_ms;
+                break;
+            }
+        }
+
+        std::printf("[trace] spans=%zu instants=%zu counters=%zu "
+                    "traces=%zu\n",
+                    spans, instants, counters,
+                    static_cast<std::size_t>(recorder_->trace_count()));
+        for (const auto& entry : stages) {
+            const StageAgg& agg = entry.second;
+            std::printf("[trace-stage] stage=%s ops=%zu virtual_ms=%.3f "
+                        "share_pct=%.2f\n",
+                        entry.first.c_str(), agg.ops, agg.virtual_ms,
+                        total_op_ms > 0.0
+                            ? 100.0 * agg.virtual_ms / total_op_ms
+                            : 0.0);
+        }
+
+        if (recorder_->WriteChromeTraceFile(trace_path_, clock_)) {
+            std::fprintf(stderr, "[trace] wrote %s (%s projection)\n",
+                         trace_path_.c_str(), clock_name_.c_str());
+        }
+    }
+
+    /** Writes @p registry to --metrics-out (no-op without the flag). */
+    void WriteMetrics(const MetricsRegistry& registry) const
+    {
+        if (metrics_path_.empty()) return;
+        if (registry.WriteJsonFile(metrics_path_)) {
+            std::fprintf(stderr,
+                         "[metrics] wrote %s (%zu counters, %zu gauges)\n",
+                         metrics_path_.c_str(), registry.counter_count(),
+                         registry.gauge_count());
+        }
+    }
+
+  private:
+    std::string trace_path_;
+    std::string metrics_path_;
+    std::string clock_name_ = "virtual";
+    TraceClock clock_ = TraceClock::kVirtual;
+    std::unique_ptr<TraceRecorder> recorder_;
+    bool installed_ = false;
+    bool finished_ = false;
+};
+
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_BENCH_TRACE_SUPPORT_H_

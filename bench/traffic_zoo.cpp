@@ -33,8 +33,15 @@
  * batch occupancy and fused-frame counts. The default (0) preserves the
  * legacy single-frame path and its stdout byte-for-byte.
  *
+ * With --trace-out PATH every (scenario, policy) run and the sharded
+ * flash replay record into one Chrome trace-event JSON export;
+ * --metrics-out PATH snapshots each run's ServiceStats into the
+ * unified MetricsRegistry under a zoo.<scenario>.<policy> prefix. See
+ * bench/trace_support.h.
+ *
  * Usage: traffic_zoo [--threads N] [--requests N] [--seed N]
- *                    [--batch-window-ms F]
+ *                    [--batch-window-ms F] [--trace-out PATH]
+ *                    [--trace-clock virtual|wall] [--metrics-out PATH]
  */
 #include <algorithm>
 #include <chrono>
@@ -47,11 +54,13 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "obs/metrics_registry.h"
 #include "open_loop.h"
 #include "runtime/sweep_runner.h"
 #include "scene_repertoire.h"
 #include "serve/cluster.h"
 #include "serve/render_service.h"
+#include "trace_support.h"
 
 using namespace flexnerfer;
 
@@ -577,6 +586,9 @@ main(int argc, char** argv)
     }
     const bool batching = batch_window_ms > 0.0;
 
+    BenchTraceSession trace_session(argc, argv);
+    MetricsRegistry registry;
+
     const Repertoire repertoire = BuildRepertoire();
     const std::vector<Scenario> scenarios =
         BuildScenarios(repertoire.mean_est_ms, requests);
@@ -604,6 +616,10 @@ main(int argc, char** argv)
                                                                  : fifo;
             outcomes =
                 ReportRun(scenario.name, discipline, stats, batching);
+            if (trace_session.metrics_requested()) {
+                stats.PublishTo(registry, "zoo." + scenario.name + "." +
+                                              PolicyLabel(discipline));
+            }
         }
         if (scenario.name == "flash") flash = &scenario;
         if (scenario.name == "flood" && !batching) {
@@ -639,5 +655,7 @@ main(int argc, char** argv)
                     "shed budget; the FIFO baseline breached it on the "
                     "identical stream.\n");
     }
+    trace_session.Finish();
+    trace_session.WriteMetrics(registry);
     return 0;
 }

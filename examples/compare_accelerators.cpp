@@ -16,7 +16,7 @@
 #include "common/logging.h"
 #include "common/table.h"
 #include "runtime/sweep_runner.h"
-#include "sim/metrics.h"
+#include "obs/metrics.h"
 
 using namespace flexnerfer;
 

@@ -1,9 +1,21 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace flexnerfer {
+namespace {
+
+std::atomic<void (*)()> g_check_failure_hook{nullptr};
+
+}  // namespace
+
+void
+SetCheckFailureHook(void (*hook)())
+{
+    g_check_failure_hook.store(hook);
+}
 
 void
 Fatal(const std::string& message)
@@ -32,6 +44,7 @@ CheckFail(const char* condition, const char* file, int line,
 {
     std::fprintf(stderr, "check failed at %s:%d: %s%s%s\n", file, line,
                  condition, message.empty() ? "" : " — ", message.c_str());
+    if (void (*const hook)() = g_check_failure_hook.load()) hook();
     std::abort();
 }
 

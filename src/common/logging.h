@@ -23,6 +23,16 @@ void Inform(const std::string& message);
 /** Emits a warning message to stderr. */
 void Warn(const std::string& message);
 
+/**
+ * Registers a hook FLEX_CHECK runs after printing its failure message
+ * and before aborting (null unregisters). The observability layer
+ * installs a flight-recorder dump here (obs/trace.h), so a failing
+ * invariant in a traced run prints the last N spans post-mortem. The
+ * hook must be async-signal-tolerant in spirit: it runs on the failing
+ * thread, possibly while locks elsewhere are held.
+ */
+void SetCheckFailureHook(void (*hook)());
+
 namespace detail {
 
 /** Backing implementation for FLEX_CHECK; aborts the process. */

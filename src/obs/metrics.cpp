@@ -1,4 +1,4 @@
-#include "sim/metrics.h"
+#include "obs/metrics.h"
 
 #include <cmath>
 #include <sstream>

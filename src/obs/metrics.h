@@ -2,8 +2,8 @@
  * @file
  * Experiment-level metric helpers shared by the benchmark binaries.
  */
-#ifndef FLEXNERFER_SIM_METRICS_H_
-#define FLEXNERFER_SIM_METRICS_H_
+#ifndef FLEXNERFER_OBS_METRICS_H_
+#define FLEXNERFER_OBS_METRICS_H_
 
 #include <string>
 #include <vector>
@@ -35,4 +35,4 @@ double GeoMeanEnergyGain(const std::vector<FrameCost>& baseline,
 
 }  // namespace flexnerfer
 
-#endif  // FLEXNERFER_SIM_METRICS_H_
+#endif  // FLEXNERFER_OBS_METRICS_H_

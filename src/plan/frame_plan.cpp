@@ -8,11 +8,26 @@
 
 #include "common/logging.h"
 #include "common/units.h"
+#include "obs/trace.h"
 #include "plan/gemm_memo.h"
 #include "runtime/thread_pool.h"
 
 namespace flexnerfer {
 namespace {
+
+/** Stage label for trace-derived runtime attribution (the axis of the
+ *  paper's Fig. 3 breakdown). */
+const char*
+StageName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::kGemm: return "gemm";
+      case OpKind::kPositionalEncoding: return "posenc";
+      case OpKind::kHashEncoding: return "hash";
+      case OpKind::kOther: return "other";
+    }
+    return "other";
+}
 
 /**
  * FlexNeRFer cost assembly: the codec is pipelined with fetch/compute
@@ -77,21 +92,43 @@ PlannedOp::Evaluate(GemmMemo* memo) const
 }
 
 void
-FramePlan::EvaluateSerial(GemmMemo* memo,
-                          std::vector<OpCost>* fragments) const
+FramePlan::EvaluateOp(std::size_t i, GemmMemo* memo,
+                      std::vector<OpCost>* fragments,
+                      TraceRecorder* recorder,
+                      std::vector<double>* wall_begin_us,
+                      std::vector<double>* wall_end_us) const
+{
+    if (recorder != nullptr) {
+        (*wall_begin_us)[i] = recorder->NowWallUs();
+        (*fragments)[i] = ops_[i].Evaluate(memo);
+        (*wall_end_us)[i] = recorder->NowWallUs();
+    } else {
+        (*fragments)[i] = ops_[i].Evaluate(memo);
+    }
+}
+
+void
+FramePlan::EvaluateSerial(GemmMemo* memo, std::vector<OpCost>* fragments,
+                          TraceRecorder* recorder,
+                          std::vector<double>* wall_begin_us,
+                          std::vector<double>* wall_end_us) const
 {
     // Topological order is the serial analogue of the wavefront: each
     // op runs after its predecessors, as the modeled pipeline would.
     // (Evaluation is pure per op, so any order yields the same
     // fragments; the contract is about fidelity, not correctness.)
     for (const std::size_t i : topo_order_) {
-        (*fragments)[i] = ops_[i].Evaluate(memo);
+        EvaluateOp(i, memo, fragments, recorder, wall_begin_us,
+                   wall_end_us);
     }
 }
 
 void
 FramePlan::EvaluateWavefront(ThreadPool& pool, GemmMemo* memo,
-                             std::vector<OpCost>* fragments) const
+                             std::vector<OpCost>* fragments,
+                             TraceRecorder* recorder,
+                             std::vector<double>* wall_begin_us,
+                             std::vector<double>* wall_end_us) const
 {
     const std::size_t n = ops_.size();
     // Plan-local wavefront state, drained by a ParallelFor over n
@@ -130,7 +167,8 @@ FramePlan::EvaluateWavefront(ThreadPool& pool, GemmMemo* memo,
                 ready.pop_front();
             }
             try {
-                (*fragments)[op] = ops_[op].Evaluate(memo);
+                EvaluateOp(op, memo, fragments, recorder, wall_begin_us,
+                           wall_end_us);
             } catch (...) {
                 // Unblock every waiting iteration before propagating:
                 // the op's successors will never retire, and
@@ -160,6 +198,25 @@ FramePlan::EvaluateWavefront(ThreadPool& pool, GemmMemo* memo,
 FrameCost
 FramePlan::Execute(ThreadPool* pool, GemmMemo* memo) const
 {
+    // Tracing is on only when a recorder is installed AND the calling
+    // thread carries a request context (set by the serving layer's
+    // ScopedTraceContext) — a bare Execute records nothing, and the
+    // disabled path costs one relaxed load.
+    TraceRecorder* recorder = TraceRecorder::Global();
+    TraceContext trace_ctx;
+    if (recorder != nullptr) {
+        trace_ctx = CurrentTraceContext();
+        if (!trace_ctx.active() || ops_.empty()) recorder = nullptr;
+    }
+    std::vector<double> wall_begin_us;
+    std::vector<double> wall_end_us;
+    double frame_wall_begin_us = 0.0;
+    if (recorder != nullptr) {
+        wall_begin_us.assign(ops_.size(), 0.0);
+        wall_end_us.assign(ops_.size(), 0.0);
+        frame_wall_begin_us = recorder->NowWallUs();
+    }
+
     std::vector<OpCost> fragments(ops_.size());
     // The wavefront only pays off when the DAG has width: a pure chain
     // (depth == op count) admits one ready op at a time, so fanning it
@@ -167,9 +224,11 @@ FramePlan::Execute(ThreadPool* pool, GemmMemo* memo) const
     // run it on the calling thread instead (identical result either
     // way; evaluation is pure and the reduction is fixed-order).
     if (pool != nullptr && ops_.size() > 1 && depth_ < ops_.size()) {
-        EvaluateWavefront(*pool, memo, &fragments);
+        EvaluateWavefront(*pool, memo, &fragments, recorder,
+                          &wall_begin_us, &wall_end_us);
     } else {
-        EvaluateSerial(memo, &fragments);
+        EvaluateSerial(memo, &fragments, recorder, &wall_begin_us,
+                       &wall_end_us);
     }
 
     // Enqueue-order reduction: one addition per op per field, in op
@@ -220,6 +279,40 @@ FramePlan::Execute(ThreadPool* pool, GemmMemo* memo) const
         critical_path_ms = std::max(critical_path_ms, finish[i]);
     }
     total.critical_path_ms = critical_path_ms;
+
+    if (recorder != nullptr) {
+        // Per-op spans on the *virtual* pipeline schedule the critical
+        // path implies — op i runs [max dep finish, finish(i)] after
+        // the scope's anchor — so the trace lays the frame out as the
+        // modeled device executes it, whatever the host interleaving
+        // was. Wall endpoints are the measured evaluation windows.
+        const double anchor_ms = CurrentTraceAnchorMs();
+        const std::string frame_name = "frame:" + workload_name_;
+        TraceContext op_ctx;
+        op_ctx.trace_id = trace_ctx.trace_id;
+        op_ctx.parent_span = SpanId(trace_ctx.trace_id, frame_name);
+        for (const std::size_t i : topo_order_) {
+            const double latency_ms = fragments[i].cost.latency_ms;
+            recorder->RecordSpan(
+                op_ctx, "op",
+                "op" + std::to_string(i) + ":" + ops_[i].name,
+                anchor_ms + finish[i] - latency_ms, anchor_ms + finish[i],
+                wall_begin_us[i], wall_end_us[i],
+                {TraceArg::Int("index", static_cast<std::int64_t>(i)),
+                 TraceArg::Int("layer",
+                               static_cast<std::int64_t>(layer_of_[i])),
+                 TraceArg::Str("stage", StageName(ops_[i].kind)),
+                 TraceArg::Int("engine", ops_[i].uses_engine ? 1 : 0)});
+        }
+        recorder->RecordSpan(
+            trace_ctx, "frame", frame_name, anchor_ms,
+            anchor_ms + critical_path_ms, frame_wall_begin_us,
+            recorder->NowWallUs(),
+            {TraceArg::Int("ops", static_cast<std::int64_t>(ops_.size())),
+             TraceArg::Int("engine_ops",
+                           static_cast<std::int64_t>(engine_op_count())),
+             TraceArg::Int("depth", static_cast<std::int64_t>(depth_))});
+    }
     return total;
 }
 

@@ -48,6 +48,7 @@ namespace flexnerfer {
 
 class GemmMemo;
 class ThreadPool;
+class TraceRecorder;
 
 /** Cost fragment of one planned op plus its utilization sample. */
 struct OpCost {
@@ -146,12 +147,28 @@ class FramePlan
   private:
     friend class FramePlanBuilder;
 
+    /**
+     * Evaluates op @p i into its fragment slot, wall-timing it into the
+     * pre-assigned @p wall slots when tracing (each slot written once
+     * by the evaluating thread, read only after every op retired —
+     * race-free by construction, like the fragment slots).
+     */
+    void EvaluateOp(std::size_t i, GemmMemo* memo,
+                    std::vector<OpCost>* fragments,
+                    TraceRecorder* recorder,
+                    std::vector<double>* wall_begin_us,
+                    std::vector<double>* wall_end_us) const;
     /** Evaluates fragments serially, in topological order. */
-    void EvaluateSerial(GemmMemo* memo,
-                        std::vector<OpCost>* fragments) const;
+    void EvaluateSerial(GemmMemo* memo, std::vector<OpCost>* fragments,
+                        TraceRecorder* recorder,
+                        std::vector<double>* wall_begin_us,
+                        std::vector<double>* wall_end_us) const;
     /** Evaluates fragments as a wavefront over @p pool. */
     void EvaluateWavefront(ThreadPool& pool, GemmMemo* memo,
-                           std::vector<OpCost>* fragments) const;
+                           std::vector<OpCost>* fragments,
+                           TraceRecorder* recorder,
+                           std::vector<double>* wall_begin_us,
+                           std::vector<double>* wall_end_us) const;
 
     std::string workload_name_;
     std::vector<PlannedOp> ops_;

@@ -4,11 +4,28 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "plan/frame_planner.h"
 #include "runtime/thread_pool.h"
 
 namespace flexnerfer {
 namespace {
+
+/**
+ * Records a cache-outcome instant into the calling request's trace (a
+ * ScopedTraceContext set by the serving layer), timestamped at the
+ * scope's virtual anchor. No recorder or no live context: one relaxed
+ * load / one thread-local read, nothing recorded.
+ */
+void
+TraceCacheInstant(const char* name)
+{
+    TraceRecorder* const recorder = TraceRecorder::Global();
+    if (recorder == nullptr) return;
+    const TraceContext ctx = CurrentTraceContext();
+    if (!ctx.active()) return;
+    recorder->RecordInstant(ctx, "cache", name, CurrentTraceAnchorMs());
+}
 
 /**
  * Reusable per-thread key buffer: key construction dominates a keyed
@@ -48,6 +65,7 @@ PlanCache::GetByKey(const std::string& key, const Accelerator& accel,
             if (capacity_ > 0) {
                 lru_.splice(lru_.begin(), lru_, it->second->lru_it);
             }
+            TraceCacheInstant("plan_hit");
             return it->second;
         }
     }
@@ -56,6 +74,7 @@ PlanCache::GetByKey(const std::string& key, const Accelerator& accel,
     auto entry = std::make_shared<Entry>();
     entry->plan = std::make_shared<const FramePlan>(
         FramePlanner::Compile(accel, workload));
+    TraceCacheInstant("plan_miss");
     std::lock_guard<std::mutex> lock(mutex_);
     const auto inserted = entries_.emplace(key, std::move(entry));
     if (inserted.second) {
@@ -101,6 +120,7 @@ PlanCache::RunEntry(const std::shared_ptr<Entry>& entry, ThreadPool* pool)
             std::lock_guard<std::mutex> lock(mutex_);
             if (entry->result != nullptr) {
                 ++stats_.frame_hits;
+                TraceCacheInstant("frame_hit");
                 return *entry->result;
             }
             if (entry->inflight.valid() && tls_executing_plans == 0) {
@@ -121,6 +141,7 @@ PlanCache::RunEntry(const std::shared_ptr<Entry>& entry, ThreadPool* pool)
         }
 
         if (wait_on.valid()) {
+            TraceCacheInstant("frame_join");
             // Wait helping drain the pool: the executing thread's
             // wavefront tasks may need this worker, so parking without
             // helping could deadlock a fully-subscribed pool.

@@ -171,6 +171,14 @@ DoubleFromArgs(int argc, char** argv, const char* name,
     return x;
 }
 
+const char*
+StringFromArgs(int argc, char** argv, const char* name,
+               const char* default_value)
+{
+    const char* value = FlagValue(argc, argv, name);
+    return value == nullptr ? default_value : value;
+}
+
 int
 ThreadsFromArgs(int argc, char** argv, int default_threads)
 {

@@ -162,6 +162,14 @@ double DoubleFromArgs(int argc, char** argv, const char* name,
                       double default_value);
 
 /**
+ * String flag parser with the same "<name> V" / "<name>=V" shapes:
+ * returns @p default_value (may be null or "") when the flag is absent.
+ * Used by the observability flags (--trace-out, --metrics-out).
+ */
+const char* StringFromArgs(int argc, char** argv, const char* name,
+                           const char* default_value);
+
+/**
  * RAII wall-clock reporter shared by the sweep benches: at scope exit
  * prints "[sweep] <count> <noun> on <threads> threads: <ms> ms" to
  * stderr, keeping stdout (the metric tables) thread-count invariant.

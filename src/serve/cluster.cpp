@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics_registry.h"
 
 namespace flexnerfer {
 
@@ -20,6 +21,75 @@ ClusterStats::SpillRate() const
 {
     if (submitted == 0) return 0.0;
     return static_cast<double>(spilled) / static_cast<double>(submitted);
+}
+
+void
+ClusterStats::PublishTo(MetricsRegistry& registry,
+                        const std::string& prefix) const
+{
+    registry.SetCounter(prefix + ".submitted",
+                        static_cast<double>(submitted));
+    registry.SetCounter(prefix + ".accepted", static_cast<double>(accepted));
+    registry.SetCounter(prefix + ".rejected_queue_full",
+                        static_cast<double>(rejected_queue_full));
+    registry.SetCounter(prefix + ".shed_deadline",
+                        static_cast<double>(shed_deadline));
+    registry.SetCounter(prefix + ".completed",
+                        static_cast<double>(completed));
+    registry.SetCounter(prefix + ".spilled", static_cast<double>(spilled));
+    registry.SetCounter(prefix + ".spill_recompiles",
+                        static_cast<double>(spill_recompiles));
+    registry.SetCounter(prefix + ".batches_dispatched",
+                        static_cast<double>(batches_dispatched));
+    registry.SetCounter(prefix + ".fused_batches",
+                        static_cast<double>(fused_batches));
+    registry.SetCounter(prefix + ".batched_requests",
+                        static_cast<double>(batched_requests));
+
+    registry.SetGauge(prefix + ".shards", static_cast<double>(shards));
+    registry.SetGauge(prefix + ".shed_rate", ShedRate());
+    registry.SetGauge(prefix + ".spill_rate", SpillRate());
+    registry.SetGauge(prefix + ".makespan_ms", makespan_ms);
+    registry.SetGauge(prefix + ".sustained_qps", sustained_qps);
+    registry.SetGauge(prefix + ".utilization", utilization);
+    registry.SetGauge(prefix + ".batch_occupancy", batch_occupancy);
+    registry.SetGauge(prefix + ".max_batch_elements",
+                      static_cast<double>(max_batch_elements));
+
+    LatencySummary latency;
+    latency.p50_ms = p50_ms;
+    latency.p90_ms = p90_ms;
+    latency.p99_ms = p99_ms;
+    latency.mean_ms = mean_ms;
+    latency.max_ms = max_ms;
+    registry.SetLatency(prefix + ".latency", latency);
+
+    for (const TierStats& tier : tiers) {
+        const std::string base = prefix + ".tier." + tier.name;
+        registry.SetCounter(base + ".submitted",
+                            static_cast<double>(tier.submitted));
+        registry.SetCounter(base + ".accepted",
+                            static_cast<double>(tier.accepted));
+        registry.SetCounter(base + ".rejected_queue_full",
+                            static_cast<double>(tier.rejected_queue_full));
+        registry.SetCounter(base + ".shed_deadline",
+                            static_cast<double>(tier.shed_deadline));
+        registry.SetGauge(base + ".shed_rate", tier.ShedRate());
+        registry.SetLatency(base + ".latency", tier.latency);
+    }
+    for (std::size_t i = 0; i < per_shard.size(); ++i) {
+        const ShardTelemetry& shard = per_shard[i];
+        const std::string base = prefix + ".shard" + std::to_string(i);
+        registry.SetCounter(base + ".homed",
+                            static_cast<double>(shard.homed));
+        registry.SetCounter(base + ".spill_in",
+                            static_cast<double>(shard.spill_in));
+        registry.SetCounter(base + ".spill_out",
+                            static_cast<double>(shard.spill_out));
+        registry.SetCounter(base + ".spill_recompiles",
+                            static_cast<double>(shard.spill_recompiles));
+        shard.service.PublishTo(registry, base);
+    }
 }
 
 namespace {
@@ -226,6 +296,20 @@ ShardedRenderService::Submit(const SceneRequest& request)
     std::lock_guard<std::mutex> lock(mutex_);
     SceneDesc& desc = EnsureWarmLocked(request.scene);
 
+    // The routing decision gets its own root span; the replica's
+    // request span nests under it through the ScopedTraceContext set
+    // around the shard Submit below. Opened after the warm-up so warm
+    // traces precede request traces deterministically (mutex_ makes
+    // the cluster a serialized submitter).
+    TraceRecorder* const recorder = TraceRecorder::Global();
+    TraceContext route_ctx;
+    double wall_route_begin_us = 0.0;
+    if (recorder != nullptr) {
+        route_ctx.trace_id = recorder->BeginTrace("req:" + request.scene);
+        route_ctx.parent_span = SpanId(route_ctx.trace_id, "cluster_submit");
+        wall_route_begin_us = recorder->NowWallUs();
+    }
+
     const std::vector<std::size_t>& rank = desc.rank;
     const std::size_t home = rank[0];
     std::size_t chosen = home;
@@ -241,6 +325,15 @@ ShardedRenderService::Submit(const SceneRequest& request)
                                              desc.est_latency_ms,
                                              request.deadline_ms,
                                              request.tier);
+        if (recorder != nullptr) {
+            recorder->RecordInstant(
+                route_ctx, "route", "probe:shard" + std::to_string(home),
+                request.arrival_ms,
+                {TraceArg::Int("accepted",
+                               at_home.outcome == Outcome::kAccepted ? 1
+                                                                     : 0),
+                 TraceArg::Num("wait_ms", at_home.wait_ms)});
+        }
         if (at_home.outcome != Outcome::kAccepted) {
             const std::size_t candidates = std::min(
                 config_.max_spill_candidates, shards_.size() - 1);
@@ -256,6 +349,19 @@ ShardedRenderService::Submit(const SceneRequest& request)
                         request.arrival_ms,
                         desc.est_latency_ms + candidate_surcharge,
                         request.deadline_ms, request.tier);
+                if (recorder != nullptr) {
+                    recorder->RecordInstant(
+                        route_ctx, "route",
+                        "probe:shard" + std::to_string(candidate),
+                        request.arrival_ms,
+                        {TraceArg::Int("accepted",
+                                       verdict.outcome ==
+                                               Outcome::kAccepted
+                                           ? 1
+                                           : 0),
+                         TraceArg::Num("surcharge_ms",
+                                       candidate_surcharge)});
+                }
                 if (verdict.outcome == Outcome::kAccepted) {
                     chosen = candidate;
                     spilled = true;
@@ -270,13 +376,35 @@ ShardedRenderService::Submit(const SceneRequest& request)
     }
 
     EnsureRegisteredLocked(request.scene, chosen);
+    if (recorder != nullptr) {
+        recorder->RecordInstant(
+            route_ctx, "route", "route", request.arrival_ms,
+            {TraceArg::Int("home", static_cast<std::int64_t>(home)),
+             TraceArg::Int("shard", static_cast<std::int64_t>(chosen)),
+             TraceArg::Int("spilled", spilled ? 1 : 0),
+             TraceArg::Int("cold_spill", cold_spill ? 1 : 0),
+             TraceArg::Num("surcharge_ms", surcharge_ms)});
+    }
     // The probe and this Admit see the same schedule: the cluster is
     // the replica's only submitter and holds mutex_ across both. With
     // batching on, the probe's full solo estimate upper-bounds the
     // marginal price the replica may actually admit at, so the
     // agreement stays one-sided safe: probe-accept implies accept.
-    const ServeTicket shard_ticket =
-        shards_[chosen]->Submit(request, surcharge_ms);
+    ServeTicket shard_ticket;
+    {
+        // The replica adopts this trace: its request span parents
+        // under the cluster_submit root span.
+        ScopedTraceContext scoped(route_ctx, request.arrival_ms);
+        shard_ticket = shards_[chosen]->Submit(request, surcharge_ms);
+    }
+    if (recorder != nullptr) {
+        TraceContext root_ctx;
+        root_ctx.trace_id = route_ctx.trace_id;
+        recorder->RecordSpan(root_ctx, "route", "cluster_submit",
+                             request.arrival_ms, request.arrival_ms,
+                             wall_route_begin_us, recorder->NowWallUs(),
+                             {TraceArg::Str("scene", request.scene)});
+    }
 
     ++aux_[home].homed;
     if (spilled) {

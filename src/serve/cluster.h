@@ -182,6 +182,17 @@ struct ClusterStats {
 
     double ShedRate() const;   //!< (rejected + shed) / submitted
     double SpillRate() const;  //!< spilled / submitted
+
+    /**
+     * Publishes this snapshot through the unified metrics surface
+     * (obs/metrics_registry.h) under @p prefix: cluster-lifetime
+     * counters, routing/spill totals, merged latency digests, per-tier
+     * slices, and per-shard routing counters. Virtual-time derived, so
+     * the published values share this snapshot's thread-count
+     * invariance.
+     */
+    void PublishTo(MetricsRegistry& registry,
+                   const std::string& prefix = "cluster") const;
 };
 
 /** N RenderService replicas behind rendezvous routing with spill. */

@@ -4,8 +4,91 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics_registry.h"
 
 namespace flexnerfer {
+namespace {
+
+/**
+ * Opens (or adopts) a trace for one submitted request. With no
+ * recorder installed the result is inactive and every instrumentation
+ * site downstream skips itself. A context already live on this thread
+ * (the cluster router's ScopedTraceContext) is adopted — the request
+ * span then parents under the router's root span instead of opening a
+ * new trace.
+ */
+RequestTrace
+BeginRequestTrace(TraceRecorder* recorder, const SceneRequest& request)
+{
+    RequestTrace trace;
+    if (recorder == nullptr) return trace;
+    const TraceContext inherited = CurrentTraceContext();
+    trace.ctx.trace_id = inherited.active()
+                             ? inherited.trace_id
+                             : recorder->BeginTrace("req:" + request.scene);
+    trace.ctx.parent_span = SpanId(trace.ctx.trace_id, "request");
+    trace.root_parent = inherited.parent_span;
+    trace.wall_submit_us = recorder->NowWallUs();
+    return trace;
+}
+
+/** Records the admission instant + queue-depth counter for an
+ *  accepted verdict and fixes the trace's virtual schedule. */
+void
+TraceAccepted(TraceRecorder* recorder, RequestTrace& trace,
+              const AdmissionController::Verdict& verdict,
+              const std::string& tier_name, double est_service_ms)
+{
+    if (recorder == nullptr || !trace.active()) return;
+    trace.arrival_ms = verdict.arrival_ms;
+    trace.start_ms = verdict.start_ms;
+    trace.completion_ms = verdict.completion_ms;
+    recorder->RecordInstant(
+        trace.ctx, "admission", "accepted", verdict.arrival_ms,
+        {TraceArg::Str("tier", tier_name),
+         TraceArg::Num("wait_ms", verdict.wait_ms),
+         TraceArg::Int("queue_depth",
+                       static_cast<std::int64_t>(verdict.queue_depth)),
+         TraceArg::Int("tier_queue_depth", static_cast<std::int64_t>(
+                                               verdict.tier_queue_depth)),
+         TraceArg::Num("deadline_ms", verdict.deadline_ms),
+         TraceArg::Num("start_tag", verdict.start_tag),
+         TraceArg::Num("finish_tag", verdict.finish_tag),
+         TraceArg::Num("est_service_ms", est_service_ms)});
+    recorder->RecordCounter(trace.ctx, "admission", "queue_depth",
+                            verdict.arrival_ms,
+                            static_cast<double>(verdict.queue_depth));
+    trace.wall_queued_us = recorder->NowWallUs();
+}
+
+/** Records the admission instant and a zero-duration request span for
+ *  a rejected/shed verdict (the request's whole trace). */
+void
+TraceNotAccepted(TraceRecorder* recorder, const RequestTrace& trace,
+                 const AdmissionController::Verdict& verdict,
+                 const std::string& tier_name, RequestStatus status,
+                 const std::string& scene)
+{
+    if (recorder == nullptr || !trace.active()) return;
+    recorder->RecordInstant(
+        trace.ctx, "admission",
+        status == RequestStatus::kRejectedQueueFull ? "rejected" : "shed",
+        verdict.arrival_ms,
+        {TraceArg::Str("tier", tier_name),
+         TraceArg::Int("queue_depth",
+                       static_cast<std::int64_t>(verdict.queue_depth)),
+         TraceArg::Num("deadline_ms", verdict.deadline_ms)});
+    TraceContext root_ctx;
+    root_ctx.trace_id = trace.ctx.trace_id;
+    root_ctx.parent_span = trace.root_parent;
+    recorder->RecordSpan(root_ctx, "request", "request",
+                         verdict.arrival_ms, verdict.arrival_ms,
+                         trace.wall_submit_us, recorder->NowWallUs(),
+                         {TraceArg::Str("scene", scene),
+                          TraceArg::Str("status", ToString(status))});
+}
+
+}  // namespace
 
 std::string
 ToString(RequestStatus status)
@@ -69,7 +152,32 @@ RenderService::RegisterScene(const std::string& name,
 FrameCost
 RenderService::WarmScene(const std::string& scene)
 {
-    return registry_.Touch(scene, &pool_, /*count_request=*/false)->cost;
+    TraceRecorder* const recorder = TraceRecorder::Global();
+    if (recorder == nullptr) {
+        return registry_.Touch(scene, &pool_, /*count_request=*/false)
+            ->cost;
+    }
+    // Warm-ups get their own trace: the cold compile + execute they
+    // trigger emits the scene's frame and per-op spans here, anchored
+    // at virtual 0 — steady-state requests then replay memoized
+    // results and never re-emit op spans.
+    TraceContext ctx;
+    ctx.trace_id = recorder->BeginTrace("warm:" + scene);
+    ctx.parent_span = SpanId(ctx.trace_id, "warm_scene");
+    const double wall_begin = recorder->NowWallUs();
+    FrameCost cost;
+    {
+        ScopedTraceContext scoped(ctx, 0.0);
+        cost = registry_.Touch(scene, &pool_, /*count_request=*/false)
+                   ->cost;
+    }
+    TraceContext root_ctx;
+    root_ctx.trace_id = ctx.trace_id;
+    recorder->RecordSpan(root_ctx, "warm", "warm_scene", 0.0,
+                         EstimatedServiceMs(cost), wall_begin,
+                         recorder->NowWallUs(),
+                         {TraceArg::Str("scene", scene)});
+    return cost;
 }
 
 ServeTicket
@@ -91,6 +199,8 @@ RenderService::Submit(const SceneRequest& request, double extra_service_ms)
         return SubmitBatched(request, extra_service_ms);
     }
     submitted_.fetch_add(1);
+    TraceRecorder* const recorder = TraceRecorder::Global();
+    RequestTrace trace = BeginRequestTrace(recorder, request);
     // First touch compiles and pins the scene; steady state returns the
     // pinned entry (a map lookup).
     const std::shared_ptr<const SceneEntry> scene =
@@ -101,10 +211,11 @@ RenderService::Submit(const SceneRequest& request, double extra_service_ms)
     // executor overlaps independent stages, so a deep-but-narrow frame
     // occupies the device for its longest chain, and admission verdicts
     // must reflect that (see accel/accelerator.h, EstimatedServiceMs).
+    const double est_service_ms =
+        EstimatedServiceMs(scene->cost) + extra_service_ms;
     const AdmissionController::Verdict verdict = admission_.Admit(
-        request.arrival_ms,
-        EstimatedServiceMs(scene->cost) + extra_service_ms,
-        request.deadline_ms, request.tier);
+        request.arrival_ms, est_service_ms, request.deadline_ms,
+        request.tier);
 
     RenderResult result;
     result.scene = request.scene;
@@ -122,6 +233,9 @@ RenderService::Submit(const SceneRequest& request, double extra_service_ms)
         registry_.CountOutcome(request.scene, /*accepted=*/false,
                                result.status ==
                                    RequestStatus::kShedDeadline);
+        TraceNotAccepted(recorder, trace, verdict,
+                         admission_.tiers()[verdict.tier].name,
+                         result.status, request.scene);
         // Resolve immediately: shed work never reaches the queue.
         std::promise<RenderResult> promise;
         promise.set_value(std::move(result));
@@ -134,6 +248,8 @@ RenderService::Submit(const SceneRequest& request, double extra_service_ms)
     // determined here — so percentiles never depend on execution order.
     latency_.Record(result.latency_ms);
     tier_latency_[verdict.tier].Record(result.latency_ms);
+    TraceAccepted(recorder, trace, verdict,
+                  admission_.tiers()[verdict.tier].name, est_service_ms);
 
     auto promise = std::make_shared<std::promise<RenderResult>>();
     std::future<RenderResult> future = promise->get_future();
@@ -148,11 +264,40 @@ RenderService::Submit(const SceneRequest& request, double extra_service_ms)
                            ? verdict.arrival_ms + verdict.deadline_ms
                            : 0.0;
     item.sequence = sequence_.fetch_add(1);
-    item.work = [this, scene, promise,
+    item.work = [this, scene, promise, trace,
                  result = std::move(result)]() mutable {
         // The steady-state hot path: replay the pinned prepared frame
         // (memoized plan + result; see plan/plan_cache.h).
-        result.cost = cache_.Run(scene->frame, &pool_);
+        TraceRecorder* const rec =
+            trace.active() ? TraceRecorder::Global() : nullptr;
+        if (rec != nullptr) {
+            // Queue wait: virtual [arrival, start] against the wall
+            // window from enqueue to this pop.
+            rec->RecordSpan(trace.ctx, "queue", "queue_wait",
+                            trace.arrival_ms, trace.start_ms,
+                            trace.wall_queued_us, rec->NowWallUs());
+            const double wall_begin = rec->NowWallUs();
+            {
+                // Propagate the request identity into the plan layer:
+                // PlanCache instants and any FramePlan execution land
+                // in this trace, anchored at the virtual start.
+                ScopedTraceContext scoped(trace.ctx, trace.start_ms);
+                result.cost = cache_.Run(scene->frame, &pool_);
+            }
+            const double wall_end = rec->NowWallUs();
+            rec->RecordSpan(trace.ctx, "service", "service",
+                            trace.start_ms, trace.completion_ms,
+                            wall_begin, wall_end);
+            TraceContext root_ctx;
+            root_ctx.trace_id = trace.ctx.trace_id;
+            root_ctx.parent_span = trace.root_parent;
+            rec->RecordSpan(root_ctx, "request", "request",
+                            trace.arrival_ms, trace.completion_ms,
+                            trace.wall_submit_us, wall_end,
+                            {TraceArg::Str("scene", result.scene)});
+        } else {
+            result.cost = cache_.Run(scene->frame, &pool_);
+        }
         completed_.fetch_add(1);
         promise->set_value(std::move(result));
     };
@@ -178,6 +323,10 @@ RenderService::SubmitBatched(const SceneRequest& request,
     // the verdict depends on which batch the request lands in, so both
     // must see one consistent submission order.
     std::lock_guard<std::mutex> lock(batch_mutex_);
+    // The trace opens under the lock too: batched submitters serialize
+    // here, so trace ids stay deterministic in admission order.
+    TraceRecorder* const recorder = TraceRecorder::Global();
+    RequestTrace trace = BeginRequestTrace(recorder, request);
     // Mirror the admission clamp (arrivals are non-decreasing) so
     // window expiry and the device clock agree on "now".
     const double arrival =
@@ -205,6 +354,10 @@ RenderService::SubmitBatched(const SceneRequest& request,
     std::shared_ptr<const BatchedSceneFrame> fused;
     double est = 0.0;
     if (joining) {
+        // The estimation run executes a cold fused shape on this
+        // thread the first time it is seen: propagate the joiner's
+        // context so its frame/op spans land in this trace.
+        ScopedTraceContext scoped(trace.ctx, arrival);
         fused = registry_.TouchBatched(request.scene,
                                        batch->members.size() + 1, &pool_);
         est = EstimatedMarginalServiceMs(fused->cost, batch->fused_cost);
@@ -231,6 +384,9 @@ RenderService::SubmitBatched(const SceneRequest& request,
         registry_.CountOutcome(request.scene, /*accepted=*/false,
                                result.status ==
                                    RequestStatus::kShedDeadline);
+        TraceNotAccepted(recorder, trace, verdict,
+                         admission_.tiers()[verdict.tier].name,
+                         result.status, request.scene);
         // A shed or rejected joiner consumes no batch slot: the open
         // batch keeps collecting as if the request never arrived.
         std::promise<RenderResult> promise;
@@ -242,6 +398,8 @@ RenderService::SubmitBatched(const SceneRequest& request,
                            /*shed=*/false);
     latency_.Record(result.latency_ms);
     tier_latency_[verdict.tier].Record(result.latency_ms);
+    TraceAccepted(recorder, trace, verdict,
+                  admission_.tiers()[verdict.tier].name, est);
     // Every member reports the scene's solo frame cost — the fused
     // execution is an amortization of identical frames, not a different
     // render — so per-request results are bit-identical to the
@@ -257,8 +415,20 @@ RenderService::SubmitBatched(const SceneRequest& request,
     BatchMember member;
     member.promise = std::move(promise);
     member.result = std::move(result);
+    member.trace = trace;
 
     if (joining) {
+        if (recorder != nullptr && trace.active()) {
+            recorder->RecordInstant(
+                trace.ctx, "batch", "batch_join", verdict.arrival_ms,
+                {TraceArg::Int("elements",
+                               static_cast<std::int64_t>(
+                                   batch->members.size() + 1)),
+                 TraceArg::Int("batch_trace",
+                               static_cast<std::int64_t>(
+                                   batch->trace_ctx.trace_id)),
+                 TraceArg::Num("marginal_ms", est)});
+        }
         batch->members.push_back(std::move(member));
         // The batch now *is* the next-larger fused shape: the admitted
         // marginal and the shape a flush replays advance together.
@@ -279,6 +449,12 @@ RenderService::SubmitBatched(const SceneRequest& request,
         fresh.min_abs_deadline_ms = abs_deadline_ms;
         fresh.fused_cost = scene->cost;
         fresh.frame = scene->frame;
+        fresh.trace_ctx = trace.ctx;
+        if (recorder != nullptr && trace.active()) {
+            recorder->RecordInstant(
+                trace.ctx, "batch", "batch_open", verdict.arrival_ms,
+                {TraceArg::Num("close_ms", fresh.close_ms)});
+        }
         fresh.members.push_back(std::move(member));
         open_batches_.push_back(std::move(fresh));
         open_by_scene_[request.scene] = std::prev(open_batches_.end());
@@ -302,6 +478,19 @@ RenderService::FlushBatchLocked(std::list<OpenBatch>::iterator batch)
     }
     max_batch_seen_ = std::max(max_batch_seen_, elements);
 
+    if (closing.trace_ctx.active()) {
+        if (TraceRecorder* const recorder = TraceRecorder::Global()) {
+            // Flush lands in the opener's trace at the current clamped
+            // arrival clock (deterministic: arrivals drive flushes).
+            recorder->RecordInstant(
+                closing.trace_ctx, "batch", "batch_flush",
+                last_batch_arrival_ms_,
+                {TraceArg::Int("elements",
+                               static_cast<std::int64_t>(elements)),
+                 TraceArg::Str("scene", closing.scene)});
+        }
+    }
+
     DispatchItem item;
     // The batch dispatches at its most urgent member's priority and
     // earliest absolute deadline: fusing must never make a request less
@@ -317,12 +506,48 @@ RenderService::FlushBatchLocked(std::list<OpenBatch>::iterator batch)
         // when its estimation run prepared it (scene_registry.h), so
         // this replay is memoized — the batched-mode invariant is
         // "PlanCache frame hits == batches dispatched".
-        const FrameCost fused_cost = cache_.Run(frame, &pool_);
+        TraceRecorder* const rec =
+            !members->empty() && (*members)[0].trace.active()
+                ? TraceRecorder::Global()
+                : nullptr;
+        double wall_begin = 0.0;
+        double wall_end = 0.0;
+        FrameCost fused_cost;
+        if (rec != nullptr) {
+            wall_begin = rec->NowWallUs();
+            // The replay runs under the opener's context (one
+            // execution, many members): its plan-layer instants land
+            // in the opener's trace.
+            ScopedTraceContext scoped((*members)[0].trace.ctx,
+                                      (*members)[0].trace.start_ms);
+            fused_cost = cache_.Run(frame, &pool_);
+            wall_end = rec->NowWallUs();
+        } else {
+            fused_cost = cache_.Run(frame, &pool_);
+        }
         FLEX_CHECK_MSG(fused_cost == expected,
                        "fused batch replay diverged from its estimation "
                        "run for scene '"
                            << scene << "' (" << elements << " elements)");
         for (BatchMember& member : *members) {
+            if (rec != nullptr && member.trace.active()) {
+                const RequestTrace& t = member.trace;
+                rec->RecordSpan(t.ctx, "queue", "queue_wait",
+                                t.arrival_ms, t.start_ms,
+                                t.wall_queued_us, wall_begin);
+                rec->RecordSpan(
+                    t.ctx, "service", "service", t.start_ms,
+                    t.completion_ms, wall_begin, wall_end,
+                    {TraceArg::Int("batch_elements",
+                                   static_cast<std::int64_t>(elements))});
+                TraceContext root_ctx;
+                root_ctx.trace_id = t.ctx.trace_id;
+                root_ctx.parent_span = t.root_parent;
+                rec->RecordSpan(
+                    root_ctx, "request", "request", t.arrival_ms,
+                    t.completion_ms, t.wall_submit_us, wall_end,
+                    {TraceArg::Str("scene", member.result.scene)});
+            }
             member.result.batch_elements = elements;
             completed_.fetch_add(1);
             member.promise->set_value(std::move(member.result));
@@ -473,6 +698,88 @@ RenderService::Snapshot() const
     stats.cache_entries = cache_.size();
     stats.scenes = registry_.Stats();
     return stats;
+}
+
+void
+ServiceStats::PublishTo(MetricsRegistry& registry,
+                        const std::string& prefix) const
+{
+    registry.SetCounter(prefix + ".submitted",
+                        static_cast<double>(submitted));
+    registry.SetCounter(prefix + ".accepted", static_cast<double>(accepted));
+    registry.SetCounter(prefix + ".rejected_queue_full",
+                        static_cast<double>(rejected_queue_full));
+    registry.SetCounter(prefix + ".shed_deadline",
+                        static_cast<double>(shed_deadline));
+    registry.SetCounter(prefix + ".completed",
+                        static_cast<double>(completed));
+    registry.SetCounter(prefix + ".batches_dispatched",
+                        static_cast<double>(batches_dispatched));
+    registry.SetCounter(prefix + ".fused_batches",
+                        static_cast<double>(fused_batches));
+    registry.SetCounter(prefix + ".batched_requests",
+                        static_cast<double>(batched_requests));
+    registry.SetCounter(prefix + ".cache.plan_hits",
+                        static_cast<double>(cache.plan_hits));
+    registry.SetCounter(prefix + ".cache.plan_misses",
+                        static_cast<double>(cache.plan_misses));
+    registry.SetCounter(prefix + ".cache.frame_hits",
+                        static_cast<double>(cache.frame_hits));
+    registry.SetCounter(prefix + ".cache.evictions",
+                        static_cast<double>(cache.evictions));
+
+    registry.SetGauge(prefix + ".shed_rate", ShedRate());
+    registry.SetGauge(prefix + ".makespan_ms", makespan_ms);
+    registry.SetGauge(prefix + ".sustained_qps", sustained_qps);
+    registry.SetGauge(prefix + ".utilization", utilization);
+    registry.SetGauge(prefix + ".batch_occupancy", batch_occupancy);
+    registry.SetGauge(prefix + ".max_batch_elements",
+                      static_cast<double>(max_batch_elements));
+    registry.SetGauge(prefix + ".cache.entries",
+                      static_cast<double>(cache_entries));
+
+    LatencySummary latency;
+    latency.p50_ms = p50_ms;
+    latency.p90_ms = p90_ms;
+    latency.p99_ms = p99_ms;
+    latency.mean_ms = mean_ms;
+    latency.max_ms = max_ms;
+    registry.SetLatency(prefix + ".latency", latency);
+
+    for (const TierStats& tier : tiers) {
+        const std::string base = prefix + ".tier." + tier.name;
+        registry.SetCounter(base + ".submitted",
+                            static_cast<double>(tier.submitted));
+        registry.SetCounter(base + ".accepted",
+                            static_cast<double>(tier.accepted));
+        registry.SetCounter(base + ".rejected_queue_full",
+                            static_cast<double>(tier.rejected_queue_full));
+        registry.SetCounter(base + ".shed_deadline",
+                            static_cast<double>(tier.shed_deadline));
+        registry.SetGauge(base + ".shed_rate", tier.ShedRate());
+        registry.SetGauge(base + ".busy_ms", tier.busy_ms);
+        registry.SetLatency(base + ".latency", tier.latency);
+    }
+    for (const SceneStats& scene : scenes) {
+        const std::string base = prefix + ".scene." + scene.name;
+        registry.SetCounter(base + ".requests",
+                            static_cast<double>(scene.requests));
+        registry.SetCounter(base + ".accepted",
+                            static_cast<double>(scene.accepted));
+        registry.SetCounter(base + ".rejected",
+                            static_cast<double>(scene.rejected));
+        registry.SetCounter(base + ".shed",
+                            static_cast<double>(scene.shed));
+        registry.SetCounter(base + ".prepared_replays",
+                            static_cast<double>(scene.prepared_replays));
+        registry.SetGauge(base + ".est_latency_ms", scene.est_latency_ms);
+    }
+}
+
+void
+RenderService::PublishMetrics(MetricsRegistry& registry) const
+{
+    Snapshot().PublishTo(registry);
 }
 
 }  // namespace flexnerfer

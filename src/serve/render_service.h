@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "obs/trace.h"
 #include "plan/plan_cache.h"
 #include "runtime/thread_pool.h"
 #include "serve/admission.h"
@@ -53,6 +54,8 @@
 #include "serve/scene_registry.h"
 
 namespace flexnerfer {
+
+class MetricsRegistry;
 
 /** One render request against a registered scene. */
 struct SceneRequest {
@@ -184,6 +187,18 @@ struct ServiceStats {
     std::vector<TierStats> tiers;
 
     double ShedRate() const;  //!< (rejected + shed) / submitted
+
+    /**
+     * Publishes this snapshot through the unified metrics surface
+     * (obs/metrics_registry.h) under @p prefix: counters for the
+     * monotone totals (including per-tier and per-scene slices and the
+     * plan-cache counters), gauges for the levels, and the latency
+     * digests. Everything published is virtual-time derived, so the
+     * registry's ToJson obeys the same thread-count-invariance as this
+     * snapshot.
+     */
+    void PublishTo(MetricsRegistry& registry,
+                   const std::string& prefix = "serve") const;
 };
 
 /** Configuration of a RenderService. */
@@ -265,6 +280,10 @@ class RenderService
 
     ServiceStats Snapshot() const;
 
+    /** Snapshot() published through the unified metrics surface:
+     *  shorthand for Snapshot().PublishTo(registry). */
+    void PublishMetrics(MetricsRegistry& registry) const;
+
     ThreadPool& pool() { return pool_; }
     PlanCache& cache() { return cache_; }
     const SceneRegistry& registry() const { return registry_; }
@@ -293,6 +312,10 @@ class RenderService
     struct BatchMember {
         std::shared_ptr<std::promise<RenderResult>> promise;
         RenderResult result;
+        /** The member's trace bookkeeping (inactive when tracing is
+         *  off); per-member spans are recorded at flush around the one
+         *  fused execution. */
+        RequestTrace trace;
     };
 
     /** One same-scene batch collecting joiners until its window closes.
@@ -308,6 +331,9 @@ class RenderService
         FrameCost fused_cost;
         PlanCache::PreparedFrame frame;
         std::vector<BatchMember> members;
+        /** The opener's request context: batch lifecycle instants
+         *  (open/join/flush) land in the opener's trace. */
+        TraceContext trace_ctx;
     };
 
     ServeTicket Issue(std::future<RenderResult> future);

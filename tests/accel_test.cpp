@@ -13,7 +13,7 @@
 #include "accel/gpu_model.h"
 #include "accel/neurex.h"
 #include "accel/ppa.h"
-#include "sim/metrics.h"
+#include "obs/metrics.h"
 
 namespace flexnerfer {
 namespace {

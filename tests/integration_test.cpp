@@ -13,7 +13,7 @@
 #include "nerf/field_fit.h"
 #include "nerf/renderer.h"
 #include "riscv/controller.h"
-#include "sim/metrics.h"
+#include "obs/metrics.h"
 #include "sparse/flex_codec.h"
 #include "sparse/footprint.h"
 #include "sparse/sr_calculator.h"

@@ -4,7 +4,7 @@
  */
 #include <gtest/gtest.h>
 
-#include "sim/metrics.h"
+#include "obs/metrics.h"
 
 namespace flexnerfer {
 namespace {

@@ -1,0 +1,424 @@
+/**
+ * @file
+ * Tests for the observability layer (src/obs/): the virtual trace
+ * projection's thread-count invariance, span nesting/parentage across
+ * the serving path (single service, batch join, cluster spill), the
+ * unified MetricsRegistry against ServiceStats, the disabled path's
+ * no-op guarantee, and the FLEX_CHECK flight-recorder dump.
+ */
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "serve/cluster.h"
+#include "serve/render_service.h"
+
+namespace flexnerfer {
+namespace {
+
+SweepPoint
+NgpFlexScene()
+{
+    SweepPoint spec;
+    spec.backend = Backend::kFlexNeRFer;
+    spec.precision = Precision::kInt8;
+    spec.model = "Instant-NGP";
+    return spec;
+}
+
+SweepPoint
+NerfGpuScene()
+{
+    SweepPoint spec;
+    spec.backend = Backend::kGpu;
+    spec.model = "NeRF";
+    return spec;
+}
+
+/** Finds the first event matching (trace, phase, name), or null. */
+const TraceEvent*
+Find(const std::vector<TraceEvent>& events, std::uint64_t trace,
+     TracePhase phase, const std::string& name)
+{
+    for (const TraceEvent& event : events) {
+        if (event.trace_id == trace && event.phase == phase &&
+            event.name == name) {
+            return &event;
+        }
+    }
+    return nullptr;
+}
+
+std::size_t
+CountNamed(const std::vector<TraceEvent>& events, TracePhase phase,
+           const std::string& name)
+{
+    std::size_t count = 0;
+    for (const TraceEvent& event : events) {
+        if (event.phase == phase && event.name == name) ++count;
+    }
+    return count;
+}
+
+/**
+ * One deterministic traced serving run: two scenes, a mixed stream of
+ * accepted / shed / rejected requests, exported as the virtual
+ * Chrome-trace projection. The export must not depend on @p threads.
+ */
+std::string
+TracedServingRun(int threads)
+{
+    TraceRecorder recorder;
+    TraceRecorder::InstallGlobal(&recorder);
+    {
+        ServeConfig config;
+        config.threads = threads;
+        config.admission.max_queue_depth = 8;
+        RenderService service(config);
+        service.RegisterScene("ngp", NgpFlexScene());
+        service.RegisterScene("nerf", NerfGpuScene());
+        service.WarmScene("ngp");
+        service.WarmScene("nerf");
+        double arrival = 0.0;
+        for (int i = 0; i < 24; ++i) {
+            SceneRequest request;
+            request.scene = (i % 3 == 0) ? "nerf" : "ngp";
+            request.arrival_ms = arrival;
+            request.priority = i % 2;
+            // Some hopeless deadlines so the shed path is traced too.
+            request.deadline_ms = (i % 7 == 0) ? 1.0 : 0.0;
+            arrival += 5.0;
+            service.Submit(request);
+        }
+        service.WaitAll();
+    }
+    TraceRecorder::InstallGlobal(nullptr);
+    std::ostringstream out;
+    recorder.WriteChromeTrace(out, TraceClock::kVirtual);
+    return out.str();
+}
+
+TEST(TraceExport, VirtualProjectionIsThreadCountInvariant)
+{
+    // The repo-wide determinism contract extended to observability:
+    // every event's virtual timestamps, ids, and order derive from the
+    // virtual clock only, so the serialized projection is bit-identical
+    // whether the service dispatches on one worker or eight.
+    const std::string one = TracedServingRun(1);
+    const std::string eight = TracedServingRun(8);
+    EXPECT_FALSE(one.empty());
+    EXPECT_EQ(one, eight);
+}
+
+TEST(TraceExport, SpanNestingLinksRequestServiceFrameAndOps)
+{
+    TraceRecorder recorder;
+    TraceRecorder::InstallGlobal(&recorder);
+    {
+        ServeConfig config;
+        config.threads = 2;
+        RenderService service(config);
+        service.RegisterScene("ngp", NgpFlexScene());
+        service.WarmScene("ngp");
+        SceneRequest request;
+        request.scene = "ngp";
+        request.arrival_ms = 0.0;
+        service.Submit(request);
+        service.WaitAll();
+    }
+    TraceRecorder::InstallGlobal(nullptr);
+
+    const std::vector<TraceEvent> events = recorder.SortedEvents();
+    // Trace 1 is the warm-up (ids are assigned in call order); trace 2
+    // is the request.
+    ASSERT_EQ(recorder.trace_count(), 2u);
+    const std::uint64_t trace = 2;
+
+    const TraceEvent* request_span =
+        Find(events, trace, TracePhase::kSpan, "request");
+    ASSERT_NE(request_span, nullptr);
+    EXPECT_EQ(request_span->parent_span, 0u);  // root of its lane
+    EXPECT_EQ(request_span->span_id, SpanId(trace, "request"));
+    EXPECT_DOUBLE_EQ(request_span->virt_begin_ms, 0.0);
+
+    const TraceEvent* queue_wait =
+        Find(events, trace, TracePhase::kSpan, "queue_wait");
+    ASSERT_NE(queue_wait, nullptr);
+    EXPECT_EQ(queue_wait->parent_span, SpanId(trace, "request"));
+
+    const TraceEvent* service_span =
+        Find(events, trace, TracePhase::kSpan, "service");
+    ASSERT_NE(service_span, nullptr);
+    EXPECT_EQ(service_span->parent_span, SpanId(trace, "request"));
+    // The service span starts where the queue wait ends and closes the
+    // request span.
+    EXPECT_DOUBLE_EQ(service_span->virt_begin_ms, queue_wait->virt_end_ms);
+    EXPECT_DOUBLE_EQ(service_span->virt_end_ms, request_span->virt_end_ms);
+
+    const TraceEvent* accepted =
+        Find(events, trace, TracePhase::kInstant, "accepted");
+    ASSERT_NE(accepted, nullptr);
+    EXPECT_STREQ(accepted->category, "admission");
+
+    // The prepared path records its cache outcome into the request's
+    // trace. A steady-state request replays the memoized frame — the
+    // FramePlan only *executes* (and records frame/op spans) where the
+    // frame actually runs: the warm-up trace.
+    EXPECT_NE(Find(events, trace, TracePhase::kInstant, "frame_hit"),
+              nullptr);
+    EXPECT_EQ(Find(events, trace, TracePhase::kSpan, "frame:Instant-NGP"),
+              nullptr);
+
+    // The warm-up thread's ScopedTraceContext carried the warm trace's
+    // identity into FramePlan::Execute: the frame span parents on the
+    // warm_scene root span and every per-op span parents on the frame
+    // span, nested inside it on the virtual axis.
+    const std::uint64_t warm = 1;
+    const TraceEvent* warm_span =
+        Find(events, warm, TracePhase::kSpan, "warm_scene");
+    ASSERT_NE(warm_span, nullptr);
+    const TraceEvent* frame_span =
+        Find(events, warm, TracePhase::kSpan, "frame:Instant-NGP");
+    ASSERT_NE(frame_span, nullptr);
+    EXPECT_EQ(frame_span->parent_span, SpanId(warm, "warm_scene"));
+
+    std::size_t op_spans = 0;
+    for (const TraceEvent& event : events) {
+        if (event.trace_id != warm || event.phase != TracePhase::kSpan ||
+            std::string(event.category) != "op") {
+            continue;
+        }
+        ++op_spans;
+        EXPECT_EQ(event.parent_span, SpanId(warm, "frame:Instant-NGP"));
+        EXPECT_GE(event.virt_begin_ms, frame_span->virt_begin_ms);
+        EXPECT_LE(event.virt_end_ms, frame_span->virt_end_ms);
+    }
+    EXPECT_GT(op_spans, 0u);
+}
+
+TEST(TraceExport, BatchJoinRecordsLifecycleInstantsForEveryMember)
+{
+    TraceRecorder recorder;
+    TraceRecorder::InstallGlobal(&recorder);
+    std::uint64_t traces = 0;
+    {
+        ServeConfig config;
+        config.threads = 2;
+        config.batch_window_ms = 1e6;
+        RenderService service(config);
+        service.RegisterScene("ngp", NgpFlexScene());
+        service.WarmScene("ngp");
+        SceneRequest request;
+        request.scene = "ngp";
+        request.arrival_ms = 0.0;
+        service.Submit(request);  // opener
+        service.Submit(request);  // joiner
+        service.Submit(request);  // joiner
+        service.WaitAll();        // flushes the open window
+        traces = recorder.trace_count();
+    }
+    TraceRecorder::InstallGlobal(nullptr);
+
+    // Warm trace + three request traces.
+    EXPECT_EQ(traces, 4u);
+    const std::vector<TraceEvent> events = recorder.SortedEvents();
+    EXPECT_EQ(CountNamed(events, TracePhase::kInstant, "batch_open"), 1u);
+    EXPECT_EQ(CountNamed(events, TracePhase::kInstant, "batch_join"), 2u);
+    EXPECT_EQ(CountNamed(events, TracePhase::kInstant, "batch_flush"), 1u);
+    // Every member gets its own request + service spans; the fused
+    // execution runs once, under the opener's context.
+    EXPECT_EQ(CountNamed(events, TracePhase::kSpan, "request"), 3u);
+    EXPECT_EQ(CountNamed(events, TracePhase::kSpan, "service"), 3u);
+    EXPECT_EQ(
+        CountNamed(events, TracePhase::kSpan, "frame:Instant-NGP+batch3"),
+        1u);
+    // The joiners' batch_join instants name the batch they joined: the
+    // opener's trace (trace 2; 1 is the warm-up).
+    for (const TraceEvent& event : events) {
+        if (event.name != "batch_join") continue;
+        bool found = false;
+        for (const TraceArg& arg : event.args) {
+            if (arg.key != "batch_trace") continue;
+            EXPECT_EQ(arg.value, "2");
+            found = true;
+        }
+        EXPECT_TRUE(found);
+    }
+}
+
+TEST(TraceExport, ClusterRoutingRecordsProbesAndSpills)
+{
+    TraceRecorder recorder;
+    TraceRecorder::InstallGlobal(&recorder);
+    std::size_t spilled = 0;
+    std::size_t submitted = 0;
+    {
+        ClusterConfig config;
+        config.shards = 2;
+        config.threads_per_shard = 2;
+        config.admission.max_queue_depth = 1;  // force spills fast
+        ShardedRenderService cluster(config);
+        cluster.RegisterScene("ngp", NgpFlexScene());
+        cluster.WarmScene("ngp");
+        for (int i = 0; i < 6; ++i) {
+            SceneRequest request;
+            request.scene = "ngp";
+            request.arrival_ms = 0.0;
+            cluster.Submit(request);
+            ++submitted;
+        }
+        for (const ClusterRenderResult& r : cluster.WaitAll()) {
+            if (r.spilled) ++spilled;
+        }
+    }
+    TraceRecorder::InstallGlobal(nullptr);
+
+    ASSERT_GT(spilled, 0u) << "the tight queue must force a spill";
+    const std::vector<TraceEvent> events = recorder.SortedEvents();
+    // Every submission records its home probe, one route decision, and
+    // a cluster_submit root span.
+    EXPECT_EQ(CountNamed(events, TracePhase::kInstant, "route"), submitted);
+    EXPECT_EQ(CountNamed(events, TracePhase::kSpan, "cluster_submit"),
+              submitted);
+    std::size_t probes = 0;
+    std::size_t spilled_routes = 0;
+    for (const TraceEvent& event : events) {
+        if (event.phase != TracePhase::kInstant) continue;
+        if (event.name.rfind("probe:shard", 0) == 0) ++probes;
+        if (event.name != "route") continue;
+        for (const TraceArg& arg : event.args) {
+            if (arg.key == "spilled" && arg.value == "1") ++spilled_routes;
+        }
+    }
+    EXPECT_GE(probes, submitted);  // home probe always, spills probe more
+    EXPECT_EQ(spilled_routes, spilled);
+    // The request span under a routed trace parents on the cluster's
+    // root span.
+    bool checked_parent = false;
+    for (const TraceEvent& event : events) {
+        if (event.phase != TracePhase::kSpan || event.name != "request") {
+            continue;
+        }
+        EXPECT_EQ(event.parent_span,
+                  SpanId(event.trace_id, "cluster_submit"));
+        checked_parent = true;
+    }
+    EXPECT_TRUE(checked_parent);
+}
+
+TEST(MetricsRegistry, SnapshotPublishMatchesServiceStats)
+{
+    ServeConfig config;
+    config.threads = 2;
+    config.admission.max_queue_depth = 4;
+    RenderService service(config);
+    service.RegisterScene("ngp", NgpFlexScene());
+    service.RegisterScene("nerf", NerfGpuScene());
+    service.WarmScene("ngp");
+    service.WarmScene("nerf");
+    for (int i = 0; i < 16; ++i) {
+        SceneRequest request;
+        request.scene = (i % 2 == 0) ? "ngp" : "nerf";
+        request.arrival_ms = 2.0 * static_cast<double>(i);
+        request.deadline_ms = (i % 5 == 0) ? 1.0 : 0.0;
+        service.Submit(request);
+    }
+    service.WaitAll();
+
+    const ServiceStats stats = service.Snapshot();
+    MetricsRegistry registry;
+    service.PublishMetrics(registry);
+
+    EXPECT_EQ(registry.Counter("serve.submitted"),
+              static_cast<double>(stats.submitted));
+    EXPECT_EQ(registry.Counter("serve.accepted"),
+              static_cast<double>(stats.accepted));
+    EXPECT_EQ(registry.Counter("serve.shed_deadline"),
+              static_cast<double>(stats.shed_deadline));
+    EXPECT_EQ(registry.Counter("serve.rejected_queue_full"),
+              static_cast<double>(stats.rejected_queue_full));
+    EXPECT_EQ(registry.Counter("serve.cache.frame_hits"),
+              static_cast<double>(stats.cache.frame_hits));
+    EXPECT_EQ(registry.Gauge("serve.shed_rate"), stats.ShedRate());
+    EXPECT_EQ(registry.Gauge("serve.latency.p50_ms"), stats.p50_ms);
+    EXPECT_EQ(registry.Gauge("serve.latency.p99_ms"), stats.p99_ms);
+    EXPECT_EQ(registry.Gauge("serve.utilization"), stats.utilization);
+    // Per-scene slices ride along.
+    for (const SceneStats& scene : stats.scenes) {
+        EXPECT_EQ(
+            registry.Counter("serve.scene." + scene.name + ".requests"),
+            static_cast<double>(scene.requests));
+    }
+
+    // The JSON export parses as one counters + one gauges object and
+    // round-trips a spot value.
+    const std::string json = registry.ToJson();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"serve.submitted\""), std::string::npos);
+}
+
+TEST(TraceDisabled, RecordsNothingAndKeepsProbesCheap)
+{
+    // The default: no recorder installed. Every instrumentation site
+    // guards on this one relaxed load, so the whole serving path must
+    // work — and record nothing — without one.
+    ASSERT_EQ(TraceRecorder::Global(), nullptr);
+    EXPECT_FALSE(CurrentTraceContext().active());
+
+    ServeConfig config;
+    config.threads = 2;
+    RenderService service(config);
+    service.RegisterScene("ngp", NgpFlexScene());
+    service.WarmScene("ngp");
+    SceneRequest request;
+    request.scene = "ngp";
+    request.arrival_ms = 0.0;
+    service.Submit(request);
+    service.WaitAll();
+    EXPECT_EQ(TraceRecorder::Global(), nullptr);
+
+    // Bound the disabled-path probe cost: 2M probes in well under a
+    // (very generous, CI-noise-proof) second.
+    const auto begin = std::chrono::steady_clock::now();
+    std::size_t nulls = 0;
+    for (int i = 0; i < 2000000; ++i) {
+        if (TraceRecorder::Global() == nullptr) ++nulls;
+    }
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - begin)
+            .count();
+    EXPECT_EQ(nulls, 2000000u);
+    EXPECT_LT(elapsed_ms, 1000.0);
+}
+
+using FlightRecorderDeathTest = ::testing::Test;
+
+TEST(FlightRecorderDeathTest, CheckFailureDumpsTheLastSpans)
+{
+    // A failing FLEX_CHECK must route through the logging hook into
+    // the flight-recorder dump: the post-mortem shows the last spans
+    // (here, the instant recorded just before the failure).
+    EXPECT_DEATH(
+        {
+            TraceRecorder recorder(8);
+            TraceRecorder::InstallGlobal(&recorder);
+            const std::uint64_t trace = recorder.BeginTrace("doomed");
+            TraceContext ctx;
+            ctx.trace_id = trace;
+            recorder.RecordInstant(ctx, "test", "about_to_fail", 1.0);
+            FLEX_CHECK_MSG(1 == 2, "intentional trace_test failure");
+        },
+        "about_to_fail");
+}
+
+}  // namespace
+}  // namespace flexnerfer

@@ -7,7 +7,10 @@
 # determinism contract), and distils the headline metrics — model-time
 # QPS, p50/p99 latency, shed/spill rates, per-tier traffic-zoo verdict
 # tables, plan-cache hit accounting, and the plan_cache wall-clock
-# replay speedups — into one BENCH_ci.json.
+# replay speedups — into one BENCH_ci.json. A traced serving pair
+# additionally asserts the observability contract (the virtual Chrome
+# trace projection is byte-identical across thread counts and valid
+# JSON) and folds the trace census + per-stage attribution in.
 # CI uploads the file as an artifact on every push, so the numbers
 # form a trajectory over commits instead of scrolling away in job
 # logs.
@@ -47,6 +50,31 @@ run_pair serving_batched serving --requests "${requests_serving}" \
     --load 2.5 --batch-window-ms 200000
 run_pair serving_sharded serving_sharded --requests "${requests_sharded}"
 run_pair traffic_zoo traffic_zoo --requests "${requests_zoo}"
+
+# --- serving (traced): the observability path. The "[trace]" census
+# and "[trace-stage]" attribution lines ride the stdout cmp; the
+# exported virtual trace projection must itself be byte-identical
+# across thread counts, and parse as JSON. -----------------------------
+"${build_dir}/serving" --requests "${requests_serving}" --threads 1 \
+    --trace-out "${workdir}/trace.t1.json" \
+    > "${workdir}/serving_traced.t1.out" 2> /dev/null
+"${build_dir}/serving" --requests "${requests_serving}" --threads 4 \
+    --trace-out "${workdir}/trace.json" \
+    > "${workdir}/serving_traced.out" 2> /dev/null
+if ! cmp -s "${workdir}/serving_traced.t1.out" \
+        "${workdir}/serving_traced.out"; then
+    echo "serving_traced: stdout differs between --threads 1 and 4" >&2
+    exit 1
+fi
+if ! cmp -s "${workdir}/trace.t1.json" "${workdir}/trace.json"; then
+    echo "serving_traced: virtual trace projection differs between" \
+         "--threads 1 and 4" >&2
+    exit 1
+fi
+if command -v python3 > /dev/null 2>&1; then
+    python3 -m json.tool "${workdir}/trace.json" > /dev/null
+fi
+echo "serving_traced: stdout and virtual trace thread-invariant (1 vs 4)"
 
 # --- serving: summary-table scalars ("metric ...  value" rows). -------
 sv="${workdir}/serving.out"
@@ -117,6 +145,30 @@ zoo_rows="$(grep '^\[zoo\]' "${workdir}/traffic_zoo.out" \
         printf "},\n" }')"
 zoo_rows="${zoo_rows%,*}"  # drop the trailing comma + newline
 
+# --- serving (traced): the "[trace] k=v ..." census and one row per
+# "[trace-stage] ..." line — span counts and the trace-derived per-
+# stage runtime attribution (the paper's Fig. 3 counterpart). ----------
+tr="${workdir}/serving_traced.out"
+tr_field() {
+    grep '^\[trace\]' "${tr}" | head -1 | tr ' ' '\n' \
+        | grep "^$1=" | cut -d= -f2
+}
+tr_spans="$(tr_field spans)"
+tr_instants="$(tr_field instants)"
+tr_counters="$(tr_field counters)"
+tr_traces="$(tr_field traces)"
+trace_stage_rows="$(grep '^\[trace-stage\]' "${tr}" \
+    | awk '{
+        printf "      {"
+        for (i = 2; i <= NF; ++i) {
+            split($i, kv, "=")
+            quoted = (kv[1] == "stage")
+            printf "%s\"%s\": %s%s%s", (i > 2 ? ", " : ""), kv[1],
+                   (quoted ? "\"" : ""), kv[2], (quoted ? "\"" : "")
+        }
+        printf "},\n" }')"
+trace_stage_rows="${trace_stage_rows%,*}"  # drop trailing comma
+
 commit="${GITHUB_SHA:-$(git -C "$(dirname "$0")/.." rev-parse HEAD \
     2>/dev/null || echo unknown)}"
 
@@ -160,6 +212,16 @@ cat > "${out_json}" << EOF
     "keyed_us_per_frame": ${pc_keyed_us},
     "prepared_us_per_frame": ${pc_prepared_us},
     "prepared_speedup_x": ${pc_speedup}
+  },
+  "serving_traced": {
+    "requests": ${requests_serving},
+    "spans": ${tr_spans},
+    "instants": ${tr_instants},
+    "counters": ${tr_counters},
+    "traces": ${tr_traces},
+    "stages": [
+${trace_stage_rows}
+    ]
   },
   "serving_sharded": [
 ${shard_rows}

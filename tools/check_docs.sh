@@ -61,7 +61,20 @@ for doc in docs/*.md; do
     fi
 done
 
-# 4. Every tests/*.cpp suite must be registered with ctest. CMake
+# 4. The observability surface must stay documented: ARCHITECTURE.md
+#    owns the span taxonomy / determinism story, SERVING_GUIDE.md the
+#    bench flags. A rename or deletion of either section would leave
+#    the tracing flags undiscoverable.
+if ! grep -q '^## Observability' docs/ARCHITECTURE.md; then
+    echo "docs/ARCHITECTURE.md lost its '## Observability' section" >&2
+    fail=1
+fi
+if ! grep -q -- '--trace-out' docs/SERVING_GUIDE.md; then
+    echo "docs/SERVING_GUIDE.md no longer documents --trace-out" >&2
+    fail=1
+fi
+
+# 5. Every tests/*.cpp suite must be registered with ctest. CMake
 #    registers suites by globbing tests/*_test.cpp, so a source that
 #    does not match the glob silently never runs — the exact failure
 #    this check exists to catch. Headers (shared matchers) are exempt.
