@@ -1,5 +1,7 @@
 #include "common/stats.h"
 
+#include "common/logging.h"
+
 #include <algorithm>
 #include <cmath>
 #include <sstream>
@@ -92,6 +94,27 @@ LatencyHistogram::Record(double value)
     if (count_ == 0 || value > max_) max_ = value;
     ++count_;
     sum_ += value;
+}
+
+void
+LatencyHistogram::Expunge(double value)
+{
+    if (!std::isfinite(value)) {
+        value = value > 0.0 ? 2.0 * kMaxValue : kMinValue;
+    }
+    value = std::max(value, kMinValue);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::size_t bucket = BucketIndex(value);
+    FLEX_CHECK_MSG(count_ > 0 && buckets_[bucket] > 0,
+                   "expunging a latency sample that was never recorded");
+    --buckets_[bucket];
+    --count_;
+    sum_ -= value;
+    if (count_ == 0) {
+        sum_ = 0.0;
+        min_ = 0.0;
+        max_ = 0.0;
+    }
 }
 
 double

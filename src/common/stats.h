@@ -111,6 +111,16 @@ class LatencyHistogram
      *  empty) — the shape every serving snapshot embeds. */
     LatencySummary Summary() const;
 
+    /**
+     * Removes one previously Record()ed sample (same clamping rules).
+     * Used when a virtual-time ledger must retract a completion that
+     * never really happened — e.g. a shard died before the sample's
+     * completion instant. The exact min/max stay as high-water marks
+     * (bucket counts cannot restore them); count, sum, and quantiles
+     * reflect the removal. Fatal if the sample's bucket is empty.
+     */
+    void Expunge(double value);
+
     /** Folds another histogram's samples into this one. */
     void Merge(const LatencyHistogram& other);
 

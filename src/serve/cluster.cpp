@@ -1,10 +1,13 @@
 #include "serve/cluster.h"
 
 #include <algorithm>
+#include <unordered_set>
 #include <utility>
 
 #include "common/logging.h"
 #include "obs/metrics_registry.h"
+#include "serve/transport.h"
+#include "serve/wire.h"
 
 namespace flexnerfer {
 
@@ -29,6 +32,8 @@ ClusterStats::PublishTo(MetricsRegistry& registry,
 {
     registry.SetCounter(prefix + ".submitted",
                         static_cast<double>(submitted));
+    registry.SetCounter(prefix + ".cluster_submitted",
+                        static_cast<double>(cluster_submitted));
     registry.SetCounter(prefix + ".accepted", static_cast<double>(accepted));
     registry.SetCounter(prefix + ".rejected_queue_full",
                         static_cast<double>(rejected_queue_full));
@@ -39,6 +44,18 @@ ClusterStats::PublishTo(MetricsRegistry& registry,
     registry.SetCounter(prefix + ".spilled", static_cast<double>(spilled));
     registry.SetCounter(prefix + ".spill_recompiles",
                         static_cast<double>(spill_recompiles));
+    registry.SetCounter(prefix + ".transport_failures",
+                        static_cast<double>(transport_failures));
+    registry.SetCounter(prefix + ".replayed",
+                        static_cast<double>(replayed));
+    registry.SetCounter(prefix + ".killed_shards",
+                        static_cast<double>(killed_shards));
+    registry.SetCounter(prefix + ".p2c_routed",
+                        static_cast<double>(p2c_routed));
+    registry.SetCounter(prefix + ".replica_served",
+                        static_cast<double>(replica_served));
+    registry.SetCounter(prefix + ".replication_refreshes",
+                        static_cast<double>(replication_refreshes));
     registry.SetCounter(prefix + ".batches_dispatched",
                         static_cast<double>(batches_dispatched));
     registry.SetCounter(prefix + ".fused_batches",
@@ -47,6 +64,10 @@ ClusterStats::PublishTo(MetricsRegistry& registry,
                         static_cast<double>(batched_requests));
 
     registry.SetGauge(prefix + ".shards", static_cast<double>(shards));
+    registry.SetGauge(prefix + ".live_shards",
+                      static_cast<double>(live_shards));
+    registry.SetGauge(prefix + ".replicated_scenes",
+                      static_cast<double>(replicated_scenes));
     registry.SetGauge(prefix + ".shed_rate", ShedRate());
     registry.SetGauge(prefix + ".spill_rate", SpillRate());
     registry.SetGauge(prefix + ".makespan_ms", makespan_ms);
@@ -80,6 +101,7 @@ ClusterStats::PublishTo(MetricsRegistry& registry,
     for (std::size_t i = 0; i < per_shard.size(); ++i) {
         const ShardTelemetry& shard = per_shard[i];
         const std::string base = prefix + ".shard" + std::to_string(i);
+        registry.SetGauge(base + ".alive", shard.alive ? 1.0 : 0.0);
         registry.SetCounter(base + ".homed",
                             static_cast<double>(shard.homed));
         registry.SetCounter(base + ".spill_in",
@@ -88,6 +110,10 @@ ClusterStats::PublishTo(MetricsRegistry& registry,
                             static_cast<double>(shard.spill_out));
         registry.SetCounter(base + ".spill_recompiles",
                             static_cast<double>(shard.spill_recompiles));
+        registry.SetCounter(base + ".replica_in",
+                            static_cast<double>(shard.replica_in));
+        registry.SetCounter(base + ".replayed_in",
+                            static_cast<double>(shard.replayed_in));
         shard.service.PublishTo(registry, base);
     }
 }
@@ -118,76 +144,6 @@ MakeReplicas(const ClusterConfig& config, std::size_t shards)
     return replicas;
 }
 
-/**
- * One epoch's per-replica telemetry aggregation — shared by Resize
- * (folding retiring replicas into the lifetime aggregates) and
- * Snapshot (reporting the current epoch), so the subtle guards (an
- * arrival counts once the replica saw a submit, a completion once it
- * accepted) cannot drift between the two.
- */
-struct ShardFold {
-    std::uint64_t submitted = 0;
-    std::uint64_t accepted = 0;
-    std::uint64_t rejected_queue_full = 0;
-    std::uint64_t shed_deadline = 0;
-    std::uint64_t completed = 0;
-    std::uint64_t batches_dispatched = 0;
-    std::uint64_t fused_batches = 0;
-    std::uint64_t batched_requests = 0;
-    std::uint64_t batched_accepted = 0;
-    std::size_t max_batch_elements = 0;
-    double busy_ms = 0.0;
-    double first_arrival_ms = 0.0;
-    bool saw_arrival = false;
-    double last_completion_ms = 0.0;
-    bool saw_completion = false;
-
-    void
-    Add(const ServiceStats& stats,
-        const AdmissionController::Counters& counters)
-    {
-        submitted += stats.submitted;
-        accepted += stats.accepted;
-        rejected_queue_full += stats.rejected_queue_full;
-        shed_deadline += stats.shed_deadline;
-        completed += stats.completed;
-        batches_dispatched += stats.batches_dispatched;
-        fused_batches += stats.fused_batches;
-        batched_requests += stats.batched_requests;
-        // occupancy = accepted-per-batch, so occupancy x batches is the
-        // replica's accepted-in-batches count, exactly (the replica
-        // computed the ratio from these integers).
-        batched_accepted += static_cast<std::uint64_t>(
-            stats.batch_occupancy *
-                static_cast<double>(stats.batches_dispatched) +
-            0.5);
-        max_batch_elements =
-            std::max(max_batch_elements, stats.max_batch_elements);
-        busy_ms += counters.busy_ms;
-        if (stats.submitted > 0) {
-            if (!saw_arrival ||
-                counters.first_arrival_ms < first_arrival_ms) {
-                first_arrival_ms = counters.first_arrival_ms;
-            }
-            saw_arrival = true;
-        }
-        if (stats.accepted > 0) {
-            last_completion_ms = std::max(last_completion_ms,
-                                          counters.last_completion_ms);
-            saw_completion = true;
-        }
-    }
-
-    /** This epoch's arrival-to-completion span (0 until both seen). */
-    double
-    SpanMs() const
-    {
-        return saw_arrival && saw_completion
-                   ? last_completion_ms - first_arrival_ms
-                   : 0.0;
-    }
-};
-
 /** Sums one epoch's per-tier counters into a lifetime accumulator
  *  (both indexed by the cluster-wide resolved tier list). */
 void
@@ -205,12 +161,58 @@ AddTierCounters(std::vector<AdmissionController::TierCounters>& into,
 
 }  // namespace
 
+void
+ShardedRenderService::EpochFold::Add(
+    const ServiceStats& stats, const AdmissionController::Counters& counters)
+{
+    submitted += stats.submitted;
+    accepted += stats.accepted;
+    rejected_queue_full += stats.rejected_queue_full;
+    shed_deadline += stats.shed_deadline;
+    completed += stats.completed;
+    batches_dispatched += stats.batches_dispatched;
+    fused_batches += stats.fused_batches;
+    batched_requests += stats.batched_requests;
+    // occupancy = accepted-per-batch, so occupancy x batches is the
+    // replica's accepted-in-batches count, exactly (the replica
+    // computed the ratio from these integers).
+    batched_accepted += static_cast<std::uint64_t>(
+        stats.batch_occupancy * static_cast<double>(stats.batches_dispatched) +
+        0.5);
+    max_batch_elements = std::max(max_batch_elements,
+                                  stats.max_batch_elements);
+    busy_ms += counters.busy_ms;
+    if (stats.submitted > 0) {
+        if (!saw_arrival || counters.first_arrival_ms < first_arrival_ms) {
+            first_arrival_ms = counters.first_arrival_ms;
+        }
+        saw_arrival = true;
+    }
+    if (stats.accepted > 0) {
+        last_completion_ms =
+            std::max(last_completion_ms, counters.last_completion_ms);
+        saw_completion = true;
+    }
+}
+
+double
+ShardedRenderService::EpochFold::SpanMs() const
+{
+    return saw_arrival && saw_completion
+               ? last_completion_ms - first_arrival_ms
+               : 0.0;
+}
+
 ShardedRenderService::ShardedRenderService(const ClusterConfig& config)
     : config_(config), router_(config.shards),
-      shards_(MakeReplicas(config, config.shards)), aux_(config.shards)
+      shards_(MakeReplicas(config, config.shards)),
+      alive_(config.shards, 1), aux_(config.shards)
 {
     if (config.spill_recompile_factor < 0.0) {
         Fatal("spill_recompile_factor must be >= 0");
+    }
+    if (config.replication.top_k > 0 && config.replication.factor == 0) {
+        Fatal("replication.factor must be >= 1 when replication is on");
     }
     // Every replica resolves the same tier list; the lifetime per-tier
     // aggregates are indexed by it from day one.
@@ -239,12 +241,11 @@ ShardedRenderService::RegisterScene(const std::string& name,
     desc.registered_on.assign(shards_.size(), 0);
     desc.pinned_on.assign(shards_.size(), 0);
     desc.rank = router_.Rank(name);
-    const std::size_t home = desc.rank[0];
     scenes_.emplace(name, std::move(desc));
     scene_order_.push_back(name);
     // Register on the home shard eagerly (it validates the spec and the
     // alias guard); spill shards register lazily on first landing.
-    EnsureRegisteredLocked(name, home);
+    EnsureRegisteredLocked(name, LiveHomeLocked(scenes_.at(name)));
 }
 
 void
@@ -270,7 +271,7 @@ ShardedRenderService::EnsureWarmLocked(const std::string& scene)
         // The router probes with the scene's latency estimate, so the
         // home pin must exist before the first routing decision. This
         // is an administrative warm-up: it does not count as a request.
-        const std::size_t home = desc.rank[0];
+        const std::size_t home = LiveHomeLocked(desc);
         EnsureRegisteredLocked(scene, home);
         desc.warm_cost = shards_[home]->WarmScene(scene);
         // Critical-path estimate (EstimatedServiceMs): the router's
@@ -281,6 +282,40 @@ ShardedRenderService::EnsureWarmLocked(const std::string& scene)
         desc.warmed = true;
     }
     return desc;
+}
+
+std::size_t
+ShardedRenderService::LiveHomeLocked(const SceneDesc& desc) const
+{
+    for (const std::size_t shard : desc.rank) {
+        if (alive_[shard]) return shard;
+    }
+    Fatal("cluster has no live shard left");
+}
+
+std::size_t
+ShardedRenderService::LiveCountLocked() const
+{
+    std::size_t live = 0;
+    for (const char a : alive_) {
+        if (a) ++live;
+    }
+    return live;
+}
+
+double
+ShardedRenderService::ProbePriceLocked(std::size_t shard,
+                                       const std::string& scene,
+                                       const SceneDesc& desc,
+                                       double arrival_ms)
+{
+    if (config_.batch_window_ms > 0.0) {
+        double marginal = 0.0;
+        if (shards_[shard]->ProbeBatchJoin(scene, arrival_ms, &marginal)) {
+            return marginal;
+        }
+    }
+    return desc.est_latency_ms;
 }
 
 FrameCost
@@ -295,6 +330,16 @@ ShardedRenderService::Submit(const SceneRequest& request)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     SceneDesc& desc = EnsureWarmLocked(request.scene);
+    ++cluster_submitted_;
+    // Popularity census drives the hot-scene replica sets (replays do
+    // not re-count: the demand already did). On the refresh cadence the
+    // request that completes it routes under the fresh sets.
+    ++desc.submits;
+    if (config_.replication.top_k > 0 &&
+        config_.replication.refresh_every > 0 &&
+        cluster_submitted_ % config_.replication.refresh_every == 0) {
+        RefreshReplicationLocked();
+    }
 
     // The routing decision gets its own root span; the replica's
     // request span nests under it through the ScopedTraceContext set
@@ -310,21 +355,61 @@ ShardedRenderService::Submit(const SceneRequest& request)
         wall_route_begin_us = recorder->NowWallUs();
     }
 
-    const std::vector<std::size_t>& rank = desc.rank;
-    const std::size_t home = rank[0];
+    const std::size_t home = LiveHomeLocked(desc);
     std::size_t chosen = home;
     bool spilled = false;
     bool cold_spill = false;
+    bool via_replica = false;
     double surcharge_ms = 0.0;
 
     using Outcome = AdmissionController::Outcome;
-    if (config_.enable_spill && shards_.size() > 1 &&
-        config_.max_spill_candidates > 0) {
+    if (desc.replicas.size() >= 2) {
+        // Power-of-two-choices between replicas: probe a rotating pair,
+        // take the accepting one; both accept -> earlier virtual
+        // completion (tie: first of the pair); both refuse -> the first
+        // records the real verdict. Replicas hold the pin, so no
+        // surcharge either way.
+        const std::size_t n = desc.replicas.size();
+        const std::uint64_t cursor = desc.p2c_cursor++;
+        const std::size_t a = desc.replicas[cursor % n];
+        const std::size_t b = desc.replicas[(cursor + 1) % n];
+        const AdmissionController::Verdict va =
+            shards_[a]->admission().Probe(
+                request.arrival_ms,
+                ProbePriceLocked(a, request.scene, desc, request.arrival_ms),
+                request.deadline_ms, request.tier);
+        const AdmissionController::Verdict vb =
+            shards_[b]->admission().Probe(
+                request.arrival_ms,
+                ProbePriceLocked(b, request.scene, desc, request.arrival_ms),
+                request.deadline_ms, request.tier);
+        const bool a_ok = va.outcome == Outcome::kAccepted;
+        const bool b_ok = vb.outcome == Outcome::kAccepted;
+        if (a_ok != b_ok) {
+            chosen = a_ok ? a : b;
+        } else if (a_ok && vb.completion_ms < va.completion_ms) {
+            chosen = b;
+        } else {
+            chosen = a;
+        }
+        via_replica = true;
+        ++p2c_routed_;
+        if (recorder != nullptr) {
+            recorder->RecordInstant(
+                route_ctx, "route", "p2c", request.arrival_ms,
+                {TraceArg::Int("candidate_a", static_cast<std::int64_t>(a)),
+                 TraceArg::Int("candidate_b", static_cast<std::int64_t>(b)),
+                 TraceArg::Int("chosen", static_cast<std::int64_t>(chosen)),
+                 TraceArg::Int("accepted", (a_ok || b_ok) ? 1 : 0)});
+        }
+    } else if (config_.enable_spill && LiveCountLocked() > 1 &&
+               config_.max_spill_candidates > 0) {
         const AdmissionController::Verdict at_home =
-            shards_[home]->admission().Probe(request.arrival_ms,
-                                             desc.est_latency_ms,
-                                             request.deadline_ms,
-                                             request.tier);
+            shards_[home]->admission().Probe(
+                request.arrival_ms,
+                ProbePriceLocked(home, request.scene, desc,
+                                 request.arrival_ms),
+                request.deadline_ms, request.tier);
         if (recorder != nullptr) {
             recorder->RecordInstant(
                 route_ctx, "route", "probe:shard" + std::to_string(home),
@@ -335,10 +420,16 @@ ShardedRenderService::Submit(const SceneRequest& request)
                  TraceArg::Num("wait_ms", at_home.wait_ms)});
         }
         if (at_home.outcome != Outcome::kAccepted) {
+            // Walk the rank past the live home, skipping dead shards,
+            // probing up to max_spill_candidates live ones.
+            std::size_t examined = 0;
             const std::size_t candidates = std::min(
-                config_.max_spill_candidates, shards_.size() - 1);
-            for (std::size_t i = 1; i <= candidates; ++i) {
-                const std::size_t candidate = rank[i];
+                config_.max_spill_candidates, LiveCountLocked() - 1);
+            for (std::size_t pos = 0;
+                 pos < desc.rank.size() && examined < candidates; ++pos) {
+                const std::size_t candidate = desc.rank[pos];
+                if (candidate == home || !alive_[candidate]) continue;
+                ++examined;
                 const double candidate_surcharge =
                     desc.pinned_on[candidate]
                         ? 0.0
@@ -347,7 +438,9 @@ ShardedRenderService::Submit(const SceneRequest& request)
                 const AdmissionController::Verdict verdict =
                     shards_[candidate]->admission().Probe(
                         request.arrival_ms,
-                        desc.est_latency_ms + candidate_surcharge,
+                        ProbePriceLocked(candidate, request.scene, desc,
+                                         request.arrival_ms) +
+                            candidate_surcharge,
                         request.deadline_ms, request.tier);
                 if (recorder != nullptr) {
                     recorder->RecordInstant(
@@ -375,7 +468,6 @@ ShardedRenderService::Submit(const SceneRequest& request)
         }
     }
 
-    EnsureRegisteredLocked(request.scene, chosen);
     if (recorder != nullptr) {
         recorder->RecordInstant(
             route_ctx, "route", "route", request.arrival_ms,
@@ -385,18 +477,11 @@ ShardedRenderService::Submit(const SceneRequest& request)
              TraceArg::Int("cold_spill", cold_spill ? 1 : 0),
              TraceArg::Num("surcharge_ms", surcharge_ms)});
     }
-    // The probe and this Admit see the same schedule: the cluster is
-    // the replica's only submitter and holds mutex_ across both. With
-    // batching on, the probe's full solo estimate upper-bounds the
-    // marginal price the replica may actually admit at, so the
-    // agreement stays one-sided safe: probe-accept implies accept.
-    ServeTicket shard_ticket;
-    {
-        // The replica adopts this trace: its request span parents
-        // under the cluster_submit root span.
-        ScopedTraceContext scoped(route_ctx, request.arrival_ms);
-        shard_ticket = shards_[chosen]->Submit(request, surcharge_ms);
-    }
+
+    Pending pending;
+    RouteToShardLocked(request, chosen, home, spilled, surcharge_ms,
+                       via_replica, /*is_replay=*/false, route_ctx, pending);
+
     if (recorder != nullptr) {
         TraceContext root_ctx;
         root_ctx.trace_id = route_ctx.trace_id;
@@ -406,25 +491,121 @@ ShardedRenderService::Submit(const SceneRequest& request)
                              {TraceArg::Str("scene", request.scene)});
     }
 
-    ++aux_[home].homed;
-    if (spilled) {
-        ++aux_[chosen].spill_in;
-        ++aux_[home].spill_out;
-        if (cold_spill) ++aux_[chosen].spill_recompiles;
-        // The spill's first touch compiled and pinned the scene there:
-        // later spills to this shard pay no recompile surcharge.
-        desc.pinned_on[chosen] = 1;
-    }
-
     const ClusterTicket ticket = next_ticket_++;
-    Pending pending;
-    pending.shard = chosen;
+    pending_.emplace(ticket, std::move(pending));
+    return ticket;
+}
+
+void
+ShardedRenderService::RouteToShardLocked(
+    const SceneRequest& request, std::size_t shard, std::size_t home,
+    bool spilled, double surcharge_ms, bool via_replica, bool is_replay,
+    const TraceContext& route_ctx, Pending& pending)
+{
+    EnsureRegisteredLocked(request.scene, shard);
+    SceneDesc& desc = scenes_.at(request.scene);
+    TraceRecorder* const recorder = TraceRecorder::Global();
+
+    pending.request = request;
+    pending.shard = shard;
     pending.home_shard = home;
     pending.spilled = spilled;
     pending.spill_surcharge_ms = surcharge_ms;
-    pending.shard_ticket = shard_ticket;
-    pending_.emplace(ticket, std::move(pending));
-    return ticket;
+    pending.replayed = pending.replayed || is_replay;
+
+    // The cross-host hop: the request round-trips the wire codec and
+    // pays the link model. Delay is telemetry; loss is terminal once
+    // the retransmit budget runs out (see serve/transport.h).
+    if (config_.transport != nullptr) {
+        const std::string frame = wire::EncodeSceneRequest(request);
+        const SimTransport::Delivery delivery = config_.transport->Transmit(
+            shard, frame.size(), request.arrival_ms,
+            SimTransport::Direction::kRequest);
+        if (!delivery.delivered) {
+            ++transport_failures_;
+            if (recorder != nullptr) {
+                recorder->RecordInstant(
+                    route_ctx, "transport", "rpc_failed",
+                    request.arrival_ms,
+                    {TraceArg::Int("shard",
+                                   static_cast<std::int64_t>(shard)),
+                     TraceArg::Int("attempts",
+                                   static_cast<std::int64_t>(
+                                       delivery.attempts))});
+            }
+            pending.transport_failed = true;
+            pending.resolved = true;
+            pending.accepted = false;
+            pending.result = RenderResult{};
+            pending.result.status = RequestStatus::kFailedTransport;
+            pending.result.scene = request.scene;
+            pending.result.tier = request.tier;
+            pending.result.latency_ms = 0.0;
+            pending.result.queue_wait_ms = 0.0;
+            return;
+        }
+        pending.rpc_delay_ms += delivery.deliver_ms - request.arrival_ms;
+        const SceneRequest echoed = wire::DecodeSceneRequest(frame);
+        FLEX_CHECK_MSG(echoed.scene == request.scene &&
+                           echoed.tier == request.tier &&
+                           echoed.priority == request.priority &&
+                           echoed.deadline_ms == request.deadline_ms &&
+                           echoed.arrival_ms == request.arrival_ms,
+                       "wire round-trip diverged for scene '"
+                           << request.scene << "'");
+        if (recorder != nullptr) {
+            recorder->RecordInstant(
+                route_ctx, "transport", "rpc", request.arrival_ms,
+                {TraceArg::Int("shard", static_cast<std::int64_t>(shard)),
+                 TraceArg::Int("attempts",
+                               static_cast<std::int64_t>(delivery.attempts)),
+                 TraceArg::Num("delay_ms",
+                               delivery.deliver_ms - request.arrival_ms)});
+        }
+    }
+
+    // Final verdict preview at the exact price Submit admits at
+    // (marginal-aware; the cluster holds mutex_ across both, so the
+    // preview is exact) — the replay bookkeeping KillShard needs.
+    const AdmissionController::Verdict verdict =
+        shards_[shard]->admission().Probe(
+            request.arrival_ms,
+            ProbePriceLocked(shard, request.scene, desc,
+                             request.arrival_ms) +
+                surcharge_ms,
+            request.deadline_ms, request.tier);
+    pending.accepted =
+        verdict.outcome == AdmissionController::Outcome::kAccepted;
+    pending.completion_ms = verdict.completion_ms;
+    pending.deadline_abs_ms = verdict.deadline_ms > 0.0
+                                  ? verdict.arrival_ms + verdict.deadline_ms
+                                  : 0.0;
+
+    {
+        // The replica adopts this trace: its request span parents
+        // under the cluster_submit root span.
+        ScopedTraceContext scoped(route_ctx, request.arrival_ms);
+        pending.shard_ticket = shards_[shard]->Submit(request, surcharge_ms);
+    }
+    pending.resolved = false;
+
+    if (is_replay) {
+        ++aux_[shard].replayed_in;
+    } else {
+        ++aux_[home].homed;
+        if (spilled) {
+            ++aux_[shard].spill_in;
+            ++aux_[home].spill_out;
+            if (surcharge_ms > 0.0) ++aux_[shard].spill_recompiles;
+        } else if (via_replica && shard != home) {
+            ++aux_[shard].replica_in;
+        }
+    }
+    if (spilled || surcharge_ms > 0.0) {
+        // The first touch compiled and pinned the scene there: later
+        // spills or replays to this shard pay no recompile surcharge.
+        desc.pinned_on[shard] = 1;
+    }
 }
 
 ClusterRenderResult
@@ -435,9 +616,34 @@ ShardedRenderService::Finish(Pending&& pending)
     out.home_shard = pending.home_shard;
     out.spilled = pending.spilled;
     out.spill_surcharge_ms = pending.spill_surcharge_ms;
+    out.replayed = pending.replayed;
+    out.transport_failed = pending.transport_failed;
+    out.rpc_delay_ms = pending.rpc_delay_ms;
     out.result = pending.resolved
                      ? std::move(pending.result)
                      : shards_[pending.shard]->Wait(pending.shard_ticket);
+    // The result rides the wire home: round-trip the codec and pay the
+    // response leg (latency only — the verdict already exists, so the
+    // return channel never fails; see serve/transport.h).
+    if (config_.transport != nullptr && !pending.transport_failed) {
+        const std::string frame = wire::EncodeRenderResult(out.result);
+        const double done_ms =
+            pending.request.arrival_ms + out.result.latency_ms;
+        const SimTransport::Delivery delivery = config_.transport->Transmit(
+            pending.shard, frame.size(), done_ms,
+            SimTransport::Direction::kResponse);
+        out.rpc_delay_ms += delivery.deliver_ms - done_ms;
+        RenderResult echoed = wire::DecodeRenderResult(frame);
+        FLEX_CHECK_MSG(echoed.status == out.result.status &&
+                           echoed.scene == out.result.scene &&
+                           echoed.cost == out.result.cost &&
+                           echoed.latency_ms == out.result.latency_ms &&
+                           echoed.batch_elements ==
+                               out.result.batch_elements,
+                       "wire round-trip diverged for a result of scene '"
+                           << out.result.scene << "'");
+        out.result = std::move(echoed);
+    }
     return out;
 }
 
@@ -479,38 +685,245 @@ ShardedRenderService::WaitAll()
 }
 
 std::size_t
-ShardedRenderService::Resize(std::size_t new_shards)
+ShardedRenderService::KillShard(std::size_t shard, double now_ms)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (new_shards == 0) Fatal("a cluster needs at least one shard");
+    return KillShardLocked(shard, now_ms);
+}
 
-    // Drain: resolve every outstanding ticket against the old replicas.
-    // Results are retained, so tickets issued before the resize stay
-    // claimable after it.
+std::size_t
+ShardedRenderService::KillShardLocked(std::size_t shard, double now_ms)
+{
+    FLEX_CHECK_MSG(shard < shards_.size(),
+                   "shard " << shard << " out of range (cluster has "
+                            << shards_.size() << ")");
+    FLEX_CHECK_MSG(alive_[shard], "shard " << shard << " is already dead");
+    FLEX_CHECK_MSG(LiveCountLocked() >= 2,
+                   "cannot kill the last live shard");
+
+    TraceRecorder* const recorder = TraceRecorder::Global();
+    TraceContext drill_ctx;
+    if (recorder != nullptr) {
+        drill_ctx.trace_id =
+            recorder->BeginTrace("drill:kill:shard" + std::to_string(shard));
+    }
+
+    // Resolve every ticket the dying replica holds. Requests whose
+    // virtual completion lies beyond the death instant never finished:
+    // they replay. Everything else (completed, shed, rejected, or
+    // already resolved) keeps its original result.
+    struct Phantom {
+        double latency_ms = 0.0;
+        std::size_t tier = 0;
+    };
+    std::vector<ClusterTicket> to_replay;
+    std::vector<Phantom> phantoms;
     for (auto& entry : pending_) {
         Pending& pending = entry.second;
-        if (pending.resolved) continue;
-        pending.result = shards_[pending.shard]->Wait(pending.shard_ticket);
-        pending.resolved = true;
-    }
-
-    // Fold the retiring replicas' telemetry into the lifetime
-    // aggregates, so Snapshot keeps reporting cluster-lifetime totals
-    // across rebalances.
-    ShardFold fold;
-    for (std::size_t i = 0; i < shards_.size(); ++i) {
-        const AdmissionController::Counters counters =
-            shards_[i]->admission().counters();
-        fold.Add(shards_[i]->Snapshot(), counters);
-        retired_.spilled += aux_[i].spill_in;
-        retired_.spill_recompiles += aux_[i].spill_recompiles;
-        retired_.latency.Merge(shards_[i]->latency_histogram());
-        AddTierCounters(retired_.tier_counters, counters.tiers);
-        for (std::size_t t = 0; t < retired_.tier_latency.size(); ++t) {
-            retired_.tier_latency[t].Merge(
-                shards_[i]->tier_latency_histogram(t));
+        if (pending.resolved || pending.shard != shard) continue;
+        RenderResult result =
+            shards_[shard]->Wait(pending.shard_ticket);
+        if (pending.accepted && pending.completion_ms > now_ms) {
+            to_replay.push_back(entry.first);
+            phantoms.push_back(Phantom{result.latency_ms, result.tier});
+        } else {
+            pending.result = std::move(result);
+            pending.resolved = true;
         }
     }
+    std::sort(to_replay.begin(), to_replay.end());
+
+    // Fold the dead replica's telemetry into the lifetime aggregates.
+    // Its capacity contribution is its own span — it served alone for
+    // exactly that long (see ClusterStats::utilization).
+    EpochFold fold;
+    FoldReplicaLocked(shard, fold);
+
+    // A ticket that replays never finished here: the replica's ledger
+    // recorded a *phantom* completion whose virtual instant lies beyond
+    // the death. Expunge its acceptance, completion, and latency sample
+    // so lifetime accepted/completed/histograms count real work exactly
+    // once. `submitted` keeps both admissions — reconciled by the
+    // `replayed` term (see ClusterStats) — while busy_ms and the exact
+    // histogram min/max remain high-water marks.
+    fold.accepted -= phantoms.size();
+    fold.completed -= phantoms.size();
+    for (const Phantom& phantom : phantoms) {
+        retired_.latency.Expunge(phantom.latency_ms);
+        if (phantom.tier < retired_.tier_latency.size()) {
+            retired_.tier_latency[phantom.tier].Expunge(phantom.latency_ms);
+            --retired_.tier_counters[phantom.tier].accepted;
+        }
+    }
+
+    AccumulateFoldLocked(fold);
+    retired_.capacity_ms += fold.SpanMs();
+
+    shards_[shard].reset();
+    alive_[shard] = 0;
+    ++killed_shards_;
+
+    // Re-home: the dead slot drops out of every scene's live rank and
+    // every replica set; warmed scenes whose live home moved re-warm
+    // there so probes keep pricing against a real pin (administrative
+    // — no request counts move).
+    for (const std::string& name : scene_order_) {
+        SceneDesc& desc = scenes_.at(name);
+        desc.registered_on[shard] = 0;
+        desc.pinned_on[shard] = 0;
+        desc.replicas.erase(
+            std::remove(desc.replicas.begin(), desc.replicas.end(), shard),
+            desc.replicas.end());
+        if (!desc.warmed) continue;
+        const std::size_t new_home = LiveHomeLocked(desc);
+        if (!desc.pinned_on[new_home]) {
+            EnsureRegisteredLocked(name, new_home);
+            const FrameCost re_warmed = shards_[new_home]->WarmScene(name);
+            FLEX_CHECK_MSG(re_warmed == desc.warm_cost,
+                           "re-homed warm-up diverged for scene '" << name
+                                                                   << "'");
+            desc.pinned_on[new_home] = 1;
+        }
+    }
+
+    // Replay, in ticket order, at the death instant: new live home,
+    // remaining deadline budget, spill surcharge if the home is cold.
+    for (const ClusterTicket ticket : to_replay) {
+        Pending& pending = pending_.at(ticket);
+        SceneRequest request = pending.request;
+        SceneDesc& desc = scenes_.at(request.scene);
+        const std::size_t target = LiveHomeLocked(desc);
+        request.arrival_ms = now_ms;
+        if (pending.deadline_abs_ms > 0.0) {
+            // An already-blown deadline replays with an epsilon budget:
+            // the new shard sheds it honestly instead of rejudging it
+            // under a fresh default.
+            request.deadline_ms =
+                std::max(pending.deadline_abs_ms - now_ms, 1e-9);
+        }
+        const double surcharge_ms =
+            desc.pinned_on[target]
+                ? 0.0
+                : config_.spill_recompile_factor * desc.est_latency_ms;
+        pending.rpc_delay_ms = 0.0;
+        pending.spilled = false;
+        pending.spill_surcharge_ms = surcharge_ms;
+        RouteToShardLocked(request, target, target, /*spilled=*/false,
+                           surcharge_ms, /*via_replica=*/false,
+                           /*is_replay=*/true, drill_ctx, pending);
+        ++replayed_;
+        if (recorder != nullptr) {
+            recorder->RecordInstant(
+                drill_ctx, "drill", "replay", now_ms,
+                {TraceArg::Str("scene", request.scene),
+                 TraceArg::Int("target", static_cast<std::int64_t>(target)),
+                 TraceArg::Num("surcharge_ms", surcharge_ms)});
+        }
+    }
+
+    if (recorder != nullptr) {
+        recorder->RecordInstant(
+            drill_ctx, "drill", "shard_death", now_ms,
+            {TraceArg::Int("shard", static_cast<std::int64_t>(shard)),
+             TraceArg::Int("replayed",
+                           static_cast<std::int64_t>(to_replay.size())),
+             TraceArg::Int("live",
+                           static_cast<std::int64_t>(LiveCountLocked()))});
+    }
+    return to_replay.size();
+}
+
+std::vector<std::string>
+ShardedRenderService::RefreshReplication()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return RefreshReplicationLocked();
+}
+
+std::vector<std::string>
+ShardedRenderService::RefreshReplicationLocked()
+{
+    ++replication_refreshes_;
+    // Census order: submissions descending, name ascending on ties — a
+    // pure function of the recorded history, so two clusters with the
+    // same traffic derive the same sets.
+    std::vector<std::string> by_popularity;
+    for (const std::string& name : scene_order_) {
+        if (scenes_.at(name).submits > 0) by_popularity.push_back(name);
+    }
+    std::sort(by_popularity.begin(), by_popularity.end(),
+              [this](const std::string& a, const std::string& b) {
+                  const std::uint64_t sa = scenes_.at(a).submits;
+                  const std::uint64_t sb = scenes_.at(b).submits;
+                  if (sa != sb) return sa > sb;
+                  return a < b;
+              });
+    if (by_popularity.size() > config_.replication.top_k) {
+        by_popularity.resize(config_.replication.top_k);
+    }
+    const std::unordered_set<std::string> hot(by_popularity.begin(),
+                                              by_popularity.end());
+
+    for (const std::string& name : scene_order_) {
+        SceneDesc& desc = scenes_.at(name);
+        if (hot.count(name) == 0) {
+            // Demoted scenes fall back to plain home routing; their
+            // extra pins stay (a pin is just a warm plan-cache entry).
+            desc.replicas.clear();
+            continue;
+        }
+        EnsureWarmLocked(name);
+        desc.replicas.clear();
+        for (const std::size_t shard : desc.rank) {
+            if (!alive_[shard]) continue;
+            EnsureRegisteredLocked(name, shard);
+            if (!desc.pinned_on[shard]) {
+                // Administrative warm (no request counts move): the
+                // replica must hold the pin before p2c sends real
+                // traffic its way.
+                const FrameCost warmed = shards_[shard]->WarmScene(name);
+                FLEX_CHECK_MSG(warmed == desc.warm_cost,
+                               "replica warm-up diverged for scene '"
+                                   << name << "'");
+                desc.pinned_on[shard] = 1;
+            }
+            desc.replicas.push_back(shard);
+            if (desc.replicas.size() == config_.replication.factor) break;
+        }
+    }
+    return by_popularity;
+}
+
+std::vector<std::size_t>
+ShardedRenderService::ReplicasOf(const std::string& scene) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = scenes_.find(scene);
+    FLEX_CHECK_MSG(it != scenes_.end(),
+                   "scene '" << scene << "' not registered");
+    return it->second.replicas;
+}
+
+void
+ShardedRenderService::FoldReplicaLocked(std::size_t i, EpochFold& fold)
+{
+    const AdmissionController::Counters counters =
+        shards_[i]->admission().counters();
+    fold.Add(shards_[i]->Snapshot(), counters);
+    retired_.spilled += aux_[i].spill_in;
+    retired_.spill_recompiles += aux_[i].spill_recompiles;
+    retired_.replica_served += aux_[i].replica_in;
+    retired_.latency.Merge(shards_[i]->latency_histogram());
+    AddTierCounters(retired_.tier_counters, counters.tiers);
+    for (std::size_t t = 0; t < retired_.tier_latency.size(); ++t) {
+        retired_.tier_latency[t].Merge(shards_[i]->tier_latency_histogram(t));
+    }
+    aux_[i] = ShardAux{};
+}
+
+void
+ShardedRenderService::AccumulateFoldLocked(const EpochFold& fold)
+{
     retired_.submitted += fold.submitted;
     retired_.accepted += fold.accepted;
     retired_.rejected_queue_full += fold.rejected_queue_full;
@@ -532,29 +945,62 @@ ShardedRenderService::Resize(std::size_t new_shards)
     }
     retired_.last_completion_ms = std::max(retired_.last_completion_ms,
                                            fold.last_completion_ms);
-    // The epoch's capacity: its own shard count times its own span.
-    // Accumulated per epoch so utilization stays a fraction of the
-    // shard-time that actually existed, whatever Resize does later.
-    retired_.capacity_ms +=
-        static_cast<double>(shards_.size()) * fold.SpanMs();
+}
 
-    // Count the scenes whose home moves — the HRW minimum (growing
+std::size_t
+ShardedRenderService::Resize(std::size_t new_shards)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (new_shards == 0) Fatal("a cluster needs at least one shard");
+
+    // Drain: resolve every outstanding ticket against the old replicas.
+    // Results are retained, so tickets issued before the resize stay
+    // claimable after it. (Dead shards hold no unresolved tickets —
+    // KillShard resolved or replayed them.)
+    for (auto& entry : pending_) {
+        Pending& pending = entry.second;
+        if (pending.resolved) continue;
+        pending.result = shards_[pending.shard]->Wait(pending.shard_ticket);
+        pending.resolved = true;
+    }
+
+    // Fold the retiring live replicas' telemetry into the lifetime
+    // aggregates, so Snapshot keeps reporting cluster-lifetime totals
+    // across rebalances.
+    const std::size_t live_before = LiveCountLocked();
+    EpochFold fold;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        if (!alive_[i]) continue;
+        FoldReplicaLocked(i, fold);
+    }
+    AccumulateFoldLocked(fold);
+    // The epoch's capacity: its own live shard count times its own
+    // span. Accumulated per epoch so utilization stays a fraction of
+    // the shard-time that actually existed, whatever Resize does later.
+    retired_.capacity_ms += static_cast<double>(live_before) * fold.SpanMs();
+
+    // Count the scenes whose live home moves — the HRW minimum (growing
     // relocates only scenes topping out on the added shards, shrinking
-    // only scenes homed on removed ones).
+    // only scenes homed on removed ones; reviving a killed slot moves
+    // back only what it homed).
     const ShardRouter new_router(new_shards);
     std::size_t moved = 0;
     for (const std::string& name : scene_order_) {
-        if (scenes_.at(name).rank[0] != new_router.Home(name)) ++moved;
+        if (LiveHomeLocked(scenes_.at(name)) != new_router.Home(name)) {
+            ++moved;
+        }
     }
 
     router_ = new_router;
     shards_ = MakeReplicas(config_, new_shards);
+    alive_.assign(new_shards, 1);
     aux_.assign(new_shards, ShardAux{});
     for (const std::string& name : scene_order_) {
         SceneDesc& desc = scenes_.at(name);
         desc.registered_on.assign(new_shards, 0);
         desc.pinned_on.assign(new_shards, 0);
         desc.rank = router_.Rank(name);
+        desc.replicas.clear();
         const bool was_warm = desc.warmed;
         desc.warmed = false;
         EnsureRegisteredLocked(name, desc.rank[0]);
@@ -562,6 +1008,9 @@ ShardedRenderService::Resize(std::size_t new_shards)
         // cold until their first request, exactly as before the resize.
         if (was_warm) EnsureWarmLocked(name);
     }
+    // The census survives the rebalance: re-derive the hot replica
+    // sets against the new live topology.
+    if (config_.replication.top_k > 0) RefreshReplicationLocked();
     return moved;
 }
 
@@ -571,25 +1020,43 @@ ShardedRenderService::Snapshot() const
     std::lock_guard<std::mutex> lock(mutex_);
     ClusterStats stats;
     stats.shards = shards_.size();
+    stats.live_shards = LiveCountLocked();
+    stats.cluster_submitted = cluster_submitted_;
+    stats.transport_failures = transport_failures_;
+    stats.replayed = replayed_;
+    stats.killed_shards = killed_shards_;
+    stats.p2c_routed = p2c_routed_;
+    stats.replication_refreshes = replication_refreshes_;
     stats.spilled = retired_.spilled;
     stats.spill_recompiles = retired_.spill_recompiles;
+    stats.replica_served = retired_.replica_served;
 
     LatencyHistogram merged;
     merged.Merge(retired_.latency);
 
     // The current epoch's aggregation; lifetime = retired_ + fold.
-    ShardFold fold;
+    EpochFold fold;
     stats.per_shard.reserve(shards_.size());
     for (std::size_t i = 0; i < shards_.size(); ++i) {
         ShardTelemetry shard;
+        if (!alive_[i]) {
+            // A killed slot reports a zeroed row (its lifetime totals
+            // live in the retired aggregates).
+            shard.alive = false;
+            stats.per_shard.push_back(std::move(shard));
+            continue;
+        }
         shard.service = shards_[i]->Snapshot();
         shard.homed = aux_[i].homed;
         shard.spill_in = aux_[i].spill_in;
         shard.spill_out = aux_[i].spill_out;
         shard.spill_recompiles = aux_[i].spill_recompiles;
+        shard.replica_in = aux_[i].replica_in;
+        shard.replayed_in = aux_[i].replayed_in;
         fold.Add(shard.service, shards_[i]->admission().counters());
         stats.spilled += shard.spill_in;
         stats.spill_recompiles += shard.spill_recompiles;
+        stats.replica_served += shard.replica_in;
         merged.Merge(shards_[i]->latency_histogram());
         stats.per_shard.push_back(std::move(shard));
     }
@@ -613,11 +1080,17 @@ ShardedRenderService::Snapshot() const
             static_cast<double>(stats.batches_dispatched);
     }
 
+    for (const auto& entry : scenes_) {
+        if (entry.second.replicas.size() >= 2) ++stats.replicated_scenes;
+    }
+
     stats.p50_ms = merged.Quantile(0.50);
     stats.p90_ms = merged.Quantile(0.90);
     stats.p99_ms = merged.Quantile(0.99);
     stats.mean_ms = merged.Mean();
     stats.max_ms = merged.Max();
+    stats.latency_samples = merged.count();
+    stats.latency_sum_ms = merged.sum();
 
     // Per-tier fleet rows: lifetime counters (retired epochs + every
     // current replica) and losslessly merged per-tier histograms.
@@ -625,6 +1098,7 @@ ShardedRenderService::Snapshot() const
     std::vector<AdmissionController::TierCounters> tier_counters =
         retired_.tier_counters;
     for (std::size_t i = 0; i < shards_.size(); ++i) {
+        if (!alive_[i]) continue;
         AddTierCounters(tier_counters,
                         shards_[i]->admission().counters().tiers);
     }
@@ -643,6 +1117,7 @@ ShardedRenderService::Snapshot() const
         LatencyHistogram tier_merged;
         tier_merged.Merge(retired_.tier_latency[t]);
         for (std::size_t i = 0; i < shards_.size(); ++i) {
+            if (!alive_[i]) continue;
             tier_merged.Merge(shards_[i]->tier_latency_histogram(t));
         }
         tier.latency = tier_merged.Summary();
@@ -668,11 +1143,11 @@ ShardedRenderService::Snapshot() const
                               stats.makespan_ms;
     }
     // Utilization: busy time over the shard-time that actually existed
-    // — each epoch weighted by its own shard count and span, so the
-    // ratio survives Resize unchanged in meaning.
+    // — each epoch weighted by its own live shard count and span, so
+    // the ratio survives Resize unchanged in meaning.
     const double capacity_ms =
         retired_.capacity_ms +
-        static_cast<double>(stats.shards) * fold.SpanMs();
+        static_cast<double>(stats.live_shards) * fold.SpanMs();
     if (capacity_ms > 0.0) {
         stats.utilization = (retired_.busy_ms + fold.busy_ms) /
                             capacity_ms;
@@ -687,6 +1162,23 @@ ShardedRenderService::shards() const
     return shards_.size();
 }
 
+std::size_t
+ShardedRenderService::live_shards() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return LiveCountLocked();
+}
+
+bool
+ShardedRenderService::alive(std::size_t index) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    FLEX_CHECK_MSG(index < alive_.size(),
+                   "shard index " << index << " out of range (cluster "
+                                  << "has " << alive_.size() << ")");
+    return alive_[index] != 0;
+}
+
 RenderService&
 ShardedRenderService::shard(std::size_t index)
 {
@@ -694,6 +1186,7 @@ ShardedRenderService::shard(std::size_t index)
     FLEX_CHECK_MSG(index < shards_.size(),
                    "shard index " << index << " out of range (cluster "
                                   << "has " << shards_.size() << ")");
+    FLEX_CHECK_MSG(alive_[index], "shard " << index << " was killed");
     return *shards_[index];
 }
 

@@ -1,7 +1,7 @@
 /**
  * @file
  * ShardedRenderService: N RenderService replicas behind a scene-affine
- * router.
+ * router, in cross-host shape.
  *
  * One RenderService models one device; fleet-scale traffic needs many.
  * The cluster owns N fully independent replicas — each with its own
@@ -9,43 +9,78 @@
  * AdmissionController — and routes Submit(SceneRequest) by rendezvous
  * (HRW) hashing on the scene id (serve/shard_router.h):
  *
- *   Submit ──> ShardRouter::Rank(scene)       home = rank[0]
- *          ──> Probe home admission           would it accept?
+ *   Submit ──> ShardRouter::Rank(scene)       home = first *live* rank
+ *          ──> replicated scene? p2c probe    two replicas race, the
+ *               between two replicas           less-loaded verdict wins
+ *          ──> else probe home admission      would it accept?
  *          ──> yes: home shard Submit         prepared-pin replay
  *          ──> no: probe next-ranked shards   overload-aware spill,
  *               (recompile surcharge when      charged to the spill
  *                the scene is cold there)      shard's virtual clock
  *          ──> all would shed: home Submit    records the real verdict
  *
- * Scene affinity is the point: every scene's prepared-frame pin lives on
- * exactly one home shard, so the per-shard serving invariant
- * "PlanCache frame hits == accepted requests" keeps holding — spills
- * show up as explicit plan compiles (spill_recompiles), never as broken
- * hit accounting.
+ * Scene affinity is the point: every scene's prepared-frame pin lives
+ * on its home shard (plus any replicas holding it deliberately), so the
+ * per-shard serving invariant "PlanCache frame hits == accepted
+ * requests" keeps holding — spills and replica warms show up as
+ * explicit plan compiles, never as broken hit accounting.
  *
- * Determinism contract (the repo-wide one, extended to routing): the
- * router serializes submissions, every probe/verdict/spill decision runs
- * in virtual time, and the recompile surcharge is a fixed policy
- * (spill_recompile_factor x the scene's latency estimate) — so for a
- * fixed submission sequence, every request's shard, spill flag,
- * surcharge, verdict, and latency, every per-shard counter, and the
- * merged cluster percentiles are bit-identical for any threads_per_shard
- * and any wall-clock interleaving. Only wall-clock throughput varies.
+ * Cross-host shape (optional, ClusterConfig::transport): every
+ * controller->shard submit and shard->controller result crosses a
+ * simulated per-shard link (serve/transport.h) through the versioned
+ * wire codec (serve/wire.h) — plans, prepared handles, and plan caches
+ * never cross; only requests, results, and snapshots do. Transport
+ * *delay* is telemetry (rpc_delay_ms): it does not re-time admission,
+ * which is what keeps the side-effect-free probe == Admit agreement
+ * exact under faults. Transport *loss* is real: a request that
+ * exhausts its retransmit budget resolves as kFailedTransport without
+ * ever reaching a shard.
+ *
+ * Shard death (KillShard, usually pumped from a fault schedule by
+ * ClusterController): the dead replica's telemetry folds into the
+ * lifetime aggregates, its scenes re-home to the next live shard in
+ * their HRW rank (the provable minimum moves), and its in-flight
+ * accepted-but-unfinished tickets replay on the new home at the death
+ * instant, paying the spill recompile surcharge when the new home
+ * lacks the pin and keeping only the *remaining* deadline budget.
+ * Every submitted ticket still resolves exactly once.
+ *
+ * Hot-scene replication (ClusterConfig::replication): the top-k scenes
+ * of the popularity census are homed on `factor` live shards (rank
+ * order — a deterministic prefix), and requests for them route by
+ * power-of-two-choices between replicas: probe two, take the accepting
+ * one, break ties toward the earlier virtual completion. Replica sets
+ * are a pure function of (census, live set), so refreshes are
+ * deterministic; p2c never considers a dead replica because dead
+ * shards are pruned from every replica set at kill time.
+ *
+ * Determinism contract (the repo-wide one, extended to routing and
+ * faults): the router serializes submissions, every probe/verdict/
+ * spill/p2c decision runs in virtual time, the recompile surcharge is
+ * a fixed policy (spill_recompile_factor x the scene's latency
+ * estimate), and every transport draw hashes (seed, link, direction,
+ * per-link ordinal) — so for a fixed submission sequence and fault
+ * schedule, every request's shard, spill/replay/transport flags,
+ * verdict, and latency, every per-shard counter, and the merged
+ * cluster percentiles are bit-identical for any threads_per_shard and
+ * any wall-clock interleaving. Only wall-clock throughput varies.
  *
  * Rebalancing: Resize(new_shards) drains every in-flight request
  * (outstanding tickets stay valid — their results are resolved and
  * retained), folds the old replicas' telemetry into the cluster-lifetime
- * aggregates, rebuilds the replica set, and re-registers every scene on
- * its new home. HRW moves the minimum: growing relocates ~1/(N+1) of
- * the scenes, shrinking only those homed on removed shards.
+ * aggregates, rebuilds the replica set (reviving killed slots), and
+ * re-registers every scene on its new home. HRW moves the minimum:
+ * growing relocates ~1/(N+1) of the scenes, shrinking only those homed
+ * on removed shards. Replication, if configured, re-derives its
+ * replica sets from the census after the rebuild.
  *
  * Thread-safety: Submit/Wait/WaitAll/Snapshot/WarmScene may be called
  * concurrently (submissions serialize internally, in an unspecified
  * order — determinism then holds per admission order observed, which is
- * why bench/serving_sharded submits from one thread). Resize must not
- * race other members: quiesce callers first. Submitting directly to a
- * replica obtained via shard() would break the probe/Admit agreement —
- * replicas are exposed for inspection only.
+ * why bench/serving_cluster submits from one thread). Resize and
+ * KillShard must not race other members: quiesce callers first.
+ * Submitting directly to a replica obtained via shard() would break
+ * the probe/Admit agreement — replicas are exposed for inspection only.
  */
 #ifndef FLEXNERFER_SERVE_CLUSTER_H_
 #define FLEXNERFER_SERVE_CLUSTER_H_
@@ -62,6 +97,20 @@
 #include "serve/shard_router.h"
 
 namespace flexnerfer {
+
+class SimTransport;
+
+/** Hot-scene replication policy (0 = off; see file header). */
+struct ReplicationConfig {
+    /** How many census-top scenes get replica sets (0 disables). */
+    std::size_t top_k = 0;
+    /** Replicas per hot scene, clamped to the live shard count
+     *  (>= 1; a factor of 1 degenerates to plain home routing). */
+    std::size_t factor = 2;
+    /** Re-derive replica sets every N cluster submissions (0 = only on
+     *  explicit RefreshReplication() calls and after Resize). */
+    std::uint64_t refresh_every = 0;
+};
 
 /** Configuration of a ShardedRenderService. */
 struct ClusterConfig {
@@ -84,6 +133,8 @@ struct ClusterConfig {
      * EstimatedServiceMs). Charged to that shard's virtual clock
      * (it delays everything behind it and counts against the deadline),
      * so spilling is only worth it when the home backlog exceeds it.
+     * Replayed tickets pay the same surcharge when their new home is
+     * cold (see KillShard).
      */
     double spill_recompile_factor = 1.0;
     /**
@@ -91,16 +142,27 @@ struct ClusterConfig {
      * see ServeConfig::batch_window_ms). Scene affinity makes fusion
      * strictly more effective behind the router: every request for a
      * scene lands on its home shard, so the whole fleet's same-scene
-     * arrivals collect into one shard's windows. Router probes keep
-     * using the scene's full solo estimate — conservative, since a
-     * join would be admitted at the cheaper marginal price — so a
-     * probe-accept always implies the shard accepts the submit; the
-     * only cost is an occasional spill that a marginal-priced home
+     * arrivals collect into one shard's windows. Router probes are
+     * marginal-aware: when the scene has an open, unexpired,
+     * non-full batch on the probed shard, the probe prices the join
+     * at EstimatedMarginalServiceMs (RenderService::ProbeBatchJoin) —
+     * the exact price Submit admits at — so probe-accept implies
+     * submit-accept *and* shards advertise their in-flight batch
+     * capacity instead of spilling joiners a marginal-priced home
      * admit would have taken.
      */
     double batch_window_ms = 0.0;
     /** Largest fused execution per replica (>= 1; see ServeConfig). */
     std::size_t max_batch_elements = 8;
+    /**
+     * Simulated RPC transport for the cross-host shape (nullptr = pure
+     * in-process calls, the PR 4 behavior, byte-identical to it). Not
+     * owned; must outlive the cluster. With a transport attached every
+     * submit round-trips the wire codec and can fail in transit.
+     */
+    SimTransport* transport = nullptr;
+    /** Hot-scene replication policy (top_k = 0 disables). */
+    ReplicationConfig replication;
 };
 
 /** Handle to one request submitted to the cluster. */
@@ -110,34 +172,71 @@ using ClusterTicket = std::uint64_t;
 struct ClusterRenderResult {
     RenderResult result;
     std::size_t shard = 0;       //!< replica that resolved the request
-    std::size_t home_shard = 0;  //!< the scene's HRW home
-    bool spilled = false;        //!< served away from home
-    /** Virtual recompile surcharge the spill paid (0 when the spill
-     *  shard already held the scene's pin, or no spill happened). */
+    std::size_t home_shard = 0;  //!< the scene's live HRW home at submit
+    bool spilled = false;        //!< served away from home (overload)
+    /** Virtual recompile surcharge the spill or replay paid (0 when
+     *  the serving shard already held the scene's pin, or neither
+     *  happened). */
     double spill_surcharge_ms = 0.0;
+    /** Re-submitted after its original shard died mid-flight. */
+    bool replayed = false;
+    /** Never reached a shard (result.status == kFailedTransport). */
+    bool transport_failed = false;
+    /** Simulated RPC time spent on the wire (request + response legs;
+     *  0 without a transport). Telemetry only — never re-times
+     *  admission (see file header). */
+    double rpc_delay_ms = 0.0;
 };
 
 /** One replica's telemetry, with the cluster's routing counters. */
 struct ShardTelemetry {
     ServiceStats service;  //!< the replica's own snapshot
-    std::uint64_t homed = 0;      //!< requests whose HRW home is here
+    bool alive = true;     //!< false once KillShard took it (zero row)
+    std::uint64_t homed = 0;      //!< requests whose live home is here
     std::uint64_t spill_in = 0;   //!< accepted here away from home
     std::uint64_t spill_out = 0;  //!< homed here, served elsewhere
     std::uint64_t spill_recompiles = 0;  //!< spill_in that compiled
+    std::uint64_t replica_in = 0;  //!< p2c-routed here away from home
+    std::uint64_t replayed_in = 0;  //!< replays landed here (epoch)
 };
 
 /** Cluster-level aggregate telemetry (deterministic once drained).
  *  Counters and percentiles span the cluster lifetime, including
- *  replicas retired by Resize; per_shard covers the current epoch. */
+ *  replicas retired by Resize or KillShard; per_shard covers the
+ *  current epoch. */
 struct ClusterStats {
-    std::size_t shards = 0;
+    std::size_t shards = 0;       //!< slots (incl. dead) this epoch
+    std::size_t live_shards = 0;  //!< slots still serving
+    /** Shard-level admissions (lifetime). A replayed ticket admits
+     *  twice and a transport failure never admits, so across faults
+     *  the shard view reconciles with the router view as
+     *  submitted == cluster_submitted - transport_failures + replayed
+     *  (tests/chaos_test.cpp holds this identity under every fault
+     *  schedule). Fault-free, the two are equal. */
     std::uint64_t submitted = 0;
+    /** Router-level Submit() calls (lifetime). */
+    std::uint64_t cluster_submitted = 0;
     std::uint64_t accepted = 0;
     std::uint64_t rejected_queue_full = 0;
     std::uint64_t shed_deadline = 0;
     std::uint64_t completed = 0;
     std::uint64_t spilled = 0;           //!< accepted away from home
     std::uint64_t spill_recompiles = 0;  //!< spills that compiled
+    /** Requests that never reached a shard (transport retry budget
+     *  exhausted; they resolve as kFailedTransport). */
+    std::uint64_t transport_failures = 0;
+    /** In-flight tickets re-submitted because their shard died. */
+    std::uint64_t replayed = 0;
+    /** Shards removed by KillShard over the cluster lifetime. */
+    std::uint64_t killed_shards = 0;
+    /** Requests routed by power-of-two-choices (replicated scenes). */
+    std::uint64_t p2c_routed = 0;
+    /** p2c-routed requests served away from the scene's live home. */
+    std::uint64_t replica_served = 0;
+    /** Scenes currently holding a multi-shard replica set. */
+    std::size_t replicated_scenes = 0;
+    /** Times the replica sets were (re-)derived from the census. */
+    std::uint64_t replication_refreshes = 0;
 
     /** Batch-fusion totals summed across every replica and every
      *  retired epoch (all zero while batch_window_ms is 0; see
@@ -156,6 +255,13 @@ struct ClusterStats {
     double p99_ms = 0.0;
     double mean_ms = 0.0;
     double max_ms = 0.0;
+    /** Exact sample count and sum of the merged histogram — the
+     *  reconciliation hooks: latency_samples == accepted always
+     *  (admission records exactly one latency per accept, dead or
+     *  alive), and the merged histogram's count equals the sum of the
+     *  per-shard counts it folded. */
+    std::uint64_t latency_samples = 0;
+    double latency_sum_ms = 0.0;
 
     /** One row per resolved SLO tier, merged across every replica and
      *  every retired epoch: counters sum, histograms merge losslessly,
@@ -175,7 +281,10 @@ struct ClusterStats {
      *  time / total capacity, where each epoch between resizes
      *  contributes (its shard count x its own arrival-to-completion
      *  span) of capacity — so the ratio stays meaningful when Resize
-     *  changes the replica count mid-lifetime. */
+     *  changes the replica count mid-lifetime. A killed shard
+     *  contributes its own span up to the fold, an approximation
+     *  (overlap with the epoch span double-counts slightly) that errs
+     *  toward *under*-reporting utilization after a kill. */
     double utilization = 0.0;
 
     std::vector<ShardTelemetry> per_shard;
@@ -186,10 +295,10 @@ struct ClusterStats {
     /**
      * Publishes this snapshot through the unified metrics surface
      * (obs/metrics_registry.h) under @p prefix: cluster-lifetime
-     * counters, routing/spill totals, merged latency digests, per-tier
-     * slices, and per-shard routing counters. Virtual-time derived, so
-     * the published values share this snapshot's thread-count
-     * invariance.
+     * counters, routing/spill/replication/fault totals, merged latency
+     * digests, per-tier slices, and per-shard routing counters.
+     * Virtual-time derived, so the published values share this
+     * snapshot's thread-count invariance.
      */
     void PublishTo(MetricsRegistry& registry,
                    const std::string& prefix = "cluster") const;
@@ -237,21 +346,57 @@ class ShardedRenderService
     std::vector<ClusterRenderResult> WaitAll();
 
     /**
+     * Kills shard @p shard at virtual time @p now_ms (fatal if already
+     * dead, or if it is the last live shard): folds its telemetry into
+     * the lifetime aggregates, re-homes its scenes to the next live
+     * shard in their HRW rank, prunes it from every replica set, and
+     * replays its accepted-but-unfinished tickets (virtual completion
+     * after @p now_ms) on their new home — arrival @p now_ms, the
+     * *remaining* deadline budget, and the spill recompile surcharge
+     * when the new home is cold. Tickets whose requests had already
+     * completed, shed, or been rejected keep their original results.
+     * Returns the number of replayed tickets. Must not race other
+     * members (same contract as Resize).
+     */
+    std::size_t KillShard(std::size_t shard, double now_ms);
+
+    /**
+     * Re-derives the hot-scene replica sets from the popularity census
+     * (replication.top_k most-submitted scenes, ties broken by name;
+     * each gets the first replication.factor live shards of its HRW
+     * rank, registered and warmed). A pure function of (census, live
+     * set): two clusters with identical histories derive identical
+     * sets. Returns the hot scene names, most popular first. Also runs
+     * automatically every replication.refresh_every submissions and
+     * after Resize.
+     */
+    std::vector<std::string> RefreshReplication();
+
+    /** Current replica set of @p scene (empty when not replicated). */
+    std::vector<std::size_t> ReplicasOf(const std::string& scene) const;
+
+    /**
      * Drains the cluster and rebalances onto @p new_shards replicas:
      * outstanding tickets are resolved (and stay claimable via Wait),
      * retiring replicas fold their telemetry into the lifetime
-     * aggregates, and every scene re-registers and re-warms on its new
-     * home. Returns the number of scenes whose home moved — the HRW
-     * minimum. Must not race other members (see file header).
+     * aggregates, killed slots revive, and every scene re-registers
+     * and re-warms on its new home. Returns the number of scenes whose
+     * (live) home moved — the HRW minimum. Must not race other members
+     * (see file header).
      */
     std::size_t Resize(std::size_t new_shards);
 
     ClusterStats Snapshot() const;
 
     std::size_t shards() const;
+    /** Live (not killed) replica count. */
+    std::size_t live_shards() const;
+    /** False once KillShard removed @p index this epoch. */
+    bool alive(std::size_t index) const;
     const ShardRouter& router() const { return router_; }
-    /** Replica access for inspection (tests, benches). Do not Submit
-     *  through it — that would break the probe/Admit agreement. */
+    /** Replica access for inspection (tests, benches); fatal for a
+     *  killed shard. Do not Submit through it — that would break the
+     *  probe/Admit agreement. */
     RenderService& shard(std::size_t index);
 
   private:
@@ -271,6 +416,14 @@ class ShardedRenderService
         /** Per-shard: replica holds the scene's pin (home warm-up or a
          *  past spill), so a spill there pays no recompile surcharge. */
         std::vector<char> pinned_on;
+        /** Popularity census: router-level submissions (lifetime;
+         *  replays do not re-count). */
+        std::uint64_t submits = 0;
+        /** Live replica set, in rank order (empty = not replicated;
+         *  p2c routing needs >= 2). */
+        std::vector<std::size_t> replicas;
+        /** Rotates the p2c candidate pair deterministically. */
+        std::uint64_t p2c_cursor = 0;
     };
 
     /** One outstanding or resolved ticket. */
@@ -282,6 +435,16 @@ class ShardedRenderService
         double spill_surcharge_ms = 0.0;
         ServeTicket shard_ticket = 0;
         RenderResult result;  //!< valid once resolved
+        /** Replay bookkeeping: the original request, whether the shard
+         *  accepted it, its virtual completion, and the absolute
+         *  deadline admission judged against (0 = none). */
+        SceneRequest request;
+        bool accepted = false;
+        double completion_ms = 0.0;
+        double deadline_abs_ms = 0.0;
+        bool replayed = false;
+        bool transport_failed = false;
+        double rpc_delay_ms = 0.0;
     };
 
     /** Routing counters the replicas cannot see (per current epoch). */
@@ -290,9 +453,43 @@ class ShardedRenderService
         std::uint64_t spill_in = 0;
         std::uint64_t spill_out = 0;
         std::uint64_t spill_recompiles = 0;
+        std::uint64_t replica_in = 0;
+        std::uint64_t replayed_in = 0;
     };
 
-    /** Telemetry of replicas retired by Resize (cluster lifetime). */
+    /**
+     * One epoch's per-replica scalar aggregation — shared by Resize /
+     * KillShard (folding retiring replicas into the lifetime
+     * aggregates) and Snapshot (reporting the current epoch), so the
+     * subtle guards (an arrival counts once the replica saw a submit,
+     * a completion once it accepted) cannot drift between them.
+     */
+    struct EpochFold {
+        std::uint64_t submitted = 0;
+        std::uint64_t accepted = 0;
+        std::uint64_t rejected_queue_full = 0;
+        std::uint64_t shed_deadline = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t batches_dispatched = 0;
+        std::uint64_t fused_batches = 0;
+        std::uint64_t batched_requests = 0;
+        std::uint64_t batched_accepted = 0;
+        std::size_t max_batch_elements = 0;
+        double busy_ms = 0.0;
+        double first_arrival_ms = 0.0;
+        bool saw_arrival = false;
+        double last_completion_ms = 0.0;
+        bool saw_completion = false;
+
+        void Add(const ServiceStats& stats,
+                 const AdmissionController::Counters& counters);
+        /** This epoch's arrival-to-completion span (0 until both
+         *  seen). */
+        double SpanMs() const;
+    };
+
+    /** Telemetry of replicas retired by Resize or KillShard (cluster
+     *  lifetime). */
     struct Retired {
         std::uint64_t submitted = 0;
         std::uint64_t accepted = 0;
@@ -301,6 +498,7 @@ class ShardedRenderService
         std::uint64_t completed = 0;
         std::uint64_t spilled = 0;
         std::uint64_t spill_recompiles = 0;
+        std::uint64_t replica_served = 0;
         std::uint64_t batches_dispatched = 0;
         std::uint64_t fused_batches = 0;
         std::uint64_t batched_requests = 0;
@@ -325,8 +523,42 @@ class ShardedRenderService
     /** Registers @p scene on @p shard if not yet (mutex_ held). */
     void EnsureRegisteredLocked(const std::string& scene,
                                 std::size_t shard);
-    /** Warms @p scene on its home if not yet (mutex_ held). */
+    /** Warms @p scene on its live home if not yet (mutex_ held). */
     SceneDesc& EnsureWarmLocked(const std::string& scene);
+    /** First live shard in the scene's HRW rank (mutex_ held). */
+    std::size_t LiveHomeLocked(const SceneDesc& desc) const;
+    /** Live replica count (mutex_ held). */
+    std::size_t LiveCountLocked() const;
+    /**
+     * The admission estimate a probe of (@p shard, @p scene) must use
+     * to agree exactly with what Submit would admit at: the batch-join
+     * marginal when the scene has an open batch there
+     * (RenderService::ProbeBatchJoin), the solo estimate otherwise.
+     * Surcharges are the caller's to add. (mutex_ held.)
+     */
+    double ProbePriceLocked(std::size_t shard, const std::string& scene,
+                            const SceneDesc& desc, double arrival_ms);
+    /**
+     * Routes @p request to @p shard with @p surcharge_ms and records
+     * the bookkeeping into @p pending (transport hop, final verdict
+     * probe, shard submit, aux counters). The single funnel for first
+     * submissions and replays. (mutex_ held.)
+     */
+    void RouteToShardLocked(const SceneRequest& request, std::size_t shard,
+                            std::size_t home, bool spilled,
+                            double surcharge_ms, bool via_replica,
+                            bool is_replay, const TraceContext& route_ctx,
+                            Pending& pending);
+    /** Folds replica @p i's histograms/tiers/aux into retired_ and its
+     *  scalars into @p fold; zeroes aux_[i]. (mutex_ held.) */
+    void FoldReplicaLocked(std::size_t i, EpochFold& fold);
+    /** Adds @p fold's scalar totals into retired_ (capacity is the
+     *  caller's: Resize and KillShard weight spans differently). */
+    void AccumulateFoldLocked(const EpochFold& fold);
+    /** KillShard minus the public lock. */
+    std::size_t KillShardLocked(std::size_t shard, double now_ms);
+    /** RefreshReplication minus the public lock. */
+    std::vector<std::string> RefreshReplicationLocked();
     /** Resolves @p pending's shard ticket into its result. */
     ClusterRenderResult Finish(Pending&& pending);
 
@@ -335,12 +567,19 @@ class ShardedRenderService
     mutable std::mutex mutex_;
     ShardRouter router_;
     std::vector<std::unique_ptr<RenderService>> shards_;
+    std::vector<char> alive_;
     std::vector<ShardAux> aux_;
     std::unordered_map<std::string, SceneDesc> scenes_;
     std::vector<std::string> scene_order_;
     std::unordered_map<ClusterTicket, Pending> pending_;
     ClusterTicket next_ticket_ = 0;
     Retired retired_;
+    std::uint64_t cluster_submitted_ = 0;
+    std::uint64_t transport_failures_ = 0;
+    std::uint64_t replayed_ = 0;
+    std::uint64_t killed_shards_ = 0;
+    std::uint64_t p2c_routed_ = 0;
+    std::uint64_t replication_refreshes_ = 0;
 };
 
 }  // namespace flexnerfer

@@ -97,6 +97,7 @@ ToString(RequestStatus status)
       case RequestStatus::kCompleted: return "completed";
       case RequestStatus::kRejectedQueueFull: return "rejected";
       case RequestStatus::kShedDeadline: return "shed";
+      case RequestStatus::kFailedTransport: return "failed-transport";
     }
     return "unknown";
 }
@@ -558,6 +559,33 @@ RenderService::FlushBatchLocked(std::list<OpenBatch>::iterator batch)
         DispatchItem next;
         if (queue_.Pop(&next)) next.work();
     });
+}
+
+bool
+RenderService::ProbeBatchJoin(const std::string& scene, double arrival_ms,
+                              double* marginal_est_ms)
+{
+    if (batch_window_ms_ <= 0.0) return false;
+    std::lock_guard<std::mutex> lock(batch_mutex_);
+    const auto open = open_by_scene_.find(scene);
+    if (open == open_by_scene_.end()) return false;
+    // Mirror SubmitBatched's view without moving it: the same clamped
+    // arrival decides expiry (an expired batch would flush before the
+    // join) and a full batch would close, re-opening at the solo price.
+    // last_batch_arrival_ms_ is read, never advanced — only a real
+    // Submit moves the batching clock.
+    const double arrival = std::max(arrival_ms, last_batch_arrival_ms_);
+    if (open->second->close_ms <= arrival) return false;
+    if (open->second->members.size() >= max_batch_elements_) return false;
+    // The estimation run for the next-larger fused shape is memoized
+    // (scene_registry.h), so the following Submit — or the flush replay
+    // — sees exactly the cost priced here.
+    const std::shared_ptr<const BatchedSceneFrame> fused =
+        registry_.TouchBatched(scene, open->second->members.size() + 1,
+                               &pool_);
+    *marginal_est_ms =
+        EstimatedMarginalServiceMs(fused->cost, open->second->fused_cost);
+    return true;
 }
 
 void

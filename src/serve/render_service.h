@@ -90,6 +90,11 @@ enum class RequestStatus : std::uint8_t {
     kCompleted,
     kRejectedQueueFull,
     kShedDeadline,
+    /** The request never reached its shard: the simulated transport
+     *  exhausted its retransmit budget (serve/transport.h). Produced
+     *  only by the cluster layer — a RenderService itself never fails
+     *  a request in transit. */
+    kFailedTransport,
 };
 
 std::string ToString(RequestStatus status);
@@ -271,6 +276,25 @@ class RenderService
      */
     ServeTicket Submit(const SceneRequest& request,
                        double extra_service_ms = 0.0);
+
+    /**
+     * Side-effect-free preview of the batching Submit path's pricing:
+     * would a request for @p scene arriving at @p arrival_ms join the
+     * scene's open batch, and at what marginal estimate? Returns true
+     * and writes EstimatedMarginalServiceMs(fused, open batch) when the
+     * batch exists, its window is still open at the clamped arrival,
+     * and it has a free slot; false otherwise (including with the
+     * batch window off) — the caller then prices at the solo estimate,
+     * exactly as SubmitBatched would for an opener.
+     *
+     * No batch state moves: expiry/fullness are *checked*, not
+     * flushed, so a probe that does not lead to a Submit leaves the
+     * service untouched. Like admission(), the preview only stays
+     * exact while the prober is the sole submitter (the cluster holds
+     * its router lock across probe and Submit).
+     */
+    bool ProbeBatchJoin(const std::string& scene, double arrival_ms,
+                        double* marginal_est_ms);
 
     /** Blocks until the ticket's request resolves; consumes the ticket. */
     RenderResult Wait(ServeTicket ticket);

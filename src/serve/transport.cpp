@@ -1,0 +1,188 @@
+#include "serve/transport.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace flexnerfer {
+namespace {
+
+/// SplitMix64 finalizer — the standard 64-bit avalanche. Used to turn
+/// (seed, link, direction, ordinal, attempt) into an independent draw.
+std::uint64_t
+Mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from a hash chain.
+double
+UnitDraw(std::uint64_t seed, std::uint64_t link, std::uint64_t direction,
+         std::uint64_t ordinal, std::uint64_t attempt, std::uint64_t salt)
+{
+    std::uint64_t h = Mix64(seed ^ Mix64(link + 0x1000));
+    h = Mix64(h ^ Mix64(direction + 0x2000));
+    h = Mix64(h ^ Mix64(ordinal + 0x3000));
+    h = Mix64(h ^ Mix64(attempt + 0x4000));
+    h = Mix64(h ^ Mix64(salt + 0x5000));
+    // 53 mantissa bits -> [0, 1).
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool
+InWindow(const FaultEvent& event, std::size_t link, double at_ms)
+{
+    if (event.link != SimTransport::kAllLinks && event.link != link) {
+        return false;
+    }
+    return at_ms >= event.start_ms && at_ms < event.end_ms;
+}
+
+}  // namespace
+
+SimTransport::SimTransport(std::uint64_t seed, const TransportConfig& config)
+    : seed_(seed), config_(config)
+{
+    if (config_.max_attempts == 0) {
+        Fatal("SimTransport: max_attempts must be >= 1");
+    }
+    if (config_.loss < 0.0 || config_.loss >= 1.0) {
+        Fatal("SimTransport: baseline loss must lie in [0, 1)");
+    }
+}
+
+SimTransport::Stats
+SimTransport::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+SimTransport::Schedule(const FaultEvent& event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (event.kind == FaultEvent::Kind::kShardDeath) {
+        if (event.link == kAllLinks) {
+            Fatal("SimTransport: a shard death needs a concrete shard link");
+        }
+        deaths_.push_back(event);
+        std::sort(deaths_.begin() + static_cast<std::ptrdiff_t>(
+                                        deaths_consumed_),
+                  deaths_.end(), [](const FaultEvent& a, const FaultEvent& b) {
+                      if (a.start_ms != b.start_ms) {
+                          return a.start_ms < b.start_ms;
+                      }
+                      return a.link < b.link;
+                  });
+        return;
+    }
+    windows_.push_back(event);
+}
+
+bool
+SimTransport::PartitionActive(std::size_t link, double at_ms) const
+{
+    for (const FaultEvent& event : windows_) {
+        if (event.kind == FaultEvent::Kind::kPartition &&
+            InWindow(event, link, at_ms)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+double
+SimTransport::ExtraLoss(std::size_t link, double at_ms) const
+{
+    double extra = 0.0;
+    for (const FaultEvent& event : windows_) {
+        if (event.kind == FaultEvent::Kind::kLoss &&
+            InWindow(event, link, at_ms)) {
+            extra += event.magnitude;
+        }
+    }
+    return extra;
+}
+
+double
+SimTransport::ExtraDelay(std::size_t link, double at_ms) const
+{
+    double extra = 0.0;
+    for (const FaultEvent& event : windows_) {
+        if (event.kind == FaultEvent::Kind::kDelaySpike &&
+            InWindow(event, link, at_ms)) {
+            extra += event.magnitude;
+        }
+    }
+    return extra;
+}
+
+SimTransport::Delivery
+SimTransport::Transmit(std::size_t link, std::size_t bytes, double send_ms,
+                       Direction direction)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint8_t dir = static_cast<std::uint8_t>(direction);
+    const std::uint64_t ordinal = ordinals_[{link, dir}]++;
+    ++stats_.messages;
+
+    Delivery delivery;
+    double at_ms = send_ms;
+    // Responses never fail (see header): one attempt, loss ignored.
+    const std::size_t attempts_allowed =
+        direction == Direction::kRequest ? config_.max_attempts : 1;
+    for (std::size_t attempt = 0; attempt < attempts_allowed; ++attempt) {
+        ++delivery.attempts;
+        bool lost = false;
+        if (direction == Direction::kRequest) {
+            if (PartitionActive(link, at_ms)) {
+                lost = true;
+            } else {
+                const double p =
+                    std::min(1.0, config_.loss + ExtraLoss(link, at_ms));
+                if (p > 0.0 &&
+                    UnitDraw(seed_, link, dir, ordinal, attempt, 0) < p) {
+                    lost = true;
+                }
+            }
+        }
+        if (!lost) {
+            double delay = config_.base_latency_ms + ExtraDelay(link, at_ms);
+            if (config_.jitter_ms > 0.0) {
+                delay += config_.jitter_ms *
+                         UnitDraw(seed_, link, dir, ordinal, attempt, 1);
+            }
+            delivery.delivered = true;
+            delivery.deliver_ms = at_ms + delay;
+            ++stats_.delivered;
+            stats_.bytes += bytes;
+            return delivery;
+        }
+        ++stats_.dropped_attempts;
+        if (attempt + 1 < attempts_allowed) {
+            ++stats_.retries;
+        }
+        at_ms += config_.retry_backoff_ms;
+    }
+    ++stats_.failed;
+    return delivery;
+}
+
+std::vector<FaultEvent>
+SimTransport::ConsumeDeaths(double now_ms)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<FaultEvent> due;
+    while (deaths_consumed_ < deaths_.size() &&
+           deaths_[deaths_consumed_].start_ms <= now_ms) {
+        due.push_back(deaths_[deaths_consumed_]);
+        ++deaths_consumed_;
+    }
+    return due;
+}
+
+}  // namespace flexnerfer

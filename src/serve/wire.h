@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Versioned wire format for the cross-host cluster shape.
+ *
+ * The simulated cluster keeps plans, prepared handles, and plan caches
+ * strictly shard-local — only *descriptions* cross the wire: scene
+ * requests, tickets, render results, and telemetry snapshots. Each
+ * message is a length-prefixed binary frame:
+ *
+ *     [magic u32][version u16][type u8][reserved u8][payload u32][payload...]
+ *
+ * Encoding is explicit little-endian byte serialization (no struct
+ * memcpy), so frames are identical across hosts and the decode side can
+ * be validated byte-for-byte. Any malformed frame — wrong magic, wrong
+ * version, wrong message type, or a size that disagrees with the header
+ * — is a `Fatal` error mentioning "wire", because a version skew between
+ * controller and shard is an operator error, not a recoverable fault.
+ *
+ * Determinism contract: Encode(x) is a pure function of x, and
+ * Decode(Encode(x)) == x field-for-field (FrameCost has exact
+ * operator==). The live submit path round-trips every request through
+ * the codec when a transport is attached, so drift between in-process
+ * and wire shapes cannot hide.
+ */
+#ifndef FLEXNERFER_SERVE_WIRE_H_
+#define FLEXNERFER_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "serve/render_service.h"
+
+namespace flexnerfer {
+namespace wire {
+
+/// Frame magic: "FNRW" (FlexNeRFer wire).
+inline constexpr std::uint32_t kMagic = 0x464E5257u;
+/// Current format version. Decoders reject any other version.
+inline constexpr std::uint16_t kVersion = 1;
+/// Fixed header size in bytes.
+inline constexpr std::size_t kHeaderSize = 12;
+
+/// Message type tags carried in the frame header.
+enum class MessageType : std::uint8_t {
+    kSceneRequest = 1,
+    kTicket = 2,
+    kRenderResult = 3,
+    kShardSnapshot = 4,
+};
+
+/// A cluster-issued ticket as it crosses the wire.
+struct WireTicket {
+    std::uint64_t ticket = 0;
+    std::uint64_t shard = 0;
+};
+
+/// The per-shard telemetry summary a controller pulls over the wire to
+/// reconcile merged cluster counters against shard-local truth.
+struct WireSnapshot {
+    std::uint64_t shard = 0;
+    std::uint64_t submitted = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_queue_full = 0;
+    std::uint64_t shed_deadline = 0;
+    std::uint64_t completed = 0;
+    double busy_ms = 0.0;
+    double p50_latency_ms = 0.0;
+    double p99_latency_ms = 0.0;
+};
+
+/// Encoders: pure functions of their argument.
+std::string EncodeSceneRequest(const SceneRequest& request);
+std::string EncodeTicket(const WireTicket& ticket);
+std::string EncodeRenderResult(const RenderResult& result);
+std::string EncodeSnapshot(const WireSnapshot& snapshot);
+
+/// Decoders: `Fatal` (message contains "wire") on magic/version/type
+/// mismatch or on any frame whose size disagrees with its header.
+SceneRequest DecodeSceneRequest(const std::string& frame);
+WireTicket DecodeTicket(const std::string& frame);
+RenderResult DecodeRenderResult(const std::string& frame);
+WireSnapshot DecodeSnapshot(const std::string& frame);
+
+}  // namespace wire
+}  // namespace flexnerfer
+
+#endif  // FLEXNERFER_SERVE_WIRE_H_

@@ -792,5 +792,98 @@ TEST(ShardedRenderService, SingleShardMatchesPlainRenderService)
     EXPECT_EQ(cluster_stats.sustained_qps, plain_stats.sustained_qps);
 }
 
+TEST(ShardedRenderService, MarginalAwareProbeKeepsBatchJoinersHome)
+{
+    // The probe/pricing seam: with fusion on, a joiner is *admitted* at
+    // the batch-join marginal, so the router's probe must price it the
+    // same way — otherwise a deadline between the marginal and the solo
+    // estimate makes the probe refuse the home shard and spill (or
+    // shed) a request the home would have accepted. Schedule: A opens a
+    // batch at t = 0; B arrives inside the window with a deadline below
+    // the solo price (backlogged home: ~2E; cold spill: ~2E as well)
+    // but above the fused batch's completion.
+    // The window is a fraction of the scene's estimate, resolved after
+    // warming (the estimate is a pure scene property).
+    const double est_probe = [] {
+        ClusterConfig config;
+        config.shards = 2;
+        ShardedRenderService probe(config);
+        probe.RegisterScene("ngp", FlexScene("Instant-NGP"));
+        return EstimatedServiceMs(probe.WarmScene("ngp"));
+    }();
+
+    const auto run = [est_probe](double window_fraction) {
+        ClusterConfig config;
+        config.shards = 2;
+        config.threads_per_shard = 1;
+        config.spill_recompile_factor = 1.0;
+        config.batch_window_ms = window_fraction * est_probe;
+        ShardedRenderService cluster(config);
+        cluster.RegisterScene("ngp", FlexScene("Instant-NGP"));
+        const double est = EstimatedServiceMs(cluster.WarmScene("ngp"));
+        const double batch_window_ms = config.batch_window_ms;
+
+        SceneRequest opener;
+        opener.scene = "ngp";
+        opener.arrival_ms = 0.0;
+        const ClusterTicket a = cluster.Submit(opener);
+
+        // With the window on, preview the exact price Submit would
+        // admit B at: the probe must see the open batch and quote the
+        // marginal, strictly below the solo estimate.
+        const std::size_t home = cluster.router().Home("ngp");
+        double marginal_ms = 0.0;
+        const bool joinable = cluster.shard(home).ProbeBatchJoin(
+            "ngp", 0.1 * est, &marginal_ms);
+        if (batch_window_ms > 0.0) {
+            EXPECT_TRUE(joinable);
+            EXPECT_LT(marginal_ms, est);
+            EXPECT_GT(marginal_ms, 0.0);
+        } else {
+            EXPECT_FALSE(joinable);
+        }
+
+        SceneRequest joiner;
+        joiner.scene = "ngp";
+        joiner.arrival_ms = 0.1 * est;
+        joiner.deadline_ms = 1.6 * est;
+        const ClusterTicket b = cluster.Submit(joiner);
+
+        struct Outcome {
+            ClusterRenderResult a;
+            ClusterRenderResult b;
+            ClusterStats stats;
+        } outcome;
+        outcome.a = cluster.Wait(a);
+        outcome.b = cluster.Wait(b);
+        outcome.stats = cluster.Snapshot();
+        return outcome;
+    };
+
+    // Fusion on (window 0.25E): the probe prices the join at the
+    // marginal, B stays home, and probe-accept implied submit-accept.
+    {
+        const auto fused = run(0.25);
+        EXPECT_EQ(fused.b.result.status, RequestStatus::kCompleted);
+        EXPECT_EQ(fused.b.shard, fused.b.home_shard);
+        EXPECT_FALSE(fused.b.spilled);
+        EXPECT_EQ(fused.b.result.batch_elements, 2u);
+        EXPECT_GE(fused.stats.fused_batches, 1u);
+        EXPECT_EQ(fused.stats.spilled, 0u);
+        EXPECT_EQ(fused.stats.shed_deadline, 0u);
+    }
+
+    // Fusion off: the same schedule prices B solo everywhere — the
+    // home is backlogged past the deadline and the cold spill pays the
+    // surcharge past it too, so B sheds. This is exactly the request
+    // the marginal-aware probe saves.
+    {
+        const auto solo = run(0.0);
+        EXPECT_EQ(solo.b.result.status, RequestStatus::kShedDeadline);
+        EXPECT_FALSE(solo.b.spilled);
+        EXPECT_EQ(solo.stats.fused_batches, 0u);
+    }
+}
+
 }  // namespace
 }  // namespace flexnerfer

@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # Bench-trajectory runner (the CI bench-trajectory job).
 #
-# Runs the plan_cache, serving, serving_sharded, and traffic_zoo
-# smokes from an existing build directory, verifies their stdout is
-# thread-count invariant (cmp of --threads 1 vs 4, the repo-wide
-# determinism contract), and distils the headline metrics — model-time
-# QPS, p50/p99 latency, shed/spill rates, per-tier traffic-zoo verdict
-# tables, plan-cache hit accounting, and the plan_cache wall-clock
-# replay speedups — into one BENCH_ci.json. A traced serving pair
+# Runs the plan_cache, serving, serving_sharded, traffic_zoo, and
+# serving_cluster smokes from an existing build directory, verifies
+# their stdout is thread-count invariant (cmp of --threads 1 vs 4, the
+# repo-wide determinism contract), and distils the headline metrics —
+# model-time QPS, p50/p99 latency, shed/spill rates, per-tier
+# traffic-zoo verdict tables, plan-cache hit accounting, the
+# plan_cache wall-clock replay speedups, and the cross-host drill
+# verdicts (flash-crowd shed with vs without replication, kill-replay
+# recovery) — into one BENCH_ci.json. A traced serving pair
 # additionally asserts the observability contract (the virtual Chrome
 # trace projection is byte-identical across thread counts and valid
 # JSON) and folds the trace census + per-stage attribution in.
@@ -26,6 +28,7 @@ trap 'rm -rf "${workdir}"' EXIT
 requests_serving=400
 requests_sharded=300
 requests_zoo=400
+requests_cluster=300
 
 run_pair() {
     # run_pair <name> <binary> <args...>: runs at --threads 1 and 4,
@@ -50,6 +53,7 @@ run_pair serving_batched serving --requests "${requests_serving}" \
     --load 2.5 --batch-window-ms 200000
 run_pair serving_sharded serving_sharded --requests "${requests_sharded}"
 run_pair traffic_zoo traffic_zoo --requests "${requests_zoo}"
+run_pair serving_cluster serving_cluster --requests "${requests_cluster}"
 
 # --- serving (traced): the observability path. The "[trace]" census
 # and "[trace-stage]" attribution lines ride the stdout cmp; the
@@ -169,6 +173,23 @@ trace_stage_rows="$(grep '^\[trace-stage\]' "${tr}" \
         printf "},\n" }')"
 trace_stage_rows="${trace_stage_rows%,*}"  # drop trailing comma
 
+# --- serving_cluster: one row per "[cluster] ..." drill line — the
+# wire-transparency parity verdict, the flash-crowd shed rate with and
+# without hot-scene replication (and the shed cut it buys), and the
+# kill-mid-stream replay/recovery drill. -------------------------------
+cluster_rows="$(grep '^\[cluster\]' "${workdir}/serving_cluster.out" \
+    | awk '{
+        printf "    {"
+        for (i = 2; i <= NF; ++i) {
+            split($i, kv, "=")
+            quoted = (kv[1] == "scenario" || kv[1] == "replication" ||
+                      kv[1] == "conservation")
+            printf "%s\"%s\": %s%s%s", (i > 2 ? ", " : ""), kv[1],
+                   (quoted ? "\"" : ""), kv[2], (quoted ? "\"" : "")
+        }
+        printf "},\n" }')"
+cluster_rows="${cluster_rows%,*}"  # drop the trailing comma + newline
+
 commit="${GITHUB_SHA:-$(git -C "$(dirname "$0")/.." rev-parse HEAD \
     2>/dev/null || echo unknown)}"
 
@@ -228,6 +249,9 @@ ${shard_rows}
   ],
   "traffic_zoo": [
 ${zoo_rows}
+  ],
+  "serving_cluster": [
+${cluster_rows}
   ]
 }
 EOF

@@ -74,6 +74,25 @@ if ! grep -q -- '--trace-out' docs/SERVING_GUIDE.md; then
     fail=1
 fi
 
+# 6. The cross-host cluster surface likewise: ARCHITECTURE.md owns the
+#    transport/replication/kill-replay design and its determinism
+#    contract, SERVING_GUIDE.md the failure-drill runbook. Losing
+#    either section would leave the chaos drills undiscoverable.
+if ! grep -q '^## Cross-host cluster' docs/ARCHITECTURE.md; then
+    echo "docs/ARCHITECTURE.md lost its '## Cross-host cluster'" \
+         "section" >&2
+    fail=1
+fi
+if ! grep -q 'serving_cluster' docs/SERVING_GUIDE.md; then
+    echo "docs/SERVING_GUIDE.md no longer documents the serving_cluster" \
+         "drills" >&2
+    fail=1
+fi
+if ! grep -qi 'failure drill' docs/SERVING_GUIDE.md; then
+    echo "docs/SERVING_GUIDE.md lost its failure-drill runbook" >&2
+    fail=1
+fi
+
 # 5. Every tests/*.cpp suite must be registered with ctest. CMake
 #    registers suites by globbing tests/*_test.cpp, so a source that
 #    does not match the glob silently never runs — the exact failure
