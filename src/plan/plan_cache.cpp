@@ -55,8 +55,9 @@ thread_local int tls_executing_plans = 0;
 
 std::shared_ptr<PlanCache::Entry>
 PlanCache::GetByKey(const std::string& key, const Accelerator& accel,
-                    const NerfWorkload& workload)
+                    const NerfWorkload& workload, bool* compiled)
 {
+    if (compiled != nullptr) *compiled = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = entries_.find(key);
@@ -72,6 +73,7 @@ PlanCache::GetByKey(const std::string& key, const Accelerator& accel,
     // Compile outside the lock: lowering is the expensive half, and a
     // racing duplicate compiles an identical plan (first insert wins).
     auto entry = std::make_shared<Entry>();
+    entry->key = key;
     entry->plan = std::make_shared<const FramePlan>(
         FramePlanner::Compile(accel, workload));
     TraceCacheInstant("plan_miss");
@@ -79,6 +81,7 @@ PlanCache::GetByKey(const std::string& key, const Accelerator& accel,
     const auto inserted = entries_.emplace(key, std::move(entry));
     if (inserted.second) {
         ++stats_.plan_misses;
+        if (compiled != nullptr) *compiled = true;
         if (capacity_ > 0) {
             lru_.push_front(key);
             inserted.first->second->lru_it = lru_.begin();
@@ -218,6 +221,45 @@ PlanCache::Run(const PreparedFrame& frame, ThreadPool* pool)
     FLEX_CHECK_MSG(frame.entry_ != nullptr,
                    "null prepared frame handle (default-constructed?)");
     return RunEntry(frame.entry_, pool);
+}
+
+PlanCache::PreparedFrame
+PlanCache::PrepareDelta(const PreparedFrame& predecessor,
+                        const Accelerator& accel,
+                        const NerfWorkload& delta_workload)
+{
+    FLEX_CHECK_MSG(predecessor.entry_ != nullptr,
+                   "null predecessor handle (default-constructed?)");
+    // The predecessor's key is immutable after publication and pinned
+    // by the handle, so reading it needs no lock — and stays valid
+    // after LRU eviction drops the predecessor's table row.
+    thread_local std::string key;
+    key.clear();
+    key.append(predecessor.entry_->key);
+    key.append("|delta|");
+    // The suffix is the delta pair's own full cache key (config and
+    // workload fingerprints), so the composite stays injective even if
+    // a caller deltas a predecessor under a different accelerator.
+    FramePlanner::AppendCacheKey(accel, delta_workload, &key);
+    bool compiled = false;
+    auto entry = GetByKey(key, accel, delta_workload, &compiled);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (compiled) {
+            ++stats_.delta_misses;
+        } else {
+            ++stats_.delta_hits;
+        }
+    }
+    return PreparedFrame(std::move(entry));
+}
+
+FrameCost
+PlanCache::RunDelta(const PreparedFrame& predecessor,
+                    const Accelerator& accel,
+                    const NerfWorkload& delta_workload, ThreadPool* pool)
+{
+    return Run(PrepareDelta(predecessor, accel, delta_workload), pool);
 }
 
 PlanCache::Stats

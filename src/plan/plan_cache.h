@@ -74,6 +74,12 @@ class PlanCache
         std::uint64_t plan_misses = 0;  //!< keyed lookups that compiled
         std::uint64_t frame_hits = 0;   //!< replays from the result memo
         std::uint64_t evictions = 0;    //!< LRU entries dropped (bounded)
+        /** Predecessor-keyed lookups (PrepareDelta / RunDelta) that
+         *  found their delta entry resident. Delta lookups go through
+         *  the same key table, so they also move plan_hits/plan_misses;
+         *  these two split out the trajectory path. */
+        std::uint64_t delta_hits = 0;
+        std::uint64_t delta_misses = 0;  //!< delta lookups that compiled
     };
 
     /**
@@ -146,6 +152,42 @@ class PlanCache
      *  to the keyed Run of the same pair. */
     FrameCost Run(const PreparedFrame& frame, ThreadPool* pool = nullptr);
 
+    /**
+     * The predecessor-keyed lookup next to the exact-fingerprint path:
+     * registers @p delta_workload (a models/trajectory.h DeltaWorkload
+     * shape) as a delta of @p predecessor. The entry's key is the
+     * predecessor's own cache key extended with the delta workload's
+     * fingerprint — injective, and distinct from the delta workload's
+     * standalone key — so the same delta shape hanging off two different
+     * base frames occupies two entries, and delta handles chain: a
+     * PreparedFrame returned here is a valid predecessor for the next
+     * PrepareDelta, the trajectory telescoping key by key.
+     *
+     * Delta entries live in the ordinary key table: they count
+     * delta_hits/delta_misses (on top of plan_hits/plan_misses),
+     * participate in LRU recency and eviction, and replay through Run
+     * like any prepared frame. Pin semantics make the race with LRU
+     * eviction benign in both directions: the predecessor handle pins
+     * its entry (and key) through eviction, so PrepareDelta stays safe
+     * after the predecessor leaves the table; an evicted *delta* entry
+     * recompiles on its next PrepareDelta into a byte-identical plan,
+     * counted as a fresh delta miss. A null @p predecessor handle is
+     * fatal.
+     */
+    PreparedFrame PrepareDelta(const PreparedFrame& predecessor,
+                               const Accelerator& accel,
+                               const NerfWorkload& delta_workload);
+
+    /**
+     * One-shot convenience for the trajectory hot path: PrepareDelta +
+     * Run. The returned cost telescopes along the trajectory — each
+     * frame pays its shrunken delta plan, not the full frame.
+     */
+    FrameCost RunDelta(const PreparedFrame& predecessor,
+                       const Accelerator& accel,
+                       const NerfWorkload& delta_workload,
+                       ThreadPool* pool = nullptr);
+
     /** The engine-run memo shared by executions through this cache. */
     GemmMemo& memo() { return memo_; }
 
@@ -155,6 +197,13 @@ class PlanCache
 
   private:
     struct Entry {
+        /**
+         * This entry's full cache key, immutable after publication.
+         * Stored on the entry (not just in the key table) so a
+         * predecessor handle still names itself after LRU eviction
+         * drops its table row — PrepareDelta extends this key.
+         */
+        std::string key;
         std::shared_ptr<const FramePlan> plan;
         /** Executed cost; set by the first Run to finish this frame. */
         std::shared_ptr<const FrameCost> result;
@@ -170,10 +219,12 @@ class PlanCache
         std::list<std::string>::iterator lru_it;
     };
 
-    /** Looks up or compiles the entry for @p key (counts hit/miss). */
+    /** Looks up or compiles the entry for @p key (counts hit/miss;
+     *  @p compiled, if non-null, reports which side this call took). */
     std::shared_ptr<Entry> GetByKey(const std::string& key,
                                     const Accelerator& accel,
-                                    const NerfWorkload& workload);
+                                    const NerfWorkload& workload,
+                                    bool* compiled = nullptr);
 
     /** Executes @p entry's plan, memoizing the frame result. */
     FrameCost RunEntry(const std::shared_ptr<Entry>& entry,

@@ -62,6 +62,26 @@ ClusterStats::PublishTo(MetricsRegistry& registry,
                         static_cast<double>(fused_batches));
     registry.SetCounter(prefix + ".batched_requests",
                         static_cast<double>(batched_requests));
+    if (sessions_opened > 0) {
+        // Gated exactly like ServiceStats::PublishTo: a session-free
+        // cluster publishes byte-identically to the pre-session one.
+        registry.SetCounter(prefix + ".sessions_opened",
+                            static_cast<double>(sessions_opened));
+        registry.SetCounter(prefix + ".session_frames",
+                            static_cast<double>(session_frames));
+        registry.SetCounter(prefix + ".delta_frames",
+                            static_cast<double>(delta_frames));
+        registry.SetCounter(prefix + ".session_full_frames",
+                            static_cast<double>(session_full_frames));
+        registry.SetCounter(prefix + ".coherence_breaks",
+                            static_cast<double>(coherence_breaks));
+        registry.SetCounter(prefix + ".session_rehomes",
+                            static_cast<double>(session_rehomes));
+        registry.SetGauge(prefix + ".delta_hit_rate", delta_hit_rate);
+        registry.SetGauge(prefix + ".session_mean_reuse",
+                          session_mean_reuse);
+        registry.SetGauge(prefix + ".delta_savings_ms", delta_savings_ms);
+    }
 
     registry.SetGauge(prefix + ".shards", static_cast<double>(shards));
     registry.SetGauge(prefix + ".live_shards",
@@ -181,6 +201,16 @@ ShardedRenderService::EpochFold::Add(
         0.5);
     max_batch_elements = std::max(max_batch_elements,
                                   stats.max_batch_elements);
+    session_frames += stats.session_frames;
+    delta_frames += stats.delta_frames;
+    session_full_frames += stats.session_full_frames;
+    coherence_breaks += stats.coherence_breaks;
+    // mean x count reconstructs the replica's reuse sum exactly (it
+    // derived the mean from these integers and this sum).
+    session_reuse_sum +=
+        stats.session_mean_reuse *
+        static_cast<double>(stats.delta_frames + stats.session_full_frames);
+    delta_savings_ms += stats.delta_savings_ms;
     busy_ms += counters.busy_ms;
     if (stats.submitted > 0) {
         if (!saw_arrival || counters.first_arrival_ms < first_arrival_ms) {
@@ -325,8 +355,29 @@ ShardedRenderService::WarmScene(const std::string& scene)
     return EnsureWarmLocked(scene).warm_cost;
 }
 
+SessionId
+ShardedRenderService::OpenSession(const std::string& scene,
+                                  const CoherenceModel& model)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    SceneDesc& desc = EnsureWarmLocked(scene);
+    const std::size_t home = LiveHomeLocked(desc);
+    SessionDesc session;
+    session.scene = scene;
+    session.model = model;
+    session.shard = home;
+    // The shard-local session holds the coherence state (last pose,
+    // delta plans); the cluster only remembers where it lives.
+    session.shard_session = shards_[home]->OpenSession(scene, model);
+    const SessionId id = ++next_session_;
+    sessions_.emplace(id, std::move(session));
+    session_order_.push_back(id);
+    return id;
+}
+
 ClusterTicket
-ShardedRenderService::Submit(const SceneRequest& request)
+ShardedRenderService::Submit(const SceneRequest& request,
+                             const SubmitOptions& options)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     SceneDesc& desc = EnsureWarmLocked(request.scene);
@@ -355,7 +406,25 @@ ShardedRenderService::Submit(const SceneRequest& request)
         wall_route_begin_us = recorder->NowWallUs();
     }
 
-    const std::size_t home = LiveHomeLocked(desc);
+    const SessionDesc* session = nullptr;
+    if (options.session != 0) {
+        const auto it = sessions_.find(options.session);
+        FLEX_CHECK_MSG(it != sessions_.end(),
+                       "unknown cluster session " << options.session);
+        FLEX_CHECK_MSG(it->second.scene == request.scene,
+                       "cluster session " << options.session
+                                          << " belongs to scene '"
+                                          << it->second.scene
+                                          << "', not '" << request.scene
+                                          << "'");
+        session = &it->second;
+    }
+
+    // A session frame routes sticky to the session's home shard — the
+    // coherence state lives in that replica's plan cache, so p2c and
+    // spill would silently turn every frame into a full recompute.
+    const std::size_t home =
+        session != nullptr ? session->shard : LiveHomeLocked(desc);
     std::size_t chosen = home;
     bool spilled = false;
     bool cold_spill = false;
@@ -363,7 +432,16 @@ ShardedRenderService::Submit(const SceneRequest& request)
     double surcharge_ms = 0.0;
 
     using Outcome = AdmissionController::Outcome;
-    if (desc.replicas.size() >= 2) {
+    if (session != nullptr) {
+        if (recorder != nullptr) {
+            recorder->RecordInstant(
+                route_ctx, "route", "session_sticky", request.arrival_ms,
+                {TraceArg::Int("session", static_cast<std::int64_t>(
+                                              options.session)),
+                 TraceArg::Int("shard",
+                               static_cast<std::int64_t>(chosen))});
+        }
+    } else if (desc.replicas.size() >= 2) {
         // Power-of-two-choices between replicas: probe a rotating pair,
         // take the accepting one; both accept -> earlier virtual
         // completion (tie: first of the pair); both refuse -> the first
@@ -479,8 +557,9 @@ ShardedRenderService::Submit(const SceneRequest& request)
     }
 
     Pending pending;
-    RouteToShardLocked(request, chosen, home, spilled, surcharge_ms,
-                       via_replica, /*is_replay=*/false, route_ctx, pending);
+    RouteToShardLocked(request, options, chosen, home, spilled,
+                       surcharge_ms, via_replica, /*is_replay=*/false,
+                       route_ctx, pending);
 
     if (recorder != nullptr) {
         TraceContext root_ctx;
@@ -498,15 +577,27 @@ ShardedRenderService::Submit(const SceneRequest& request)
 
 void
 ShardedRenderService::RouteToShardLocked(
-    const SceneRequest& request, std::size_t shard, std::size_t home,
-    bool spilled, double surcharge_ms, bool via_replica, bool is_replay,
-    const TraceContext& route_ctx, Pending& pending)
+    const SceneRequest& request, const SubmitOptions& options,
+    std::size_t shard, std::size_t home, bool spilled, double surcharge_ms,
+    bool via_replica, bool is_replay, const TraceContext& route_ctx,
+    Pending& pending)
 {
     EnsureRegisteredLocked(request.scene, shard);
     SceneDesc& desc = scenes_.at(request.scene);
     TraceRecorder* const recorder = TraceRecorder::Global();
 
+    // The shard sees its own session handle, not the cluster's, and the
+    // spill/replay surcharge rides the same extra_service_ms lane a
+    // caller-supplied surcharge does (they add). Translated at submit
+    // time so a replay lands on the session's *current* shard session.
+    SubmitOptions shard_options = options;
+    shard_options.extra_service_ms += surcharge_ms;
+    if (options.session != 0) {
+        shard_options.session = sessions_.at(options.session).shard_session;
+    }
+
     pending.request = request;
+    pending.options = options;
     pending.shard = shard;
     pending.home_shard = home;
     pending.spilled = spilled;
@@ -565,14 +656,21 @@ ShardedRenderService::RouteToShardLocked(
     }
 
     // Final verdict preview at the exact price Submit admits at
-    // (marginal-aware; the cluster holds mutex_ across both, so the
-    // preview is exact) — the replay bookkeeping KillShard needs.
+    // (marginal- and delta-aware; the cluster holds mutex_ across both,
+    // so the preview is exact) — the replay bookkeeping KillShard
+    // needs. A session frame prices the shard's real delta-vs-full
+    // decision for this pose (PeekSessionEstimate); everything else
+    // prices the batch-join marginal or the solo estimate.
+    const double probe_price_ms =
+        shard_options.session != 0
+            ? shards_[shard]->PeekSessionEstimate(shard_options.session,
+                                                  shard_options.pose)
+            : ProbePriceLocked(shard, request.scene, desc,
+                               request.arrival_ms);
     const AdmissionController::Verdict verdict =
         shards_[shard]->admission().Probe(
             request.arrival_ms,
-            ProbePriceLocked(shard, request.scene, desc,
-                             request.arrival_ms) +
-                surcharge_ms,
+            probe_price_ms + shard_options.extra_service_ms,
             request.deadline_ms, request.tier);
     pending.accepted =
         verdict.outcome == AdmissionController::Outcome::kAccepted;
@@ -585,7 +683,8 @@ ShardedRenderService::RouteToShardLocked(
         // The replica adopts this trace: its request span parents
         // under the cluster_submit root span.
         ScopedTraceContext scoped(route_ctx, request.arrival_ms);
-        pending.shard_ticket = shards_[shard]->Submit(request, surcharge_ms);
+        pending.shard_ticket = shards_[shard]->Submit(request,
+                                                      shard_options);
     }
     pending.resolved = false;
 
@@ -786,13 +885,23 @@ ShardedRenderService::KillShardLocked(std::size_t shard, double now_ms)
         }
     }
 
-    // Replay, in ticket order, at the death instant: new live home,
-    // remaining deadline budget, spill surcharge if the home is cold.
+    // Sessions stranded on the dead shard re-home with their scenes:
+    // each reopens fresh on the new live home, so the next frame is a
+    // full recompute — the trajectory replays from its last full frame.
+    RehomeSessionsLocked(drill_ctx, now_ms, /*force=*/false);
+
+    // Replay, in ticket order, at the death instant: new live home
+    // (the re-homed session's shard for session frames), remaining
+    // deadline budget, spill surcharge if the home is cold (a session
+    // replay never pays it: re-homing just pinned the scene there).
     for (const ClusterTicket ticket : to_replay) {
         Pending& pending = pending_.at(ticket);
         SceneRequest request = pending.request;
+        const SubmitOptions options = pending.options;
         SceneDesc& desc = scenes_.at(request.scene);
-        const std::size_t target = LiveHomeLocked(desc);
+        const std::size_t target =
+            options.session != 0 ? sessions_.at(options.session).shard
+                                 : LiveHomeLocked(desc);
         request.arrival_ms = now_ms;
         if (pending.deadline_abs_ms > 0.0) {
             // An already-blown deadline replays with an epsilon budget:
@@ -808,9 +917,10 @@ ShardedRenderService::KillShardLocked(std::size_t shard, double now_ms)
         pending.rpc_delay_ms = 0.0;
         pending.spilled = false;
         pending.spill_surcharge_ms = surcharge_ms;
-        RouteToShardLocked(request, target, target, /*spilled=*/false,
-                           surcharge_ms, /*via_replica=*/false,
-                           /*is_replay=*/true, drill_ctx, pending);
+        RouteToShardLocked(request, options, target, target,
+                           /*spilled=*/false, surcharge_ms,
+                           /*via_replica=*/false, /*is_replay=*/true,
+                           drill_ctx, pending);
         ++replayed_;
         if (recorder != nullptr) {
             recorder->RecordInstant(
@@ -831,6 +941,36 @@ ShardedRenderService::KillShardLocked(std::size_t shard, double now_ms)
                            static_cast<std::int64_t>(LiveCountLocked()))});
     }
     return to_replay.size();
+}
+
+void
+ShardedRenderService::RehomeSessionsLocked(const TraceContext& ctx,
+                                           double now_ms, bool force)
+{
+    TraceRecorder* const recorder = TraceRecorder::Global();
+    for (const SessionId id : session_order_) {
+        SessionDesc& session = sessions_.at(id);
+        const std::size_t target =
+            LiveHomeLocked(scenes_.at(session.scene));
+        if (!force && alive_[session.shard] && session.shard == target) {
+            continue;
+        }
+        session.shard = target;
+        // A fresh shard session holds no last pose: the trajectory's
+        // next frame is a full recompute (the coherence chain restarts
+        // from it), which is the honest cost of losing the warm state.
+        session.shard_session =
+            shards_[target]->OpenSession(session.scene, session.model);
+        ++session.rehomes;
+        ++session_rehomes_;
+        if (recorder != nullptr && ctx.active()) {
+            recorder->RecordInstant(
+                ctx, "drill", "session_rehome", now_ms,
+                {TraceArg::Int("session", static_cast<std::int64_t>(id)),
+                 TraceArg::Int("shard",
+                               static_cast<std::int64_t>(target))});
+        }
+    }
 }
 
 std::vector<std::string>
@@ -935,6 +1075,12 @@ ShardedRenderService::AccumulateFoldLocked(const EpochFold& fold)
     retired_.batched_accepted += fold.batched_accepted;
     retired_.max_batch_elements =
         std::max(retired_.max_batch_elements, fold.max_batch_elements);
+    retired_.session_frames += fold.session_frames;
+    retired_.delta_frames += fold.delta_frames;
+    retired_.session_full_frames += fold.session_full_frames;
+    retired_.coherence_breaks += fold.coherence_breaks;
+    retired_.session_reuse_sum += fold.session_reuse_sum;
+    retired_.delta_savings_ms += fold.delta_savings_ms;
     retired_.busy_ms += fold.busy_ms;
     if (fold.saw_arrival) {
         if (!retired_.saw_arrival ||
@@ -1008,6 +1154,10 @@ ShardedRenderService::Resize(std::size_t new_shards)
         // cold until their first request, exactly as before the resize.
         if (was_warm) EnsureWarmLocked(name);
     }
+    // The rebuild invalidated every shard-local session handle: every
+    // session reopens fresh on its scene's new home (next frame fully
+    // recomputes), whether or not that home moved.
+    RehomeSessionsLocked(TraceContext{}, 0.0, /*force=*/true);
     // The census survives the rebalance: re-derive the hot replica
     // sets against the new live topology.
     if (config_.replication.top_k > 0) RefreshReplicationLocked();
@@ -1078,6 +1228,26 @@ ShardedRenderService::Snapshot() const
             static_cast<double>(retired_.batched_accepted +
                                 fold.batched_accepted) /
             static_cast<double>(stats.batches_dispatched);
+    }
+    stats.sessions_opened = session_order_.size();
+    stats.session_rehomes = session_rehomes_;
+    stats.session_frames = retired_.session_frames + fold.session_frames;
+    stats.delta_frames = retired_.delta_frames + fold.delta_frames;
+    stats.session_full_frames =
+        retired_.session_full_frames + fold.session_full_frames;
+    stats.coherence_breaks =
+        retired_.coherence_breaks + fold.coherence_breaks;
+    stats.delta_savings_ms =
+        retired_.delta_savings_ms + fold.delta_savings_ms;
+    const std::uint64_t accepted_session_frames =
+        stats.delta_frames + stats.session_full_frames;
+    if (accepted_session_frames > 0) {
+        stats.delta_hit_rate =
+            static_cast<double>(stats.delta_frames) /
+            static_cast<double>(accepted_session_frames);
+        stats.session_mean_reuse =
+            (retired_.session_reuse_sum + fold.session_reuse_sum) /
+            static_cast<double>(accepted_session_frames);
     }
 
     for (const auto& entry : scenes_) {

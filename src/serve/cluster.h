@@ -65,6 +65,20 @@
  * cluster percentiles are bit-identical for any threads_per_shard and
  * any wall-clock interleaving. Only wall-clock throughput varies.
  *
+ * Trajectory sessions (OpenSession / SubmitOptions::session): a
+ * session is sticky to its home shard — the scene's live HRW home when
+ * it was opened — because the temporal-coherence state (the previous
+ * frame's pose and the predecessor-keyed delta plans) lives in that
+ * replica's plan cache. Session frames never route by p2c and never
+ * spill: the router prices the sticky shard's real decision
+ * (RenderService::PeekSessionEstimate — delta when the pose overlap
+ * admits one, full otherwise) and submits there. When the shard dies,
+ * KillShard re-homes its sessions along with its scenes: each re-homed
+ * session reopens fresh on the new live home, so its next frame is a
+ * full recompute — the trajectory replays from the last full frame,
+ * exactly the recovery a real viewer performs after losing its warm
+ * renderer. Resize re-homes every session the same way.
+ *
  * Rebalancing: Resize(new_shards) drains every in-flight request
  * (outstanding tickets stay valid — their results are resolved and
  * retained), folds the old replicas' telemetry into the cluster-lifetime
@@ -238,6 +252,21 @@ struct ClusterStats {
     /** Times the replica sets were (re-)derived from the census. */
     std::uint64_t replication_refreshes = 0;
 
+    /** Trajectory-session totals, summed across every replica and
+     *  every retired epoch (all zero until OpenSession is used; see
+     *  render_service.h ServiceStats for the per-replica semantics). */
+    std::uint64_t sessions_opened = 0;  //!< cluster OpenSession calls
+    std::uint64_t session_frames = 0;   //!< frames submitted in sessions
+    std::uint64_t delta_frames = 0;     //!< accepted on the delta path
+    std::uint64_t session_full_frames = 0;  //!< accepted full recomputes
+    std::uint64_t coherence_breaks = 0;     //!< fast motion forced full
+    /** Sessions moved to a new home by KillShard or Resize (each
+     *  reopens fresh there: the next frame is a full recompute). */
+    std::uint64_t session_rehomes = 0;
+    double delta_hit_rate = 0.0;     //!< delta / accepted session frames
+    double session_mean_reuse = 0.0; //!< mean reuse over accepted frames
+    double delta_savings_ms = 0.0;   //!< Σ (full - admitted) estimates
+
     /** Batch-fusion totals summed across every replica and every
      *  retired epoch (all zero while batch_window_ms is 0; see
      *  render_service.h ServiceStats for the per-replica semantics). */
@@ -333,11 +362,30 @@ class ShardedRenderService
     FrameCost WarmScene(const std::string& scene);
 
     /**
-     * Routes and submits one request (see file header for the flow).
+     * Routes and submits one request (see file header for the flow) —
+     * the cluster's single submit entry, mirroring
+     * RenderService::Submit(request, options). Default options
+     * reproduce the one-argument behavior exactly. With
+     * options.session set (a handle from this cluster's OpenSession),
+     * the frame routes sticky to the session's home shard — no p2c, no
+     * spill — priced at that shard's real delta-vs-full decision.
      * Never blocks on rendering; the first touch of a cold scene (home
      * warm-up or spill recompile) runs on the submitting thread.
      */
-    ClusterTicket Submit(const SceneRequest& request);
+    ClusterTicket Submit(const SceneRequest& request,
+                         const SubmitOptions& options = {});
+
+    /**
+     * Opens a trajectory session for @p scene (warming it if needed)
+     * on the scene's live home shard and returns its cluster-wide
+     * handle (never 0). Pass it via SubmitOptions::session — with the
+     * frame's pose — on every frame of the trajectory; the cluster
+     * translates it to the sticky shard's own session. Sessions are
+     * re-homed (reopened fresh, so the next frame fully recomputes) by
+     * KillShard and Resize; they are never closed.
+     */
+    SessionId OpenSession(const std::string& scene,
+                          const CoherenceModel& model = {});
 
     /** Blocks until the ticket's request resolves; consumes the ticket. */
     ClusterRenderResult Wait(ClusterTicket ticket);
@@ -355,6 +403,8 @@ class ShardedRenderService
      * *remaining* deadline budget, and the spill recompile surcharge
      * when the new home is cold. Tickets whose requests had already
      * completed, shed, or been rejected keep their original results.
+     * Trajectory sessions living on the dead shard re-home with their
+     * scenes (reopened fresh — the next frame fully recomputes).
      * Returns the number of replayed tickets. Must not race other
      * members (same contract as Resize).
      */
@@ -426,6 +476,15 @@ class ShardedRenderService
         std::uint64_t p2c_cursor = 0;
     };
 
+    /** Cluster-side record of one trajectory session. */
+    struct SessionDesc {
+        std::string scene;
+        CoherenceModel model;
+        std::size_t shard = 0;        //!< current sticky home replica
+        SessionId shard_session = 0;  //!< its handle on that replica
+        std::uint64_t rehomes = 0;    //!< kills/resizes that moved it
+    };
+
     /** One outstanding or resolved ticket. */
     struct Pending {
         bool resolved = false;
@@ -435,10 +494,14 @@ class ShardedRenderService
         double spill_surcharge_ms = 0.0;
         ServeTicket shard_ticket = 0;
         RenderResult result;  //!< valid once resolved
-        /** Replay bookkeeping: the original request, whether the shard
+        /** Replay bookkeeping: the original request and options (the
+         *  cluster-level session handle; RouteToShardLocked translates
+         *  it to the session's *current* shard at submit time, so a
+         *  replay lands on the re-homed session), whether the shard
          *  accepted it, its virtual completion, and the absolute
          *  deadline admission judged against (0 = none). */
         SceneRequest request;
+        SubmitOptions options;
         bool accepted = false;
         double completion_ms = 0.0;
         double deadline_abs_ms = 0.0;
@@ -475,6 +538,14 @@ class ShardedRenderService
         std::uint64_t batched_requests = 0;
         std::uint64_t batched_accepted = 0;
         std::size_t max_batch_elements = 0;
+        std::uint64_t session_frames = 0;
+        std::uint64_t delta_frames = 0;
+        std::uint64_t session_full_frames = 0;
+        std::uint64_t coherence_breaks = 0;
+        /** Σ reuse over accepted session frames, reconstructed from the
+         *  replica's mean (it computed the mean from this exact sum). */
+        double session_reuse_sum = 0.0;
+        double delta_savings_ms = 0.0;
         double busy_ms = 0.0;
         double first_arrival_ms = 0.0;
         bool saw_arrival = false;
@@ -504,6 +575,12 @@ class ShardedRenderService
         std::uint64_t batched_requests = 0;
         std::uint64_t batched_accepted = 0;
         std::size_t max_batch_elements = 0;
+        std::uint64_t session_frames = 0;
+        std::uint64_t delta_frames = 0;
+        std::uint64_t session_full_frames = 0;
+        std::uint64_t coherence_breaks = 0;
+        double session_reuse_sum = 0.0;
+        double delta_savings_ms = 0.0;
         double busy_ms = 0.0;
         double first_arrival_ms = 0.0;
         double last_completion_ms = 0.0;
@@ -542,13 +619,26 @@ class ShardedRenderService
      * Routes @p request to @p shard with @p surcharge_ms and records
      * the bookkeeping into @p pending (transport hop, final verdict
      * probe, shard submit, aux counters). The single funnel for first
-     * submissions and replays. (mutex_ held.)
+     * submissions and replays. @p options carries the cluster-level
+     * submit options; a session handle in it is translated to the
+     * session's current shard-local handle here, and the verdict
+     * preview prices the sticky shard's real delta-vs-full decision
+     * (PeekSessionEstimate). (mutex_ held.)
      */
-    void RouteToShardLocked(const SceneRequest& request, std::size_t shard,
+    void RouteToShardLocked(const SceneRequest& request,
+                            const SubmitOptions& options, std::size_t shard,
                             std::size_t home, bool spilled,
                             double surcharge_ms, bool via_replica,
                             bool is_replay, const TraceContext& route_ctx,
                             Pending& pending);
+    /** Re-homes every session living on a shard that is no longer its
+     *  scene's live home: reopens it fresh there (the next frame fully
+     *  recomputes — the trajectory replays from its last full frame).
+     *  Run by KillShardLocked and Resize after scenes re-home; Resize
+     *  passes @p force because it rebuilds every replica, invalidating
+     *  every shard-local session handle. (mutex_ held.) */
+    void RehomeSessionsLocked(const TraceContext& ctx, double now_ms,
+                              bool force);
     /** Folds replica @p i's histograms/tiers/aux into retired_ and its
      *  scalars into @p fold; zeroes aux_[i]. (mutex_ held.) */
     void FoldReplicaLocked(std::size_t i, EpochFold& fold);
@@ -573,6 +663,12 @@ class ShardedRenderService
     std::vector<std::string> scene_order_;
     std::unordered_map<ClusterTicket, Pending> pending_;
     ClusterTicket next_ticket_ = 0;
+    /** Open trajectory sessions (never erased) and their open order —
+     *  the deterministic iteration order for re-homing. */
+    std::unordered_map<SessionId, SessionDesc> sessions_;
+    std::vector<SessionId> session_order_;
+    SessionId next_session_ = 0;
+    std::uint64_t session_rehomes_ = 0;
     Retired retired_;
     std::uint64_t cluster_submitted_ = 0;
     std::uint64_t transport_failures_ = 0;

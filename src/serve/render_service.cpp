@@ -111,6 +111,15 @@ TierStats::ShedRate() const
 }
 
 double
+SessionStats::DeltaHitRate() const
+{
+    const std::uint64_t accepted = delta_frames + full_frames;
+    if (accepted == 0) return 0.0;
+    return static_cast<double>(delta_frames) /
+           static_cast<double>(accepted);
+}
+
+double
 ServiceStats::ShedRate() const
 {
     if (submitted == 0) return 0.0;
@@ -193,10 +202,23 @@ RenderService::Issue(std::future<RenderResult> future)
 ServeTicket
 RenderService::Submit(const SceneRequest& request, double extra_service_ms)
 {
-    // The batching path is a separate function, not interleaved
-    // conditions: with the window off this body is exactly the
+    SubmitOptions options;
+    options.extra_service_ms = extra_service_ms;
+    return Submit(request, options);
+}
+
+ServeTicket
+RenderService::Submit(const SceneRequest& request,
+                      const SubmitOptions& options)
+{
+    // Each path is a separate function, not interleaved conditions:
+    // with no session and the window off this body is exactly the
     // pre-batching service, byte-identical telemetry included.
-    if (batch_window_ms_ > 0.0) {
+    if (options.session != 0) {
+        return SubmitSession(request, options);
+    }
+    const double extra_service_ms = options.extra_service_ms;
+    if (batch_window_ms_ > 0.0 && options.batching) {
         return SubmitBatched(request, extra_service_ms);
     }
     submitted_.fetch_add(1);
@@ -463,6 +485,250 @@ RenderService::SubmitBatched(const SceneRequest& request,
     return Issue(std::move(future));
 }
 
+SessionId
+RenderService::OpenSession(const std::string& scene,
+                           const CoherenceModel& model)
+{
+    if (!registry_.Has(scene)) {
+        Fatal("OpenSession names unregistered scene '" + scene + "'");
+    }
+    if (model.reuse_quanta < 1) {
+        Fatal("CoherenceModel::reuse_quanta must be >= 1");
+    }
+    if (model.break_threshold < 0.0 || model.break_threshold > 1.0) {
+        Fatal("CoherenceModel::break_threshold must be in [0, 1]");
+    }
+    if (model.translation_scale <= 0.0 || model.rotation_scale_deg <= 0.0) {
+        Fatal("CoherenceModel scales must be positive");
+    }
+    std::lock_guard<std::mutex> lock(session_mutex_);
+    Session session;
+    session.id = ++next_session_;
+    session.scene = scene;
+    session.model = model;
+    const SessionId id = session.id;
+    session_order_.push_back(id);
+    sessions_.emplace(id, std::move(session));
+    return id;
+}
+
+double
+RenderService::PeekSessionEstimate(SessionId session, const Pose& pose)
+{
+    std::lock_guard<std::mutex> lock(session_mutex_);
+    const auto it = sessions_.find(session);
+    FLEX_CHECK_MSG(it != sessions_.end(),
+                   "unknown session " << session);
+    const Session& state = it->second;
+    // Administrative touch: a price preview is not a request.
+    const std::shared_ptr<const SceneEntry> scene =
+        registry_.Touch(state.scene, &pool_, /*count_request=*/false);
+    EstimateContext context;
+    if (state.has_last_pose) {
+        const std::size_t quantum =
+            state.model.ReuseQuantum(state.last_pose, pose);
+        if (quantum > 0 && !state.model.IsCoherenceBreak(quantum)) {
+            const std::shared_ptr<const DeltaSceneFrame> delta =
+                registry_.TouchDelta(state.scene, quantum,
+                                     state.model.reuse_quanta, &pool_);
+            context.kind = EstimateKind::kDelta;
+            context.reference = &scene->cost;
+            return Accelerator::Estimate(delta->cost, context).service_ms;
+        }
+    }
+    return Accelerator::Estimate(scene->cost, context).service_ms;
+}
+
+ServeTicket
+RenderService::SubmitSession(const SceneRequest& request,
+                             const SubmitOptions& options)
+{
+    submitted_.fetch_add(1);
+    // One lock around the whole coherence decision and its Admit: the
+    // verdict depends on the session's last rendered pose, so both must
+    // see one consistent submission order.
+    std::lock_guard<std::mutex> lock(session_mutex_);
+    const auto it = sessions_.find(options.session);
+    FLEX_CHECK_MSG(it != sessions_.end(),
+                   "unknown session " << options.session);
+    Session& session = it->second;
+    FLEX_CHECK_MSG(session.scene == request.scene,
+                   "session " << session.id << " is bound to scene '"
+                              << session.scene << "', not '"
+                              << request.scene << "'");
+    ++session.frames;
+
+    TraceRecorder* const recorder = TraceRecorder::Global();
+    RequestTrace trace = BeginRequestTrace(recorder, request);
+    const std::shared_ptr<const SceneEntry> scene =
+        registry_.Touch(request.scene, &pool_);
+
+    // Coherence decision: measure the new pose against the last
+    // *rendered* pose. The first frame has no predecessor to warp from
+    // (a full recompute, not a break); later frames go delta when the
+    // overlap clears the model's break threshold.
+    bool as_delta = false;
+    bool coherence_break = false;
+    double reuse = 0.0;
+    std::shared_ptr<const DeltaSceneFrame> delta;
+    if (session.has_last_pose) {
+        const std::size_t quantum =
+            session.model.ReuseQuantum(session.last_pose, options.pose);
+        if (session.model.IsCoherenceBreak(quantum)) {
+            coherence_break = true;
+        } else if (quantum > 0) {
+            as_delta = true;
+            reuse = static_cast<double>(quantum) /
+                    static_cast<double>(session.model.reuse_quanta);
+            // The estimation run executes a cold delta shape on this
+            // thread the first time its quantum is seen: propagate the
+            // request's context so its frame/op spans land in this
+            // trace (memoized afterwards, like batch shapes).
+            ScopedTraceContext scoped(trace.ctx, request.arrival_ms);
+            delta = registry_.TouchDelta(request.scene, quantum,
+                                         session.model.reuse_quanta,
+                                         &pool_);
+        }
+    }
+
+    // Admission prices delta vs full recompute through the unified
+    // estimator: a delta frame books its shrunken plan's critical path
+    // (never more than the full frame's), a break or first frame books
+    // the full estimate — both plus any surcharge.
+    EstimateContext context;
+    context.extra_service_ms = options.extra_service_ms;
+    ServiceEstimate estimate;
+    if (as_delta) {
+        context.kind = EstimateKind::kDelta;
+        context.reference = &scene->cost;
+        estimate = Accelerator::Estimate(delta->cost, context);
+    } else {
+        estimate = Accelerator::Estimate(scene->cost, context);
+    }
+    const AdmissionController::Verdict verdict = admission_.Admit(
+        request.arrival_ms, estimate.service_ms, request.deadline_ms,
+        request.tier);
+
+    RenderResult result;
+    result.scene = request.scene;
+    result.tier = verdict.tier;
+    result.queue_wait_ms = verdict.wait_ms;
+    result.latency_ms = verdict.completion_ms - verdict.arrival_ms;
+
+    using Outcome = AdmissionController::Outcome;
+    if (verdict.outcome != Outcome::kAccepted) {
+        result.status = verdict.outcome == Outcome::kRejectedQueueFull
+                            ? RequestStatus::kRejectedQueueFull
+                            : RequestStatus::kShedDeadline;
+        result.latency_ms = 0.0;
+        result.queue_wait_ms = 0.0;
+        registry_.CountOutcome(request.scene, /*accepted=*/false,
+                               result.status ==
+                                   RequestStatus::kShedDeadline);
+        TraceNotAccepted(recorder, trace, verdict,
+                         admission_.tiers()[verdict.tier].name,
+                         result.status, request.scene);
+        // The session does not advance: a rejected or shed frame was
+        // never rendered, so the next frame's reuse is still measured
+        // against the last frame that actually exists.
+        std::promise<RenderResult> promise;
+        promise.set_value(std::move(result));
+        return Issue(promise.get_future());
+    }
+
+    registry_.CountOutcome(request.scene, /*accepted=*/true,
+                           /*shed=*/false);
+    latency_.Record(result.latency_ms);
+    tier_latency_[verdict.tier].Record(result.latency_ms);
+    TraceAccepted(recorder, trace, verdict,
+                  admission_.tiers()[verdict.tier].name,
+                  estimate.service_ms);
+    if (recorder != nullptr && trace.active()) {
+        recorder->RecordInstant(
+            trace.ctx, "session",
+            as_delta ? "session_delta"
+                     : (coherence_break ? "session_break" : "session_full"),
+            verdict.arrival_ms,
+            {TraceArg::Int("session",
+                           static_cast<std::int64_t>(session.id)),
+             TraceArg::Num("reuse", reuse),
+             TraceArg::Num("est_ms", estimate.service_ms),
+             TraceArg::Num("savings_ms", estimate.savings_ms)});
+    }
+
+    // This frame renders: it becomes the session's predecessor.
+    session.has_last_pose = true;
+    session.last_pose = options.pose;
+    session.reuse_sum += reuse;
+    session.delta_savings_ms += estimate.savings_ms;
+    if (as_delta) {
+        ++session.delta_frames;
+    } else {
+        ++session.full_frames;
+        if (coherence_break) ++session.coherence_breaks;
+    }
+
+    return DispatchFrame(request,
+                         as_delta ? delta->frame : scene->frame, verdict,
+                         trace, std::move(result));
+}
+
+ServeTicket
+RenderService::DispatchFrame(const SceneRequest& request,
+                             const PlanCache::PreparedFrame& frame,
+                             const AdmissionController::Verdict& verdict,
+                             RequestTrace trace, RenderResult result)
+{
+    auto promise = std::make_shared<std::promise<RenderResult>>();
+    std::future<RenderResult> future = promise->get_future();
+
+    DispatchItem item;
+    item.priority = request.priority;
+    item.deadline_ms = verdict.deadline_ms > 0.0
+                           ? verdict.arrival_ms + verdict.deadline_ms
+                           : 0.0;
+    item.sequence = sequence_.fetch_add(1);
+    // The handle copy pins the plan-cache entry (delta shapes live in
+    // the LRU like any entry; the pin keeps the replay safe past
+    // eviction) — the same steady-state prepared path as a solo frame.
+    item.work = [this, frame, promise, trace,
+                 result = std::move(result)]() mutable {
+        TraceRecorder* const rec =
+            trace.active() ? TraceRecorder::Global() : nullptr;
+        if (rec != nullptr) {
+            rec->RecordSpan(trace.ctx, "queue", "queue_wait",
+                            trace.arrival_ms, trace.start_ms,
+                            trace.wall_queued_us, rec->NowWallUs());
+            const double wall_begin = rec->NowWallUs();
+            {
+                ScopedTraceContext scoped(trace.ctx, trace.start_ms);
+                result.cost = cache_.Run(frame, &pool_);
+            }
+            const double wall_end = rec->NowWallUs();
+            rec->RecordSpan(trace.ctx, "service", "service",
+                            trace.start_ms, trace.completion_ms,
+                            wall_begin, wall_end);
+            TraceContext root_ctx;
+            root_ctx.trace_id = trace.ctx.trace_id;
+            root_ctx.parent_span = trace.root_parent;
+            rec->RecordSpan(root_ctx, "request", "request",
+                            trace.arrival_ms, trace.completion_ms,
+                            trace.wall_submit_us, wall_end,
+                            {TraceArg::Str("scene", result.scene)});
+        } else {
+            result.cost = cache_.Run(frame, &pool_);
+        }
+        completed_.fetch_add(1);
+        promise->set_value(std::move(result));
+    };
+    queue_.Push(std::move(item));
+    pool_.Enqueue([this] {
+        DispatchItem next;
+        if (queue_.Pop(&next)) next.work();
+    });
+    return Issue(std::move(future));
+}
+
 void
 RenderService::FlushBatchLocked(std::list<OpenBatch>::iterator batch)
 {
@@ -722,6 +988,47 @@ RenderService::Snapshot() const
         }
     }
 
+    {
+        std::lock_guard<std::mutex> session_lock(session_mutex_);
+        stats.sessions_opened = session_order_.size();
+        double reuse_sum = 0.0;
+        std::uint64_t accepted_session_frames = 0;
+        stats.sessions.reserve(session_order_.size());
+        for (const SessionId id : session_order_) {
+            const Session& session = sessions_.at(id);
+            SessionStats row;
+            row.id = session.id;
+            row.scene = session.scene;
+            row.frames = session.frames;
+            row.delta_frames = session.delta_frames;
+            row.full_frames = session.full_frames;
+            row.coherence_breaks = session.coherence_breaks;
+            const std::uint64_t accepted =
+                session.delta_frames + session.full_frames;
+            row.mean_reuse =
+                accepted > 0
+                    ? session.reuse_sum / static_cast<double>(accepted)
+                    : 0.0;
+            row.delta_savings_ms = session.delta_savings_ms;
+            stats.sessions.push_back(std::move(row));
+
+            stats.session_frames += session.frames;
+            stats.delta_frames += session.delta_frames;
+            stats.session_full_frames += session.full_frames;
+            stats.coherence_breaks += session.coherence_breaks;
+            stats.delta_savings_ms += session.delta_savings_ms;
+            reuse_sum += session.reuse_sum;
+            accepted_session_frames += accepted;
+        }
+        if (accepted_session_frames > 0) {
+            stats.delta_hit_rate =
+                static_cast<double>(stats.delta_frames) /
+                static_cast<double>(accepted_session_frames);
+            stats.session_mean_reuse =
+                reuse_sum / static_cast<double>(accepted_session_frames);
+        }
+    }
+
     stats.cache = cache_.stats();
     stats.cache_entries = cache_.size();
     stats.scenes = registry_.Stats();
@@ -755,6 +1062,48 @@ ServiceStats::PublishTo(MetricsRegistry& registry,
                         static_cast<double>(cache.frame_hits));
     registry.SetCounter(prefix + ".cache.evictions",
                         static_cast<double>(cache.evictions));
+    // The trajectory surface publishes only once sessions exist, so a
+    // session-free deployment's metric dump is byte-identical to the
+    // pre-session service's.
+    if (sessions_opened > 0) {
+        registry.SetCounter(prefix + ".sessions_opened",
+                            static_cast<double>(sessions_opened));
+        registry.SetCounter(prefix + ".session_frames",
+                            static_cast<double>(session_frames));
+        registry.SetCounter(prefix + ".delta_frames",
+                            static_cast<double>(delta_frames));
+        registry.SetCounter(prefix + ".session_full_frames",
+                            static_cast<double>(session_full_frames));
+        registry.SetCounter(prefix + ".coherence_breaks",
+                            static_cast<double>(coherence_breaks));
+        registry.SetCounter(prefix + ".cache.delta_hits",
+                            static_cast<double>(cache.delta_hits));
+        registry.SetCounter(prefix + ".cache.delta_misses",
+                            static_cast<double>(cache.delta_misses));
+        registry.SetGauge(prefix + ".delta_hit_rate", delta_hit_rate);
+        registry.SetGauge(prefix + ".session_mean_reuse",
+                          session_mean_reuse);
+        registry.SetGauge(prefix + ".delta_savings_ms", delta_savings_ms);
+        for (const SessionStats& session : sessions) {
+            const std::string base =
+                prefix + ".session." + std::to_string(session.id);
+            registry.SetCounter(base + ".frames",
+                                static_cast<double>(session.frames));
+            registry.SetCounter(
+                base + ".delta_frames",
+                static_cast<double>(session.delta_frames));
+            registry.SetCounter(base + ".full_frames",
+                                static_cast<double>(session.full_frames));
+            registry.SetCounter(
+                base + ".coherence_breaks",
+                static_cast<double>(session.coherence_breaks));
+            registry.SetGauge(base + ".delta_hit_rate",
+                              session.DeltaHitRate());
+            registry.SetGauge(base + ".mean_reuse", session.mean_reuse);
+            registry.SetGauge(base + ".delta_savings_ms",
+                              session.delta_savings_ms);
+        }
+    }
 
     registry.SetGauge(prefix + ".shed_rate", ShedRate());
     registry.SetGauge(prefix + ".makespan_ms", makespan_ms);

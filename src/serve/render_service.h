@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "common/stats.h"
+#include "models/trajectory.h"
 #include "obs/trace.h"
 #include "plan/plan_cache.h"
 #include "runtime/thread_pool.h"
@@ -118,6 +119,69 @@ struct RenderResult {
 /** Handle to one submitted request. */
 using ServeTicket = std::uint64_t;
 
+/** Handle to one trajectory session (0 = no session). */
+using SessionId = std::uint64_t;
+
+/**
+ * Per-request submission options — the one argument that carries what
+ * used to be scattered across Submit overloads: the cluster's spill
+ * surcharge, the batching opt-in, and the trajectory-session linkage.
+ * Default-constructed options reproduce the legacy Submit(request)
+ * behavior exactly (batching on when the service configures a window,
+ * no surcharge, no session).
+ */
+struct SubmitOptions {
+    /**
+     * Added to the frame's latency estimate when the virtual device
+     * schedules this request — out-of-band work serialized on the
+     * device, such as the recompile a spilled request pays on a shard
+     * that does not hold the scene's pin (see serve/cluster.h). It
+     * participates in the deadline check and the reported virtual
+     * latency, so a surcharged request can shed where an unsurcharged
+     * one would fit.
+     */
+    double extra_service_ms = 0.0;
+    /**
+     * Whether this request may join/open a fused same-scene batch when
+     * the service runs with a batch window (ServeConfig). Off forces
+     * the solo path for this request only. Ignored (solo) for session
+     * frames: a delta plan is specific to its predecessor, so session
+     * frames never fuse.
+     */
+    bool batching = true;
+    /** Session this request belongs to (from OpenSession); 0 = none.
+     *  Session frames are priced delta-vs-full by the coherence model
+     *  and must name the session's scene. */
+    SessionId session = 0;
+    /** Camera pose of this frame (session frames only): the coherence
+     *  model measures reuse against the session's last rendered pose. */
+    Pose pose;
+};
+
+/**
+ * Per-session serving telemetry: how well a trajectory's temporal
+ * coherence converted into delta frames.
+ */
+struct SessionStats {
+    SessionId id = 0;
+    std::string scene;
+    std::uint64_t frames = 0;        //!< session frames submitted
+    std::uint64_t delta_frames = 0;  //!< accepted at a delta price
+    /** Accepted full recomputes: the session's first frame, coherence
+     *  breaks, and zero-overlap frames. */
+    std::uint64_t full_frames = 0;
+    std::uint64_t coherence_breaks = 0;  //!< accepted break fallbacks
+    /** Mean reuse fraction over accepted frames (first/break frames
+     *  count as zero reuse). */
+    double mean_reuse = 0.0;
+    /** Total virtual ms the delta path saved vs recomputing every
+     *  accepted frame from scratch (ServiceEstimate::savings_ms). */
+    double delta_savings_ms = 0.0;
+
+    /** delta_frames / accepted frames — the delta hit rate. */
+    double DeltaHitRate() const;
+};
+
 /**
  * Per-tier serving telemetry: the tier's policy knobs echoed next to
  * the counters and latency digest they govern, so one row answers
@@ -184,9 +248,29 @@ struct ServiceStats {
      *  batch dispatched; the fused path's amortization factor). */
     double batch_occupancy = 0.0;
 
+    /**
+     * Trajectory-session telemetry (all zero without sessions).
+     * session_frames counts submits carrying a session; delta_frames
+     * and session_full_frames split the accepted ones by pricing path;
+     * delta_hit_rate = delta_frames / (delta_frames +
+     * session_full_frames).
+     */
+    std::uint64_t sessions_opened = 0;
+    std::uint64_t session_frames = 0;
+    std::uint64_t delta_frames = 0;
+    std::uint64_t session_full_frames = 0;
+    std::uint64_t coherence_breaks = 0;
+    double delta_hit_rate = 0.0;
+    /** Mean reuse fraction over accepted session frames. */
+    double session_mean_reuse = 0.0;
+    /** Total virtual ms the delta path saved vs full recomputes. */
+    double delta_savings_ms = 0.0;
+
     PlanCache::Stats cache;        //!< plan hits/misses/evictions
     std::size_t cache_entries = 0;
     std::vector<SceneStats> scenes;
+    /** One row per opened session, in open order. */
+    std::vector<SessionStats> sessions;
     /** One row per resolved SLO tier (AdmissionController::tiers()),
      *  in tier-index order. */
     std::vector<TierStats> tiers;
@@ -260,22 +344,62 @@ class RenderService
     FrameCost WarmScene(const std::string& scene);
 
     /**
-     * Submits one request. Never blocks on rendering: rejected and shed
-     * requests resolve immediately; accepted requests resolve when a
-     * worker replays the scene's prepared frame. The first request
-     * against a cold scene additionally compiles it, on the submitting
-     * thread (WarmScene avoids that).
+     * Submits one request — the unified entry point. Never blocks on
+     * rendering: rejected and shed requests resolve immediately;
+     * accepted requests resolve when a worker replays the scene's
+     * prepared frame. The first request against a cold scene
+     * additionally compiles it, on the submitting thread (WarmScene
+     * avoids that).
      *
-     * @p extra_service_ms is added to the scene's latency estimate when
-     * the virtual device schedules this request — it models out-of-band
-     * work serialized on the device, such as the recompile a spilled
-     * request pays on a shard that does not hold the scene's pin (see
-     * serve/cluster.h). It participates in the deadline check and in
-     * the reported virtual latency, so a surcharged request can shed
-     * where an unsurcharged one would fit.
+     * @p options selects the path: default options reproduce the
+     * legacy behavior exactly (batching when configured, no surcharge,
+     * no session); options.session routes the request through the
+     * session's coherence model, pricing the frame as a delta of the
+     * session's last rendered pose where overlap allows
+     * (EstimatedDeltaServiceMs) and as a full recompute otherwise —
+     * a coherence break, counted distinctly.
      */
     ServeTicket Submit(const SceneRequest& request,
-                       double extra_service_ms = 0.0);
+                       const SubmitOptions& options = {});
+
+    /**
+     * Transitional shim for the pre-SubmitOptions signature; forwards
+     * to Submit(request, SubmitOptions{extra_service_ms}). Deliberately
+     * has no default argument (the unified overload owns the bare
+     * Submit(request) spelling) and lives one PR: migrate callers to
+     * SubmitOptions.
+     */
+    [[deprecated("pass SubmitOptions instead of a bare surcharge")]]
+    ServeTicket Submit(const SceneRequest& request, double extra_service_ms);
+
+    /**
+     * Opens a trajectory session for @p scene under @p model: a client
+     * tracking a camera path whose frames reuse each other where view
+     * overlap allows (models/trajectory.h). The session's first
+     * accepted frame is a full recompute; each later one is priced and
+     * executed as a delta of the last *rendered* pose — rejected and
+     * shed frames do not advance it, so reuse is always measured
+     * against a frame that actually exists. A session is bound to its
+     * scene (submitting it with another scene is fatal) and never
+     * batches. Fatal for unregistered scenes and invalid models.
+     */
+    SessionId OpenSession(const std::string& scene,
+                          const CoherenceModel& model = {});
+
+    /**
+     * Side-effect-free preview of what a session frame at @p pose
+     * would be priced (before any surcharge): the delta estimate when
+     * the pose coheres with the session's last rendered pose, the full
+     * frame estimate otherwise (first frame, zero overlap, or a
+     * coherence break). No session state moves — the pose is compared,
+     * not recorded — so a probe that does not lead to a Submit leaves
+     * the session untouched. May lazily prepare the (scene, quantum)
+     * delta shape, which is administrative and memoized, exactly like
+     * ProbeBatchJoin's estimation runs. Like admission(), the preview
+     * only stays exact while the prober is the sole submitter (the
+     * cluster holds its router lock across probe and Submit).
+     */
+    double PeekSessionEstimate(SessionId session, const Pose& pose);
 
     /**
      * Side-effect-free preview of the batching Submit path's pricing:
@@ -360,10 +484,39 @@ class RenderService
         TraceContext trace_ctx;
     };
 
+    /** One open trajectory session (session_mutex_ guards them all). */
+    struct Session {
+        SessionId id = 0;
+        std::string scene;
+        CoherenceModel model;
+        /** False until the first accepted frame: there is no rendered
+         *  predecessor to warp from yet. */
+        bool has_last_pose = false;
+        Pose last_pose;
+
+        std::uint64_t frames = 0;
+        std::uint64_t delta_frames = 0;
+        std::uint64_t full_frames = 0;
+        std::uint64_t coherence_breaks = 0;
+        double reuse_sum = 0.0;  //!< over accepted frames
+        double delta_savings_ms = 0.0;
+    };
+
     ServeTicket Issue(std::future<RenderResult> future);
     /** The batching Submit path (batch_window_ms > 0). */
     ServeTicket SubmitBatched(const SceneRequest& request,
                               double extra_service_ms);
+    /** The trajectory Submit path (options.session != 0). */
+    ServeTicket SubmitSession(const SceneRequest& request,
+                              const SubmitOptions& options);
+    /** Enqueues one accepted request that replays @p frame (the
+     *  session path's dispatch; the solo path keeps its own inline
+     *  twin). The handle pins the plan-cache entry for the lambda's
+     *  lifetime. */
+    ServeTicket DispatchFrame(const SceneRequest& request,
+                              const PlanCache::PreparedFrame& frame,
+                              const AdmissionController::Verdict& verdict,
+                              RequestTrace trace, RenderResult result);
     /** Dispatches @p batch as one fused execution (batch_mutex_ held). */
     void FlushBatchLocked(std::list<OpenBatch>::iterator batch);
     /** Dispatches every open batch whose window closed by @p arrival_ms
@@ -410,6 +563,14 @@ class RenderService
     std::uint64_t batched_requests_ = 0;
     std::uint64_t batched_accepted_total_ = 0;
     std::size_t max_batch_seen_ = 0;
+
+    /** Trajectory-session state. session_mutex_ serializes a session
+     *  frame's whole coherence decision with its Admit call, so
+     *  verdicts stay pure functions of the submission order. */
+    mutable std::mutex session_mutex_;
+    SessionId next_session_ = 0;  //!< ids start at 1 (0 = no session)
+    std::unordered_map<SessionId, Session> sessions_;
+    std::vector<SessionId> session_order_;  //!< open order (snapshots)
 
     /** Declared last so it is destroyed first: its destructor drains
      *  pending drain tasks, which reference the members above. */

@@ -144,6 +144,62 @@ SceneRegistry::TouchBatched(const std::string& name, std::size_t elements,
         .first->second;
 }
 
+std::shared_ptr<const DeltaSceneFrame>
+SceneRegistry::TouchDelta(const std::string& name,
+                          std::size_t reuse_quantum,
+                          std::size_t reuse_quanta, ThreadPool* pool)
+{
+    if (reuse_quanta < 1 || reuse_quantum > reuse_quanta) {
+        Fatal("scene '" + name + "': reuse quantum " +
+              std::to_string(reuse_quantum) + " of " +
+              std::to_string(reuse_quanta) + " is not a valid fraction");
+    }
+    // Administrative touch: ensures the scene is prepared (delta shapes
+    // hang off its pinned handle and reuse its model and workload)
+    // without moving the request counters.
+    const std::shared_ptr<const SceneEntry> entry =
+        Touch(name, pool, /*count_request=*/false);
+
+    std::shared_ptr<std::mutex> prepare_mutex;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Slot& slot = slots_.at(name);
+        const auto it = slot.deltas.find(reuse_quantum);
+        if (it != slot.deltas.end()) return it->second;
+        prepare_mutex = slot.prepare_mutex;
+    }
+    // First use of this (scene, reuse-quantum) shape: compile, pin, and
+    // estimate outside the registry lock, serialized per scene exactly
+    // like a first touch, so one estimation run executes per shape
+    // however many session frames race to the same coherence level.
+    std::lock_guard<std::mutex> prepare_lock(*prepare_mutex);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        Slot& slot = slots_.at(name);
+        const auto it = slot.deltas.find(reuse_quantum);
+        if (it != slot.deltas.end()) return it->second;
+    }
+    auto delta = std::make_shared<DeltaSceneFrame>();
+    delta->reuse_quantum = reuse_quantum;
+    delta->reuse_quanta = reuse_quanta;
+    if (reuse_quantum == 0) {
+        // Zero reuse is the scene itself: alias its prepared entry so a
+        // no-overlap frame replays the same memoized full frame.
+        delta->frame = entry->frame;
+        delta->cost = entry->cost;
+    } else {
+        const NerfWorkload shrunken =
+            DeltaWorkload(entry->workload, reuse_quantum, reuse_quanta);
+        delta->frame =
+            cache_.PrepareDelta(entry->frame, *entry->accel, shrunken);
+        delta->cost = cache_.Run(delta->frame, pool);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    Slot& slot = slots_.at(name);
+    return slot.deltas.emplace(reuse_quantum, std::move(delta))
+        .first->second;
+}
+
 void
 SceneRegistry::CountOutcome(const std::string& name, bool accepted,
                             bool shed)

@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "models/trajectory.h"
 #include "models/workload.h"
 #include "plan/plan_cache.h"
 #include "runtime/sweep_runner.h"
@@ -60,6 +61,22 @@ struct BatchedSceneFrame {
     std::size_t elements = 1;
     PlanCache::PreparedFrame frame;  //!< pinned fused prepared frame
     FrameCost cost;                  //!< executed fused-frame cost
+};
+
+/**
+ * One prepared delta frame of a scene — the (scene, reuse-quantum)
+ * grain of the trajectory path (see models/trajectory.h). Immutable
+ * once built: the frame handle pins the predecessor-keyed delta plan in
+ * the cache and `cost` is its executed cost, so
+ * EstimatedDeltaServiceMs(cost, scene cost) prices a session frame at
+ * this coherence level exactly — the same quantum always replays the
+ * same memoized delta frame.
+ */
+struct DeltaSceneFrame {
+    std::size_t reuse_quantum = 0;   //!< numerator of the reuse fraction
+    std::size_t reuse_quanta = 1;    //!< the coherence model's grid
+    PlanCache::PreparedFrame frame;  //!< pinned delta prepared frame
+    FrameCost cost;                  //!< executed delta-frame cost
 };
 
 /** Per-scene serving counters (snapshot). */
@@ -129,6 +146,22 @@ class SceneRegistry
         const std::string& name, std::size_t elements,
         ThreadPool* pool = nullptr);
 
+    /**
+     * Returns the prepared delta frame for reusing @p reuse_quantum /
+     * @p reuse_quanta of @p name's previous frame (see
+     * models/trajectory.h, DeltaWorkload), compiling and pinning each
+     * (scene, quantum) shape lazily on first use via the plan cache's
+     * predecessor-keyed path (PlanCache::PrepareDelta off the scene's
+     * pinned handle) — one estimation run per shape, exactly like a
+     * scene's first touch. @p reuse_quantum == 0 aliases the scene's
+     * own prepared entry (no overlap is a full recompute). Touches the
+     * scene first if needed; never moves the request counters
+     * (delta-shape preparation is administrative).
+     */
+    std::shared_ptr<const DeltaSceneFrame> TouchDelta(
+        const std::string& name, std::size_t reuse_quantum,
+        std::size_t reuse_quanta, ThreadPool* pool = nullptr);
+
     /** Counts one admission outcome against @p name's stats. */
     void CountOutcome(const std::string& name, bool accepted, bool shed);
 
@@ -158,6 +191,11 @@ class SceneRegistry
         std::unordered_map<std::size_t,
                            std::shared_ptr<const BatchedSceneFrame>>
             batched;
+        /** Prepared delta frames by reuse quantum (lazily built; the
+         *  0-reuse shape aliases `entry`). */
+        std::unordered_map<std::size_t,
+                           std::shared_ptr<const DeltaSceneFrame>>
+            deltas;
         SceneStats stats;
     };
 

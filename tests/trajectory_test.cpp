@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Unit tests for temporal-coherence serving: the CoherenceModel's
+ * quantized reuse mapping, the DeltaWorkload transform (fingerprints,
+ * preserved dependency edges, op floors), the PlanCache predecessor-
+ * keyed delta path (including the race between delta lookups and LRU
+ * eviction — satellite pin semantics), the unified
+ * Accelerator::Estimate entry point vs the inline estimators, the
+ * unified Submit(request, SubmitOptions) API and its one-PR deprecated
+ * shim, trajectory sessions through RenderService (delta pricing,
+ * coherence-break fallback, thread-count determinism), and sticky
+ * sessions on the sharded cluster (home routing and KillShard
+ * re-homing).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "accel/flexnerfer.h"
+#include "models/trajectory.h"
+#include "models/workload.h"
+#include "plan/plan_cache.h"
+#include "runtime/sweep_runner.h"
+#include "serve/cluster.h"
+#include "serve/render_service.h"
+#include "frame_cost_matchers.h"
+
+namespace flexnerfer {
+namespace {
+
+SweepPoint
+FlexScene(const std::string& model)
+{
+    SweepPoint spec;
+    spec.backend = Backend::kFlexNeRFer;
+    spec.precision = Precision::kInt8;
+    spec.model = model;
+    return spec;
+}
+
+Pose
+PoseAt(double x, double yaw_deg = 0.0)
+{
+    Pose pose;
+    pose.x = x;
+    pose.yaw_deg = yaw_deg;
+    return pose;
+}
+
+TEST(CoherenceModel, QuantizesReuseDownAndFlagsBreaks)
+{
+    const CoherenceModel model;  // translation 1.0, rotation 90, 1/64ths
+
+    // A static camera reuses everything: the full quantum, no break.
+    EXPECT_EQ(model.ReuseQuantum(PoseAt(0.0), PoseAt(0.0)),
+              model.reuse_quanta);
+    EXPECT_DOUBLE_EQ(model.ReuseFraction(PoseAt(0.0), PoseAt(0.0)), 1.0);
+    EXPECT_FALSE(model.IsCoherenceBreak(model.reuse_quanta));
+
+    // Quantization rounds DOWN (conservative): reuse 0.95 on a 1/64
+    // grid is floor(60.8) = 60, never 61.
+    EXPECT_EQ(model.ReuseQuantum(PoseAt(0.0), PoseAt(0.05)), 60u);
+
+    // Translation and rotation invalidate additively: 0.25 units plus
+    // 22.5 degrees (a quarter of the 90-degree scale) each cost a
+    // quarter of the view -> reuse 0.5 -> quantum 32.
+    EXPECT_EQ(model.ReuseQuantum(PoseAt(0.0), PoseAt(0.25, 22.5)), 32u);
+
+    // A jump past the scale clamps to zero overlap.
+    EXPECT_EQ(model.ReuseQuantum(PoseAt(0.0), PoseAt(10.0)), 0u);
+
+    // The break boundary is exact on the grid: threshold 0.25 of 64
+    // quanta means 15/64 breaks and 16/64 does not.
+    EXPECT_TRUE(model.IsCoherenceBreak(15));
+    EXPECT_FALSE(model.IsCoherenceBreak(16));
+    EXPECT_TRUE(model.IsCoherenceBreak(0));
+
+    // Pure function: replaying the same delta gives the same quantum.
+    EXPECT_EQ(model.ReuseQuantum(PoseAt(1.0), PoseAt(1.03)),
+              model.ReuseQuantum(PoseAt(1.0), PoseAt(1.03)));
+}
+
+TEST(DeltaWorkload, PreservesEdgesSeparatesFingerprintsAndFloorsOps)
+{
+    const NerfWorkload base = BuildWorkload("Instant-NGP");
+
+    // Zero overlap is a full recompute: the base workload unchanged,
+    // same fingerprint, same cache identity.
+    const NerfWorkload full = DeltaWorkload(base, 0, 64);
+    EXPECT_EQ(WorkloadFingerprint(full), WorkloadFingerprint(base));
+
+    // A real delta separates from the base and from every other
+    // quantum: one plan-cache entry per (scene, quantum).
+    const NerfWorkload d32 = DeltaWorkload(base, 32, 64);
+    const NerfWorkload d60 = DeltaWorkload(base, 60, 64);
+    EXPECT_NE(WorkloadFingerprint(d32), WorkloadFingerprint(base));
+    EXPECT_NE(WorkloadFingerprint(d32), WorkloadFingerprint(d60));
+    EXPECT_NE(d32.name.find("+delta32of64"), std::string::npos);
+
+    // The DAG keeps the base frame's shape: one appended warp_validate
+    // source op, every base op (and its dependency edges) intact, no op
+    // shrunk to nothing even at full reuse.
+    const NerfWorkload d64 = DeltaWorkload(base, 64, 64);
+    ASSERT_EQ(d64.ops.size(), base.ops.size() + 1);
+    for (std::size_t i = 0; i < base.ops.size(); ++i) {
+        EXPECT_EQ(d64.ops[i].deps, base.ops[i].deps) << "op " << i;
+        EXPECT_NE(d64.ops[i].name.find("#d"), std::string::npos);
+    }
+    EXPECT_NE(d64.ops.back().name.find("warp_validate"), std::string::npos);
+    EXPECT_TRUE(d64.ops.back().deps.empty());  // a source op
+
+    // The delta prices below the full frame, and the warp pass makes
+    // even the static-camera delta non-free.
+    const FlexNeRFerModel accel;
+    const double full_ms = EstimatedServiceMs(accel.RunWorkload(base));
+    const double d32_ms = EstimatedServiceMs(accel.RunWorkload(d32));
+    const double d64_ms = EstimatedServiceMs(accel.RunWorkload(d64));
+    EXPECT_LT(d64_ms, d32_ms);
+    EXPECT_LT(d32_ms, full_ms);
+    EXPECT_GT(d64_ms, 0.0);
+}
+
+TEST(PlanCache, DeltaLookupsTelescopeAndCountDistinctly)
+{
+    const FlexNeRFerModel accel;
+    const NerfWorkload base = BuildWorkload("NeRF");
+    const NerfWorkload shape = DeltaWorkload(base, 48, 64);
+
+    PlanCache cache;
+    const PlanCache::PreparedFrame frame = cache.Prepare(accel, base);
+    const FrameCost full = cache.Run(frame);
+
+    // First delta lookup compiles (a delta miss on top of the plan
+    // miss); the replay is a delta hit and replays bit-identically.
+    const FrameCost first = cache.RunDelta(frame, accel, shape);
+    EXPECT_EQ(cache.stats().delta_misses, 1u);
+    EXPECT_EQ(cache.stats().delta_hits, 0u);
+    const FrameCost again = cache.RunDelta(frame, accel, shape);
+    EXPECT_EQ(cache.stats().delta_hits, 1u);
+    ExpectBitIdentical(again, first);
+    EXPECT_LT(EstimatedServiceMs(first), EstimatedServiceMs(full));
+
+    // The key is predecessor-scoped: the same delta shape hanging off a
+    // different base frame is a different entry, and a delta handle is
+    // itself a valid predecessor (the trajectory telescopes).
+    const PlanCache::PreparedFrame other =
+        cache.Prepare(accel, BuildWorkload("TensoRF"));
+    const std::size_t before = cache.size();
+    cache.PrepareDelta(other, accel,
+                       DeltaWorkload(BuildWorkload("TensoRF"), 48, 64));
+    EXPECT_EQ(cache.size(), before + 1);
+    const PlanCache::PreparedFrame chained =
+        cache.PrepareDelta(frame, accel, shape);
+    cache.RunDelta(chained, accel, shape);
+    EXPECT_EQ(cache.stats().delta_misses, 3u);
+}
+
+TEST(PlanCache, DeltaLookupsSurviveLruEvictionThroughPins)
+{
+    // Satellite: the race between predecessor-keyed lookups and LRU
+    // eviction. A capacity-2 cache churns both the predecessor and the
+    // delta entry out of the key table; the predecessor *handle* pins
+    // its entry (and key) through eviction, so PrepareDelta stays
+    // valid, and the evicted delta entry recompiles byte-identically as
+    // a fresh delta miss.
+    const FlexNeRFerModel accel;
+    const NerfWorkload base = BuildWorkload("Instant-NGP");
+    const NerfWorkload shape = DeltaWorkload(base, 56, 64);
+
+    PlanCache cache(/*capacity=*/2);
+    const PlanCache::PreparedFrame frame = cache.Prepare(accel, base);
+    const FrameCost first = cache.RunDelta(frame, accel, shape);
+    EXPECT_EQ(cache.stats().delta_misses, 1u);
+
+    // Churn two unrelated frames through the bounded cache: both the
+    // base entry and the delta entry leave the key table.
+    cache.Run(accel, BuildWorkload("NeRF"));
+    cache.Run(accel, BuildWorkload("TensoRF"));
+    EXPECT_GE(cache.stats().evictions, 2u);
+    EXPECT_EQ(cache.size(), 2u);
+
+    // The pinned predecessor still replays bit-identically, and the
+    // delta path recompiles into the same plan: same cost, one more
+    // delta miss (distinctly counted), zero delta hits wasted.
+    const FrameCost replayed = cache.RunDelta(frame, accel, shape);
+    ExpectBitIdentical(replayed, first);
+    EXPECT_EQ(cache.stats().delta_misses, 2u);
+    EXPECT_EQ(cache.stats().delta_hits, 0u);
+
+    // Once resident again it hits like any entry.
+    cache.RunDelta(frame, accel, shape);
+    EXPECT_EQ(cache.stats().delta_hits, 1u);
+}
+
+TEST(Accelerator, UnifiedEstimateMatchesTheInlineEstimators)
+{
+    const FlexNeRFerModel accel;
+    const NerfWorkload base = BuildWorkload("Instant-NGP");
+    const FrameCost full = accel.RunWorkload(base);
+    const FrameCost delta = accel.RunWorkload(DeltaWorkload(base, 48, 64));
+
+    EstimateContext context;
+    const ServiceEstimate plain = Accelerator::Estimate(full, context);
+    EXPECT_EQ(plain.kind, EstimateKind::kFull);
+    EXPECT_DOUBLE_EQ(plain.service_ms, EstimatedServiceMs(full));
+    EXPECT_DOUBLE_EQ(plain.full_ms, plain.service_ms);
+    EXPECT_DOUBLE_EQ(plain.savings_ms, 0.0);
+
+    context.kind = EstimateKind::kBatchJoin;
+    context.reference = &delta;  // "previous" = the smaller frame
+    const ServiceEstimate join = Accelerator::Estimate(full, context);
+    EXPECT_DOUBLE_EQ(join.service_ms,
+                     EstimatedMarginalServiceMs(full, delta));
+    EXPECT_DOUBLE_EQ(join.savings_ms, join.full_ms - join.service_ms);
+
+    context.kind = EstimateKind::kDelta;
+    context.reference = &full;
+    const ServiceEstimate priced = Accelerator::Estimate(delta, context);
+    EXPECT_DOUBLE_EQ(priced.service_ms,
+                     EstimatedDeltaServiceMs(delta, full));
+    EXPECT_DOUBLE_EQ(priced.full_ms, EstimatedServiceMs(full));
+    EXPECT_GT(priced.savings_ms, 0.0);
+
+    // The surcharge rides both sides, so savings reflect the rule only.
+    context.extra_service_ms = 7.5;
+    const ServiceEstimate taxed = Accelerator::Estimate(delta, context);
+    EXPECT_DOUBLE_EQ(taxed.service_ms, priced.service_ms + 7.5);
+    EXPECT_DOUBLE_EQ(taxed.full_ms, priced.full_ms + 7.5);
+    EXPECT_DOUBLE_EQ(taxed.savings_ms, priced.savings_ms);
+}
+
+TEST(RenderService, UnifiedSubmitMatchesDefaultsAndDeprecatedShim)
+{
+    // Submit(request), Submit(request, SubmitOptions{}), and the
+    // one-PR deprecated surcharge shim must produce byte-identical
+    // verdicts — the API redesign changes the signature, not a single
+    // admitted millisecond.
+    const auto run = [](int variant) {
+        ServeConfig config;
+        config.threads = 2;
+        RenderService service(config);
+        service.RegisterScene("ngp", FlexScene("Instant-NGP"));
+        const double est = EstimatedServiceMs(service.WarmScene("ngp"));
+        for (int i = 0; i < 8; ++i) {
+            SceneRequest request;
+            request.scene = "ngp";
+            request.arrival_ms = 0.6 * est * i;
+            request.deadline_ms = 2.0 * est + 9.0;
+            if (variant == 0) {
+                SubmitOptions options;
+                options.extra_service_ms = 9.0;
+                service.Submit(request, options);
+            } else if (variant == 1) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+                service.Submit(request, 9.0);
+#pragma GCC diagnostic pop
+            } else {
+                request.deadline_ms = 2.0 * est;
+                service.Submit(request);
+            }
+        }
+        std::vector<RenderResult> results = service.WaitAll();
+        return results;
+    };
+
+    const std::vector<RenderResult> options_run = run(0);
+    const std::vector<RenderResult> shim_run = run(1);
+    ASSERT_EQ(options_run.size(), shim_run.size());
+    for (std::size_t i = 0; i < options_run.size(); ++i) {
+        EXPECT_EQ(options_run[i].status, shim_run[i].status) << i;
+        EXPECT_DOUBLE_EQ(options_run[i].latency_ms, shim_run[i].latency_ms)
+            << i;
+    }
+    // Default options are the legacy single-argument path exactly: the
+    // un-surcharged run admits on the same schedule shape.
+    const std::vector<RenderResult> bare_run = run(2);
+    EXPECT_EQ(bare_run.size(), options_run.size());
+}
+
+/** Replays a fixed pose path through a fresh service; returns results
+ *  and the snapshot for determinism comparisons. */
+std::pair<std::vector<RenderResult>, ServiceStats>
+ReplayTrajectory(int threads, const std::vector<Pose>& poses)
+{
+    ServeConfig config;
+    config.threads = threads;
+    RenderService service(config);
+    service.RegisterScene("ngp", FlexScene("Instant-NGP"));
+    const double est = EstimatedServiceMs(service.WarmScene("ngp"));
+    const SessionId session = service.OpenSession("ngp");
+    for (std::size_t k = 0; k < poses.size(); ++k) {
+        SceneRequest request;
+        request.scene = "ngp";
+        request.arrival_ms = 1.1 * est * static_cast<double>(k);
+        request.deadline_ms = 4.0 * est;
+        SubmitOptions options;
+        options.session = session;
+        options.pose = poses[k];
+        service.Submit(request, options);
+    }
+    auto results = service.WaitAll();
+    return {std::move(results), service.Snapshot()};
+}
+
+TEST(RenderService, SessionsPriceDeltasAndFallBackOnBreaks)
+{
+    // A smooth walk with one mid-path teleport: frame 0 is full (no
+    // predecessor), smooth frames are deltas, the teleport is a
+    // coherence break priced as a full recompute, and the walk resumes
+    // on the delta path afterwards.
+    std::vector<Pose> poses;
+    for (int k = 0; k < 12; ++k) {
+        poses.push_back(PoseAt(0.05 * k + (k >= 6 ? 10.0 : 0.0)));
+    }
+    const auto [results, stats] = ReplayTrajectory(2, poses);
+
+    ASSERT_EQ(stats.sessions.size(), 1u);
+    const SessionStats& session = stats.sessions.front();
+    EXPECT_EQ(session.frames, poses.size());
+    EXPECT_EQ(session.coherence_breaks, 1u);
+    EXPECT_EQ(session.full_frames, 2u);
+    EXPECT_EQ(session.delta_frames, poses.size() - 2);
+    EXPECT_GT(session.delta_savings_ms, 0.0);
+    EXPECT_NEAR(session.DeltaHitRate(),
+                static_cast<double>(poses.size() - 2) /
+                    static_cast<double>(poses.size()),
+                1e-12);
+
+    // One scene compile plus one delta shape (the smooth 0.05 step is
+    // one quantum): the break replays the pinned full frame, it does
+    // not recompile anything.
+    EXPECT_EQ(stats.cache.plan_misses, 2u);
+    EXPECT_EQ(stats.cache.delta_misses, 1u);
+
+    // Delta frames are cheaper than the two full frames.
+    const double full_latency = results[0].latency_ms;
+    EXPECT_DOUBLE_EQ(results[6].latency_ms, full_latency);  // the break
+    for (std::size_t k : {1u, 5u, 7u, 11u}) {
+        EXPECT_LT(results[k].latency_ms, full_latency) << "frame " << k;
+    }
+
+    // Aggregate rollup matches the per-session row.
+    EXPECT_EQ(stats.sessions_opened, 1u);
+    EXPECT_EQ(stats.session_frames, poses.size());
+    EXPECT_EQ(stats.delta_frames, session.delta_frames);
+    EXPECT_EQ(stats.coherence_breaks, 1u);
+}
+
+TEST(RenderService, SessionVerdictsAreThreadCountInvariant)
+{
+    std::vector<Pose> poses;
+    for (int k = 0; k < 16; ++k) {
+        poses.push_back(PoseAt(0.03 * k, 1.5 * k));
+    }
+    const auto [one, stats_one] = ReplayTrajectory(1, poses);
+    const auto [four, stats_four] = ReplayTrajectory(4, poses);
+
+    ASSERT_EQ(one.size(), four.size());
+    for (std::size_t k = 0; k < one.size(); ++k) {
+        EXPECT_EQ(one[k].status, four[k].status) << k;
+        EXPECT_DOUBLE_EQ(one[k].latency_ms, four[k].latency_ms) << k;
+        ExpectBitIdentical(one[k].cost, four[k].cost);
+    }
+    EXPECT_EQ(stats_one.delta_frames, stats_four.delta_frames);
+    EXPECT_EQ(stats_one.coherence_breaks, stats_four.coherence_breaks);
+    EXPECT_DOUBLE_EQ(stats_one.delta_savings_ms,
+                     stats_four.delta_savings_ms);
+    EXPECT_DOUBLE_EQ(stats_one.session_mean_reuse,
+                     stats_four.session_mean_reuse);
+}
+
+TEST(ShardedRenderService, SessionsStickToTheirHomeAndRehomeOnKill)
+{
+    ClusterConfig config;
+    config.shards = 3;
+    config.threads_per_shard = 2;
+    ShardedRenderService cluster(config);
+    cluster.RegisterScene("ngp", FlexScene("Instant-NGP"));
+    const double est = EstimatedServiceMs(cluster.WarmScene("ngp"));
+    const std::size_t home = cluster.router().Home("ngp");
+
+    const SessionId session = cluster.OpenSession("ngp");
+    const auto submit = [&](std::size_t k, double x) {
+        SceneRequest request;
+        request.scene = "ngp";
+        request.arrival_ms = 1.1 * est * static_cast<double>(k);
+        request.deadline_ms = 4.0 * est;
+        SubmitOptions options;
+        options.session = session;
+        options.pose = PoseAt(x);
+        return cluster.Submit(request, options);
+    };
+
+    // Smooth frames all land on the scene's home shard — sessions are
+    // sticky (no p2c, no spill): coherence state lives in the home
+    // replica's plan cache.
+    for (std::size_t k = 0; k < 6; ++k) submit(k, 0.04 * k);
+    std::vector<ClusterRenderResult> results = cluster.WaitAll();
+    ASSERT_EQ(results.size(), 6u);
+    for (const ClusterRenderResult& r : results) {
+        EXPECT_EQ(r.shard, home);
+        EXPECT_FALSE(r.spilled);
+        EXPECT_EQ(r.result.status, RequestStatus::kCompleted);
+    }
+
+    // Killing the home re-homes the session with its scene: the next
+    // frame replays from the last full frame (a full recompute on the
+    // new home), then the trajectory resumes on the delta path there.
+    cluster.KillShard(home, /*now_ms=*/1.1 * est * 6.0);
+    for (std::size_t k = 6; k < 9; ++k) submit(k, 0.04 * k);
+    results = cluster.WaitAll();
+    ASSERT_EQ(results.size(), 3u);
+    const std::size_t new_home = results.front().shard;
+    EXPECT_NE(new_home, home);
+    for (const ClusterRenderResult& r : results) {
+        EXPECT_EQ(r.shard, new_home);
+        EXPECT_EQ(r.result.status, RequestStatus::kCompleted);
+    }
+
+    const ClusterStats stats = cluster.Snapshot();
+    EXPECT_EQ(stats.sessions_opened, 1u);
+    EXPECT_EQ(stats.session_rehomes, 1u);
+    EXPECT_EQ(stats.session_frames, 9u);
+    // Full frames: the opener and the post-re-home replay; everything
+    // else priced as a delta, folded across the dead shard's epoch.
+    EXPECT_EQ(stats.session_full_frames, 2u);
+    EXPECT_EQ(stats.delta_frames, 7u);
+    EXPECT_EQ(stats.coherence_breaks, 0u);
+    EXPECT_GT(stats.delta_savings_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace flexnerfer

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Bench-trajectory runner (the CI bench-trajectory job).
 #
-# Runs the plan_cache, serving, serving_sharded, traffic_zoo, and
-# serving_cluster smokes from an existing build directory, verifies
+# Runs the plan_cache, serving, serving_sharded, traffic_zoo,
+# serving_cluster, and trajectory_replay smokes from an existing build
+# directory, verifies
 # their stdout is thread-count invariant (cmp of --threads 1 vs 4, the
 # repo-wide determinism contract), and distils the headline metrics —
 # model-time QPS, p50/p99 latency, shed/spill rates, per-tier
@@ -29,6 +30,7 @@ requests_serving=400
 requests_sharded=300
 requests_zoo=400
 requests_cluster=300
+frames_trajectory=150
 
 run_pair() {
     # run_pair <name> <binary> <args...>: runs at --threads 1 and 4,
@@ -54,6 +56,7 @@ run_pair serving_batched serving --requests "${requests_serving}" \
 run_pair serving_sharded serving_sharded --requests "${requests_sharded}"
 run_pair traffic_zoo traffic_zoo --requests "${requests_zoo}"
 run_pair serving_cluster serving_cluster --requests "${requests_cluster}"
+run_pair trajectory_replay trajectory_replay --frames "${frames_trajectory}"
 
 # --- serving (traced): the observability path. The "[trace]" census
 # and "[trace-stage]" attribution lines ride the stdout cmp; the
@@ -190,6 +193,22 @@ cluster_rows="$(grep '^\[cluster\]' "${workdir}/serving_cluster.out" \
         printf "},\n" }')"
 cluster_rows="${cluster_rows%,*}"  # drop the trailing comma + newline
 
+# --- trajectory_replay: one row per "[trajectory] ..." line — the
+# temporal-coherence payoff curve (p50/p99 and savings per pan speed),
+# the teleport coherence-break drill, and the full-recompute baseline
+# the curve must bend away from. ---------------------------------------
+trajectory_rows="$(grep '^\[trajectory\]' "${workdir}/trajectory_replay.out" \
+    | awk '{
+        printf "    {"
+        for (i = 2; i <= NF; ++i) {
+            split($i, kv, "=")
+            quoted = (kv[1] == "kind")
+            printf "%s\"%s\": %s%s%s", (i > 2 ? ", " : ""), kv[1],
+                   (quoted ? "\"" : ""), kv[2], (quoted ? "\"" : "")
+        }
+        printf "},\n" }')"
+trajectory_rows="${trajectory_rows%,*}"  # drop the trailing comma
+
 commit="${GITHUB_SHA:-$(git -C "$(dirname "$0")/.." rev-parse HEAD \
     2>/dev/null || echo unknown)}"
 
@@ -252,6 +271,9 @@ ${zoo_rows}
   ],
   "serving_cluster": [
 ${cluster_rows}
+  ],
+  "trajectory_replay": [
+${trajectory_rows}
   ]
 }
 EOF
